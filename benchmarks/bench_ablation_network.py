@@ -1,0 +1,73 @@
+"""Ablation — is the constant-network assumption (eq. (2)) justified?
+
+The paper argues network queueing is negligible because link utilization
+is under 10% (10 Gbps vs at most 10^5 keys/s of <=200 B requests and
+<=1 KB values). We model the link as an M/D/1 queue (deterministic
+transmission times) at the paper's numbers and measure how much queueing
+delay the "constant network latency" assumption throws away.
+"""
+
+from repro.distributions import Deterministic
+from repro.queueing import MG1Queue
+from repro.units import to_usec, usec
+
+from helpers import print_series, series_info
+
+LINK_GBPS = 10.0
+KEY_BYTES = 200
+VALUE_BYTES = 1000
+PROPAGATION = usec(20)
+
+
+def transmission_time(nbytes: int) -> float:
+    return nbytes * 8 / (LINK_GBPS * 1e9)
+
+
+def compute_rows():
+    rows = []
+    for rate in (1e4, 1e5, 5e5, 1e6):
+        # Worst direction: value-sized frames.
+        service = transmission_time(VALUE_BYTES)
+        queue = MG1Queue(rate, Deterministic(service))
+        rows.append(
+            (
+                rate,
+                queue.utilization,
+                queue.mean_wait,
+                queue.mean_wait / PROPAGATION,
+            )
+        )
+    return rows
+
+
+def test_ablation_network(benchmark):
+    rows = benchmark(compute_rows)
+
+    print_series(
+        "Ablation: M/D/1 network queueing at the paper's link numbers",
+        ["keys/s", "link util", "queue wait (us)", "vs 20us constant"],
+        [
+            [f"{rate:.0e}", f"{util:.1%}", to_usec(wait), f"{ratio:.1%}"]
+            for rate, util, wait, ratio in rows
+        ],
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["rate", "utilization", "wait_us"],
+            [
+                [r[0] for r in rows],
+                [r[1] for r in rows],
+                [to_usec(r[2]) for r in rows],
+            ],
+        )
+    )
+
+    # At the paper's 10^5 keys/s the link runs at <10% utilization and
+    # the queueing wait is well under 1% of the 20 us constant — the
+    # constant-network assumption (eq. 2) is sound.
+    paper_point = next(r for r in rows if r[0] == 1e5)
+    assert paper_point[1] < 0.10
+    assert paper_point[2] < 0.01 * PROPAGATION
+    # It only becomes questionable near link saturation (10x the paper).
+    extreme = rows[-1]
+    assert extreme[1] > 0.5

@@ -1,0 +1,82 @@
+"""Extension — multi-core Memcached servers (paper §2.2 related work).
+
+The paper surveys Intel's thread-scaling fixes and multi-core
+configuration guidance. The queueing-theoretic content: a c-core server
+with one shared queue (M/M/c) strictly beats c single-core servers with
+independent queues (c x M/M/1) at equal total load, and the advantage
+grows with utilization. This bench quantifies the pooling speedup at
+the paper's service rates and validates it against an M/M/c simulation.
+"""
+
+import numpy as np
+
+from repro.queueing import MMcQueue, pooling_comparison
+from repro.units import kps, to_usec
+
+from helpers import bench_rng, print_series, series_info
+
+CORES = 4
+PER_CORE_RATE = kps(20)  # 4 cores ~ the paper's 80 Kps server
+UTILIZATIONS = [0.3, 0.5, 0.7, 0.75, 0.9]
+
+
+def compute_rows():
+    rows = []
+    for rho in UTILIZATIONS:
+        total = rho * CORES * PER_CORE_RATE
+        result = pooling_comparison(total, PER_CORE_RATE, CORES)
+        rows.append((rho, result["split_sojourn"], result["pooled_sojourn"],
+                     result["speedup"]))
+    return rows
+
+
+def simulate_mmc_sojourn(total_rate: float, rng: np.random.Generator) -> float:
+    n = 150_000
+    arrivals = np.cumsum(rng.exponential(1.0 / total_rate, n))
+    free_at = np.zeros(CORES)
+    total = 0.0
+    for t in arrivals:
+        j = int(np.argmin(free_at))
+        start = max(t, free_at[j])
+        service = rng.exponential(1.0 / PER_CORE_RATE)
+        free_at[j] = start + service
+        total += free_at[j] - t
+    return total / n
+
+
+def test_ext_multicore(benchmark):
+    rows = benchmark(compute_rows)
+
+    print_series(
+        "Extension: pooled M/M/4 vs 4x M/M/1 mean sojourn (us)",
+        ["rho", "split (us)", "pooled (us)", "speedup"],
+        [
+            [rho, to_usec(split), to_usec(pooled), f"{speed:.2f}x"]
+            for rho, split, pooled, speed in rows
+        ],
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["rho", "split_us", "pooled_us"],
+            [
+                [r[0] for r in rows],
+                [to_usec(r[1]) for r in rows],
+                [to_usec(r[2]) for r in rows],
+            ],
+        )
+    )
+
+    # Shape 1: pooling always wins and the advantage grows with load.
+    speedups = [r[3] for r in rows]
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] > speedups[0]
+    # Shape 2: at the paper's 75% cliff utilization, pooling buys >2x.
+    at_cliff = next(r for r in rows if r[0] == 0.75)
+    assert at_cliff[3] > 2.0
+    # Shape 3: the analytic M/M/c matches a direct simulation.
+    rng = bench_rng()
+    rho = 0.7
+    total = rho * CORES * PER_CORE_RATE
+    simulated = simulate_mmc_sojourn(total, rng)
+    analytic = MMcQueue(total, PER_CORE_RATE, CORES).mean_sojourn
+    assert abs(simulated - analytic) / analytic < 0.05

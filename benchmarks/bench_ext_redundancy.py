@@ -1,0 +1,58 @@
+"""Extension — redundant requests (paper refs [12, 13]).
+
+The paper cites "low latency via redundancy" and C3 as optimizations
+its model does not capture. Our redundancy extension models d-way
+replicated reads (fastest copy wins, load inflates d-fold) on top of
+the GI^X/M/1 queue. This bench sweeps base utilization and reports the
+speedup of 2-way reads, reproducing the classic crossover: redundancy
+helps at low load and collapses past a burst-dependent utilization.
+"""
+
+from repro.core import redundancy_crossover, redundancy_speedup
+
+from helpers import N_KEYS, SERVICE_RATE, facebook_workload, print_series, series_info
+
+UTILIZATIONS = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45]
+
+
+def compute_rows():
+    rows = []
+    for rho in UTILIZATIONS:
+        workload = facebook_workload().with_rate(rho * SERVICE_RATE)
+        speedup = redundancy_speedup(workload, SERVICE_RATE, N_KEYS, 2)
+        rows.append((rho, speedup))
+    crossover = redundancy_crossover(facebook_workload(), SERVICE_RATE, N_KEYS, 2)
+    return rows, crossover
+
+
+def test_ext_redundancy(benchmark):
+    rows, crossover = benchmark(compute_rows)
+
+    print_series(
+        "Extension: 2-way redundant reads, speedup vs base utilization",
+        ["base rho", "speedup (x)"],
+        [
+            [rho, f"{speed:.2f}" if speed is not None else "unstable"]
+            for rho, speed in rows
+        ],
+    )
+    print(f"  crossover utilization: {crossover:.1%}")
+    benchmark.extra_info["crossover"] = crossover
+    benchmark.extra_info.update(
+        series_info(
+            ["rho", "speedup"],
+            [
+                [r[0] for r in rows],
+                [r[1] if r[1] is not None else 0.0 for r in rows],
+            ],
+        )
+    )
+
+    # Shape: helps at 5-15% utilization, monotone decay, hurts by 45%.
+    speedups = dict(rows)
+    assert speedups[0.05] > 1.3
+    assert speedups[0.1] > 1.0
+    assert speedups[0.45] is None or speedups[0.45] < 1.0
+    values = [s for _, s in rows if s is not None]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert 0.05 < crossover < 0.5

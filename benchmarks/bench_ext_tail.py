@@ -1,0 +1,101 @@
+"""Extension — percentile (tail) latency bounds vs simulation.
+
+The paper prefers expectations over the 99.9th percentile (§4.5) but
+operators buy SLOs in percentiles. Our TailLatencyModel provides
+two-sided quantile bounds for TS(N), an exact closed form for TD(N),
+and composition bounds for T(N). This bench sweeps the percentile axis
+at the paper's §5.1 configuration and checks the bounds bracket the
+simulated distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatabaseStage,
+    NetworkStage,
+    ServerStage,
+    TailLatencyModel,
+)
+from repro.simulation import sample_request_latencies, simulate_key_latencies
+from repro.units import to_usec
+
+from helpers import (
+    DB_RATE,
+    MISS_RATIO,
+    NETWORK_DELAY,
+    N_KEYS,
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+LEVELS = [0.5, 0.75, 0.9, 0.95, 0.99, 0.999]
+
+
+def build_model() -> TailLatencyModel:
+    return TailLatencyModel(
+        ServerStage(facebook_workload(), SERVICE_RATE),
+        network_stage=NetworkStage(NETWORK_DELAY),
+        database_stage=DatabaseStage(DB_RATE, MISS_RATIO),
+    )
+
+
+def compute_bounds():
+    model = build_model()
+    return [model.request_quantile_bounds(level, N_KEYS) for level in LEVELS]
+
+
+def test_ext_tail(benchmark):
+    bounds = benchmark(compute_bounds)
+    rng = bench_rng()
+    pool = simulate_key_latencies(
+        facebook_workload(), SERVICE_RATE, n_keys=400_000, rng=rng
+    )
+    sample = sample_request_latencies(
+        [pool],
+        [1.0],
+        n_keys=N_KEYS,
+        n_requests=40_000,
+        rng=rng,
+        network_delay=NETWORK_DELAY,
+        miss_ratio=MISS_RATIO,
+        database_rate=DB_RATE,
+    )
+    empirical = [float(np.quantile(sample.total, level)) for level in LEVELS]
+
+    print_series(
+        "Extension: request latency percentiles, bounds vs simulation (us)",
+        ["level", "lower", "simulated", "upper"],
+        [
+            [level, to_usec(b.lower), to_usec(e), to_usec(b.upper)]
+            for level, b, e in zip(LEVELS, bounds, empirical)
+        ],
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["level", "lower_us", "simulated_us", "upper_us"],
+            [
+                LEVELS,
+                [to_usec(b.lower) for b in bounds],
+                [to_usec(e) for e in empirical],
+                [to_usec(b.upper) for b in bounds],
+            ],
+        )
+    )
+
+    # Every simulated percentile inside the band (small slack for MC
+    # noise at the extreme tail).
+    for level, bound, value in zip(LEVELS, bounds, empirical):
+        slack = 1.05 if level < 0.999 else 1.15
+        assert bound.lower * 0.95 <= value <= bound.upper * slack, level
+    # The exact database closed form matches the simulated TD tail.
+    model = build_model()
+    for level in (0.9, 0.99):
+        exact = model.database_quantile(level, N_KEYS)
+        measured = float(np.quantile(sample.database_max, level))
+        assert measured == pytest.approx(exact, rel=0.1)
+
+

@@ -1,0 +1,67 @@
+"""Figure 4 — k-th quantile of per-key processing latency TS.
+
+Regenerates the quantile curve of the single-key latency at a Memcached
+server under the Facebook workload and checks it against the eq. (9)
+band: (TQ)_k < (TS)_k <= (TC)_k.
+"""
+
+import numpy as np
+
+from repro.core import ServerStage
+from repro.simulation import simulate_key_latencies
+from repro.units import to_usec
+
+from helpers import (
+    POOL_SIZE,
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+QUANTILES = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99]
+
+
+def compute_band():
+    stage = ServerStage(facebook_workload(), SERVICE_RATE)
+    return [stage.per_key_quantile_bounds(k) for k in QUANTILES]
+
+
+def test_fig04(benchmark):
+    band = benchmark(compute_band)
+    latencies = simulate_key_latencies(
+        facebook_workload(), SERVICE_RATE, n_keys=POOL_SIZE, rng=bench_rng()
+    )
+    empirical = [float(np.quantile(latencies, k)) for k in QUANTILES]
+
+    rows = [
+        [k, to_usec(lo), to_usec(value), to_usec(hi)]
+        for k, (lo, hi), value in zip(QUANTILES, band, empirical)
+    ]
+    print_series(
+        "Fig 4: per-key TS quantiles (us), eq. (9) band vs simulation",
+        ["k", "lower (TQ)_k", "simulated", "upper (TC)_k"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["k", "lower_us", "simulated_us", "upper_us"],
+            [
+                QUANTILES,
+                [to_usec(lo) for lo, _ in band],
+                [to_usec(v) for v in empirical],
+                [to_usec(hi) for _, hi in band],
+            ],
+        )
+    )
+
+    # Shape: every simulated quantile sits in (or grazes) the eq. (9)
+    # band; the looser tail tolerance covers pool-sampling noise at
+    # extreme quantiles.
+    for k, (lower, upper), value in zip(QUANTILES, band, empirical):
+        slack = 1.05 if k < 0.95 else 1.12
+        assert lower * 0.95 - 2e-6 <= value <= upper * slack + 2e-6
+    # The band is tight at high quantiles (Fig 4 shows the curves merging).
+    top_lower, top_upper = band[-1]
+    assert (top_upper - top_lower) / top_upper < 0.2

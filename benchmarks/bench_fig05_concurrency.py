@@ -1,0 +1,70 @@
+"""Figure 5 — E[TS(N)] vs the concurrency probability q in [0, 0.5].
+
+Theory (Theorem 1 bounds) vs simulation, plus the Theta(1/(1-q))
+linearity check from §5.2.1(i).
+"""
+
+from repro.core import ServerStage, goodness_of_linear_fit
+from repro.simulation import simulate_server_stage_mean
+from repro.units import to_usec
+
+from helpers import (
+    N_KEYS,
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+QS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+
+
+def theory_series():
+    out = []
+    for q in QS:
+        stage = ServerStage(facebook_workload().with_q(q), SERVICE_RATE)
+        out.append(stage.mean_latency_bounds(N_KEYS))
+    return out
+
+
+def test_fig05(benchmark):
+    theory = benchmark(theory_series)
+    rng = bench_rng()
+    simulated = [
+        simulate_server_stage_mean(
+            facebook_workload().with_q(q),
+            SERVICE_RATE,
+            n_keys_per_request=N_KEYS,
+            rng=rng,
+            pool_size=150_000,
+        )
+        for q in QS
+    ]
+
+    rows = [
+        [q, to_usec(est.lower), to_usec(est.upper), to_usec(sim)]
+        for q, est, sim in zip(QS, theory, simulated)
+    ]
+    print_series(
+        "Fig 5: E[TS(150)] vs concurrency q (us)",
+        ["q", "theory lower", "theory upper", "simulated"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["q", "upper_us", "simulated_us"],
+            [QS, [to_usec(t.upper) for t in theory], [to_usec(s) for s in simulated]],
+        )
+    )
+
+    # Shape 1: monotone increasing in q, roughly doubling by q = 0.5.
+    uppers = [t.upper for t in theory]
+    assert all(a < b for a, b in zip(uppers, uppers[1:]))
+    assert 1.6 < uppers[-1] / uppers[0] < 2.3
+    # Shape 2: Theta(1/(1-q)) linearity.
+    xs = [1.0 / (1.0 - q) for q in QS]
+    assert goodness_of_linear_fit(xs, uppers) > 0.999
+    # Shape 3: simulation tracks theory within the documented slack.
+    for est, sim in zip(theory, simulated):
+        assert est.lower * 0.85 < sim < est.upper * 1.35

@@ -1,0 +1,68 @@
+"""Figure 6 — E[TS(N)] vs the burst degree xi in [0, 0.6].
+
+Theory vs simulation. The paper's message: burstier key arrivals
+dramatically raise server latency at fixed utilization (the quantitative
+link is through delta).
+"""
+
+from repro.core import ServerStage
+from repro.simulation import simulate_server_stage_mean
+from repro.units import to_usec
+
+from helpers import (
+    N_KEYS,
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+XIS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+
+
+def theory_series():
+    return [
+        ServerStage(facebook_workload().with_xi(xi), SERVICE_RATE).mean_latency_bounds(N_KEYS)
+        for xi in XIS
+    ]
+
+
+def test_fig06(benchmark):
+    theory = benchmark(theory_series)
+    rng = bench_rng()
+    simulated = [
+        simulate_server_stage_mean(
+            facebook_workload().with_xi(xi),
+            SERVICE_RATE,
+            n_keys_per_request=N_KEYS,
+            rng=rng,
+            pool_size=200_000,
+        )
+        for xi in XIS
+    ]
+
+    rows = [
+        [xi, to_usec(est.lower), to_usec(est.upper), to_usec(sim)]
+        for xi, est, sim in zip(XIS, theory, simulated)
+    ]
+    print_series(
+        "Fig 6: E[TS(150)] vs burst degree xi (us)",
+        ["xi", "theory lower", "theory upper", "simulated"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["xi", "upper_us", "simulated_us"],
+            [XIS, [to_usec(t.upper) for t in theory], [to_usec(s) for s in simulated]],
+        )
+    )
+
+    uppers = [t.upper for t in theory]
+    # Shape: strictly increasing, with a strong blow-up by xi = 0.6
+    # (the paper's figure rises from ~330 us to ~1.3 ms).
+    assert all(a < b for a, b in zip(uppers, uppers[1:]))
+    assert uppers[-1] / uppers[0] > 2.5
+    # Simulation tracks theory (heavy tails need more slack at high xi).
+    for est, sim in zip(theory, simulated):
+        assert est.lower * 0.8 < sim < est.upper * 1.45

@@ -1,0 +1,77 @@
+"""Figure 7 — E[TS(N)] vs the average key arrival rate lambda.
+
+The headline cliff: latency grows gently until ~60 Kps (rho ~ 75% at
+muS = 80 Kps for xi = 0.15), then takes off.
+"""
+
+from repro.core import ServerStage
+from repro.queueing import cliff_utilization
+from repro.simulation import simulate_server_stage_mean
+from repro.units import kps, to_usec
+
+from helpers import (
+    N_KEYS,
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+RATES_KPS = [10, 20, 30, 40, 50, 55, 60, 65, 70, 75]
+
+
+def theory_series():
+    return [
+        ServerStage(
+            facebook_workload().with_rate(kps(rate)), SERVICE_RATE
+        ).mean_latency_bounds(N_KEYS)
+        for rate in RATES_KPS
+    ]
+
+
+def test_fig07(benchmark):
+    theory = benchmark(theory_series)
+    rng = bench_rng()
+    simulated = [
+        simulate_server_stage_mean(
+            facebook_workload().with_rate(kps(rate)),
+            SERVICE_RATE,
+            n_keys_per_request=N_KEYS,
+            rng=rng,
+            pool_size=150_000,
+        )
+        for rate in RATES_KPS
+    ]
+
+    rows = [
+        [rate, to_usec(est.lower), to_usec(est.upper), to_usec(sim)]
+        for rate, est, sim in zip(RATES_KPS, theory, simulated)
+    ]
+    print_series(
+        "Fig 7: E[TS(150)] vs arrival rate lambda (us)",
+        ["lambda (Kps)", "theory lower", "theory upper", "simulated"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["rate_kps", "upper_us", "simulated_us"],
+            [
+                [float(r) for r in RATES_KPS],
+                [to_usec(t.upper) for t in theory],
+                [to_usec(s) for s in simulated],
+            ],
+        )
+    )
+
+    uppers = dict(zip(RATES_KPS, (t.upper for t in theory)))
+    # Shape 1: gentle below 50 Kps, sharp past 60 Kps.
+    gentle = uppers[50] - uppers[40]
+    sharp = uppers[75] - uppers[65]
+    assert sharp > 4 * gentle
+    # Shape 2: the analytic cliff for xi = 0.15 sits at ~75% utilization,
+    # i.e. ~60 Kps on this axis — the paper's headline number.
+    assert abs(cliff_utilization(0.15) * 80.0 - 60.0) < 2.5
+    # Shape 3: simulation tracks theory.
+    for est, sim in zip(theory, simulated):
+        assert est.lower * 0.8 < sim < est.upper * 1.35

@@ -1,0 +1,65 @@
+"""Figure 8 — theory curves: E[TS(N)] vs lambda at xi in {0, 0.6, 0.8}.
+
+Pure Theorem-1 evaluation (the paper's Fig. 8 is numeric too). The
+reproduced claim: burstier arrivals move the cliff to a *lower* arrival
+rate — xi = 0 takes off past ~65 Kps (rho ~ 80%), xi = 0.6 past
+~45 Kps (~55%), xi = 0.8 past ~30 Kps (~40%).
+"""
+
+from repro.core import ServerStage
+from repro.queueing import cliff_utilization
+from repro.units import kps, to_usec
+
+from helpers import N_KEYS, SERVICE_RATE, facebook_workload, print_series, series_info
+
+RATES_KPS = [10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75]
+XIS = [0.0, 0.6, 0.8]
+
+
+def theory_surface():
+    surface = {}
+    for xi in XIS:
+        surface[xi] = [
+            ServerStage(
+                facebook_workload().with_rate(kps(rate)).with_xi(xi),
+                SERVICE_RATE,
+            ).mean_latency_bounds(N_KEYS).upper
+            for rate in RATES_KPS
+        ]
+    return surface
+
+
+def test_fig08(benchmark):
+    surface = benchmark(theory_surface)
+
+    rows = [
+        [rate] + [to_usec(surface[xi][i]) for xi in XIS]
+        for i, rate in enumerate(RATES_KPS)
+    ]
+    print_series(
+        "Fig 8: E[TS(150)] upper bound vs lambda, per burst degree (us)",
+        ["lambda (Kps)"] + [f"xi={xi}" for xi in XIS],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["rate_kps"] + [f"xi_{xi}_us" for xi in XIS],
+            [[float(r) for r in RATES_KPS]]
+            + [[to_usec(v) for v in surface[xi]] for xi in XIS],
+        )
+    )
+
+    # Shape 1: at every rate, burstier is slower.
+    for i in range(len(RATES_KPS)):
+        assert surface[0.0][i] < surface[0.6][i] < surface[0.8][i]
+
+    # Shape 2: the cliff moves left with burst (paper: 80% / 55% / 40%).
+    cliffs = {xi: cliff_utilization(xi) for xi in XIS}
+    assert cliffs[0.0] > cliffs[0.6] > cliffs[0.8]
+    assert abs(cliffs[0.0] - 0.80) < 0.06
+    assert abs(cliffs[0.6] - 0.55) < 0.06
+
+    # Shape 3: at 75 Kps even Poisson arrivals are past the cliff — all
+    # three curves end far above their 10 Kps start.
+    for xi in XIS:
+        assert surface[xi][-1] / surface[xi][0] > 5

@@ -1,0 +1,73 @@
+"""Figure 9 — theory curves: E[TS(N)] vs muS at xi in {0, 0.6, 0.8}.
+
+The dual of Fig. 8: at fixed lambda = 62.5 Kps, increasing the service
+rate buys a sharp improvement until the cliff utilization is reached,
+then diminishing returns. Burstier arrivals require a *higher* muS to
+exit the cliff: ~85 Kps (xi=0), ~110 Kps (0.6), ~160 Kps (0.8).
+"""
+
+from repro.core import ServerStage
+from repro.queueing import cliff_utilization
+from repro.units import kps, to_usec
+
+from helpers import KEY_RATE, N_KEYS, facebook_workload, print_series, series_info
+
+MUS_KPS = [65, 70, 75, 80, 85, 90, 100, 110, 120, 140, 160, 180, 200]
+XIS = [0.0, 0.6, 0.8]
+
+
+def theory_surface():
+    surface = {}
+    for xi in XIS:
+        surface[xi] = [
+            ServerStage(
+                facebook_workload().with_xi(xi), kps(mu)
+            ).mean_latency_bounds(N_KEYS).upper
+            for mu in MUS_KPS
+        ]
+    return surface
+
+
+def test_fig09(benchmark):
+    surface = benchmark(theory_surface)
+
+    rows = [
+        [mu] + [to_usec(surface[xi][i]) for xi in XIS]
+        for i, mu in enumerate(MUS_KPS)
+    ]
+    print_series(
+        "Fig 9: E[TS(150)] upper bound vs muS, per burst degree (us)",
+        ["muS (Kps)"] + [f"xi={xi}" for xi in XIS],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["mu_kps"] + [f"xi_{xi}_us" for xi in XIS],
+            [[float(m) for m in MUS_KPS]]
+            + [[to_usec(v) for v in surface[xi]] for xi in XIS],
+        )
+    )
+
+    # Shape 1: latency decreasing in muS for every burst degree.
+    for xi in XIS:
+        values = surface[xi]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    # Shape 2: diminishing returns past the cliff — for xi = 0 the gain
+    # from 65->80 Kps dwarfs the gain from 90->200 Kps (relative terms).
+    poisson = dict(zip(MUS_KPS, surface[0.0]))
+    sharp = poisson[65] - poisson[80]
+    gentle = poisson[90] - poisson[200]
+    assert sharp > gentle
+
+    # Shape 3: the muS needed to reach the cliff utilization grows with
+    # burst: lambda / rhoS(xi) ~ 85 / 110 / 160 Kps for xi = 0 / .6 / .8.
+    # The iso-delta criterion is used because the default relative-slope
+    # one saturates ("any load is past the cliff") at extreme burst.
+    needed = {
+        xi: KEY_RATE / cliff_utilization(xi, method="iso-delta") / 1e3
+        for xi in XIS
+    }
+    assert needed[0.0] < needed[0.6] < needed[0.8]
+    assert abs(needed[0.0] - 85) < 10
+    assert needed[0.8] > 150  # qualitative at extreme burst (DESIGN.md §5.4)

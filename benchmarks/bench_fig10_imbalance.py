@@ -1,0 +1,80 @@
+"""Figure 10 — E[TS(N)] vs the largest load ratio p1.
+
+A total stream of Lambda = 80 Kps is spread over 4 servers with the
+hottest share p1 in [0.3, 0.9] (muS = 80 Kps, xi = 0.15). The cliff
+appears at p1 = 0.75, where the hottest server hits 75% utilization —
+the same rhoS(xi) as the balanced sweep, which is the point of §5.2.2.
+"""
+
+from repro.core import ClusterModel, ServerStage
+from repro.queueing import cliff_utilization
+from repro.simulation import simulate_server_stage_mean
+from repro.units import kps, to_usec
+
+from helpers import (
+    N_KEYS,
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+TOTAL_RATE = kps(80)
+P1S = [0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9]
+
+
+def theory_series():
+    out = []
+    for p1 in P1S:
+        cluster = ClusterModel.hot_cold(4, SERVICE_RATE, hottest_share=p1)
+        stage = ServerStage.from_cluster(cluster, TOTAL_RATE, facebook_workload())
+        out.append(stage.mean_latency_bounds(N_KEYS))
+    return out
+
+
+def test_fig10(benchmark):
+    theory = benchmark(theory_series)
+    rng = bench_rng()
+    simulated = []
+    for p1 in P1S:
+        cluster = ClusterModel.hot_cold(4, SERVICE_RATE, hottest_share=p1)
+        simulated.append(
+            simulate_server_stage_mean(
+                facebook_workload().with_rate(TOTAL_RATE),
+                SERVICE_RATE,
+                n_keys_per_request=N_KEYS,
+                rng=rng,
+                pool_size=120_000,
+                shares=cluster.shares,
+            )
+        )
+
+    rows = [
+        [p1, to_usec(est.lower), to_usec(est.upper), to_usec(sim)]
+        for p1, est, sim in zip(P1S, theory, simulated)
+    ]
+    print_series(
+        "Fig 10: E[TS(150)] vs largest load ratio p1 (us), Lambda = 80 Kps",
+        ["p1", "theory lower", "theory upper", "simulated"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["p1", "upper_us", "simulated_us"],
+            [P1S, [to_usec(t.upper) for t in theory], [to_usec(s) for s in simulated]],
+        )
+    )
+
+    uppers = dict(zip(P1S, (t.upper for t in theory)))
+    # Shape 1: increasing in p1; flat-ish before 0.7, explosive after 0.75.
+    gentle = uppers[0.5] - uppers[0.3]
+    sharp = uppers[0.9] - uppers[0.75]
+    assert sharp > 3 * gentle
+    # Shape 2: cliff when the hottest server's utilization hits rhoS(xi):
+    # p1 * 80 / 80 = 0.75.
+    assert abs(cliff_utilization(0.15) - 0.75) < 0.02
+    # Shape 3: simulated means bracketed by the Prop-1 band (with the
+    # documented quantile-rule slack on the upper side).
+    for est, sim in zip(theory, simulated):
+        assert est.lower * 0.8 < sim < est.upper * 1.35

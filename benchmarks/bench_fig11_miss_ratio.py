@@ -1,0 +1,105 @@
+"""Figure 11 — E[TD(N)] vs the cache miss ratio r.
+
+Two panels like the paper's: small N (1, 4, 10) on a linear r axis where
+latency is Theta(r), and large N (1e2, 1e3, 1e4) on a log r axis where
+latency is Theta(log r). Theory (eq. 23) vs Monte-Carlo simulation of
+the miss/max process.
+"""
+
+import numpy as np
+
+from repro.core import DatabaseStage
+from repro.simulation import sample_request_latencies
+from repro.units import to_msec
+
+from helpers import DB_RATE, bench_rng, print_series, series_info
+
+SMALL_N = [1, 4, 10]
+SMALL_R = [0.0001, 0.02, 0.04, 0.06, 0.08, 0.1]
+LARGE_N = [100, 1000, 10_000]
+LARGE_R = [1e-4, 1e-3, 1e-2, 1e-1]
+
+
+def theory_surface():
+    small = {
+        n: [DatabaseStage(DB_RATE, r).mean_latency(n) for r in SMALL_R]
+        for n in SMALL_N
+    }
+    large = {
+        n: [DatabaseStage(DB_RATE, r).mean_latency(n) for r in LARGE_R]
+        for n in LARGE_N
+    }
+    return small, large
+
+
+def simulate_td(n: int, r: float, rng: np.random.Generator) -> float:
+    sample = sample_request_latencies(
+        [np.zeros(4)],
+        [1.0],
+        n_keys=n,
+        n_requests=3000,
+        rng=rng,
+        miss_ratio=r,
+        database_rate=DB_RATE,
+    )
+    return float(sample.database_max.mean())
+
+
+def test_fig11(benchmark):
+    small, large = benchmark(theory_surface)
+    rng = bench_rng()
+
+    sim_small = {
+        n: [simulate_td(n, r, rng) for r in SMALL_R] for n in SMALL_N
+    }
+    sim_large = {
+        n: [simulate_td(n, r, rng) for r in LARGE_R] for n in LARGE_N
+    }
+
+    rows = [
+        [r]
+        + [to_msec(small[n][i]) for n in SMALL_N]
+        + [to_msec(sim_small[n][i]) for n in SMALL_N]
+        for i, r in enumerate(SMALL_R)
+    ]
+    print_series(
+        "Fig 11 (left): E[TD(N)] vs r, small N (ms)",
+        ["r"] + [f"thy N={n}" for n in SMALL_N] + [f"sim N={n}" for n in SMALL_N],
+        rows,
+    )
+    rows = [
+        [r]
+        + [to_msec(large[n][i]) for n in LARGE_N]
+        + [to_msec(sim_large[n][i]) for n in LARGE_N]
+        for i, r in enumerate(LARGE_R)
+    ]
+    print_series(
+        "Fig 11 (right): E[TD(N)] vs r, large N (ms)",
+        ["r"] + [f"thy N={n}" for n in LARGE_N] + [f"sim N={n}" for n in LARGE_N],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["small_r", "thy_n4_ms", "large_r", "thy_n1000_ms"],
+            [
+                SMALL_R,
+                [to_msec(v) for v in small[4]],
+                LARGE_R,
+                [to_msec(v) for v in large[1000]],
+            ],
+        )
+    )
+
+    # Shape 1: small N — linear in r (double r => ~double latency).
+    n4 = DatabaseStage(DB_RATE, 0.02).mean_latency(4)
+    n4_double = DatabaseStage(DB_RATE, 0.04).mean_latency(4)
+    assert n4_double / n4 == 2.0 or abs(n4_double / n4 - 2.0) < 0.15
+    # Shape 2: large N — logarithmic in r (equal steps per decade).
+    decade_steps = np.diff([large[10_000][i] for i in range(len(LARGE_R))])
+    assert abs(decade_steps[1] - decade_steps[2]) / decade_steps[2] < 0.15
+    # Shape 3: simulation tracks theory within the eq.-23 slack (~25%)
+    # wherever the value is non-negligible.
+    for n in LARGE_N:
+        for i in range(len(LARGE_R)):
+            if large[n][i] > 1e-4:
+                assert large[n][i] * 0.7 < sim_large[n][i] < large[n][i] * 1.6

@@ -1,0 +1,71 @@
+"""Figure 12 — E[TS(N)] vs the number of keys N in [1, 1e4].
+
+The server stage grows logarithmically in N (Theorem 1 / §5.2.4).
+"""
+
+from repro.core import ServerStage, fit_log_slope
+from repro.simulation import sample_request_latencies, simulate_key_latencies
+from repro.units import to_usec
+
+from helpers import (
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+NS = [1, 3, 10, 30, 100, 300, 1000, 3000, 10_000]
+
+
+def theory_series():
+    stage = ServerStage(facebook_workload(), SERVICE_RATE)
+    return [stage.mean_latency_bounds(n) for n in NS]
+
+
+def test_fig12(benchmark):
+    theory = benchmark(theory_series)
+    rng = bench_rng()
+    pool = simulate_key_latencies(
+        facebook_workload(), SERVICE_RATE, n_keys=400_000, rng=rng
+    )
+    simulated = [
+        float(
+            sample_request_latencies(
+                [pool], [1.0], n_keys=n, n_requests=1200, rng=rng
+            ).server_max.mean()
+        )
+        for n in NS
+    ]
+
+    rows = [
+        [n, to_usec(est.lower), to_usec(est.upper), to_usec(sim)]
+        for n, est, sim in zip(NS, theory, simulated)
+    ]
+    print_series(
+        "Fig 12: E[TS(N)] vs N (us)",
+        ["N", "theory lower", "theory upper", "simulated"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["n", "upper_us", "simulated_us"],
+            [[float(n) for n in NS], [to_usec(t.upper) for t in theory],
+             [to_usec(s) for s in simulated]],
+        )
+    )
+
+    # Shape 1: Theta(log N) — the upper bound is exactly linear in ln(N+1).
+    uppers = [t.upper for t in theory]
+    slope = fit_log_slope([n + 1 for n in NS], uppers)
+    stage = ServerStage(facebook_workload(), SERVICE_RATE)
+    assert abs(slope - 1.0 / stage.queue.decay_rate) / slope < 0.02
+    # Shape 2: simulation grows logarithmically too (equal increments per
+    # decade; the N = 10^4 point reads the extreme tail of a finite pool,
+    # so the tolerance is generous).
+    inc1 = simulated[NS.index(1000)] - simulated[NS.index(100)]
+    inc2 = simulated[NS.index(10_000)] - simulated[NS.index(1000)]
+    assert abs(inc1 - inc2) / inc2 < 0.6
+    # Shape 3: simulation inside the documented band.
+    for est, sim in zip(theory[2:], simulated[2:]):  # skip tiny-N noise
+        assert est.lower * 0.8 < sim < est.upper * 1.35

@@ -1,0 +1,71 @@
+"""Figure 13 — E[TD(N)] vs the number of keys N in [1, 1e6].
+
+The database stage also grows logarithmically once N*r >> 1; the paper
+plots up to 10^6 keys reaching ~9-11 ms.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core import DatabaseStage
+from repro.simulation import sample_request_latencies
+from repro.units import to_msec
+
+from helpers import DB_RATE, MISS_RATIO, bench_rng, print_series, series_info
+
+NS = [1, 10, 100, 1000, 10_000, 100_000, 1_000_000]
+SIM_NS = [1, 10, 100, 1000, 10_000]  # simulation capped for runtime
+
+
+def theory_series():
+    stage = DatabaseStage(DB_RATE, MISS_RATIO)
+    return [stage.mean_latency(n) for n in NS]
+
+
+def test_fig13(benchmark):
+    theory = benchmark(theory_series)
+    rng = bench_rng()
+    simulated = {}
+    for n in SIM_NS:
+        sample = sample_request_latencies(
+            [np.zeros(4)],
+            [1.0],
+            n_keys=n,
+            n_requests=2000,
+            rng=rng,
+            miss_ratio=MISS_RATIO,
+            database_rate=DB_RATE,
+        )
+        simulated[n] = float(sample.database_max.mean())
+
+    rows = [
+        [n, to_msec(thy), to_msec(simulated[n]) if n in simulated else "-"]
+        for n, thy in zip(NS, theory)
+    ]
+    print_series(
+        "Fig 13: E[TD(N)] vs N (ms), r = 0.01",
+        ["N", "theory", "simulated"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["n", "theory_ms"],
+            [[float(n) for n in NS], [to_msec(v) for v in theory]],
+        )
+    )
+
+    by_n = dict(zip(NS, theory))
+    # Shape 1: logarithmic growth for large N — equal steps per decade,
+    # each ln(10)/muD = 2.30 ms.
+    step1 = by_n[100_000] - by_n[10_000]
+    step2 = by_n[1_000_000] - by_n[100_000]
+    assert abs(step1 - math.log(10) / DB_RATE) / step1 < 0.05
+    assert abs(step2 - step1) / step1 < 0.05
+    # Shape 2: the paper's 10^6 magnitude (~9-11 ms).
+    assert 8e-3 < by_n[1_000_000] < 12e-3
+    # Shape 3: simulation tracks theory within eq.-23 slack where
+    # the value is non-negligible.
+    for n in SIM_NS:
+        if by_n[n] > 1e-4:
+            assert by_n[n] * 0.7 < simulated[n] < by_n[n] * 1.6

@@ -1,0 +1,132 @@
+"""Table 3 — basic validation under the Facebook workload.
+
+Regenerates the four rows of Table 3: TN(N), TS(N), TD(N), T(N) —
+Theorem 1 columns plus a simulated "experiment" column with a 95% CI
+(the fast-path simulator plays the role of the paper's 6-machine
+testbed).
+
+Paper reference values: TN = 20 us, TS in [351, 366] us (measured 368),
+TD = 836 us (measured 867), T in [836, 1222] us (measured 1144).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LatencyModel
+from repro.simulation import LatencyRecorder, sample_request_latencies, simulate_key_latencies
+from repro.units import to_usec
+
+from helpers import (
+    DB_RATE,
+    MISS_RATIO,
+    NETWORK_DELAY,
+    N_KEYS,
+    N_REQUESTS,
+    POOL_SIZE,
+    SERVICE_RATE,
+    bench_rng,
+    facebook_workload,
+    print_series,
+    series_info,
+)
+
+
+def build_model() -> LatencyModel:
+    return LatencyModel.build(
+        workload=facebook_workload(),
+        service_rate=SERVICE_RATE,
+        network_delay=NETWORK_DELAY,
+        database_rate=DB_RATE,
+        miss_ratio=MISS_RATIO,
+    )
+
+
+def run_experiment(rng: np.random.Generator):
+    pool = simulate_key_latencies(
+        facebook_workload(), SERVICE_RATE, n_keys=POOL_SIZE, rng=rng
+    )
+    return sample_request_latencies(
+        [pool],
+        [1.0],
+        n_keys=N_KEYS,
+        n_requests=N_REQUESTS,
+        rng=rng,
+        network_delay=NETWORK_DELAY,
+        miss_ratio=MISS_RATIO,
+        database_rate=DB_RATE,
+    )
+
+
+def test_table3(benchmark):
+    estimate = benchmark(lambda: build_model().estimate(N_KEYS))
+    sample = run_experiment(bench_rng())
+
+    def ci(values: np.ndarray) -> tuple[float, float, float]:
+        recorder = LatencyRecorder()
+        recorder.record_many(values)
+        summary = recorder.summary()
+        return summary.mean, summary.ci_low, summary.ci_high
+
+    ts_mean, ts_lo, ts_hi = ci(sample.server_max)
+    td_mean, td_lo, td_hi = ci(sample.database_max)
+    t_mean, t_lo, t_hi = ci(sample.total)
+
+    rows = [
+        ["TN(N)", f"{to_usec(estimate.network):.0f}", f"{to_usec(sample.network):.0f}", "-", "20 / 20"],
+        [
+            "TS(N)",
+            f"{to_usec(estimate.server.lower):.0f}..{to_usec(estimate.server.upper):.0f}",
+            f"{to_usec(ts_mean):.0f}",
+            f"[{to_usec(ts_lo):.0f}, {to_usec(ts_hi):.0f}]",
+            "351..366 / 368",
+        ],
+        [
+            "TD(N)",
+            f"{to_usec(estimate.database):.0f}",
+            f"{to_usec(td_mean):.0f}",
+            f"[{to_usec(td_lo):.0f}, {to_usec(td_hi):.0f}]",
+            "836 / 867",
+        ],
+        [
+            "T(N)",
+            f"{to_usec(estimate.total_lower):.0f}..{to_usec(estimate.total_upper):.0f}",
+            f"{to_usec(t_mean):.0f}",
+            f"[{to_usec(t_lo):.0f}, {to_usec(t_hi):.0f}]",
+            "836..1222 / 1144",
+        ],
+    ]
+    print_series(
+        "Table 3: Facebook workload validation (us)",
+        ["stage", "theorem 1", "simulated", "95% CI", "paper thy/exp"],
+        rows,
+    )
+    benchmark.extra_info.update(
+        series_info(
+            ["theory_us", "simulated_us"],
+            [
+                [
+                    to_usec(estimate.network),
+                    to_usec(estimate.server.upper),
+                    to_usec(estimate.database),
+                    to_usec(estimate.total_upper),
+                ],
+                [
+                    to_usec(sample.network),
+                    to_usec(ts_mean),
+                    to_usec(td_mean),
+                    to_usec(t_mean),
+                ],
+            ],
+        )
+    )
+
+    # Shape assertions: theory bounds vs paper, simulation in the band.
+    assert estimate.server.lower == pytest.approx(351e-6, rel=0.02)
+    assert estimate.server.upper == pytest.approx(366e-6, rel=0.02)
+    assert estimate.database == pytest.approx(836e-6, rel=0.02)
+    # Simulated means land within the documented slack of Theorem 1
+    # (quantile rule underestimates E[max] by ~12% at N=150; eq. (23)
+    # underestimates the database max by ~25%).
+    assert estimate.server.lower * 0.9 < ts_mean < estimate.server.upper * 1.3
+    assert estimate.database * 0.8 < td_mean < estimate.database * 1.45
+    assert estimate.total_lower * 0.9 < t_mean < estimate.total_upper * 1.3

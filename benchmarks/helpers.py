@@ -1,0 +1,85 @@
+"""Shared configuration and formatting for the figure/table benches.
+
+Every bench regenerates one table or figure from the paper's §5:
+it computes the theory series (Theorem 1), usually a simulated series
+(fast-path Lindley simulator), prints the rows the paper plots, attaches
+them to ``benchmark.extra_info``, and asserts the reproduced *shape*
+(monotonicity, cliffs, crossovers) — absolute numbers come from our
+simulator, not the authors' testbed.
+
+The paper's §5.1 baseline configuration is centralized here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core import WorkloadPattern
+from repro.units import kps, msec, usec
+
+#: §5.1 testbed constants.
+N_KEYS = 150
+SERVICE_RATE = kps(80)
+KEY_RATE = kps(62.5)
+BURST = 0.15
+CONCURRENCY = 0.1
+NETWORK_DELAY = usec(20)
+MISS_RATIO = 0.01
+DB_RATE = 1.0 / msec(1)
+N_SERVERS = 4
+
+#: Simulation sizes: large enough for stable means, small enough to keep
+#: `pytest benchmarks/` in minutes.
+POOL_SIZE = 400_000
+N_REQUESTS = 4_000
+SEED = 20170327  # the paper's date
+
+
+def facebook_workload() -> WorkloadPattern:
+    """The §5.1 per-server workload."""
+    return WorkloadPattern(rate=KEY_RATE, xi=BURST, q=CONCURRENCY)
+
+
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(SEED)
+
+
+def print_series(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Print one figure/table as an aligned text block."""
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(head)), *(len(row[i]) for row in cells))
+        for i, head in enumerate(header)
+    ]
+    print(f"\n== {title} ==")
+    print("  ".join(str(head).rjust(width) for head, width in zip(header, widths)))
+    for row in cells:
+        print("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def series_info(names: Sequence[str], columns: Sequence[Sequence[float]]) -> Dict[str, List[float]]:
+    """Pack series for ``benchmark.extra_info`` (JSON-serializable)."""
+    return {name: [float(v) for v in column] for name, column in zip(names, columns)}
+
+
+def assert_monotone_increasing(values: Sequence[float], *, slack: float = 0.0) -> None:
+    for a, b in zip(values, list(values)[1:]):
+        assert b >= a - slack, f"series not increasing: {a} -> {b}"
+
+
+def assert_within(value: float, target: float, rel: float, label: str = "") -> None:
+    assert abs(value - target) <= rel * abs(target), (
+        f"{label}: {value} not within {rel:.0%} of {target}"
+    )

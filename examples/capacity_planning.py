@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Capacity planning with the latency-cliff rule (paper §5.3 rule 1).
+
+Scenario: a web tier generates 600 Kps of Memcached keys with the
+Facebook burst profile. Each server sustains muS = 80 Kps. How many
+servers do we need *now*, and at 2x / 4x growth, so that no server
+crosses the burst-dependent cliff utilization rhoS(xi)?
+
+The key insight reproduced here: the safe utilization is NOT 100% or
+90% — it is ~75% for xi = 0.15, and it collapses as traffic gets
+burstier, so the same traffic volume needs more servers when bursty.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import math
+
+from repro import ClusterModel, WorkloadPattern, advise, cliff_utilization
+from repro.core import DatabaseStage, ServerStage
+from repro.units import format_duration, kps, msec
+
+
+def servers_needed(total_rate: float, service_rate: float, xi: float) -> int:
+    """Smallest balanced cluster keeping every server below the cliff."""
+    cliff = cliff_utilization(xi)
+    return math.ceil(total_rate / (service_rate * cliff))
+
+
+def main() -> None:
+    service_rate = kps(80)
+    base_rate = kps(600)
+    workload_shape = WorkloadPattern.facebook()
+
+    print("Cliff utilization by burst degree (Prop. 2 / Table 4):")
+    for xi in (0.0, 0.15, 0.4, 0.6):
+        print(f"  xi = {xi:<4} -> rhoS = {cliff_utilization(xi):.0%}")
+    print()
+
+    print(f"Sizing for Facebook burst (xi = {workload_shape.xi}):")
+    for growth in (1, 2, 4):
+        rate = base_rate * growth
+        n = servers_needed(rate, service_rate, workload_shape.xi)
+        cluster = ClusterModel.balanced(n, service_rate)
+        per_server = rate / n
+        stage = ServerStage(workload_shape.with_rate(per_server), service_rate)
+        bound = stage.mean_latency_bounds(150)
+        print(
+            f"  {growth}x traffic ({rate / 1e3:.0f} Kps): {n} servers, "
+            f"{cluster.max_utilization(rate):.0%} utilization, "
+            f"E[TS(150)] <= {format_duration(bound.upper)}"
+        )
+    print()
+
+    print("The same traffic, if it were burstier (xi = 0.6):")
+    n = servers_needed(base_rate, service_rate, 0.6)
+    print(f"  {n} servers needed instead of "
+          f"{servers_needed(base_rate, service_rate, 0.15)} — burst costs capacity")
+    print()
+
+    # Run the full advisor on a deliberately undersized deployment.
+    print("Advisor report for an undersized 8-server deployment:")
+    database = DatabaseStage(1 / msec(1), 0.01)
+    report = advise(
+        workload=workload_shape,
+        cluster=ClusterModel.balanced(8, service_rate),
+        total_key_rate=base_rate,
+        n_keys=150,
+        database=database,
+    )
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Load-balancing advisor on a *real* consistent-hash cluster (§5.2.2).
+
+Builds an executable memcached cluster, derives the load shares {p_j}
+that a Zipf-popular key catalog induces through the hash ring, feeds
+them to the analytic model, and answers the paper's question: does this
+imbalance actually hurt latency, i.e. is the hottest server past the
+cliff?
+
+The reproduced insight: imbalance per se is harmless — only imbalance
+that pushes the hottest server beyond rhoS(xi) matters, so that is when
+(and only when) rebalancing mechanisms should kick in.
+
+Run:  python examples/load_balance_advisor.py
+"""
+
+from repro import ClusterModel, ServerStage, WorkloadPattern, advise, cliff_utilization
+from repro.distributions import Zipf
+from repro.memcached import MemcachedCluster
+from repro.units import format_duration, kps
+
+
+def induced_shares(n_servers: int, n_items: int, zipf_s: float) -> list:
+    """Shares {p_j} a Zipf catalog induces through the hash ring."""
+    cluster = MemcachedCluster(n_servers, 16 << 20)
+    popularity = Zipf(n_items, zipf_s)
+    keys = [f"item:{rank}" for rank in range(1, n_items + 1)]
+    return cluster.ring.load_shares(keys, weights=popularity.probabilities)
+
+
+def main() -> None:
+    workload = WorkloadPattern.facebook()
+    service_rate = kps(80)
+    total_rate = kps(220)
+    n_servers = 4
+
+    print("Hash-ring-induced load shares for a Zipf(s=1.01) catalog:")
+    shares = induced_shares(n_servers, n_items=5_000, zipf_s=1.01)
+    for j, share in enumerate(shares):
+        bar = "#" * int(round(share * 60))
+        print(f"  server {j}: p = {share:.3f} {bar}")
+    print()
+
+    cluster = ClusterModel(shares, service_rate)
+    cliff = cliff_utilization(workload.xi)
+    print(f"cliff utilization rhoS({workload.xi}) = {cliff:.0%}")
+    print(f"hottest server utilization at {total_rate/1e3:.0f} Kps total: "
+          f"{cluster.max_utilization(total_rate):.0%}")
+    print()
+
+    # Model the latency with and without the imbalance.
+    stage = ServerStage.from_cluster(cluster, total_rate, workload)
+    balanced = ServerStage.from_cluster(
+        ClusterModel.balanced(n_servers, service_rate), total_rate, workload
+    )
+    print("E[TS(150)] upper bound:")
+    print(f"  measured shares : {format_duration(stage.mean_latency_bounds(150).upper)}")
+    print(f"  perfectly even  : {format_duration(balanced.mean_latency_bounds(150).upper)}")
+    print()
+
+    report = advise(
+        workload=workload,
+        cluster=cluster,
+        total_key_rate=total_rate,
+        n_keys=150,
+    )
+    print("Advisor:")
+    print(report)
+    print()
+
+    # Show the paper's threshold behaviour by scaling traffic up.
+    print("Scaling total traffic until the hottest server crosses the cliff:")
+    for rate_kps in (150, 200, 250, 300):
+        rate = kps(rate_kps)
+        hottest = cluster.max_utilization(rate)
+        try:
+            upper = ServerStage.from_cluster(
+                cluster, rate, workload
+            ).mean_latency_bounds(150).upper
+            latency = format_duration(upper)
+        except Exception:
+            latency = "unstable"
+        marker = " <-- past the cliff" if hottest >= cliff else ""
+        print(f"  {rate_kps:>3} Kps: hottest at {hottest:.0%}, "
+              f"E[TS(150)] <= {latency}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: estimate Memcached request latency with Theorem 1.
+
+Builds the paper's §5.1 configuration — the Facebook workload hitting a
+Memcached server at 78% utilization with a 1% miss ratio — and prints
+the end-user latency bounds for a 150-key request, the per-stage
+breakdown, and a couple of what-if variations.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LatencyModel, WorkloadPattern
+from repro.units import format_duration, kps, msec, usec
+
+
+def main() -> None:
+    workload = WorkloadPattern.facebook()  # 62.5 Kps, xi=0.15, q=0.1
+    model = LatencyModel.build(
+        workload=workload,
+        service_rate=kps(80),      # muS measured by the paper
+        network_delay=usec(20),    # constant network latency
+        database_rate=1 / msec(1), # 1 ms mean DB service
+        miss_ratio=0.01,
+    )
+
+    estimate = model.estimate(150)
+    print("Paper §5.1 configuration, N = 150 keys per request")
+    print(f"  {estimate}")
+    print(f"  dominant stage : {estimate.dominant_stage}")
+    print(f"  server delta   : {model.server_stage.delta:.4f}")
+    print(f"  utilization    : {model.server_stage.utilization:.1%}")
+    print()
+
+    print("What-if: halve the number of keys per request (N = 75)")
+    print(f"  {model.estimate(75)}")
+    print()
+
+    print("What-if: eliminate cache misses entirely (r = 0)")
+    no_miss = LatencyModel.build(
+        workload=workload, service_rate=kps(80), network_delay=usec(20)
+    )
+    print(f"  {no_miss.estimate(150)}")
+    print()
+
+    print("Latency growth in N is logarithmic (paper Figs. 12-13):")
+    for n in (10, 100, 1000, 10_000):
+        upper = model.estimate(n).total_upper
+        print(f"  N = {n:>6}: T(N) <= {format_duration(upper)}")
+
+
+if __name__ == "__main__":
+    main()

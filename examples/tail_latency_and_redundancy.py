@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Tail latency (p99/p999) and the redundant-request extension.
+
+The paper estimates expectations; SLOs are percentiles. This example
+
+1. computes p50/p99/p999 bounds for the request latency under the
+   Facebook workload (TailLatencyModel: exact database tail, bounded
+   server tail),
+2. shows how the p999 explodes as utilization approaches the cliff,
+3. evaluates d-way redundant reads (paper refs [12, 13]): when does
+   hedging requests actually help?
+
+Run:  python examples/tail_latency_and_redundancy.py
+"""
+
+from repro.core import (
+    DatabaseStage,
+    NetworkStage,
+    RedundancyModel,
+    ServerStage,
+    TailLatencyModel,
+    WorkloadPattern,
+    redundancy_crossover,
+    redundancy_speedup,
+)
+from repro.units import format_duration, kps, msec, usec
+
+
+def tail_model(rate: float) -> TailLatencyModel:
+    stage = ServerStage(WorkloadPattern.facebook().with_rate(rate), kps(80))
+    return TailLatencyModel(
+        stage,
+        network_stage=NetworkStage(usec(20)),
+        database_stage=DatabaseStage(1 / msec(1), 0.01),
+    )
+
+
+def main() -> None:
+    n = 150
+    model = tail_model(kps(62.5))
+
+    print("Request latency percentiles, paper §5.1 config (N = 150):")
+    for level in (0.5, 0.9, 0.99, 0.999):
+        bounds = model.request_quantile_bounds(level, n)
+        label = f"p{level * 100:g}"
+        print(
+            f"  {label:<6}: "
+            f"[{format_duration(bounds.lower)}, {format_duration(bounds.upper)}]"
+        )
+    print()
+
+    print("p999 of the server stage vs utilization (the cliff, in the tail):")
+    for rho in (0.4, 0.6, 0.7, 0.75, 0.8, 0.9):
+        m = tail_model(rho * kps(80))
+        bounds = m.server_quantile_bounds(0.999, n)
+        print(f"  rho = {rho:.0%}: p999 <= {format_duration(bounds.upper)}")
+    print()
+
+    workload = WorkloadPattern.facebook()
+    print("2-way redundant reads (fastest copy wins, load doubles):")
+    for rho in (0.05, 0.15, 0.25, 0.35, 0.45):
+        speedup = redundancy_speedup(
+            workload.with_rate(rho * kps(80)), kps(80), n, 2
+        )
+        verdict = (
+            f"{speedup:.2f}x {'faster' if speedup > 1 else 'SLOWER'}"
+            if speedup is not None
+            else "unstable (replicas saturate)"
+        )
+        print(f"  base rho = {rho:.0%}: {verdict}")
+    crossover = redundancy_crossover(workload, kps(80), n, 2)
+    print(f"  -> hedge only below ~{crossover:.0%} base utilization")
+    print()
+
+    print("3-way replication at 10% base utilization:")
+    base = RedundancyModel(workload.with_rate(kps(8)), kps(80), 1)
+    for d in (1, 2, 3):
+        m = RedundancyModel(workload.with_rate(kps(8)), kps(80), d)
+        est = m.estimate(n)
+        print(
+            f"  d = {d}: E[TS({n})] ~ {format_duration(est.mean_upper)} "
+            f"(server util {est.utilization:.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

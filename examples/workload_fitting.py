@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Calibrate the model from a raw arrival trace (paper §3 / §5.1).
+
+Production operators do not know (lambda, xi, q) — they have packet or
+log timestamps. This example:
+
+1. generates a ground-truth key-arrival trace from the Facebook/ETC
+   statistical model at one server;
+2. fits the paper's workload model back from the raw timestamps
+   (concurrency from sub-microsecond gaps, GPD burst degree by MLE);
+3. feeds the *fitted* parameters into Theorem 1 and compares the latency
+   prediction against the ground-truth parameters.
+
+Run:  python examples/workload_fitting.py
+"""
+
+import numpy as np
+
+from repro import ServerStage, WorkloadPattern
+from repro.units import kps, to_usec
+from repro.workloads import FacebookWorkload, KeyTrace
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    truth = FacebookWorkload.build(rate=kps(40), xi=0.15, q=0.1)
+
+    print("Generating 30 seconds of key arrivals at one server...")
+    timestamps = truth.generate_key_timestamps(30.0, rng)
+    trace = KeyTrace(timestamps=np.sort(timestamps))
+    print(f"  {trace.n_keys} keys, mean rate {trace.mean_rate/1e3:.1f} Kps")
+    print()
+
+    fit = trace.fit_workload()
+    print("Fitted workload model vs ground truth:")
+    print(f"  rate : {fit.rate/1e3:7.2f} Kps   (truth {truth.pattern.rate/1e3:.2f})")
+    print(f"  xi   : {fit.xi:7.3f}       (truth {truth.pattern.xi})")
+    print(f"  q    : {fit.q:7.3f}       (truth {truth.pattern.q})")
+    print()
+
+    service_rate = kps(80)
+    fitted_stage = ServerStage(
+        WorkloadPattern(rate=fit.rate, xi=fit.xi, q=fit.q), service_rate
+    )
+    truth_stage = ServerStage(truth.pattern, service_rate)
+    n = 150
+    fitted_bounds = fitted_stage.mean_latency_bounds(n)
+    truth_bounds = truth_stage.mean_latency_bounds(n)
+    print(f"Theorem 1 E[TS({n})] from the fit vs the truth:")
+    print(
+        f"  fitted : [{to_usec(fitted_bounds.lower):.0f}, "
+        f"{to_usec(fitted_bounds.upper):.0f}] us "
+        f"(delta = {fitted_stage.delta:.3f})"
+    )
+    print(
+        f"  truth  : [{to_usec(truth_bounds.lower):.0f}, "
+        f"{to_usec(truth_bounds.upper):.0f}] us "
+        f"(delta = {truth_stage.delta:.3f})"
+    )
+    print()
+
+    # Persist and reload the trace, as an operator pipeline would.
+    path = "/tmp/repro_example_trace.csv"
+    trace.save_csv(path)
+    reloaded = KeyTrace.load_csv(path)
+    print(f"Trace round-tripped through {path}: {reloaded.n_keys} keys")
+    print()
+
+    print("Is the trace Poisson? (KS distance from exponential gaps)")
+    from repro.distributions import lilliefors_exponential_distance
+
+    distance = lilliefors_exponential_distance(trace.gaps())
+    print(f"  KS distance = {distance:.3f} "
+          f"({'bursty — use the GPD model' if distance > 0.02 else 'close to Poisson'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,463 @@
+"""Command-line interface.
+
+Subcommands map to the paper's workflows::
+
+    repro estimate     Theorem 1 bounds for one configuration
+    repro simulate     closed-loop system simulation
+    repro sweep        factor sweeps (q, xi, rate, p1, r, n)
+    repro cliff-table  reproduce Table 4
+    repro validate     theory-vs-simulation comparison (Table 3 style)
+    repro recommend    the §5.3 configuration advisor
+
+All rates are entered in Kps (thousand keys per second) and times in
+microseconds, matching the paper's units; output is aligned text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .core import (
+    ClusterModel,
+    DatabaseStage,
+    LatencyModel,
+    WorkloadPattern,
+    advise,
+    sweep_database_stage,
+    sweep_server_stage,
+)
+from .core.stages import ServerStage
+from .errors import ReproError
+from .queueing import PAPER_TABLE_4, cliff_table
+from .simulation import MemcachedSystemSimulator
+from .units import kps, to_usec, usec
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--rate", type=float, default=62.5, help="per-server key rate in Kps"
+    )
+    parser.add_argument("--xi", type=float, default=0.15, help="burst degree")
+    parser.add_argument(
+        "--concurrency", type=float, default=0.1, help="concurrency probability q"
+    )
+    parser.add_argument(
+        "--service-rate", type=float, default=80.0, help="server rate muS in Kps"
+    )
+    parser.add_argument(
+        "--n-keys", type=int, default=150, help="keys per end-user request (N)"
+    )
+    parser.add_argument(
+        "--network-delay", type=float, default=20.0, help="network latency in us"
+    )
+    parser.add_argument(
+        "--miss-ratio", type=float, default=0.01, help="cache miss ratio r"
+    )
+    parser.add_argument(
+        "--db-latency", type=float, default=1000.0, help="mean DB service in us"
+    )
+
+
+def _workload_from(args: argparse.Namespace) -> WorkloadPattern:
+    return WorkloadPattern(
+        rate=kps(args.rate), xi=args.xi, q=args.concurrency
+    )
+
+
+def _model_from(args: argparse.Namespace) -> LatencyModel:
+    return LatencyModel.build(
+        workload=_workload_from(args),
+        service_rate=kps(args.service_rate),
+        network_delay=usec(args.network_delay),
+        database_rate=1.0 / usec(args.db_latency),
+        miss_ratio=args.miss_ratio,
+    )
+
+
+def _print_rows(header: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    widths = [
+        max(len(str(cell)) for cell in [head] + [row[i] for row in rows])
+        for i, head in enumerate(header)
+    ]
+    def fmt(row: Sequence[object]) -> str:
+        return "  ".join(str(cell).rjust(width) for cell, width in zip(row, widths))
+    print(fmt(header))
+    print(fmt(["-" * width for width in widths]))
+    for row in rows:
+        print(fmt(row))
+
+
+# ----------------------------------------------------------------------
+# Subcommands.
+# ----------------------------------------------------------------------
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    if args.config is not None:
+        from .config import ExperimentConfig
+
+        config = ExperimentConfig.load(args.config)
+        model = config.latency_model()
+        estimate = model.estimate(config.n_keys)
+        print(estimate)
+        print(f"dominant stage: {estimate.dominant_stage}")
+        print(f"server utilization: {model.server_stage.utilization:.1%}")
+        print(f"delta: {model.server_stage.delta:.4f}")
+        return 0
+    model = _model_from(args)
+    estimate = model.estimate(args.n_keys)
+    print(estimate)
+    print(f"dominant stage: {estimate.dominant_stage}")
+    print(f"server utilization: {model.server_stage.utilization:.1%}")
+    print(f"delta: {model.server_stage.delta:.4f}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    cluster = ClusterModel.balanced(args.servers, kps(args.service_rate))
+    request_rate = kps(args.rate) * args.servers / args.n_keys
+    system = MemcachedSystemSimulator(
+        cluster,
+        n_keys_per_request=args.n_keys,
+        request_rate=request_rate,
+        network_delay=usec(args.network_delay),
+        miss_ratio=args.miss_ratio,
+        database_rate=1.0 / usec(args.db_latency),
+        seed=args.seed,
+    )
+    results = system.run(
+        n_requests=args.requests, warmup_requests=args.requests // 10
+    )
+    rows = []
+    for label, recorder in [
+        ("T(N)", results.total),
+        ("TS(N)", results.server_stage),
+        ("TD(N)", results.database_stage),
+        ("TN(N)", results.network_stage),
+    ]:
+        summary = recorder.summary()
+        rows.append(
+            [
+                label,
+                f"{to_usec(summary.mean):.1f}",
+                f"[{to_usec(summary.ci_low):.1f}, {to_usec(summary.ci_high):.1f}]",
+            ]
+        )
+    _print_rows(["stage", "mean (us)", "95% CI (us)"], rows)
+    print(f"measured miss ratio: {results.measured_miss_ratio:.4f}")
+    print(
+        "server utilizations: "
+        + ", ".join(f"{u:.1%}" for u in results.server_utilizations)
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    workload = _workload_from(args)
+    service_rate = kps(args.service_rate)
+    values = np.linspace(args.start, args.stop, args.points)
+    if args.factor == "q":
+        sweep = sweep_server_stage(
+            "q",
+            values,
+            lambda q: ServerStage(workload.with_q(q), service_rate),
+            args.n_keys,
+        )
+    elif args.factor == "xi":
+        sweep = sweep_server_stage(
+            "xi",
+            values,
+            lambda xi: ServerStage(workload.with_xi(xi), service_rate),
+            args.n_keys,
+        )
+    elif args.factor == "rate":
+        sweep = sweep_server_stage(
+            "rate_kps",
+            values,
+            lambda rate: ServerStage(workload.with_rate(kps(rate)), service_rate),
+            args.n_keys,
+        )
+    elif args.factor == "mu":
+        sweep = sweep_server_stage(
+            "mu_kps",
+            values,
+            lambda mu: ServerStage(workload, kps(mu)),
+            args.n_keys,
+        )
+    elif args.factor == "r":
+        sweep = sweep_database_stage(
+            "miss_ratio",
+            values,
+            lambda r: DatabaseStage(1.0 / usec(args.db_latency), r),
+            args.n_keys,
+        )
+    else:
+        raise ReproError(f"unknown sweep factor {args.factor!r}")
+    rows = [
+        [f"{value:.4g}", f"{to_usec(lo):.1f}", f"{to_usec(up):.1f}"]
+        for value, lo, up in zip(sweep.values, sweep.lower, sweep.upper)
+    ]
+    _print_rows([sweep.parameter, "lower (us)", "upper (us)"], rows)
+    return 0
+
+
+def cmd_cliff_table(args: argparse.Namespace) -> int:
+    xis = [round(0.05 * i, 2) for i in range(20)]
+    ours = cliff_table(xis, method=args.method)
+    rows = [
+        [f"{xi:.2f}", f"{ours[xi]:.0%}", f"{PAPER_TABLE_4[xi]:.0%}"]
+        for xi in xis
+    ]
+    _print_rows(["xi", "ours", "paper"], rows)
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .core import validate_configuration
+
+    model = _model_from(args)
+    report = validate_configuration(
+        model,
+        n_keys=args.n_keys,
+        n_requests=args.requests,
+        pool_size=args.pool_size,
+        seed=args.seed,
+    )
+    rows = []
+    for stage in report.stages:
+        if stage.theory_lower == stage.theory_upper:
+            theory = f"{to_usec(stage.theory_lower):.1f}"
+        else:
+            theory = (
+                f"{to_usec(stage.theory_lower):.1f}.."
+                f"{to_usec(stage.theory_upper):.1f}"
+            )
+        rows.append(
+            [
+                stage.stage,
+                theory,
+                f"{to_usec(stage.simulated):.1f}",
+                "ok" if stage.consistent else "INCONSISTENT",
+            ]
+        )
+    _print_rows(["stage", "theory (us)", "simulated (us)", "verdict"], rows)
+    if not report.all_consistent:
+        print(
+            "warning: simulation outside the documented Theorem 1 slack "
+            "(see EXPERIMENTS.md)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_config_template(args: argparse.Namespace) -> int:
+    from .config import ExperimentConfig
+
+    print(ExperimentConfig.paper_section_5_1().to_json())
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    from .workloads import KeyTrace
+
+    trace = KeyTrace.load_csv(args.trace)
+    fit = trace.fit_workload(window=usec(args.window))
+    print(f"trace      : {trace.n_keys} keys over {trace.duration:.3f}s")
+    print(f"key rate   : {fit.rate / 1e3:.2f} Kps")
+    print(f"burst xi   : {fit.xi:.3f}")
+    print(f"concurrency: {fit.q:.3f}")
+    if args.service_rate is not None:
+        workload = WorkloadPattern(rate=fit.rate, xi=fit.xi, q=fit.q)
+        stage = ServerStage(workload, kps(args.service_rate))
+        bounds = stage.mean_latency_bounds(args.n_keys)
+        print(
+            f"E[TS({args.n_keys})] at muS = {args.service_rate} Kps: "
+            f"[{to_usec(bounds.lower):.1f}, {to_usec(bounds.upper):.1f}] us "
+            f"(utilization {stage.utilization:.1%})"
+        )
+    return 0
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    from .core import NetworkStage, TailLatencyModel
+
+    workload = _workload_from(args)
+    stage = ServerStage(workload, kps(args.service_rate))
+    database = (
+        DatabaseStage(1.0 / usec(args.db_latency), args.miss_ratio)
+        if args.miss_ratio > 0
+        else None
+    )
+    model = TailLatencyModel(
+        stage,
+        network_stage=NetworkStage(usec(args.network_delay)),
+        database_stage=database,
+    )
+    rows = []
+    for level in (0.5, 0.9, 0.95, 0.99, 0.999):
+        bounds = model.request_quantile_bounds(level, args.n_keys)
+        rows.append(
+            [
+                f"p{level * 100:g}",
+                f"{to_usec(bounds.lower):.1f}",
+                f"{to_usec(bounds.upper):.1f}",
+            ]
+        )
+    _print_rows(["percentile", "lower (us)", "upper (us)"], rows)
+    if database is not None:
+        exact = model.database_mean_exact(args.n_keys)
+        print(f"exact E[TD(N)] (vs eq. 23): {to_usec(exact):.1f} us")
+    return 0
+
+
+def cmd_miss_curve(args: argparse.Namespace) -> int:
+    from .distributions import Zipf
+    from .memcached import miss_ratio_curve
+
+    popularity = Zipf(args.items, args.zipf_s)
+    capacities = np.unique(
+        np.logspace(
+            np.log10(max(args.items * 0.001, 1.0)),
+            np.log10(args.items * 0.9),
+            args.points,
+        ).astype(int)
+    )
+    curve = miss_ratio_curve(popularity.probabilities, capacities)
+    rows = [
+        [int(c), f"{r:.4f}", f"{to_usec(DatabaseStage(1.0 / usec(args.db_latency), max(r, 1e-12)).mean_latency(args.n_keys)):.1f}"]
+        for c, r in zip(capacities, curve)
+    ]
+    _print_rows(["capacity (items)", "miss ratio r", "E[TD(N)] (us)"], rows)
+    return 0
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    workload = _workload_from(args)
+    if args.hottest_share is not None:
+        cluster = ClusterModel.hot_cold(
+            args.servers, kps(args.service_rate), hottest_share=args.hottest_share
+        )
+    else:
+        cluster = ClusterModel.balanced(args.servers, kps(args.service_rate))
+    database = DatabaseStage(1.0 / usec(args.db_latency), args.miss_ratio)
+    report = advise(
+        workload=workload,
+        cluster=cluster,
+        total_key_rate=kps(args.total_rate),
+        n_keys=args.n_keys,
+        database=database,
+    )
+    print(report)
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memcached latency model (ICDCS 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_est = sub.add_parser("estimate", help="Theorem 1 latency bounds")
+    _add_workload_args(p_est)
+    p_est.add_argument(
+        "--config", default=None,
+        help="JSON experiment config (overrides the flag-based workload)",
+    )
+    p_est.set_defaults(func=cmd_estimate)
+
+    p_cfg = sub.add_parser(
+        "config-template", help="print the §5.1 config as JSON"
+    )
+    p_cfg.set_defaults(func=cmd_config_template)
+
+    p_sim = sub.add_parser("simulate", help="closed-loop system simulation")
+    _add_workload_args(p_sim)
+    p_sim.add_argument("--servers", type=int, default=4)
+    p_sim.add_argument("--requests", type=int, default=2000)
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_sweep = sub.add_parser("sweep", help="factor sweeps")
+    _add_workload_args(p_sweep)
+    p_sweep.add_argument("factor", choices=["q", "xi", "rate", "mu", "r"])
+    p_sweep.add_argument("--start", type=float, required=True)
+    p_sweep.add_argument("--stop", type=float, required=True)
+    p_sweep.add_argument("--points", type=int, default=11)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_cliff = sub.add_parser("cliff-table", help="reproduce Table 4")
+    p_cliff.add_argument(
+        "--method",
+        default="relative-slope",
+        choices=["relative-slope", "iso-delta", "absolute-slope"],
+    )
+    p_cliff.set_defaults(func=cmd_cliff_table)
+
+    p_val = sub.add_parser("validate", help="theory vs fast-path simulation")
+    _add_workload_args(p_val)
+    p_val.add_argument("--requests", type=int, default=20000)
+    p_val.add_argument("--pool-size", type=int, default=500_000)
+    p_val.add_argument("--seed", type=int, default=1)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_fit = sub.add_parser("fit", help="fit (lambda, xi, q) from a trace CSV")
+    p_fit.add_argument("trace", help="CSV written by KeyTrace.save_csv")
+    p_fit.add_argument(
+        "--window", type=float, default=1.0, help="concurrency window in us"
+    )
+    p_fit.add_argument(
+        "--service-rate", type=float, default=None,
+        help="optional muS (Kps) to also print Theorem 1 bounds",
+    )
+    p_fit.add_argument("--n-keys", type=int, default=150)
+    p_fit.set_defaults(func=cmd_fit)
+
+    p_tail = sub.add_parser("tail", help="request latency percentiles")
+    _add_workload_args(p_tail)
+    p_tail.set_defaults(func=cmd_tail)
+
+    p_curve = sub.add_parser(
+        "miss-curve", help="LRU miss-ratio curve (Che approximation)"
+    )
+    p_curve.add_argument("--items", type=int, default=100_000)
+    p_curve.add_argument("--zipf-s", type=float, default=0.9)
+    p_curve.add_argument("--points", type=int, default=10)
+    p_curve.add_argument("--n-keys", type=int, default=150)
+    p_curve.add_argument("--db-latency", type=float, default=1000.0)
+    p_curve.set_defaults(func=cmd_miss_curve)
+
+    p_rec = sub.add_parser("recommend", help="configuration advisor (§5.3)")
+    _add_workload_args(p_rec)
+    p_rec.add_argument("--servers", type=int, default=4)
+    p_rec.add_argument(
+        "--total-rate", type=float, default=250.0, help="total key rate in Kps"
+    )
+    p_rec.add_argument(
+        "--hottest-share", type=float, default=None, help="p1 for hot/cold clusters"
+    )
+    p_rec.set_defaults(func=cmd_recommend)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Theorem 1: the end-to-end latency estimate for Memcached.
+
+:class:`LatencyModel` wires the three stages together and produces a
+:class:`LatencyEstimate` implementing the paper's composition (eq. (1))::
+
+    max{TN(N), TS(N), TD(N)}  <=  T(N)  <=  TN(N) + TS(N) + TD(N)
+
+with the stage values themselves given by Theorem 1:
+
+1. ``TN(N)`` constant;
+2. ``E[TS(N)]`` bounded by eq. (14);
+3. ``E[TD(N)]`` estimated by eq. (23).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..errors import ValidationError
+from ..units import format_duration
+from .cluster import ClusterModel
+from .stages import DatabaseStage, NetworkStage, ServerStage, ServerStageEstimate
+from .workload import WorkloadPattern
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyEstimate:
+    """Theorem 1's output for one request size N.
+
+    All times are in seconds. ``total_lower``/``total_upper`` are the
+    eq. (1) bounds assembled from per-stage estimates; note the database
+    term is the paper's point *estimate* (eq. (23)), not a bound, so the
+    totals inherit its approximation error exactly as in the paper.
+    """
+
+    n_keys: float
+    network: float
+    server: ServerStageEstimate
+    database: float
+
+    @property
+    def total_lower(self) -> float:
+        """``max{TN, TS_lower, TD}`` (eq. (1) left side)."""
+        return max(self.network, self.server.lower, self.database)
+
+    @property
+    def total_upper(self) -> float:
+        """``TN + TS_upper + TD`` (eq. (1) right side)."""
+        return self.network + self.server.upper + self.database
+
+    @property
+    def total_midpoint(self) -> float:
+        return 0.5 * (self.total_lower + self.total_upper)
+
+    @property
+    def dominant_stage(self) -> str:
+        """Which stage contributes the most latency (by stage midpoint)."""
+        stages = {
+            "network": self.network,
+            "servers": self.server.midpoint,
+            "database": self.database,
+        }
+        return max(stages, key=stages.get)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-stage point values (server stage at its midpoint)."""
+        return {
+            "network": self.network,
+            "servers": self.server.midpoint,
+            "database": self.database,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"T({self.n_keys:g}) in [{format_duration(self.total_lower)}, "
+            f"{format_duration(self.total_upper)}] "
+            f"(network {format_duration(self.network)}, "
+            f"servers [{format_duration(self.server.lower)}, "
+            f"{format_duration(self.server.upper)}], "
+            f"database {format_duration(self.database)})"
+        )
+
+
+class LatencyModel:
+    """The full Memcached latency model (Theorem 1).
+
+    Parameters
+    ----------
+    server_stage:
+        The Memcached-server stage (heaviest server's queue + shares).
+    network_stage:
+        Constant network stage; defaults to zero delay.
+    database_stage:
+        Database miss stage; defaults to no misses (r = 0), in which case
+        the database contributes nothing.
+    """
+
+    def __init__(
+        self,
+        server_stage: ServerStage,
+        *,
+        network_stage: Optional[NetworkStage] = None,
+        database_stage: Optional[DatabaseStage] = None,
+    ) -> None:
+        self._server = server_stage
+        self._network = network_stage if network_stage is not None else NetworkStage(0.0)
+        self._database = database_stage
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        workload: WorkloadPattern,
+        service_rate: float,
+        network_delay: float = 0.0,
+        database_rate: Optional[float] = None,
+        miss_ratio: float = 0.0,
+        cluster: Optional[ClusterModel] = None,
+        total_key_rate: Optional[float] = None,
+    ) -> "LatencyModel":
+        """Convenience constructor covering the paper's configurations.
+
+        Balanced deployments pass ``workload`` as the *per-server*
+        pattern (the paper's §5.1). Unbalanced deployments pass a
+        ``cluster`` plus the *total* key rate, and ``workload`` supplies
+        the burst/concurrency shape.
+        """
+        if cluster is not None:
+            if total_key_rate is None:
+                raise ValidationError(
+                    "total_key_rate is required when a cluster is given"
+                )
+            server = ServerStage.from_cluster(cluster, total_key_rate, workload)
+        else:
+            server = ServerStage(workload, service_rate)
+        database = None
+        if miss_ratio > 0.0:
+            if database_rate is None:
+                raise ValidationError(
+                    "database_rate is required when miss_ratio > 0"
+                )
+            database = DatabaseStage(database_rate, miss_ratio)
+        return cls(
+            server,
+            network_stage=NetworkStage(network_delay),
+            database_stage=database,
+        )
+
+    @property
+    def server_stage(self) -> ServerStage:
+        return self._server
+
+    @property
+    def network_stage(self) -> NetworkStage:
+        return self._network
+
+    @property
+    def database_stage(self) -> Optional[DatabaseStage]:
+        return self._database
+
+    def estimate(self, n_keys: float) -> LatencyEstimate:
+        """Theorem 1 for a request generating ``n_keys`` Memcached keys."""
+        server = self._server.mean_latency_bounds(n_keys)
+        database = (
+            self._database.mean_latency(n_keys) if self._database is not None else 0.0
+        )
+        return LatencyEstimate(
+            n_keys=float(n_keys),
+            network=self._network.mean_latency(n_keys),
+            server=server,
+            database=database,
+        )

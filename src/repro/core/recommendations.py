@@ -1,0 +1,221 @@
+"""Configuration advisor implementing the paper's §5.3 recommendations.
+
+Three rules, each quantified by the model rather than stated as folklore:
+
+1. **Utilization headroom** — keep every server's utilization below the
+   burst-dependent cliff ``rhoS(xi)`` (Prop. 2 / Table 4).
+2. **Load balancing trigger** — rebalance only when the *heaviest*
+   server exceeds the cliff; below it the imbalance costs little.
+3. **Keys-per-request vs miss ratio** — compare the marginal latency
+   benefit of halving N against halving r; for large N the model says
+   halving N wins (Theta(log N) vs Theta(log r)).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from ..units import format_duration
+from ..queueing import cliff_utilization
+from .analysis import (
+    marginal_benefit_fewer_keys,
+    marginal_benefit_lower_miss_ratio,
+)
+from .cluster import ClusterModel
+from .stages import DatabaseStage
+from .workload import WorkloadPattern
+
+
+class Severity(enum.Enum):
+    """How urgent a recommendation is."""
+
+    OK = "ok"
+    ADVISORY = "advisory"
+    CRITICAL = "critical"
+
+
+@dataclasses.dataclass(frozen=True)
+class Recommendation:
+    """One finding from the advisor."""
+
+    rule: str
+    severity: Severity
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.value}] {self.rule}: {self.message}"
+
+
+@dataclasses.dataclass(frozen=True)
+class AdvisorReport:
+    """All findings for one configuration."""
+
+    cliff_utilization: float
+    max_utilization: float
+    recommendations: List[Recommendation]
+
+    @property
+    def worst_severity(self) -> Severity:
+        order = [Severity.OK, Severity.ADVISORY, Severity.CRITICAL]
+        return max(
+            (rec.severity for rec in self.recommendations),
+            key=order.index,
+            default=Severity.OK,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [
+            f"cliff utilization rhoS(xi) = {self.cliff_utilization:.0%}",
+            f"heaviest server utilization = {self.max_utilization:.0%}",
+        ]
+        lines.extend(str(rec) for rec in self.recommendations)
+        return "\n".join(lines)
+
+
+def advise(
+    *,
+    workload: WorkloadPattern,
+    cluster: ClusterModel,
+    total_key_rate: float,
+    n_keys: float,
+    database: Optional[DatabaseStage] = None,
+    headroom: float = 0.05,
+) -> AdvisorReport:
+    """Run all §5.3 rules against a configuration.
+
+    Parameters
+    ----------
+    workload:
+        Aggregate workload shape (burst degree and concurrency).
+    cluster:
+        Server cluster with load shares and service rate.
+    total_key_rate:
+        Total keys/second offered to the cluster.
+    n_keys:
+        Keys generated per end-user request.
+    database:
+        Optional database stage; enables the keys-vs-miss-ratio rule.
+    headroom:
+        Fraction of utilization below the cliff at which an advisory
+        (rather than OK) is emitted.
+    """
+    recommendations: List[Recommendation] = []
+    cliff = cliff_utilization(workload.xi)
+    max_util = cluster.max_utilization(total_key_rate)
+
+    # Rule 1: utilization vs the cliff.
+    if max_util >= cliff:
+        recommendations.append(
+            Recommendation(
+                rule="utilization",
+                severity=Severity.CRITICAL,
+                message=(
+                    f"heaviest server runs at {max_util:.0%}, past the "
+                    f"latency cliff rhoS({workload.xi:g}) = {cliff:.0%}; "
+                    "add servers or capacity before anything else"
+                ),
+            )
+        )
+    elif max_util >= cliff - headroom:
+        recommendations.append(
+            Recommendation(
+                rule="utilization",
+                severity=Severity.ADVISORY,
+                message=(
+                    f"heaviest server at {max_util:.0%} is within "
+                    f"{headroom:.0%} of the cliff ({cliff:.0%}); plan "
+                    "capacity now"
+                ),
+            )
+        )
+    else:
+        recommendations.append(
+            Recommendation(
+                rule="utilization",
+                severity=Severity.OK,
+                message=(
+                    f"heaviest server at {max_util:.0%} is safely below "
+                    f"the cliff ({cliff:.0%})"
+                ),
+            )
+        )
+
+    # Rule 2: load balancing trigger.
+    if not cluster.is_balanced:
+        balanced_util = total_key_rate / (
+            cluster.n_servers * cluster.service_rate
+        )
+        if max_util >= cliff and balanced_util < cliff:
+            recommendations.append(
+                Recommendation(
+                    rule="load-balancing",
+                    severity=Severity.CRITICAL,
+                    message=(
+                        f"imbalance (p1 = {cluster.heaviest_share:.2f}) pushes "
+                        f"the hottest server past the cliff while balanced "
+                        f"load would sit at {balanced_util:.0%}; rebalance now"
+                    ),
+                )
+            )
+        elif max_util < cliff:
+            recommendations.append(
+                Recommendation(
+                    rule="load-balancing",
+                    severity=Severity.OK,
+                    message=(
+                        "imbalance present but the hottest server is below "
+                        "the cliff; rebalancing would yield little latency "
+                        "benefit (paper §5.2.2 case i)"
+                    ),
+                )
+            )
+        else:
+            recommendations.append(
+                Recommendation(
+                    rule="load-balancing",
+                    severity=Severity.ADVISORY,
+                    message=(
+                        "cluster is overloaded even if balanced; rebalancing "
+                        "alone cannot restore low latency — add capacity"
+                    ),
+                )
+            )
+
+    # Rule 3: fewer keys vs lower miss ratio. In the logarithmic regime
+    # (N*r >= 1, misses inevitable) halving either N or r saves the same
+    # ln(2)/muD, but N can realistically be cut by large factors while r
+    # is already tiny — the paper's recommendation. In the linear regime
+    # (N*r << 1) latency is Theta(r) and cache tuning genuinely wins.
+    if database is not None and database.miss_ratio > 0.0:
+        fewer_keys = marginal_benefit_fewer_keys(database, n_keys)
+        lower_miss = marginal_benefit_lower_miss_ratio(database, n_keys)
+        if database.regime(n_keys) == "logarithmic":
+            message = (
+                f"misses are inevitable (E[K] = {database.expected_misses(n_keys):.1f}); "
+                f"halving keys/request saves {format_duration(fewer_keys)} "
+                f"vs {format_duration(lower_miss)} for halving the miss "
+                "ratio — and N can be cut drastically while r is already "
+                "tiny; prefer reducing keys per request (paper §5.3 rule 3)"
+            )
+        else:
+            message = (
+                f"halving the miss ratio saves {format_duration(lower_miss)} "
+                f"vs {format_duration(fewer_keys)} for halving keys/request; "
+                "with so few keys per request, cache tuning wins "
+                "(paper eq. (25) small-N regime)"
+            )
+        recommendations.append(
+            Recommendation(
+                rule="keys-vs-miss-ratio",
+                severity=Severity.ADVISORY,
+                message=message,
+            )
+        )
+
+    return AdvisorReport(
+        cliff_utilization=cliff,
+        max_utilization=max_util,
+        recommendations=recommendations,
+    )

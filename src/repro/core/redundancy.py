@@ -1,0 +1,170 @@
+"""Redundant requests: "low latency via redundancy" as a model extension.
+
+The paper cites Vulimiri et al. [12] and C3 [13] — send each key to
+``d`` replicas, use the fastest answer — as latency optimizations its
+model does not cover. This extension covers them:
+
+* the per-key latency becomes the **min** of ``d`` (approximately
+  independent) copies, so its completion-time tail shrinks by ``d``;
+* but every server's load inflates by ``d``, moving ``delta`` up.
+
+The classic trade-off falls out: redundancy wins at low utilization and
+loses catastrophically near saturation; :func:`redundancy_crossover`
+finds the break-even utilization for a workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from ..errors import StabilityError, ValidationError
+from ..queueing import GIXM1Queue
+from .workload import WorkloadPattern
+
+
+@dataclasses.dataclass(frozen=True)
+class RedundancyEstimate:
+    """Request-level server-stage estimate under d-way replication."""
+
+    replication: int
+    utilization: float
+    delta: float
+    mean_upper: float
+    """Quantile-rule estimate of E[TS(N)] (upper-bound style, eq. 14)."""
+
+
+class RedundancyModel:
+    """GI^X/M/1 latency under d-way replicated reads.
+
+    Parameters
+    ----------
+    workload:
+        The *unreplicated* per-server workload.
+    service_rate:
+        Per-key service rate ``muS``.
+    replication:
+        Copies per key, ``d >= 1``; ``d = 1`` reduces to the base model.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadPattern,
+        service_rate: float,
+        replication: int = 1,
+    ) -> None:
+        if int(replication) != replication or replication < 1:
+            raise ValidationError(
+                f"replication must be a positive integer, got {replication}"
+            )
+        self._d = int(replication)
+        self._base_workload = workload
+        inflated = workload.scaled(float(self._d))
+        if inflated.rate >= service_rate:
+            raise StabilityError(inflated.rate / service_rate)
+        self._queue = GIXM1Queue(
+            inflated.batch_gap_distribution(), inflated.q, service_rate
+        )
+
+    @property
+    def replication(self) -> int:
+        return self._d
+
+    @property
+    def queue(self) -> GIXM1Queue:
+        """The inflated per-server queue."""
+        return self._queue
+
+    @property
+    def utilization(self) -> float:
+        return self._queue.utilization
+
+    def per_key_completion_rate(self) -> float:
+        """Tail rate of the fastest copy's completion time.
+
+        Each copy's completion time is ``Exp(decay)`` (eq. (5)); the min
+        of ``d`` independent copies is ``Exp(d * decay)``.
+        """
+        return self._d * self._queue.decay_rate
+
+    def mean_key_latency(self) -> float:
+        """Mean of the fastest copy: ``1 / (d * decay)``."""
+        return 1.0 / self.per_key_completion_rate()
+
+    def request_mean_upper(self, n_keys: float) -> float:
+        """Quantile-rule E[TS(N)]: ``ln(N+1) / (d * decay)``."""
+        if n_keys <= 0:
+            raise ValidationError(f"n_keys must be > 0, got {n_keys}")
+        return math.log(float(n_keys) + 1.0) / self.per_key_completion_rate()
+
+    def estimate(self, n_keys: float) -> RedundancyEstimate:
+        return RedundancyEstimate(
+            replication=self._d,
+            utilization=self.utilization,
+            delta=self._queue.delta,
+            mean_upper=self.request_mean_upper(n_keys),
+        )
+
+
+def redundancy_speedup(
+    workload: WorkloadPattern,
+    service_rate: float,
+    n_keys: float,
+    replication: int = 2,
+) -> Optional[float]:
+    """Latency ratio (base / replicated) for d-way reads.
+
+    > 1 means redundancy helps. Returns ``None`` when the replicated
+    system would be unstable (the inflated load saturates the servers).
+    """
+    base = RedundancyModel(workload, service_rate, 1)
+    try:
+        repl = RedundancyModel(workload, service_rate, replication)
+    except StabilityError:
+        return None
+    return base.request_mean_upper(n_keys) / repl.request_mean_upper(n_keys)
+
+
+def redundancy_crossover(
+    workload: WorkloadPattern,
+    service_rate: float,
+    n_keys: float,
+    replication: int = 2,
+    *,
+    tolerance: float = 1e-3,
+) -> float:
+    """Utilization above which d-way redundancy stops helping.
+
+    Bisects the base utilization (by scaling the workload rate) for the
+    point where the speedup crosses 1. Below the returned utilization
+    replicated reads are faster; above, slower (or unstable).
+    """
+    if int(replication) != replication or replication < 2:
+        raise ValidationError("replication must be an integer >= 2")
+
+    def speedup_at(rho: float) -> Optional[float]:
+        scaled = workload.with_rate(rho * service_rate)
+        return redundancy_speedup(scaled, service_rate, n_keys, replication)
+
+    lo, hi = 1e-3, (1.0 - 1e-6) / replication
+    lo_speedup = speedup_at(lo)
+    if lo_speedup is None or lo_speedup <= 1.0:
+        raise ValidationError(
+            "redundancy does not help even at negligible load; "
+            "no crossover exists"
+        )
+    hi_speedup = speedup_at(hi)
+    if hi_speedup is not None and hi_speedup > 1.0:
+        # Helps all the way to the stability edge of the replicated system.
+        return hi * replication  # base utilization where replicas saturate
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        value = speedup_at(mid)
+        if value is not None and value > 1.0:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tolerance:
+            break
+    return 0.5 * (lo + hi)

@@ -1,0 +1,201 @@
+"""Tail-latency (percentile) estimation.
+
+Theorem 1 reports expectations; operators buy p99s. This module extends
+the model to full distributions:
+
+* the **server stage**: the mixture CDF of eq. (10)/(11) bounded through
+  eq. (9) — ``P(TS(N) <= t)`` lies between ``F_TC(t)^(N)``-style and
+  ``F_TQ(t)``-style products, giving two-sided quantile bounds at any
+  percentile;
+* the **database stage**: an *exact* closed form — with Binomial(N, r)
+  misses and iid ``Exp`` database sojourns,
+  ``P(TD(N) <= t) = (1 - r + r F_D(t))^N`` (binomial thinning);
+* the **request**: composition bounds from eq. (1).
+
+The paper's remark that "the expected latency statistically equals the
+N/(N+1) percentile of the per-key latency" is the bridge: these CDFs are
+what that percentile is taken from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..distributions import require_probability
+from ..errors import ValidationError
+from .stages import DatabaseStage, NetworkStage, ServerStage
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantileBounds:
+    """Two-sided bounds on a latency quantile (seconds)."""
+
+    level: float
+    lower: float
+    upper: float
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lower + self.upper)
+
+
+class TailLatencyModel:
+    """Percentile-level view of the Memcached latency model."""
+
+    def __init__(
+        self,
+        server_stage: ServerStage,
+        *,
+        network_stage: Optional[NetworkStage] = None,
+        database_stage: Optional[DatabaseStage] = None,
+    ) -> None:
+        self._server = server_stage
+        self._network = network_stage if network_stage is not None else NetworkStage(0.0)
+        self._database = database_stage
+
+    # ------------------------------------------------------------------
+    # Server stage.
+    # ------------------------------------------------------------------
+
+    def server_cdf_bounds(self, t: float, n_keys: float) -> tuple[float, float]:
+        """Bounds on ``P(TS(N) <= t)``.
+
+        Eq. (9) gives ``F_TC(t) <= F_TS(t) <= F_TQ(t)`` per key at the
+        heaviest server; Prop. 1 lifts per-key CDFs to the mixture: the
+        N-key CDF lies between ``F_TC(t)^(N/p1-ish)`` and ``F_TQ(t)^N``.
+        We use the conservative exponents: lower with ``N / p1`` (every
+        key as slow as the hottest server's floor share) and upper with
+        ``N`` (balanced product).
+        """
+        if n_keys <= 0:
+            raise ValidationError(f"n_keys must be > 0, got {n_keys}")
+        queue = self._server.queue
+        f_tq = queue.queueing_cdf(t)
+        f_tc = queue.completion_cdf(t)
+        if self._server.is_balanced:
+            exponent_low = float(n_keys)
+        else:
+            exponent_low = float(n_keys) / self._server.heaviest_share
+        lower = f_tc**exponent_low
+        upper = f_tq ** float(n_keys)
+        return lower, min(upper, 1.0)
+
+    def server_quantile_bounds(self, level: float, n_keys: float) -> QuantileBounds:
+        """Bounds on the ``level``-quantile of ``TS(N)``.
+
+        Inverts the CDF bounds in closed form: both the queueing and the
+        completion CDFs are (shifted) exponentials.
+        """
+        require_probability("level", level, closed=False)
+        if n_keys <= 0:
+            raise ValidationError(f"n_keys must be > 0, got {n_keys}")
+        queue = self._server.queue
+        # Upper bound on the quantile comes from the *lower* CDF bound.
+        if self._server.is_balanced:
+            exponent = float(n_keys)
+        else:
+            exponent = float(n_keys) / self._server.heaviest_share
+        k_upper = level ** (1.0 / exponent)
+        upper = queue.completion_quantile(k_upper)
+        k_lower = level ** (1.0 / float(n_keys))
+        lower = queue.queueing_quantile(k_lower)
+        return QuantileBounds(level=level, lower=lower, upper=upper)
+
+    # ------------------------------------------------------------------
+    # Database stage (exact).
+    # ------------------------------------------------------------------
+
+    def database_cdf(self, t: float, n_keys: float) -> float:
+        """Exact ``P(TD(N) <= t) = (1 - r + r F_D(t))^N``.
+
+        Each of the N keys independently contributes a database term
+        that is 0 with probability ``1 - r`` and ``Exp`` otherwise.
+        """
+        if self._database is None:
+            return 1.0 if t >= 0 else 0.0
+        if n_keys <= 0:
+            raise ValidationError(f"n_keys must be > 0, got {n_keys}")
+        r = self._database.miss_ratio
+        if t < 0:
+            return 0.0
+        f_d = self._database.sojourn_distribution().cdf(t)
+        return (1.0 - r + r * f_d) ** float(n_keys)
+
+    def database_quantile(self, level: float, n_keys: float) -> float:
+        """Exact ``level``-quantile of ``TD(N)`` (closed form).
+
+        Solving ``(1 - r + r F_D(t))^N = level``: zero when the no-miss
+        probability already exceeds the level, else the matching
+        exponential quantile.
+        """
+        require_probability("level", level, closed=False)
+        if self._database is None:
+            return 0.0
+        if n_keys <= 0:
+            raise ValidationError(f"n_keys must be > 0, got {n_keys}")
+        r = self._database.miss_ratio
+        if r == 0.0:
+            return 0.0
+        root = level ** (1.0 / float(n_keys))
+        f_d_needed = (root - (1.0 - r)) / r
+        if f_d_needed <= 0.0:
+            return 0.0
+        if f_d_needed >= 1.0:
+            raise ValidationError("quantile level unreachable")  # pragma: no cover
+        return self._database.sojourn_distribution().quantile(f_d_needed)
+
+    def database_mean_exact(self, n_keys: float) -> float:
+        """Exact ``E[TD(N)]`` by integrating the closed-form CDF.
+
+        The reference value the paper's eq. (23) approximates (our D2
+        deviation); integral of ``1 - (1 - r + r F_D(t))^N``.
+        """
+        if self._database is None:
+            return 0.0
+        if n_keys <= 0:
+            raise ValidationError(f"n_keys must be > 0, got {n_keys}")
+        from scipy import integrate
+
+        upper = self.database_quantile(1.0 - 1e-12, n_keys) if self._database.miss_ratio else 0.0
+        if upper == 0.0:
+            return 0.0
+        value, _ = integrate.quad(
+            lambda t: 1.0 - self.database_cdf(t, n_keys), 0.0, upper, limit=300
+        )
+        return float(value)
+
+    # ------------------------------------------------------------------
+    # Request level (eq. (1) composition).
+    # ------------------------------------------------------------------
+
+    def request_quantile_bounds(
+        self, level: float, n_keys: float
+    ) -> QuantileBounds:
+        """Bounds on the ``level``-quantile of ``T(N)``.
+
+        Lower: ``T(N) >= max{TN, TS(N), TD(N)}``, so its quantile is at
+        least each stage's quantile. Upper: ``T(N) <= TN + TS(N) +
+        TD(N)`` plus a union bound — splitting the tail mass ``1 -
+        level`` between the two random stages.
+        """
+        require_probability("level", level, closed=False)
+        network = self._network.delay
+        server = self.server_quantile_bounds(level, n_keys)
+        database = self.database_quantile(level, n_keys)
+        lower = max(network, server.lower, database)
+
+        tail = 1.0 - level
+        split_level = 1.0 - tail / 2.0
+        server_hi = self.server_quantile_bounds(split_level, n_keys).upper
+        database_hi = self.database_quantile(split_level, n_keys)
+        upper = network + server_hi + database_hi
+        return QuantileBounds(level=level, lower=lower, upper=upper)
+
+    def p99(self, n_keys: float) -> QuantileBounds:
+        """99th percentile of the request latency."""
+        return self.request_quantile_bounds(0.99, n_keys)
+
+    def p999(self, n_keys: float) -> QuantileBounds:
+        """99.9th percentile — the paper's "bad case" metric (§4.5)."""
+        return self.request_quantile_bounds(0.999, n_keys)

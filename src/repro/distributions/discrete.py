@@ -1,0 +1,266 @@
+"""Discrete laws: batch sizes and key popularity.
+
+* :class:`Geometric` — the paper's batch-size law. With concurrency
+  probability ``q``, the number of keys arriving together is
+  ``P(X = n) = q^(n-1) (1 - q)`` with mean ``1 / (1 - q)``.
+* :class:`Zipf` — key popularity over a finite catalog; drives the
+  unbalanced load shares ``{p_j}`` when keys are hashed to servers.
+* :class:`FixedCount` — a degenerate batch size (no concurrency).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ValidationError
+from .base import DiscreteDistribution, require_probability
+
+
+class Geometric(DiscreteDistribution):
+    """Batch size on ``{1, 2, ...}``: ``P(X = n) = q^(n-1) (1 - q)``.
+
+    ``q`` is the paper's *concurrent probability*: each additional key in a
+    burst arrives with probability ``q``. The mean batch size is
+    ``1 / (1 - q)``.
+    """
+
+    def __init__(self, q: float) -> None:
+        self._q = require_probability("q", q)
+        if self._q == 1.0:
+            raise ValidationError("q must be < 1 (otherwise batches never end)")
+
+    @property
+    def q(self) -> float:
+        return self._q
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / (1.0 - self._q)
+
+    @property
+    def variance(self) -> float:
+        return self._q / (1.0 - self._q) ** 2
+
+    def pmf(self, n: int) -> float:
+        if n < 1 or int(n) != n:
+            return 0.0
+        return self._q ** (n - 1) * (1.0 - self._q)
+
+    def cdf(self, n: int) -> float:
+        if n < 1:
+            return 0.0
+        return 1.0 - self._q ** int(n)
+
+    def pgf(self, z: float, **_: object) -> float:
+        if abs(z * self._q) >= 1.0:
+            raise ValidationError(f"PGF diverges for |z q| >= 1 (z={z}, q={self._q})")
+        return z * (1.0 - self._q) / (1.0 - self._q * z)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        # numpy's geometric counts trials to first success with P(success)=p,
+        # support {1, 2, ...}, which is exactly our batch size with p = 1-q.
+        if self._q == 0.0:
+            if size is None:
+                return 1
+            return np.ones(size, dtype=np.int64)
+        return rng.geometric(1.0 - self._q, size=size)
+
+
+class FixedCount(DiscreteDistribution):
+    """Always exactly ``n`` — degenerate batch/key-count distribution."""
+
+    def __init__(self, n: int) -> None:
+        if int(n) != n or n < 1:
+            raise ValidationError(f"n must be a positive integer, got {n}")
+        self._n = int(n)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return float(self._n)
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    def pmf(self, n: int) -> float:
+        return 1.0 if n == self._n else 0.0
+
+    def cdf(self, n: int) -> float:
+        return 1.0 if n >= self._n else 0.0
+
+    def pgf(self, z: float, **_: object) -> float:
+        return z**self._n
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            return self._n
+        return np.full(size, self._n, dtype=np.int64)
+
+
+class TruncatedBinomial(DiscreteDistribution):
+    """Binomial(n, p) conditioned on being >= 1.
+
+    This is the batch-size law a fork-join client *induces* at a server:
+    a request with ``n`` keys sends ``Binomial(n, p)`` of them to a
+    server with share ``p``, and a batch only exists when that count is
+    positive. Used to model the closed-loop simulator's arrivals exactly
+    (the paper's geometric is an approximation of this).
+    """
+
+    def __init__(self, n: int, p: float) -> None:
+        if int(n) != n or n < 1:
+            raise ValidationError(f"n must be a positive integer, got {n}")
+        p = require_probability("p", p)
+        if p == 0.0:
+            raise ValidationError("p must be > 0 (batches must be possible)")
+        self._n = int(n)
+        self._p = p
+        self._p_zero = (1.0 - p) ** self._n
+        if self._p_zero >= 1.0:
+            raise ValidationError("degenerate truncated binomial")
+        # Precompute the conditioned pmf.
+        ks = np.arange(0, self._n + 1)
+        if p == 1.0:
+            # Degenerate: every batch is exactly n keys.
+            pmf = np.zeros(self._n + 1)
+            pmf[self._n] = 1.0
+        else:
+            log_comb = (
+                _log_factorial(self._n)
+                - _log_factorial(ks)
+                - _log_factorial(self._n - ks)
+            )
+            log_pmf = log_comb + ks * math.log(p) + (self._n - ks) * math.log1p(-p)
+            pmf = np.exp(log_pmf)
+            pmf[0] = 0.0
+            pmf = pmf / pmf.sum()
+        self._pmf = pmf
+        self._cum = np.cumsum(self._pmf)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    @property
+    def mean(self) -> float:
+        return float(self._n * self._p / (1.0 - self._p_zero))
+
+    @property
+    def variance(self) -> float:
+        ks = np.arange(0, self._n + 1, dtype=float)
+        second = float(np.dot(ks * ks, self._pmf))
+        return second - self.mean**2
+
+    def pmf(self, n: int) -> float:
+        if 1 <= n <= self._n and int(n) == n:
+            return float(self._pmf[int(n)])
+        return 0.0
+
+    def cdf(self, n: int) -> float:
+        if n < 1:
+            return 0.0
+        if n >= self._n:
+            return 1.0
+        return float(self._cum[int(n)])
+
+    def pgf(self, z: float, **_: object) -> float:
+        base = (1.0 - self._p + self._p * z) ** self._n
+        return (base - self._p_zero) / (1.0 - self._p_zero)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        u = rng.random(size)
+        idx = np.searchsorted(self._cum, u, side="left")
+        if size is None:
+            return int(idx)
+        return idx.astype(np.int64)
+
+
+def _log_factorial(values) -> np.ndarray:
+    from scipy import special
+
+    return special.gammaln(np.asarray(values, dtype=float) + 1.0)
+
+
+class Zipf(DiscreteDistribution):
+    """Zipf popularity over a finite catalog ``{1, ..., n_items}``.
+
+    ``P(X = i) proportional to i^(-s)``. The Facebook key-popularity
+    measurements are approximately Zipf with ``s`` slightly below 1; this
+    drives the unbalanced per-server load shares.
+    """
+
+    def __init__(self, n_items: int, s: float = 1.0) -> None:
+        if int(n_items) != n_items or n_items < 1:
+            raise ValidationError(f"n_items must be a positive integer, got {n_items}")
+        s = float(s)
+        if s < 0:
+            raise ValidationError(f"s must be >= 0, got {s}")
+        self._n = int(n_items)
+        self._s = s
+        ranks = np.arange(1, self._n + 1, dtype=float)
+        weights = ranks**-s
+        self._probs = weights / weights.sum()
+        self._cum = np.cumsum(self._probs)
+
+    @property
+    def n_items(self) -> int:
+        return self._n
+
+    @property
+    def s(self) -> float:
+        return self._s
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """The full pmf vector over ranks ``1..n_items`` (copy)."""
+        return self._probs.copy()
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(np.arange(1, self._n + 1), self._probs))
+
+    @property
+    def variance(self) -> float:
+        ranks = np.arange(1, self._n + 1, dtype=float)
+        second = float(np.dot(ranks * ranks, self._probs))
+        return second - self.mean**2
+
+    def pmf(self, n: int) -> float:
+        if 1 <= n <= self._n and int(n) == n:
+            return float(self._probs[int(n) - 1])
+        return 0.0
+
+    def cdf(self, n: int) -> float:
+        if n < 1:
+            return 0.0
+        if n >= self._n:
+            return 1.0
+        return float(self._cum[int(n) - 1])
+
+    def head_mass(self, fraction: float) -> float:
+        """Probability mass held by the top ``fraction`` of items.
+
+        Quantifies the "a small percentage of values are accessed quite
+        frequently" skew from the paper's §2.1.
+        """
+        fraction = require_probability("fraction", fraction)
+        count = max(1, int(round(fraction * self._n)))
+        return min(1.0, float(self._probs[:count].sum()))
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        u = rng.random(size)
+        idx = np.searchsorted(self._cum, u, side="left") + 1
+        if size is None:
+            return int(idx)
+        return idx.astype(np.int64)

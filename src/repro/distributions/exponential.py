@@ -1,0 +1,113 @@
+"""Exponential and related memoryless distributions.
+
+The exponential law is the workhorse of the paper's model: Memcached
+service times are ``Exp(muS)``, database service times are ``Exp(muD)``,
+and the geometric-sum batch-collapse argument produces ``Exp((1-q) muS)``
+batch service times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ValidationError
+from .base import Distribution, require_positive
+
+
+class Exponential(Distribution):
+    """Exponential distribution with rate ``rate`` (mean ``1 / rate``)."""
+
+    def __init__(self, rate: float) -> None:
+        self._rate = require_positive("rate", rate)
+
+    @classmethod
+    def from_mean(cls, mean: float) -> "Exponential":
+        """Construct from the mean instead of the rate."""
+        return cls(1.0 / require_positive("mean", mean))
+
+    @property
+    def rate(self) -> float:
+        return self._rate
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self._rate
+
+    @property
+    def variance(self) -> float:
+        return 1.0 / (self._rate * self._rate)
+
+    def cdf(self, t: float) -> float:
+        if t <= 0:
+            return 0.0
+        return -math.expm1(-self._rate * t)
+
+    def survival(self, t: float) -> float:
+        if t <= 0:
+            return 1.0
+        return math.exp(-self._rate * t)
+
+    def pdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        return self._rate * math.exp(-self._rate * t)
+
+    def quantile(self, k: float) -> float:
+        if not 0.0 <= k < 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1): {k}")
+        return -math.log1p(-k) / self._rate
+
+    def laplace(self, s: float) -> float:
+        if s < 0:
+            raise ValidationError(f"LST argument must be >= 0, got {s}")
+        return self._rate / (self._rate + s)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        return rng.exponential(1.0 / self._rate, size=size)
+
+
+class Deterministic(Distribution):
+    """A degenerate distribution: always exactly ``value``.
+
+    Used for constant network delays (paper §4.2) and as the zero-variance
+    extreme in burstiness sweeps (``D/M/1`` has the lowest GI/M/1 delay).
+    """
+
+    def __init__(self, value: float) -> None:
+        value = float(value)
+        if value < 0:
+            raise ValidationError(f"value must be >= 0, got {value}")
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        return self._value
+
+    @property
+    def variance(self) -> float:
+        return 0.0
+
+    def cdf(self, t: float) -> float:
+        return 1.0 if t >= self._value else 0.0
+
+    def quantile(self, k: float) -> float:
+        if not 0.0 <= k < 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1): {k}")
+        return self._value
+
+    def laplace(self, s: float) -> float:
+        if s < 0:
+            raise ValidationError(f"LST argument must be >= 0, got {s}")
+        return math.exp(-s * self._value)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        if size is None:
+            return self._value
+        return np.full(size, self._value)

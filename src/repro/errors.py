@@ -1,0 +1,82 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch a single base class. Each leaf
+class corresponds to one failure domain (validation, numeric solving,
+simulation, cache protocol), which keeps ``except`` clauses narrow.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """A parameter is outside its mathematically valid domain.
+
+    Raised for inputs such as negative rates, probabilities outside
+    ``[0, 1]``, or shape parameters for which a distribution is undefined.
+    Subclasses :class:`ValueError` so generic callers behave sensibly.
+    """
+
+
+class StabilityError(ReproError):
+    """A queueing system is unstable (utilization >= 1).
+
+    Latency is unbounded for an unstable queue, so estimators raise this
+    instead of returning a misleading number.
+    """
+
+    def __init__(self, utilization: float, message: str | None = None) -> None:
+        self.utilization = float(utilization)
+        if message is None:
+            message = (
+                f"queue is unstable: utilization {self.utilization:.4f} >= 1; "
+                "latency diverges"
+            )
+        super().__init__(message)
+
+
+class ConvergenceError(ReproError):
+    """A numeric solver (fixed point, root finder, quadrature) failed.
+
+    Attributes
+    ----------
+    last_value:
+        The final iterate, useful for diagnosing near-misses.
+    iterations:
+        How many iterations ran before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        last_value: float | None = None,
+        iterations: int | None = None,
+    ) -> None:
+        self.last_value = last_value
+        self.iterations = iterations
+        super().__init__(message)
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class CacheError(ReproError):
+    """Base class for errors from the in-process memcached substrate."""
+
+
+class CacheCapacityError(CacheError):
+    """An item cannot fit in the cache even after evicting everything."""
+
+
+class ProtocolError(CacheError):
+    """A memcached text-protocol line could not be parsed."""
+
+
+class ConfigError(ReproError):
+    """An experiment configuration is inconsistent or incomplete."""

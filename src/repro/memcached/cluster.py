@@ -1,0 +1,152 @@
+"""Memcached cluster client: a ring of in-process servers.
+
+This is the client-side view from the paper's Fig. 1: a multi-get fans a
+request's keys across servers via the consistent-hash ring; per-server
+hit/miss statistics aggregate into the cluster miss ratio ``r`` and the
+empirical load shares ``{p_j}`` that feed the analytic model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from .hashring import HashRing
+from .server import MemcachedServer
+from .store import Item
+
+
+class MemcachedCluster:
+    """A set of servers behind a consistent-hash ring."""
+
+    def __init__(
+        self,
+        n_servers: int,
+        capacity_bytes: int,
+        *,
+        replicas: int = 128,
+        clock: Optional[Callable[[], float]] = None,
+        **store_kwargs: object,
+    ) -> None:
+        if n_servers < 1:
+            raise ValidationError(f"n_servers must be >= 1, got {n_servers}")
+        names = [f"mc{j}" for j in range(int(n_servers))]
+        self.servers: List[MemcachedServer] = [
+            MemcachedServer(name, capacity_bytes, clock=clock, **store_kwargs)
+            for name in names
+        ]
+        self.ring = HashRing(names, replicas=replicas)
+        self._index_of = {name: j for j, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.servers)
+
+    def server_for(self, key: str) -> MemcachedServer:
+        """The server owning ``key`` per the ring."""
+        return self.servers[self.server_index_for(key)]
+
+    def server_index_for(self, key: str) -> int:
+        return self._index_of[self.ring.node_for(key)]
+
+    # ------------------------------------------------------------------
+    # Membership changes (failure injection / scale-out).
+    # ------------------------------------------------------------------
+
+    def remove_server(self, index: int) -> MemcachedServer:
+        """Take a server out of the ring (crash / decommission).
+
+        Its cached items are lost; keys it owned remap to ring
+        successors, which will miss until demand-filled — the classic
+        failure-induced miss storm. Returns the removed server object.
+        """
+        if not 0 <= index < len(self.servers):
+            raise ValidationError(f"server index out of range: {index}")
+        if len(self.servers) == 1:
+            raise ValidationError("cannot remove the last server")
+        server = self.servers.pop(index)
+        self.ring.remove_node(server.name)
+        self._index_of = {s.name: j for j, s in enumerate(self.servers)}
+        return server
+
+    def add_server(
+        self,
+        capacity_bytes: int,
+        *,
+        clock=None,
+        **store_kwargs: object,
+    ) -> MemcachedServer:
+        """Add a fresh (cold) server to the ring (scale-out).
+
+        ~1/M of the key space remaps to it; those keys miss until
+        demand-filled.
+        """
+        seq = 0
+        existing = {s.name for s in self.servers}
+        while f"mc{seq}" in existing:
+            seq += 1
+        server = MemcachedServer(
+            f"mc{seq}", capacity_bytes, clock=clock, **store_kwargs
+        )
+        self.servers.append(server)
+        self.ring.add_node(server.name)
+        self._index_of = {s.name: j for j, s in enumerate(self.servers)}
+        return server
+
+    # ------------------------------------------------------------------
+    # Client operations.
+    # ------------------------------------------------------------------
+
+    def set(self, key: str, value: bytes, *, flags: int = 0, ttl: Optional[float] = None) -> Item:
+        """Store one item on its ring owner."""
+        return self.server_for(key).store.set(key, value, flags=flags, ttl=ttl)
+
+    def get(self, key: str) -> Optional[Item]:
+        """Fetch one item from its ring owner (counts hit/miss)."""
+        return self.server_for(key).store.get(key)
+
+    def delete(self, key: str) -> bool:
+        return self.server_for(key).store.delete(key)
+
+    def multi_get(self, keys: Sequence[str]) -> Dict[str, Optional[Item]]:
+        """The request path of the paper: one request, many keys.
+
+        Returns a mapping with ``None`` for misses; the caller (web
+        server) is responsible for fetching misses from the database and
+        back-filling with :meth:`set`.
+        """
+        return {key: self.get(key) for key in keys}
+
+    def flush_all(self) -> None:
+        for server in self.servers:
+            server.store.flush_all()
+
+    # ------------------------------------------------------------------
+    # Measurements feeding the analytic model.
+    # ------------------------------------------------------------------
+
+    def miss_ratio(self) -> float:
+        """Aggregate measured miss ratio (the model's ``r``)."""
+        gets = sum(s.store.stats.gets for s in self.servers)
+        if gets == 0:
+            return 0.0
+        misses = sum(s.store.stats.misses for s in self.servers)
+        return misses / gets
+
+    def access_shares(self) -> List[float]:
+        """Observed load shares ``{p_j}`` from per-server get counts."""
+        gets = np.array([s.store.stats.gets for s in self.servers], dtype=float)
+        total = gets.sum()
+        if total <= 0:
+            raise ValidationError("no accesses recorded yet")
+        return (gets / total).tolist()
+
+    def predicted_shares(
+        self, keys: Sequence[str], weights: Optional[Sequence[float]] = None
+    ) -> List[float]:
+        """Shares a key population would induce (before running traffic)."""
+        return self.ring.load_shares(keys, weights)

@@ -1,0 +1,158 @@
+"""Consistent-hash ring: the key-to-server mapping (paper §2.1).
+
+Memcached clients pick a server per key with a hash; production clients
+(ketama) use a consistent-hash ring with virtual nodes so that adding or
+removing a server only remaps a ``1/M`` fraction of keys. The ring is
+also where load imbalance enters the system: hot keys land on whichever
+server owns their hash point.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ValidationError
+
+
+def stable_hash(data: str) -> int:
+    """64-bit stable hash (md5-based; NOT for security, for placement).
+
+    Python's builtin ``hash`` is salted per process, which would make
+    placements irreproducible across runs; md5 is stable everywhere.
+    """
+    digest = hashlib.md5(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Server names (unique).
+    replicas:
+        Virtual nodes per server; more replicas → smoother shares.
+    """
+
+    def __init__(self, nodes: Sequence[str], *, replicas: int = 128) -> None:
+        if replicas < 1:
+            raise ValidationError(f"replicas must be >= 1, got {replicas}")
+        self._replicas = int(replicas)
+        self._ring: List[int] = []
+        self._owner: Dict[int, str] = {}
+        self._nodes: List[str] = []
+        seen = set()
+        for node in nodes:
+            if node in seen:
+                raise ValidationError(f"duplicate node name: {node!r}")
+            seen.add(node)
+            self._insert(node)
+
+    def _insert(self, node: str) -> None:
+        for replica in range(self._replicas):
+            point = stable_hash(f"{node}#{replica}")
+            if point in self._owner:
+                # Astronomically unlikely 64-bit collision; perturb.
+                point = stable_hash(f"{node}#{replica}#salt")
+            index = bisect.bisect(self._ring, point)
+            self._ring.insert(index, point)
+            self._owner[point] = node
+        self._nodes.append(node)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current server names, in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        """Add a server; only ~1/M of keys remap."""
+        if node in self._nodes:
+            raise ValidationError(f"node already present: {node!r}")
+        self._insert(node)
+
+    def remove_node(self, node: str) -> None:
+        """Remove a server; its keys spill to ring successors."""
+        if node not in self._nodes:
+            raise ValidationError(f"unknown node: {node!r}")
+        self._nodes.remove(node)
+        points = [p for p, owner in self._owner.items() if owner == node]
+        for point in points:
+            del self._owner[point]
+            index = bisect.bisect_left(self._ring, point)
+            self._ring.pop(index)
+
+    def node_for(self, key: str) -> str:
+        """The server owning ``key``."""
+        if not self._ring:
+            raise ValidationError("ring has no nodes")
+        point = stable_hash(key)
+        index = bisect.bisect(self._ring, point)
+        if index == len(self._ring):
+            index = 0
+        return self._owner[self._ring[index]]
+
+    def index_for(self, key: str) -> int:
+        """The server's index in :attr:`nodes` (for array-based callers)."""
+        return self._nodes.index(self.node_for(key))
+
+    def load_shares(self, keys: Sequence[str], weights: Optional[Sequence[float]] = None) -> List[float]:
+        """Empirical load shares ``{p_j}`` induced by a key population.
+
+        With ``weights`` (e.g. Zipf popularity) the shares are weighted
+        by access frequency — exactly the model's ``p_j``: the
+        probability that a random *access* lands on server ``j``.
+        """
+        if weights is not None and len(weights) != len(keys):
+            raise ValidationError("weights must match keys")
+        totals = {node: 0.0 for node in self._nodes}
+        for i, key in enumerate(keys):
+            weight = 1.0 if weights is None else float(weights[i])
+            if weight < 0:
+                raise ValidationError("weights must be non-negative")
+            totals[self.node_for(key)] += weight
+        grand = sum(totals.values())
+        if grand <= 0:
+            raise ValidationError("total weight must be positive")
+        return [totals[node] / grand for node in self._nodes]
+
+
+class ModuloRouter:
+    """Naive ``hash(key) % M`` placement — the non-consistent baseline.
+
+    Kept for comparisons: on resize it remaps nearly all keys, which is
+    why production systems use the ring.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+        self._n = int(n_nodes)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def index_for(self, key: str) -> int:
+        return stable_hash(key) % self._n
+
+    def remap_fraction(self, new_size: int, sample_keys: Sequence[str]) -> float:
+        """Fraction of sampled keys that move when resizing to ``new_size``."""
+        if new_size < 1:
+            raise ValidationError(f"new_size must be >= 1, got {new_size}")
+        if not sample_keys:
+            raise ValidationError("need at least one sample key")
+        moved = sum(
+            1
+            for key in sample_keys
+            if stable_hash(key) % self._n != stable_hash(key) % new_size
+        )
+        return moved / len(sample_keys)

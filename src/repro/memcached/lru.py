@@ -1,0 +1,104 @@
+"""O(1) LRU list used by the cache store and slab classes.
+
+A doubly-linked list with a dict index: ``touch`` moves a key to the MRU
+end, ``evict_lru`` pops the LRU end. Memcached maintains one such list
+per slab class; :class:`LRUList` is that building block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import ValidationError
+
+
+class _Node:
+    __slots__ = ("key", "prev", "next")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class LRUList:
+    """Doubly-linked LRU order over string keys, all operations O(1)."""
+
+    def __init__(self) -> None:
+        self._index: Dict[str, _Node] = {}
+        self._head: Optional[_Node] = None  # MRU
+        self._tail: Optional[_Node] = None  # LRU
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def _unlink(self, node: _Node) -> None:
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._head = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._tail = node.prev
+        node.prev = node.next = None
+
+    def _push_front(self, node: _Node) -> None:
+        node.next = self._head
+        node.prev = None
+        if self._head is not None:
+            self._head.prev = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+
+    def insert(self, key: str) -> None:
+        """Add ``key`` as MRU; error if present."""
+        if key in self._index:
+            raise ValidationError(f"key already tracked: {key!r}")
+        node = _Node(key)
+        self._index[key] = node
+        self._push_front(node)
+
+    def touch(self, key: str) -> None:
+        """Move ``key`` to the MRU end."""
+        node = self._index.get(key)
+        if node is None:
+            raise KeyError(key)
+        if node is self._head:
+            return
+        self._unlink(node)
+        self._push_front(node)
+
+    def remove(self, key: str) -> None:
+        """Drop ``key`` from the order."""
+        node = self._index.pop(key, None)
+        if node is None:
+            raise KeyError(key)
+        self._unlink(node)
+
+    def evict_lru(self) -> str:
+        """Pop and return the least-recently-used key."""
+        if self._tail is None:
+            raise ValidationError("cannot evict from an empty LRU list")
+        key = self._tail.key
+        self.remove(key)
+        return key
+
+    def peek_lru(self) -> Optional[str]:
+        """The LRU key without removing it (None when empty)."""
+        return self._tail.key if self._tail is not None else None
+
+    def peek_mru(self) -> Optional[str]:
+        """The MRU key without removing it (None when empty)."""
+        return self._head.key if self._head is not None else None
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate keys MRU -> LRU."""
+        node = self._head
+        while node is not None:
+            yield node.key
+            node = node.next

@@ -1,0 +1,296 @@
+"""Memcached text-protocol subset: parsing and rendering.
+
+Implements the classic ASCII commands the paper's workload exercises —
+``get``/``gets`` (multi-key), ``set``, ``delete``, ``flush_all``,
+``stats``, ``version`` — as pure functions between wire lines and typed
+command/response objects. The in-process server speaks this dialect so
+examples can demonstrate a realistic request path without sockets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Union
+
+from ..errors import ProtocolError
+
+MAX_KEY_LENGTH = 250
+
+
+def _validate_key(key: str) -> str:
+    if not key or len(key) > MAX_KEY_LENGTH:
+        raise ProtocolError(f"invalid key length: {len(key)}")
+    if any(c in key for c in (" ", "\r", "\n", "\t")):
+        raise ProtocolError(f"key contains whitespace/control characters: {key!r}")
+    return key
+
+
+@dataclasses.dataclass(frozen=True)
+class GetCommand:
+    """``get <key>+`` — multi-key fetch (one request, many keys)."""
+
+    keys: tuple
+    with_cas: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class SetCommand:
+    """``set <key> <flags> <exptime> <bytes>`` + data block."""
+
+    key: str
+    flags: int
+    exptime: float
+    value: bytes
+    noreply: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreVariantCommand:
+    """``add|replace|append|prepend <key> <flags> <exptime> <bytes>``."""
+
+    verb: str
+    key: str
+    flags: int
+    exptime: float
+    value: bytes
+    noreply: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ArithCommand:
+    """``incr|decr <key> <delta>``."""
+
+    verb: str
+    key: str
+    delta: int
+    noreply: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class TouchCommand:
+    """``touch <key> <exptime>``."""
+
+    key: str
+    exptime: float
+    noreply: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class DeleteCommand:
+    """``delete <key>``."""
+
+    key: str
+    noreply: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class FlushCommand:
+    """``flush_all``."""
+
+    noreply: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class StatsCommand:
+    """``stats``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class VersionCommand:
+    """``version``."""
+
+
+Command = Union[
+    GetCommand,
+    SetCommand,
+    StoreVariantCommand,
+    ArithCommand,
+    TouchCommand,
+    DeleteCommand,
+    FlushCommand,
+    StatsCommand,
+    VersionCommand,
+]
+
+STORE_VARIANTS = ("add", "replace", "append", "prepend")
+
+
+def parse_command(line: str, data: Optional[bytes] = None) -> Command:
+    """Parse one request line (plus ``data`` block for storage commands)."""
+    line = line.rstrip("\r\n")
+    if not line:
+        raise ProtocolError("empty command line")
+    parts = line.split(" ")
+    verb = parts[0].lower()
+
+    if verb in ("get", "gets"):
+        if len(parts) < 2:
+            raise ProtocolError("get requires at least one key")
+        keys = tuple(_validate_key(k) for k in parts[1:])
+        return GetCommand(keys=keys, with_cas=(verb == "gets"))
+
+    if verb == "set":
+        if len(parts) not in (5, 6):
+            raise ProtocolError(f"set expects 4 or 5 arguments, got {len(parts) - 1}")
+        key = _validate_key(parts[1])
+        try:
+            flags = int(parts[2])
+            exptime = float(parts[3])
+            nbytes = int(parts[4])
+        except ValueError as exc:
+            raise ProtocolError(f"bad set arguments: {line!r}") from exc
+        noreply = len(parts) == 6
+        if noreply and parts[5] != "noreply":
+            raise ProtocolError(f"unexpected trailing token: {parts[5]!r}")
+        if data is None:
+            raise ProtocolError("set requires a data block")
+        if len(data) != nbytes:
+            raise ProtocolError(
+                f"data block length {len(data)} != declared {nbytes}"
+            )
+        return SetCommand(
+            key=key, flags=flags, exptime=exptime, value=bytes(data), noreply=noreply
+        )
+
+    if verb in STORE_VARIANTS:
+        if len(parts) not in (5, 6):
+            raise ProtocolError(
+                f"{verb} expects 4 or 5 arguments, got {len(parts) - 1}"
+            )
+        key = _validate_key(parts[1])
+        try:
+            flags = int(parts[2])
+            exptime = float(parts[3])
+            nbytes = int(parts[4])
+        except ValueError as exc:
+            raise ProtocolError(f"bad {verb} arguments: {line!r}") from exc
+        noreply = len(parts) == 6
+        if noreply and parts[5] != "noreply":
+            raise ProtocolError(f"unexpected trailing token: {parts[5]!r}")
+        if data is None:
+            raise ProtocolError(f"{verb} requires a data block")
+        if len(data) != nbytes:
+            raise ProtocolError(
+                f"data block length {len(data)} != declared {nbytes}"
+            )
+        return StoreVariantCommand(
+            verb=verb, key=key, flags=flags, exptime=exptime,
+            value=bytes(data), noreply=noreply,
+        )
+
+    if verb in ("incr", "decr"):
+        if len(parts) not in (3, 4):
+            raise ProtocolError(f"{verb} expects a key and a delta")
+        noreply = len(parts) == 4
+        if noreply and parts[3] != "noreply":
+            raise ProtocolError(f"unexpected trailing token: {parts[3]!r}")
+        try:
+            delta = int(parts[2])
+        except ValueError as exc:
+            raise ProtocolError(f"bad delta: {parts[2]!r}") from exc
+        if delta < 0:
+            raise ProtocolError("delta must be unsigned")
+        return ArithCommand(
+            verb=verb, key=_validate_key(parts[1]), delta=delta, noreply=noreply
+        )
+
+    if verb == "touch":
+        if len(parts) not in (3, 4):
+            raise ProtocolError("touch expects a key and an exptime")
+        noreply = len(parts) == 4
+        if noreply and parts[3] != "noreply":
+            raise ProtocolError(f"unexpected trailing token: {parts[3]!r}")
+        try:
+            exptime = float(parts[2])
+        except ValueError as exc:
+            raise ProtocolError(f"bad exptime: {parts[2]!r}") from exc
+        return TouchCommand(
+            key=_validate_key(parts[1]), exptime=exptime, noreply=noreply
+        )
+
+    if verb == "delete":
+        if len(parts) not in (2, 3):
+            raise ProtocolError("delete expects one key")
+        noreply = len(parts) == 3
+        if noreply and parts[2] != "noreply":
+            raise ProtocolError(f"unexpected trailing token: {parts[2]!r}")
+        return DeleteCommand(key=_validate_key(parts[1]), noreply=noreply)
+
+    if verb == "flush_all":
+        noreply = len(parts) == 2 and parts[1] == "noreply"
+        if len(parts) > 2 or (len(parts) == 2 and not noreply):
+            raise ProtocolError(f"bad flush_all arguments: {line!r}")
+        return FlushCommand(noreply=noreply)
+
+    if verb == "stats":
+        return StatsCommand()
+
+    if verb == "version":
+        return VersionCommand()
+
+    raise ProtocolError(f"unknown command: {verb!r}")
+
+
+# ----------------------------------------------------------------------
+# Response rendering.
+# ----------------------------------------------------------------------
+
+
+def render_value(key: str, flags: int, value: bytes, cas: Optional[int] = None) -> str:
+    """One ``VALUE`` block of a get response."""
+    suffix = f" {cas}" if cas is not None else ""
+    return f"VALUE {key} {flags} {len(value)}{suffix}\r\n" + value.decode(
+        "latin-1"
+    ) + "\r\n"
+
+
+def render_get_response(
+    items: Sequence[tuple], *, with_cas: bool = False
+) -> str:
+    """Full get response: VALUE blocks then END.
+
+    ``items`` are ``(key, flags, value, cas)`` tuples for the hits.
+    """
+    blocks: List[str] = []
+    for key, flags, value, cas in items:
+        blocks.append(render_value(key, flags, value, cas if with_cas else None))
+    blocks.append("END\r\n")
+    return "".join(blocks)
+
+
+def render_stored() -> str:
+    return "STORED\r\n"
+
+
+def render_not_stored() -> str:
+    return "NOT_STORED\r\n"
+
+
+def render_touched(found: bool) -> str:
+    return "TOUCHED\r\n" if found else "NOT_FOUND\r\n"
+
+
+def render_arith(result: Optional[int]) -> str:
+    """incr/decr response: the new value, or NOT_FOUND."""
+    if result is None:
+        return "NOT_FOUND\r\n"
+    return f"{result}\r\n"
+
+
+def render_deleted(found: bool) -> str:
+    return "DELETED\r\n" if found else "NOT_FOUND\r\n"
+
+
+def render_ok() -> str:
+    return "OK\r\n"
+
+
+def render_error(message: str) -> str:
+    return f"CLIENT_ERROR {message}\r\n"
+
+
+def render_stats(pairs: Sequence[tuple]) -> str:
+    """``STAT name value`` lines then END."""
+    lines = [f"STAT {name} {value}\r\n" for name, value in pairs]
+    lines.append("END\r\n")
+    return "".join(lines)

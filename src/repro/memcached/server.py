@@ -1,0 +1,136 @@
+"""In-process Memcached server: protocol front end over a cache store."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ProtocolError, ValidationError
+from .protocol import (
+    ArithCommand,
+    Command,
+    DeleteCommand,
+    FlushCommand,
+    GetCommand,
+    SetCommand,
+    StatsCommand,
+    StoreVariantCommand,
+    TouchCommand,
+    VersionCommand,
+    parse_command,
+    render_arith,
+    render_deleted,
+    render_error,
+    render_get_response,
+    render_not_stored,
+    render_ok,
+    render_stats,
+    render_stored,
+    render_touched,
+)
+from .store import CacheStore
+
+SERVER_VERSION = "repro-memcached 1.0.0"
+
+
+class MemcachedServer:
+    """One cache node: executes protocol commands against its store."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        **store_kwargs: object,
+    ) -> None:
+        self.name = name
+        self.store = CacheStore(capacity_bytes, clock=clock, **store_kwargs)
+
+    # ------------------------------------------------------------------
+    # Typed API (what the simulator and cluster client use).
+    # ------------------------------------------------------------------
+
+    def execute(self, command: Command) -> str:
+        """Run a parsed command, returning the wire response."""
+        if isinstance(command, GetCommand):
+            hits = []
+            for key in command.keys:
+                item = self.store.get(key)
+                if item is not None:
+                    hits.append((item.key, item.flags, item.value, item.cas))
+            return render_get_response(hits, with_cas=command.with_cas)
+        if isinstance(command, SetCommand):
+            ttl = command.exptime if command.exptime > 0 else None
+            self.store.set(
+                command.key, command.value, flags=command.flags, ttl=ttl
+            )
+            return "" if command.noreply else render_stored()
+        if isinstance(command, StoreVariantCommand):
+            ttl = command.exptime if command.exptime > 0 else None
+            if command.verb == "add":
+                stored = self.store.add(
+                    command.key, command.value, flags=command.flags, ttl=ttl
+                )
+            elif command.verb == "replace":
+                stored = self.store.replace(
+                    command.key, command.value, flags=command.flags, ttl=ttl
+                )
+            elif command.verb == "append":
+                stored = self.store.append(command.key, command.value)
+            else:  # prepend
+                stored = self.store.prepend(command.key, command.value)
+            if command.noreply:
+                return ""
+            return render_stored() if stored else render_not_stored()
+        if isinstance(command, ArithCommand):
+            try:
+                if command.verb == "incr":
+                    result = self.store.incr(command.key, command.delta)
+                else:
+                    result = self.store.decr(command.key, command.delta)
+            except ValidationError as exc:
+                return "" if command.noreply else render_error(str(exc))
+            return "" if command.noreply else render_arith(result)
+        if isinstance(command, TouchCommand):
+            ttl = command.exptime if command.exptime > 0 else None
+            found = self.store.touch(command.key, ttl)
+            return "" if command.noreply else render_touched(found)
+        if isinstance(command, DeleteCommand):
+            found = self.store.delete(command.key)
+            return "" if command.noreply else render_deleted(found)
+        if isinstance(command, FlushCommand):
+            self.store.flush_all()
+            return "" if command.noreply else render_ok()
+        if isinstance(command, StatsCommand):
+            stats = self.store.stats
+            return render_stats(
+                [
+                    ("cmd_get", stats.gets),
+                    ("cmd_set", stats.sets),
+                    ("get_hits", stats.hits),
+                    ("get_misses", stats.misses),
+                    ("evictions", stats.evictions),
+                    ("expired_unfetched", stats.expired),
+                    ("curr_items", len(self.store)),
+                    ("bytes", self.store.bytes_used()),
+                ]
+            )
+        if isinstance(command, VersionCommand):
+            return f"VERSION {SERVER_VERSION}\r\n"
+        raise ProtocolError(f"unhandled command type: {type(command).__name__}")
+
+    # ------------------------------------------------------------------
+    # Wire API.
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: str, data: Optional[bytes] = None) -> str:
+        """Parse and execute one wire command; errors become responses."""
+        try:
+            return self.execute(parse_command(line, data))
+        except ProtocolError as exc:
+            return render_error(str(exc))
+
+    @property
+    def miss_ratio(self) -> float:
+        """Measured miss ratio of this node."""
+        return self.store.miss_ratio()

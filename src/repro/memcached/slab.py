@@ -1,0 +1,264 @@
+"""Slab allocator: memcached's size-class memory management.
+
+Memory is carved into fixed-size *slab pages*; each page belongs to a
+*slab class* whose chunk size grows geometrically (``factor`` of 1.25 in
+stock memcached). An item is stored in the smallest class whose chunk
+fits it; when no page is free the class evicts from its own LRU. This
+is the mechanism behind the paper's §2.2 note that Facebook/Twitter tune
+"slab class allocation to better adapt to varying item sizes".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from ..errors import CacheCapacityError, ValidationError
+from .lru import LRUList
+
+#: Stock memcached defaults.
+DEFAULT_PAGE_SIZE = 1 << 20  # 1 MiB
+DEFAULT_MIN_CHUNK = 96
+DEFAULT_GROWTH_FACTOR = 1.25
+
+
+def build_chunk_sizes(
+    min_chunk: int = DEFAULT_MIN_CHUNK,
+    growth_factor: float = DEFAULT_GROWTH_FACTOR,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> List[int]:
+    """The geometric chunk-size ladder, capped at the page size."""
+    if min_chunk < 1:
+        raise ValidationError(f"min_chunk must be >= 1, got {min_chunk}")
+    if growth_factor <= 1.0:
+        raise ValidationError(f"growth_factor must be > 1, got {growth_factor}")
+    if page_size < min_chunk:
+        raise ValidationError("page_size must be >= min_chunk")
+    sizes: List[int] = []
+    size = float(min_chunk)
+    while size < page_size:
+        chunk = int(math.ceil(size))
+        # Align to 8 bytes like memcached does.
+        chunk = (chunk + 7) & ~7
+        if not sizes or chunk > sizes[-1]:
+            sizes.append(chunk)
+        size *= growth_factor
+    if sizes[-1] != page_size:
+        sizes.append(page_size)
+    return sizes
+
+
+@dataclasses.dataclass
+class SlabClassStats:
+    """Occupancy counters for one slab class."""
+
+    chunk_size: int
+    chunks_per_page: int
+    pages: int = 0
+    used_chunks: int = 0
+    evictions: int = 0
+
+    @property
+    def total_chunks(self) -> int:
+        return self.pages * self.chunks_per_page
+
+
+class _SlabClass:
+    def __init__(self, chunk_size: int, page_size: int) -> None:
+        self.chunk_size = chunk_size
+        self.chunks_per_page = max(1, page_size // chunk_size)
+        self.pages = 0
+        self.free_chunks = 0
+        self.used_chunks = 0
+        self.evictions = 0
+        self.lru = LRUList()
+
+    def stats(self) -> SlabClassStats:
+        return SlabClassStats(
+            chunk_size=self.chunk_size,
+            chunks_per_page=self.chunks_per_page,
+            pages=self.pages,
+            used_chunks=self.used_chunks,
+            evictions=self.evictions,
+        )
+
+
+class SlabAllocator:
+    """Page-based slab allocation with per-class LRU eviction.
+
+    ``store(key, nbytes)`` returns the key evicted to make room (or
+    None); ``free(key)`` releases a chunk. The allocator only manages
+    *placement*; the item payloads live in :class:`~repro.memcached.store.CacheStore`.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        min_chunk: int = DEFAULT_MIN_CHUNK,
+        growth_factor: float = DEFAULT_GROWTH_FACTOR,
+    ) -> None:
+        if capacity_bytes < page_size:
+            raise ValidationError(
+                f"capacity {capacity_bytes} smaller than one page {page_size}"
+            )
+        self._page_size = int(page_size)
+        self._total_pages = capacity_bytes // page_size
+        self._free_pages = self._total_pages
+        self._chunk_sizes = build_chunk_sizes(min_chunk, growth_factor, page_size)
+        self._classes = [_SlabClass(size, page_size) for size in self._chunk_sizes]
+        self._class_of_key: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def chunk_sizes(self) -> List[int]:
+        return list(self._chunk_sizes)
+
+    @property
+    def total_pages(self) -> int:
+        return self._total_pages
+
+    @property
+    def free_pages(self) -> int:
+        return self._free_pages
+
+    def class_index_for(self, nbytes: int) -> int:
+        """Smallest class whose chunk holds ``nbytes``."""
+        if nbytes < 1:
+            raise ValidationError(f"nbytes must be >= 1, got {nbytes}")
+        for index, size in enumerate(self._chunk_sizes):
+            if nbytes <= size:
+                return index
+        raise CacheCapacityError(
+            f"item of {nbytes} bytes exceeds the largest chunk "
+            f"({self._chunk_sizes[-1]} bytes)"
+        )
+
+    def store(self, key: str, nbytes: int) -> Optional[str]:
+        """Allocate a chunk for ``key``; returns an evicted key or None.
+
+        Mirrors memcached: grab a free chunk in the right class, else a
+        fresh page, else evict that class's LRU item.
+        """
+        if key in self._class_of_key:
+            raise ValidationError(f"key already allocated: {key!r}")
+        index = self.class_index_for(nbytes)
+        slab = self._classes[index]
+        evicted: Optional[str] = None
+        if slab.free_chunks == 0:
+            if self._free_pages > 0:
+                self._free_pages -= 1
+                slab.pages += 1
+                slab.free_chunks += slab.chunks_per_page
+            else:
+                if len(slab.lru) == 0:
+                    raise CacheCapacityError(
+                        f"no memory for class {slab.chunk_size}B and nothing "
+                        "to evict in it (slab calcification)"
+                    )
+                evicted = slab.lru.evict_lru()
+                del self._class_of_key[evicted]
+                slab.used_chunks -= 1
+                slab.free_chunks += 1
+                slab.evictions += 1
+        slab.free_chunks -= 1
+        slab.used_chunks += 1
+        slab.lru.insert(key)
+        self._class_of_key[key] = index
+        return evicted
+
+    def touch(self, key: str) -> None:
+        """Record an access (moves the key up its class LRU)."""
+        index = self._class_of_key.get(key)
+        if index is None:
+            raise KeyError(key)
+        self._classes[index].lru.touch(key)
+
+    def free(self, key: str) -> None:
+        """Release the chunk held by ``key``."""
+        index = self._class_of_key.pop(key, None)
+        if index is None:
+            raise KeyError(key)
+        slab = self._classes[index]
+        slab.lru.remove(key)
+        slab.used_chunks -= 1
+        slab.free_chunks += 1
+
+    def stats(self) -> List[SlabClassStats]:
+        """Per-class occupancy (only classes with pages)."""
+        return [slab.stats() for slab in self._classes if slab.pages > 0]
+
+    # ------------------------------------------------------------------
+    # Page reassignment (memcached's slab automover).
+    # ------------------------------------------------------------------
+
+    def reassign_page(self, from_class: int, to_class: int) -> List[str]:
+        """Move one page from one slab class to another.
+
+        Evicts enough LRU items of the source class to free a page's
+        worth of chunks, returns the evicted keys (the caller — the
+        store — must drop their payloads), and hands the page to the
+        destination class. This is the manual ``slabs reassign``; the
+        cure for slab calcification.
+        """
+        n_classes = len(self._classes)
+        if not 0 <= from_class < n_classes or not 0 <= to_class < n_classes:
+            raise ValidationError("slab class index out of range")
+        if from_class == to_class:
+            raise ValidationError("source and destination classes are equal")
+        src = self._classes[from_class]
+        dst = self._classes[to_class]
+        if src.pages == 0:
+            raise CacheCapacityError(
+                f"class {src.chunk_size}B has no pages to give"
+            )
+        evicted: List[str] = []
+        # Free one page's worth of chunks, evicting LRU items as needed.
+        while src.free_chunks < src.chunks_per_page:
+            if len(src.lru) == 0:  # pragma: no cover - accounting invariant
+                raise CacheCapacityError("source class accounting corrupt")
+            key = src.lru.evict_lru()
+            del self._class_of_key[key]
+            src.used_chunks -= 1
+            src.free_chunks += 1
+            src.evictions += 1
+            evicted.append(key)
+        src.pages -= 1
+        src.free_chunks -= src.chunks_per_page
+        dst.pages += 1
+        dst.free_chunks += dst.chunks_per_page
+        return evicted
+
+    def eviction_pressure(self) -> List[int]:
+        """Evictions per class since start — the automover's signal."""
+        return [slab.evictions for slab in self._classes]
+
+    def suggest_reassignment(self) -> Optional[tuple[int, int]]:
+        """The automover policy: (from_class, to_class) or None.
+
+        Give a page to the class with the most evictions, taken from a
+        multi-page class with the most free chunks. Returns None when no
+        sensible move exists (nothing evicting, or no donor).
+        """
+        pressures = self.eviction_pressure()
+        to_class = max(range(len(pressures)), key=pressures.__getitem__)
+        if pressures[to_class] == 0:
+            return None
+        donors = [
+            (slab.free_chunks / max(slab.pages * slab.chunks_per_page, 1), i)
+            for i, slab in enumerate(self._classes)
+            if slab.pages > 1 and i != to_class
+        ]
+        if not donors:
+            return None
+        _, from_class = max(donors)
+        return from_class, to_class
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._class_of_key
+
+    def __len__(self) -> int:
+        return len(self._class_of_key)

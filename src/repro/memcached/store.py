@@ -1,0 +1,297 @@
+"""The key-value store of one Memcached server.
+
+Combines the hash table, the slab allocator (placement + LRU eviction)
+and item metadata (flags, expiry, CAS). This is the component whose
+hit/miss behaviour grounds the model's miss ratio ``r`` in an actual
+executable cache instead of a Bernoulli coin.
+
+Time is injected (``clock``) rather than read from the wall, so the
+store can run inside the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Optional
+
+from ..errors import ValidationError
+from .slab import (
+    DEFAULT_GROWTH_FACTOR,
+    DEFAULT_MIN_CHUNK,
+    DEFAULT_PAGE_SIZE,
+    SlabAllocator,
+    SlabClassStats,
+)
+
+#: Overhead bytes memcached charges per item (struct + pointers, approx).
+ITEM_OVERHEAD = 48
+
+
+@dataclasses.dataclass
+class Item:
+    """One cached item."""
+
+    key: str
+    value: bytes
+    flags: int = 0
+    expires_at: Optional[float] = None
+    cas: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes charged against the cache (key + value + overhead)."""
+        return len(self.key) + len(self.value) + ITEM_OVERHEAD
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Counters in the spirit of memcached's ``stats`` command."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    sets: int = 0
+    deletes: int = 0
+    evictions: int = 0
+    expired: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.gets == 0:
+            return 0.0
+        return self.hits / self.gets
+
+    @property
+    def miss_ratio(self) -> float:
+        """The model's ``r``: fraction of gets that missed."""
+        if self.gets == 0:
+            return 0.0
+        return self.misses / self.gets
+
+
+class CacheStore:
+    """A single server's cache: hash table + slab LRU + expirations."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        min_chunk: int = DEFAULT_MIN_CHUNK,
+        growth_factor: float = DEFAULT_GROWTH_FACTOR,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self._slabs = SlabAllocator(
+            capacity_bytes,
+            page_size=page_size,
+            min_chunk=min_chunk,
+            growth_factor=growth_factor,
+        )
+        self._items: Dict[str, Item] = {}
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._next_cas = 1
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        item = self._items.get(key)
+        return item is not None and not item.expired(self._clock())
+
+    def get(self, key: str) -> Optional[Item]:
+        """Fetch an item; counts a hit or miss like the real server."""
+        self.stats.gets += 1
+        item = self._items.get(key)
+        if item is None:
+            self.stats.misses += 1
+            return None
+        if item.expired(self._clock()):
+            self._remove(key)
+            self.stats.expired += 1
+            self.stats.misses += 1
+            return None
+        self._slabs.touch(key)
+        self.stats.hits += 1
+        return item
+
+    def set(
+        self,
+        key: str,
+        value: bytes,
+        *,
+        flags: int = 0,
+        ttl: Optional[float] = None,
+    ) -> Item:
+        """Store (or replace) an item, evicting LRU items as needed."""
+        if not key:
+            raise ValidationError("key must be non-empty")
+        if key in self._items:
+            self._remove(key)
+        expires_at = None if ttl is None else self._clock() + float(ttl)
+        item = Item(
+            key=key,
+            value=bytes(value),
+            flags=int(flags),
+            expires_at=expires_at,
+            cas=self._next_cas,
+        )
+        self._next_cas += 1
+        evicted = self._slabs.store(key, item.nbytes)
+        if evicted is not None:
+            del self._items[evicted]
+            self.stats.evictions += 1
+        self._items[key] = item
+        self.stats.sets += 1
+        return item
+
+    def add(
+        self,
+        key: str,
+        value: bytes,
+        *,
+        flags: int = 0,
+        ttl: Optional[float] = None,
+    ) -> bool:
+        """Store only if the key is absent (memcached ``add``)."""
+        if key in self:
+            return False
+        self.set(key, value, flags=flags, ttl=ttl)
+        return True
+
+    def replace(
+        self,
+        key: str,
+        value: bytes,
+        *,
+        flags: int = 0,
+        ttl: Optional[float] = None,
+    ) -> bool:
+        """Store only if the key is present (memcached ``replace``)."""
+        if key not in self:
+            return False
+        self.set(key, value, flags=flags, ttl=ttl)
+        return True
+
+    def append(self, key: str, suffix: bytes) -> bool:
+        """Concatenate after the existing value (memcached ``append``)."""
+        return self._concat(key, suffix, after=True)
+
+    def prepend(self, key: str, prefix: bytes) -> bool:
+        """Concatenate before the existing value (memcached ``prepend``)."""
+        return self._concat(key, prefix, after=False)
+
+    def _concat(self, key: str, data: bytes, *, after: bool) -> bool:
+        item = self._items.get(key)
+        if item is None or item.expired(self._clock()):
+            return False
+        new_value = item.value + bytes(data) if after else bytes(data) + item.value
+        self.set(key, new_value, flags=item.flags)
+        # Preserve the original expiry (set() reset it).
+        self._items[key].expires_at = item.expires_at
+        return True
+
+    def incr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Increment a decimal-string value (memcached ``incr``).
+
+        Returns the new value, or None if the key is absent. Raises
+        :class:`ValidationError` when the stored value is not an
+        unsigned decimal, matching the server's CLIENT_ERROR.
+        """
+        return self._arith(key, int(delta))
+
+    def decr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Decrement, clamped at zero like the real server."""
+        return self._arith(key, -int(delta))
+
+    def _arith(self, key: str, delta: int) -> Optional[int]:
+        item = self._items.get(key)
+        if item is None or item.expired(self._clock()):
+            return None
+        try:
+            current = int(item.value.decode("ascii"))
+            if current < 0:
+                raise ValueError
+        except (UnicodeDecodeError, ValueError):
+            raise ValidationError(
+                "cannot increment or decrement non-numeric value"
+            ) from None
+        new_value = max(0, current + delta)
+        expires_at = item.expires_at
+        self.set(key, str(new_value).encode("ascii"), flags=item.flags)
+        self._items[key].expires_at = expires_at
+        return new_value
+
+    def touch(self, key: str, ttl: Optional[float]) -> bool:
+        """Update an item's expiry without rewriting it (memcached ``touch``)."""
+        item = self._items.get(key)
+        if item is None or item.expired(self._clock()):
+            return False
+        item.expires_at = None if ttl is None else self._clock() + float(ttl)
+        return True
+
+    def delete(self, key: str) -> bool:
+        """Remove an item; True when it existed."""
+        if key not in self._items:
+            return False
+        self._remove(key)
+        self.stats.deletes += 1
+        return True
+
+    def flush_all(self) -> None:
+        """Drop every item (memcached's ``flush_all``)."""
+        for key in list(self._items):
+            self._remove(key)
+
+    def _remove(self, key: str) -> None:
+        del self._items[key]
+        self._slabs.free(key)
+
+    # ------------------------------------------------------------------
+
+    def reassign_slab_page(self, from_class: int, to_class: int) -> int:
+        """Move a slab page between classes, dropping evicted payloads.
+
+        Returns the number of items evicted to free the page. Exposes
+        memcached's ``slabs reassign`` at the store level.
+        """
+        evicted = self._slabs.reassign_page(from_class, to_class)
+        for key in evicted:
+            del self._items[key]
+            self.stats.evictions += 1
+        return len(evicted)
+
+    def auto_rebalance(self) -> bool:
+        """One automover step: move a page toward the evicting class.
+
+        Returns True when a reassignment happened.
+        """
+        suggestion = self._slabs.suggest_reassignment()
+        if suggestion is None:
+            return False
+        self.reassign_slab_page(*suggestion)
+        return True
+
+    def slab_class_index_for(self, nbytes: int) -> int:
+        """The slab class an item of ``nbytes`` would land in."""
+        return self._slabs.class_index_for(nbytes)
+
+    def keys(self) -> Iterable[str]:
+        """Snapshot of the stored keys."""
+        return list(self._items.keys())
+
+    def bytes_used(self) -> int:
+        """Sum of item footprints currently stored."""
+        return sum(item.nbytes for item in self._items.values())
+
+    def slab_stats(self) -> list[SlabClassStats]:
+        return self._slabs.stats()
+
+    def miss_ratio(self) -> float:
+        """Measured ``r`` so far."""
+        return self.stats.miss_ratio

@@ -1,0 +1,148 @@
+"""GI/M/1 queue: general renewal arrivals, exponential service.
+
+For a stable GI/M/1 queue with inter-arrival distribution ``A`` (LST
+``L_A``) and service rate ``mu``, the stationary FCFS results are
+(Medhi, *Stochastic Models in Queueing Theory*):
+
+* root: ``sigma = L_A((1 - sigma) mu)`` in ``(0, 1)``;
+* waiting time: ``P(W <= t) = 1 - sigma * exp(-(1 - sigma) mu t)``;
+* sojourn time: ``P(T <= t) = 1 - exp(-(1 - sigma) mu t)`` — i.e. the
+  response time is exactly ``Exp((1 - sigma) mu)``.
+
+These are the paper's eqs. (4)-(5) once ``mu`` is replaced by the batch
+service rate ``(1 - q) muS``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distributions import Distribution, Exponential
+from ..errors import StabilityError, ValidationError
+from .rootfind import solve_gim1_root
+
+
+class GIM1Queue:
+    """Analytic GI/M/1 results built on the sigma fixed point."""
+
+    def __init__(
+        self,
+        interarrival: Distribution,
+        service_rate: float,
+    ) -> None:
+        if service_rate <= 0:
+            raise ValidationError(f"service_rate must be > 0, got {service_rate}")
+        self._interarrival = interarrival
+        self._mu = float(service_rate)
+        arrival_rate = interarrival.rate
+        if arrival_rate >= self._mu:
+            raise StabilityError(arrival_rate / self._mu)
+        self._sigma = solve_gim1_root(
+            interarrival.laplace, self._mu, arrival_rate=arrival_rate
+        )
+
+    @property
+    def interarrival(self) -> Distribution:
+        return self._interarrival
+
+    @property
+    def service_rate(self) -> float:
+        return self._mu
+
+    @property
+    def arrival_rate(self) -> float:
+        return self._interarrival.rate
+
+    @property
+    def utilization(self) -> float:
+        """``rho = arrival rate / service rate``."""
+        return self.arrival_rate / self._mu
+
+    @property
+    def sigma(self) -> float:
+        """The geometric root; the paper's ``delta``."""
+        return self._sigma
+
+    # ------------------------------------------------------------------
+    # Waiting time W (time in queue before service starts).
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_wait(self) -> float:
+        """``E[W] = sigma / ((1 - sigma) mu)``."""
+        return self._sigma / ((1.0 - self._sigma) * self._mu)
+
+    def wait_cdf(self, t: float) -> float:
+        """``P(W <= t) = 1 - sigma exp(-(1 - sigma) mu t)`` (paper eq. (4))."""
+        if t < 0:
+            return 0.0
+        return 1.0 - self._sigma * math.exp(-(1.0 - self._sigma) * self._mu * t)
+
+    def wait_quantile(self, k: float) -> float:
+        """k-th quantile of W (paper eq. (7)); 0 below the atom at zero."""
+        if not 0.0 <= k < 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1): {k}")
+        value = (math.log(self._sigma) - math.log1p(-k)) / (
+            (1.0 - self._sigma) * self._mu
+        )
+        return max(value, 0.0)
+
+    @property
+    def wait_mass_at_zero(self) -> float:
+        """``P(W = 0) = 1 - sigma``: probability of arriving to an idle server."""
+        return 1.0 - self._sigma
+
+    # ------------------------------------------------------------------
+    # Sojourn time T (waiting + service).
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_sojourn(self) -> float:
+        """``E[T] = 1 / ((1 - sigma) mu)``."""
+        return 1.0 / ((1.0 - self._sigma) * self._mu)
+
+    def sojourn_distribution(self) -> Exponential:
+        """The sojourn time is exactly exponential (paper eq. (5))."""
+        return Exponential((1.0 - self._sigma) * self._mu)
+
+    def sojourn_cdf(self, t: float) -> float:
+        """``P(T <= t) = 1 - exp(-(1 - sigma) mu t)``."""
+        if t <= 0:
+            return 0.0
+        return -math.expm1(-(1.0 - self._sigma) * self._mu * t)
+
+    def sojourn_quantile(self, k: float) -> float:
+        """k-th quantile of the sojourn time (paper eq. (8))."""
+        if not 0.0 <= k < 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1): {k}")
+        return -math.log1p(-k) / ((1.0 - self._sigma) * self._mu)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system by Little's law."""
+        return self.arrival_rate * self.mean_sojourn
+
+    # ------------------------------------------------------------------
+    # Queue length at arrival epochs.
+    # ------------------------------------------------------------------
+
+    def queue_length_pmf_at_arrivals(self, n: int) -> float:
+        """``P(arriving customer finds n in system) = (1-sigma) sigma^n``.
+
+        The embedded-chain geometric law of the GI/M/1 queue. (The
+        *time-average* distribution differs unless arrivals are Poisson;
+        PASTA applies only then.)
+        """
+        if int(n) != n or n < 0:
+            raise ValidationError(f"n must be a non-negative integer, got {n}")
+        return (1.0 - self._sigma) * self._sigma ** int(n)
+
+    def queue_length_cdf_at_arrivals(self, n: int) -> float:
+        """``P(arriving customer finds <= n) = 1 - sigma^(n+1)``."""
+        if n < 0:
+            return 0.0
+        return 1.0 - self._sigma ** (int(n) + 1)
+
+    def mean_queue_length_at_arrivals(self) -> float:
+        """``sigma / (1 - sigma)`` — mean number seen by an arrival."""
+        return self._sigma / (1.0 - self._sigma)

@@ -1,0 +1,227 @@
+"""GI^X/M/1 batch queue — the paper's Memcached-server model (§3, §4.3).
+
+Keys arrive in batches: the gap between batches follows a general
+distribution ``TX`` and the batch size ``X`` is geometric with concurrency
+probability ``q``. Each key's service time is ``Exp(muS)``.
+
+The paper's central reduction (§4.3.1): a geometric sum of ``Exp(muS)``
+variables is ``Exp((1 - q) muS)``, so the *batch* process is a plain
+GI/M/1 with service rate ``(1 - q) muS``. From that queue:
+
+* batch queueing time ``TQ`` (eq. (4)) and quantile (eq. (7));
+* batch completion time ``TC`` (eq. (5)) and quantile (eq. (8));
+* per-key latency ``TS`` bounded by ``TQ < TS <= TC`` (eq. (9)).
+
+A bonus exact result implemented here: a randomly chosen key's position
+inside a (size-biased) geometric batch has mean ``1/(1-q)``, so the exact
+mean per-key latency equals ``E[TC]`` — the paper's upper bound is tight
+in expectation.
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from ..distributions import Distribution, Exponential, Geometric
+from ..errors import StabilityError, ValidationError
+from .gim1 import GIM1Queue
+
+
+class GIXM1Queue:
+    """The paper's batch-arrival Memcached-server queue.
+
+    Parameters
+    ----------
+    batch_gap:
+        Distribution of the gap ``TX`` between consecutive batches.
+    q:
+        Concurrency probability; batch sizes are ``Geometric(q)``.
+    service_rate:
+        Per-key exponential service rate ``muS``.
+    """
+
+    def __init__(
+        self,
+        batch_gap: Distribution,
+        q: float,
+        service_rate: float,
+    ) -> None:
+        if service_rate <= 0:
+            raise ValidationError(f"service_rate must be > 0, got {service_rate}")
+        self._gap = batch_gap
+        self._batch_size = Geometric(q)
+        self._mu_key = float(service_rate)
+        self._mu_batch = (1.0 - q) * self._mu_key
+        key_rate = self.key_arrival_rate
+        if key_rate >= self._mu_key:
+            raise StabilityError(key_rate / self._mu_key)
+        self._batch_queue = GIM1Queue(batch_gap, self._mu_batch)
+
+    # ------------------------------------------------------------------
+    # Parameters and rates.
+    # ------------------------------------------------------------------
+
+    @property
+    def batch_gap(self) -> Distribution:
+        return self._gap
+
+    @property
+    def q(self) -> float:
+        """Concurrency probability."""
+        return self._batch_size.q
+
+    @property
+    def batch_size(self) -> Geometric:
+        return self._batch_size
+
+    @property
+    def service_rate(self) -> float:
+        """Per-key service rate ``muS``."""
+        return self._mu_key
+
+    @property
+    def batch_service_rate(self) -> float:
+        """Effective batch service rate ``(1 - q) muS``."""
+        return self._mu_batch
+
+    @property
+    def batch_arrival_rate(self) -> float:
+        """Batches per second, ``1 / E[TX]``."""
+        return self._gap.rate
+
+    @property
+    def key_arrival_rate(self) -> float:
+        """Keys per second, ``lambda = E[X] / E[TX]`` (paper Table 1)."""
+        return self._batch_size.mean * self._gap.rate
+
+    @property
+    def utilization(self) -> float:
+        """``rho = lambda / muS`` — equal to batch rate over batch service rate."""
+        return self.key_arrival_rate / self._mu_key
+
+    @property
+    def delta(self) -> float:
+        """The paper's ``delta``: root of ``delta = L_TX((1-delta)(1-q)muS)``."""
+        return self._batch_queue.sigma
+
+    @property
+    def decay_rate(self) -> float:
+        """``(1 - delta)(1 - q) muS`` — the exponential rate in eqs. (4)-(5)."""
+        return (1.0 - self.delta) * self._mu_batch
+
+    # ------------------------------------------------------------------
+    # Batch queueing time TQ (paper eqs. (4), (7)).
+    # ------------------------------------------------------------------
+
+    def queueing_cdf(self, t: float) -> float:
+        """``TQ(t) = 1 - delta exp(-(1-delta)(1-q) muS t)``."""
+        return self._batch_queue.wait_cdf(t)
+
+    def queueing_quantile(self, k: float) -> float:
+        """Paper eq. (7)."""
+        return self._batch_queue.wait_quantile(k)
+
+    @property
+    def mean_queueing_time(self) -> float:
+        return self._batch_queue.mean_wait
+
+    # ------------------------------------------------------------------
+    # Batch completion time TC (paper eqs. (5), (8)).
+    # ------------------------------------------------------------------
+
+    def completion_cdf(self, t: float) -> float:
+        """``TC(t) = 1 - exp(-(1-delta)(1-q) muS t)``."""
+        return self._batch_queue.sojourn_cdf(t)
+
+    def completion_quantile(self, k: float) -> float:
+        """Paper eq. (8)."""
+        return self._batch_queue.sojourn_quantile(k)
+
+    @property
+    def mean_completion_time(self) -> float:
+        return self._batch_queue.mean_sojourn
+
+    def completion_distribution(self) -> Exponential:
+        """``TC ~ Exp((1-delta)(1-q) muS)``."""
+        return self._batch_queue.sojourn_distribution()
+
+    # ------------------------------------------------------------------
+    # Per-key latency TS (paper eq. (9)).
+    # ------------------------------------------------------------------
+
+    def key_latency_bounds(self, k: float) -> tuple[float, float]:
+        """Bounds on the k-th quantile of per-key latency (eq. (9))."""
+        return self.queueing_quantile(k), self.completion_quantile(k)
+
+    @property
+    def mean_key_latency(self) -> float:
+        """Exact mean per-key latency.
+
+        A random key's in-batch position under size-biased sampling of a
+        geometric batch has mean ``1/(1-q)``, so its service component has
+        mean ``1/((1-q) muS)`` and::
+
+            E[TS] = E[TQ] + 1/((1-q) muS)
+                  = delta/((1-delta)(1-q)muS) + 1/((1-q)muS)
+                  = 1/((1-delta)(1-q)muS) = E[TC].
+
+        The paper's upper bound is therefore exact in expectation.
+        """
+        return self.mean_completion_time
+
+    def sample_key_latency(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Monte-Carlo per-key latency from the analytic batch law.
+
+        Draws the batch wait from eq. (4), a size-biased batch size, a
+        uniform position within it, and the partial sum of key services.
+        Used to cross-check eq. (9) without running the event simulator.
+        """
+        if size <= 0:
+            raise ValidationError(f"size must be > 0, got {size}")
+        waits = self._sample_wait(rng, size)
+        positions = self._sample_size_biased_position(rng, size)
+        # Sum of `position` iid Exp(muS) services = Gamma(position, muS).
+        services = rng.gamma(shape=positions, scale=1.0 / self._mu_key)
+        return waits + services
+
+    def _sample_wait(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Sample the stationary batch wait: atom at 0 plus exp tail."""
+        delta = self.delta
+        rate = self.decay_rate
+        u = rng.random(size)
+        out = np.zeros(size)
+        busy = u < delta
+        out[busy] = rng.exponential(1.0 / rate, size=int(busy.sum()))
+        return out
+
+    def _sample_size_biased_position(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Position of a random key in its batch (size-biased geometric).
+
+        A uniformly random *key* lands in a batch of size ``n`` with
+        probability proportional to ``n * P(X = n)``; its position within
+        that batch is uniform on ``1..n``. For geometric ``X`` this
+        composition is sampled directly.
+        """
+        q = self.q
+        if q == 0.0:
+            return np.ones(size)
+        # Size-biased geometric: X* = X1 + X2 - 1 with X1, X2 ~ Geometric.
+        x_star = rng.geometric(1.0 - q, size) + rng.geometric(1.0 - q, size) - 1
+        return rng.integers(1, x_star, endpoint=True).astype(float)
+
+
+def batch_collapse_service(q: float, service_rate: float) -> Exponential:
+    """Service time of a whole geometric batch: ``Exp((1 - q) muS)``.
+
+    The geometric-sum-of-exponentials identity the paper cites ([32]).
+    Exposed standalone because tests and ablations verify it directly.
+    """
+    geometric = Geometric(q)  # validates q
+    if service_rate <= 0:
+        raise ValidationError(f"service_rate must be > 0, got {service_rate}")
+    return Exponential((1.0 - geometric.q) * service_rate)

@@ -1,0 +1,90 @@
+"""M/M/1 queue — the paper's database stage (Theorem 1 part 3 substrate).
+
+Standard FCFS M/M/1 with Poisson arrivals at rate ``lam`` and exponential
+service at rate ``mu``. The sojourn (response) time is exponential with
+rate ``(1 - rho) * mu`` — the closed form the paper uses in eq. (19),
+including its light-load approximation ``1 - exp(-mu t)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..distributions import Exponential
+from ..errors import StabilityError, ValidationError
+
+
+class MM1Queue:
+    """Analytic M/M/1 results: utilization, waits, sojourns, quantiles."""
+
+    def __init__(self, arrival_rate: float, service_rate: float) -> None:
+        if arrival_rate < 0:
+            raise ValidationError(f"arrival_rate must be >= 0, got {arrival_rate}")
+        if service_rate <= 0:
+            raise ValidationError(f"service_rate must be > 0, got {service_rate}")
+        self._lam = float(arrival_rate)
+        self._mu = float(service_rate)
+        if self._lam >= self._mu:
+            raise StabilityError(self._lam / self._mu)
+
+    @property
+    def arrival_rate(self) -> float:
+        return self._lam
+
+    @property
+    def service_rate(self) -> float:
+        return self._mu
+
+    @property
+    def utilization(self) -> float:
+        """``rho = lam / mu``."""
+        return self._lam / self._mu
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean time in queue (excluding service)."""
+        rho = self.utilization
+        return rho / (self._mu * (1.0 - rho))
+
+    @property
+    def mean_sojourn(self) -> float:
+        """Mean response time ``1 / (mu - lam)``."""
+        return 1.0 / (self._mu - self._lam)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system ``rho / (1 - rho)``."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    def sojourn_distribution(self) -> Exponential:
+        """The response time is ``Exp((1 - rho) mu)`` (paper eq. (19))."""
+        return Exponential((1.0 - self.utilization) * self._mu)
+
+    def sojourn_cdf(self, t: float) -> float:
+        """``P(T <= t)`` for the response time."""
+        if t <= 0:
+            return 0.0
+        return -math.expm1(-(self._mu - self._lam) * t)
+
+    def sojourn_quantile(self, k: float) -> float:
+        """k-th quantile of the response time."""
+        if not 0.0 <= k < 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1): {k}")
+        return -math.log1p(-k) / (self._mu - self._lam)
+
+    def wait_cdf(self, t: float) -> float:
+        """``P(W <= t)``: an atom ``1 - rho`` at 0 plus an exponential tail."""
+        if t < 0:
+            return 0.0
+        rho = self.utilization
+        return 1.0 - rho * math.exp(-(self._mu - self._lam) * t)
+
+    def wait_quantile(self, k: float) -> float:
+        """k-th quantile of the waiting time (0 below the atom)."""
+        if not 0.0 <= k < 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1): {k}")
+        rho = self.utilization
+        if k <= 1.0 - rho:
+            return 0.0
+        return -math.log((1.0 - k) / rho) / (self._mu - self._lam)

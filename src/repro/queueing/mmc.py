@@ -1,0 +1,134 @@
+"""M/M/c multi-server queue — the multi-core Memcached extension (§2.2).
+
+The paper's related work discusses Intel's thread-scaling fixes and
+multi-core configuration guidelines. The queueing-theoretic core of that
+discussion is the M/M/c queue: is one c-core server (one shared queue, c
+workers) better than c single-core servers (c independent queues)?
+Classic answer: yes, resource pooling strictly reduces waiting — this
+module provides the closed forms and the comparison helpers, and the
+``multicore_speedup`` bench/example builds on it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import StabilityError, ValidationError
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """Erlang-C: probability an arrival waits in an M/M/c queue.
+
+    ``offered_load = lam / mu`` (in Erlangs); requires
+    ``offered_load < c`` for stability.
+    """
+    if int(c) != c or c < 1:
+        raise ValidationError(f"c must be a positive integer, got {c}")
+    c = int(c)
+    if offered_load < 0:
+        raise ValidationError(f"offered_load must be >= 0, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= c:
+        raise StabilityError(offered_load / c)
+    # Stable recursive evaluation of the Erlang-B blocking probability,
+    # then convert to Erlang C.
+    blocking = 1.0
+    for k in range(1, c + 1):
+        blocking = offered_load * blocking / (k + offered_load * blocking)
+    rho = offered_load / c
+    return blocking / (1.0 - rho * (1.0 - blocking))
+
+
+class MMcQueue:
+    """Analytic M/M/c results."""
+
+    def __init__(self, arrival_rate: float, service_rate: float, c: int) -> None:
+        if arrival_rate < 0:
+            raise ValidationError(f"arrival_rate must be >= 0, got {arrival_rate}")
+        if service_rate <= 0:
+            raise ValidationError(f"service_rate must be > 0, got {service_rate}")
+        if int(c) != c or c < 1:
+            raise ValidationError(f"c must be a positive integer, got {c}")
+        self._lam = float(arrival_rate)
+        self._mu = float(service_rate)
+        self._c = int(c)
+        offered = self._lam / self._mu
+        if offered >= self._c:
+            raise StabilityError(offered / self._c)
+        self._wait_probability = erlang_c(self._c, offered)
+
+    @property
+    def arrival_rate(self) -> float:
+        return self._lam
+
+    @property
+    def service_rate(self) -> float:
+        """Per-server service rate ``mu``."""
+        return self._mu
+
+    @property
+    def servers(self) -> int:
+        return self._c
+
+    @property
+    def utilization(self) -> float:
+        """Per-server utilization ``rho = lam / (c mu)``."""
+        return self._lam / (self._c * self._mu)
+
+    @property
+    def wait_probability(self) -> float:
+        """Erlang-C probability of queueing."""
+        return self._wait_probability
+
+    @property
+    def drain_rate(self) -> float:
+        """``c mu - lam``: the exponential rate of the conditional wait."""
+        return self._c * self._mu - self._lam
+
+    @property
+    def mean_wait(self) -> float:
+        """``E[W] = C(c, a) / (c mu - lam)``."""
+        return self._wait_probability / self.drain_rate
+
+    @property
+    def mean_sojourn(self) -> float:
+        return self.mean_wait + 1.0 / self._mu
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system (Little)."""
+        return self._lam * self.mean_sojourn
+
+    def wait_cdf(self, t: float) -> float:
+        """``P(W <= t) = 1 - C e^{-(c mu - lam) t}``."""
+        if t < 0:
+            return 0.0
+        return 1.0 - self._wait_probability * math.exp(-self.drain_rate * t)
+
+    def wait_quantile(self, k: float) -> float:
+        """k-th quantile of the waiting time (0 below the atom)."""
+        if not 0.0 <= k < 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1): {k}")
+        if k <= 1.0 - self._wait_probability:
+            return 0.0
+        return math.log(self._wait_probability / (1.0 - k)) / self.drain_rate
+
+
+def pooling_comparison(
+    total_arrival_rate: float, per_core_service_rate: float, cores: int
+) -> dict:
+    """One c-core server vs c single-core servers at equal total load.
+
+    Returns mean sojourns for the pooled M/M/c and the split c x M/M/1
+    configurations, plus the pooling speedup — the §2.2 multi-core
+    guideline in one number.
+    """
+    pooled = MMcQueue(total_arrival_rate, per_core_service_rate, cores)
+    split = MMcQueue(total_arrival_rate / cores, per_core_service_rate, 1)
+    return {
+        "pooled_sojourn": pooled.mean_sojourn,
+        "split_sojourn": split.mean_sojourn,
+        "speedup": split.mean_sojourn / pooled.mean_sojourn,
+        "utilization": pooled.utilization,
+    }

@@ -1,0 +1,69 @@
+"""Discrete-event and vectorized simulators (the testbed substitute).
+
+* :class:`Simulator` — the event engine.
+* :class:`MemcachedSystemSimulator` — closed-loop request -> keys ->
+  servers -> (miss) -> database -> join.
+* :mod:`repro.simulation.fastpath` — vectorized GI^X/M/1 Lindley
+  simulation for the paper's validation sweeps.
+"""
+
+from .arrivals import (
+    Batch,
+    BatchArrivalProcess,
+    PoissonProcess,
+    TimeVaryingPoissonProcess,
+    TraceReplay,
+    generate_batches,
+)
+from .database import DatabaseSim
+from .engine import EventHandle, Simulator
+from .fastpath import (
+    RequestSample,
+    expected_max_from_pool,
+    expected_max_from_pools,
+    sample_request_latencies,
+    simulate_batch_times,
+    simulate_key_latencies,
+    simulate_server_stage_mean,
+)
+from .metrics import LatencyRecorder, SummaryStats, UtilizationMeter
+from .network import NetworkSim
+from .server import KeyJob, ServerSim
+from .service_models import SizeDependentService, exponential_assumption_error
+from .system import (
+    BernoulliMissModel,
+    CacheBackend,
+    MemcachedSystemSimulator,
+    SystemResults,
+)
+
+__all__ = [
+    "Batch",
+    "BatchArrivalProcess",
+    "BernoulliMissModel",
+    "CacheBackend",
+    "DatabaseSim",
+    "EventHandle",
+    "KeyJob",
+    "LatencyRecorder",
+    "MemcachedSystemSimulator",
+    "NetworkSim",
+    "PoissonProcess",
+    "RequestSample",
+    "ServerSim",
+    "SizeDependentService",
+    "Simulator",
+    "SummaryStats",
+    "SystemResults",
+    "TimeVaryingPoissonProcess",
+    "TraceReplay",
+    "UtilizationMeter",
+    "exponential_assumption_error",
+    "expected_max_from_pool",
+    "expected_max_from_pools",
+    "generate_batches",
+    "sample_request_latencies",
+    "simulate_batch_times",
+    "simulate_key_latencies",
+    "simulate_server_stage_mean",
+]

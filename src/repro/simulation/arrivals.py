@@ -1,0 +1,222 @@
+"""Arrival processes for the simulator.
+
+:class:`BatchArrivalProcess` reproduces the paper's workload: batch gaps
+from any :class:`~repro.distributions.Distribution` (Generalized Pareto
+for the Facebook model) and geometric batch sizes. A Poisson process and
+a trace replayer round out the set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core.workload import WorkloadPattern
+from ..distributions import DiscreteDistribution, Distribution, Exponential, FixedCount
+from ..errors import ValidationError
+from .engine import Simulator
+
+#: Called with (arrival_time, batch_size) for each batch.
+BatchSink = Callable[[float, int], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class Batch:
+    """One batch arrival: when and how many keys."""
+
+    time: float
+    size: int
+
+
+class BatchArrivalProcess:
+    """Renewal batch arrivals driven by the event engine.
+
+    Each renewal draws a gap from ``gap`` and a size from ``batch_size``
+    and delivers the batch to ``sink``. Attach to a simulator with
+    :meth:`start`; the process reschedules itself until ``stop`` is
+    called or the simulation ends.
+    """
+
+    def __init__(
+        self,
+        gap: Distribution,
+        batch_size: DiscreteDistribution,
+        rng: np.random.Generator,
+    ) -> None:
+        self._gap = gap
+        self._batch_size = batch_size
+        self._rng = rng
+        self._sink: Optional[BatchSink] = None
+        self._sim: Optional[Simulator] = None
+        self._running = False
+
+    @classmethod
+    def from_workload(
+        cls, workload: WorkloadPattern, rng: np.random.Generator
+    ) -> "BatchArrivalProcess":
+        """Build the paper's GPD-gap, geometric-size process."""
+        return cls(
+            workload.batch_gap_distribution(),
+            workload.batch_size_distribution(),
+            rng,
+        )
+
+    def start(self, sim: Simulator, sink: BatchSink) -> None:
+        """Begin generating arrivals into ``sink``."""
+        if self._running:
+            raise ValidationError("arrival process already started")
+        self._sim = sim
+        self._sink = sink
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop after the currently scheduled arrival (if any)."""
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        assert self._sim is not None
+        gap = float(self._gap.sample(self._rng))
+        self._sim.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        assert self._sim is not None and self._sink is not None
+        size = int(self._batch_size.sample(self._rng))
+        self._sink(self._sim.now, size)
+        self._schedule_next()
+
+
+class PoissonProcess(BatchArrivalProcess):
+    """Single arrivals with exponential gaps (the M in M/M/1)."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__(Exponential(rate), FixedCount(1), rng)
+
+
+def generate_batches(
+    gap: Distribution,
+    batch_size: DiscreteDistribution,
+    rng: np.random.Generator,
+    *,
+    n_batches: int,
+) -> Iterator[Batch]:
+    """Offline batch generation (no engine): an iterator of batches.
+
+    Times start at the first gap (stationary renewal convention used by
+    the fast-path simulator).
+    """
+    if n_batches < 1:
+        raise ValidationError(f"n_batches must be >= 1, got {n_batches}")
+    gaps = np.asarray(gap.sample(rng, n_batches), dtype=float)
+    sizes = np.asarray(batch_size.sample(rng, n_batches), dtype=np.int64)
+    times = np.cumsum(gaps)
+    for time, size in zip(times, sizes):
+        yield Batch(time=float(time), size=int(size))
+
+
+class TimeVaryingPoissonProcess:
+    """Non-homogeneous Poisson arrivals via Lewis-Shedler thinning.
+
+    Production key rates follow diurnal curves; this process drives the
+    simulator with any bounded rate function ``rate(t)`` — candidate
+    events are generated at ``max_rate`` and accepted with probability
+    ``rate(t) / max_rate``, which is exact for inhomogeneous Poisson.
+    """
+
+    def __init__(
+        self,
+        rate: Callable[[float], float],
+        max_rate: float,
+        rng: np.random.Generator,
+        *,
+        batch_size: Optional[DiscreteDistribution] = None,
+    ) -> None:
+        if max_rate <= 0:
+            raise ValidationError(f"max_rate must be > 0, got {max_rate}")
+        self._rate = rate
+        self._max_rate = float(max_rate)
+        self._rng = rng
+        self._batch_size = batch_size if batch_size is not None else FixedCount(1)
+        self._sink: Optional[BatchSink] = None
+        self._sim: Optional[Simulator] = None
+        self._running = False
+
+    @classmethod
+    def sinusoidal(
+        cls,
+        mean_rate: float,
+        amplitude: float,
+        period: float,
+        rng: np.random.Generator,
+        **kwargs: object,
+    ) -> "TimeVaryingPoissonProcess":
+        """Diurnal-style rate ``mean (1 + a sin(2 pi t / period))``."""
+        if not 0.0 <= amplitude < 1.0:
+            raise ValidationError(
+                f"amplitude must be in [0, 1), got {amplitude}"
+            )
+        if mean_rate <= 0 or period <= 0:
+            raise ValidationError("mean_rate and period must be > 0")
+        two_pi = 2.0 * np.pi
+
+        def rate(t: float) -> float:
+            return mean_rate * (1.0 + amplitude * np.sin(two_pi * t / period))
+
+        return cls(rate, mean_rate * (1.0 + amplitude), rng, **kwargs)
+
+    def start(self, sim: Simulator, sink: BatchSink) -> None:
+        if self._running:
+            raise ValidationError("arrival process already started")
+        self._sim = sim
+        self._sink = sink
+        self._running = True
+        self._schedule_candidate()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_candidate(self) -> None:
+        assert self._sim is not None
+        gap = float(self._rng.exponential(1.0 / self._max_rate))
+        self._sim.schedule(gap, self._candidate)
+
+    def _candidate(self) -> None:
+        if not self._running:
+            return
+        assert self._sim is not None and self._sink is not None
+        now = self._sim.now
+        instantaneous = float(self._rate(now))
+        if instantaneous < 0:
+            raise ValidationError(f"rate function went negative at t={now}")
+        if instantaneous > self._max_rate * (1.0 + 1e-9):
+            raise ValidationError(
+                f"rate {instantaneous} exceeds max_rate {self._max_rate}"
+            )
+        if self._rng.random() < instantaneous / self._max_rate:
+            size = int(self._batch_size.sample(self._rng))
+            self._sink(now, size)
+        self._schedule_candidate()
+
+
+class TraceReplay:
+    """Replays a recorded (timestamp, batch-size) trace into the engine."""
+
+    def __init__(self, batches: Sequence[Batch]) -> None:
+        self._batches = sorted(batches, key=lambda b: b.time)
+        if any(b.size < 1 for b in self._batches):
+            raise ValidationError("batch sizes must be >= 1")
+
+    def start(self, sim: Simulator, sink: BatchSink) -> None:
+        """Schedule every trace record on the simulator."""
+        for batch in self._batches:
+            sim.schedule_at(
+                batch.time,
+                lambda b=batch: sink(b.time, b.size),
+            )
+
+    def __len__(self) -> int:
+        return len(self._batches)

@@ -1,0 +1,137 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, dependency-free core: a monotonic clock and a
+binary-heap event queue. Components (arrival processes, servers, the
+database) schedule callbacks; the engine guarantees deterministic
+ordering — events at equal times fire in scheduling order — so seeded
+runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from ..errors import SimulationError, ValidationError
+
+Callback = Callable[[], None]
+
+
+@dataclasses.dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callback = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Simulator:
+    """Event loop: schedule callbacks on the simulated clock and run."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValidationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValidationError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = _Event(time=float(time), seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:  # pragma: no cover - heap invariant
+                raise SimulationError(
+                    f"time went backwards: {event.time} < {self._now}"
+                )
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, *, max_events: Optional[int] = None) -> None:
+        """Process events with time <= ``end_time`` (clock stops there)."""
+        if end_time < self._now:
+            raise ValidationError(
+                f"end_time {end_time} is before now {self._now}"
+            )
+        budget = max_events
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > end_time:
+                break
+            if budget is not None:
+                if budget <= 0:
+                    raise SimulationError(
+                        f"event budget exhausted at t={self._now}"
+                    )
+                budget -= 1
+            self.step()
+        self._now = float(end_time)
+
+    def run(self, *, max_events: Optional[int] = None) -> None:
+        """Process all events until the queue drains."""
+        budget = max_events
+        while self.step():
+            if budget is not None:
+                budget -= 1
+                if budget <= 0 and self._heap:
+                    raise SimulationError(
+                        f"event budget exhausted at t={self._now}"
+                    )

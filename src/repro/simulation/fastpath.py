@@ -1,0 +1,290 @@
+"""Vectorized fast-path simulator for the paper's validation sweeps.
+
+The event engine is general but pays per-event Python overhead. The
+validation figures need millions of per-key latencies across dozens of
+parameter points, so this module simulates the GI^X/M/1 server with a
+vectorized Lindley recursion::
+
+    W_n = C_n - min_{0<=k<=n} C_k,   C_n = sum_{j<n} (S_j - G_{j+1})
+
+(batch waits), then reconstructs per-key latencies as the batch wait
+plus the within-batch partial service sums — exactly the process the
+paper's model describes, at numpy speed.
+
+Request-level latencies (the fork-join max over N keys spread across
+servers by shares ``{p_j}``, plus database misses) are sampled from the
+per-server latency pools, mirroring how the paper aggregates per-key
+measurements into end-user latencies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.workload import WorkloadPattern
+from ..errors import StabilityError, ValidationError
+
+
+def simulate_key_latencies(
+    workload: WorkloadPattern,
+    service_rate: float,
+    *,
+    n_keys: int,
+    rng: np.random.Generator,
+    warmup_fraction: float = 0.05,
+) -> np.ndarray:
+    """Per-key sojourn times at one GI^X/M/1 Memcached server.
+
+    Simulates enough batches to yield ``n_keys`` post-warmup keys. The
+    initial ``warmup_fraction`` of batches is discarded so the sample
+    approximates stationarity.
+    """
+    if n_keys < 1:
+        raise ValidationError(f"n_keys must be >= 1, got {n_keys}")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValidationError(
+            f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+        )
+    rho = workload.utilization(service_rate)
+    if rho >= 1.0:
+        raise StabilityError(rho)
+
+    mean_batch = workload.mean_batch_size
+    # 5% headroom over the expected batch count so random batch sizes
+    # almost never undershoot the requested key count; the tail below
+    # truncates any excess.
+    n_batches = (
+        int(math.ceil(1.05 * n_keys / mean_batch / (1.0 - warmup_fraction))) + 64
+    )
+
+    gap_dist = workload.batch_gap_distribution()
+    size_dist = workload.batch_size_distribution()
+    gaps = np.asarray(gap_dist.sample(rng, n_batches), dtype=float)
+    sizes = np.asarray(size_dist.sample(rng, n_batches), dtype=np.int64)
+    total_keys = int(sizes.sum())
+    services = rng.exponential(1.0 / service_rate, size=total_keys)
+
+    # Batch service totals.
+    starts = np.zeros(n_batches, dtype=np.int64)
+    np.cumsum(sizes[:-1], out=starts[1:])
+    batch_service = np.add.reduceat(services, starts)
+
+    # Lindley recursion for batch waits, vectorized:
+    # U_j = S_j - G_{j+1}; C_n = prefix sum; W_n = C_n - running min C.
+    u = batch_service[:-1] - gaps[1:]
+    c = np.concatenate(([0.0], np.cumsum(u)))
+    waits = c - np.minimum.accumulate(np.concatenate(([0.0], c))[:-1])
+    waits = np.maximum(waits, 0.0)
+
+    # Per-key latency: batch wait + within-batch inclusive service prefix.
+    cumulative = np.cumsum(services)
+    before_batch = cumulative[starts] - services[starts]
+    within = cumulative - np.repeat(before_batch, sizes)
+    latencies = np.repeat(waits, sizes) + within
+
+    warmup_keys = int(sizes[: int(n_batches * warmup_fraction)].sum())
+    usable = latencies[warmup_keys:]
+    if usable.size < n_keys:  # pragma: no cover - sizing margin is generous
+        return usable
+    return usable[:n_keys]
+
+
+def simulate_batch_times(
+    workload: WorkloadPattern,
+    service_rate: float,
+    *,
+    n_batches: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch (wait, completion) pairs — validates paper eqs. (4)-(5).
+
+    Returns two arrays: the queueing time ``TQ`` and the completion time
+    ``TC`` of each simulated batch.
+    """
+    if n_batches < 1:
+        raise ValidationError(f"n_batches must be >= 1, got {n_batches}")
+    rho = workload.utilization(service_rate)
+    if rho >= 1.0:
+        raise StabilityError(rho)
+    gap_dist = workload.batch_gap_distribution()
+    size_dist = workload.batch_size_distribution()
+    gaps = np.asarray(gap_dist.sample(rng, n_batches), dtype=float)
+    sizes = np.asarray(size_dist.sample(rng, n_batches), dtype=np.int64)
+    batch_service = rng.gamma(shape=sizes.astype(float), scale=1.0 / service_rate)
+    u = batch_service[:-1] - gaps[1:]
+    c = np.concatenate(([0.0], np.cumsum(u)))
+    waits = c - np.minimum.accumulate(np.concatenate(([0.0], c))[:-1])
+    waits = np.maximum(waits, 0.0)
+    return waits, waits + batch_service
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestSample:
+    """Monte-Carlo end-user request latencies and their decomposition."""
+
+    total: np.ndarray
+    server_max: np.ndarray
+    database_max: np.ndarray
+    network: float
+
+    @property
+    def n_requests(self) -> int:
+        return int(self.total.size)
+
+
+def sample_request_latencies(
+    server_pools: Sequence[np.ndarray],
+    shares: Sequence[float],
+    *,
+    n_keys: int,
+    n_requests: int,
+    rng: np.random.Generator,
+    network_delay: float = 0.0,
+    miss_ratio: float = 0.0,
+    database_rate: Optional[float] = None,
+    database_utilization: float = 0.0,
+) -> RequestSample:
+    """Fork-join request latencies from per-server key-latency pools.
+
+    Each request draws N keys, spreads them over servers multinomially
+    with probabilities ``shares``, samples each key's server latency
+    from that server's pool, applies Bernoulli(r) misses with
+    ``Exp((1-rho_D) muD)`` database sojourns, and takes the max (paper
+    §4.1): ``T = max_i(n_i + s_i + d_i)`` with constant network ``n``.
+    """
+    shares_arr = np.asarray(shares, dtype=float)
+    if len(server_pools) != shares_arr.size:
+        raise ValidationError("server_pools and shares must align")
+    if not math.isclose(float(shares_arr.sum()), 1.0, rel_tol=1e-9):
+        raise ValidationError("shares must sum to 1")
+    if n_keys < 1 or n_requests < 1:
+        raise ValidationError("n_keys and n_requests must be >= 1")
+    if not 0.0 <= miss_ratio <= 1.0:
+        raise ValidationError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
+    if miss_ratio > 0.0 and database_rate is None:
+        raise ValidationError("database_rate is required when miss_ratio > 0")
+    pools = [np.asarray(pool, dtype=float) for pool in server_pools]
+    if any(pool.size == 0 for pool in pools):
+        raise ValidationError("every server pool must be non-empty")
+
+    total_keys = n_keys * n_requests
+    server_of_key = rng.choice(shares_arr.size, size=total_keys, p=shares_arr)
+    latencies = np.empty(total_keys, dtype=float)
+    for j, pool in enumerate(pools):
+        mask = server_of_key == j
+        count = int(mask.sum())
+        if count:
+            latencies[mask] = pool[rng.integers(0, pool.size, size=count)]
+
+    server_component = latencies.reshape(n_requests, n_keys)
+    database_component = np.zeros_like(server_component)
+    if miss_ratio > 0.0:
+        miss_mask = rng.random(server_component.shape) < miss_ratio
+        n_misses = int(miss_mask.sum())
+        if n_misses:
+            effective = (1.0 - database_utilization) * float(database_rate)
+            database_component[miss_mask] = rng.exponential(
+                1.0 / effective, size=n_misses
+            )
+
+    per_key_total = server_component + database_component
+    return RequestSample(
+        total=per_key_total.max(axis=1) + network_delay,
+        server_max=server_component.max(axis=1),
+        database_max=database_component.max(axis=1),
+        network=float(network_delay),
+    )
+
+
+def expected_max_from_pool(pool: np.ndarray, n: float) -> float:
+    """Exact ``E[max of n iid draws]`` from an empirical sample.
+
+    For a sorted pool ``x_(1) <= ... <= x_(M)`` with empirical CDF
+    ``F(x_(i)) = i/M``, the max of ``n`` draws equals ``x_(i)`` with
+    probability ``(i/M)^n - ((i-1)/M)^n``; the expectation is the
+    corresponding weighted sum. Removes the Monte-Carlo resampling layer
+    entirely — the only randomness left is the pool itself.
+    """
+    data = np.sort(np.asarray(pool, dtype=float))
+    if data.size == 0:
+        raise ValidationError("pool must be non-empty")
+    if n <= 0:
+        raise ValidationError(f"n must be > 0, got {n}")
+    grid = np.arange(data.size + 1, dtype=float) / data.size
+    weights = np.diff(grid**float(n))
+    return float(np.dot(weights, data))
+
+
+def expected_max_from_pools(
+    pools: Sequence[np.ndarray], shares: Sequence[float], n: float
+) -> float:
+    """Exact ``E[max of n draws]`` when each draw picks pool ``j`` w.p.
+    ``shares[j]`` — the fork-join max across unbalanced servers.
+
+    Builds the share-weighted mixture CDF over the merged support and
+    integrates ``1 - F_mix(t)^n`` as a sum over steps.
+    """
+    share_arr = np.asarray(shares, dtype=float)
+    if len(pools) != share_arr.size:
+        raise ValidationError("pools and shares must align")
+    if not math.isclose(float(share_arr.sum()), 1.0, rel_tol=1e-9):
+        raise ValidationError("shares must sum to 1")
+    if n <= 0:
+        raise ValidationError(f"n must be > 0, got {n}")
+    values = []
+    weights = []
+    for pool, share in zip(pools, share_arr):
+        data = np.asarray(pool, dtype=float)
+        if data.size == 0:
+            raise ValidationError("every pool must be non-empty")
+        values.append(data)
+        weights.append(np.full(data.size, share / data.size))
+    merged = np.concatenate(values)
+    weight = np.concatenate(weights)
+    order = np.argsort(merged)
+    merged = merged[order]
+    cdf = np.cumsum(weight[order])
+    cdf = np.minimum(cdf / cdf[-1], 1.0)
+    cdf_pow = cdf**float(n)
+    step = np.diff(np.concatenate(([0.0], cdf_pow)))
+    return float(np.dot(step, merged))
+
+
+def simulate_server_stage_mean(
+    workload: WorkloadPattern,
+    service_rate: float,
+    *,
+    n_keys_per_request: int,
+    rng: np.random.Generator,
+    pool_size: int = 200_000,
+    shares: Optional[Sequence[float]] = None,
+) -> float:
+    """Measured ``E[TS(N)]`` for a (possibly unbalanced) cluster.
+
+    Convenience wrapper used by the figure benches: simulate per-server
+    latency pools (each server at its share of the total rate described
+    by ``workload``'s rate, split via ``shares``; balanced single pool
+    when shares are omitted) and take the *exact* expected fork-join max
+    over the empirical pools — no Monte-Carlo resampling noise.
+    """
+    if shares is None:
+        pool = simulate_key_latencies(
+            workload, service_rate, n_keys=pool_size, rng=rng
+        )
+        # Balanced cluster: every server is statistically identical, so a
+        # single pool sampled N times is equivalent and much cheaper.
+        return expected_max_from_pool(pool, n_keys_per_request)
+    share_vec = list(shares)
+    pools = []
+    for share in share_vec:
+        server_workload = workload.with_rate(workload.rate * float(share))
+        pools.append(
+            simulate_key_latencies(
+                server_workload, service_rate, n_keys=pool_size, rng=rng
+            )
+        )
+    return expected_max_from_pools(pools, share_vec, n_keys_per_request)

@@ -1,0 +1,199 @@
+"""Measurement collection: streaming moments, quantiles, CIs, utilization.
+
+The paper reports means with confidence intervals (Table 3) and quantile
+curves (Fig. 4); :class:`LatencyRecorder` supports both: Welford
+streaming moments plus an optional bounded sample store for quantiles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ValidationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SummaryStats:
+    """Summary of a latency sample: moments, CI, quantiles."""
+
+    count: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci(self) -> tuple[float, float]:
+        return self.ci_low, self.ci_high
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the confidence interval."""
+        return self.ci_low <= value <= self.ci_high
+
+
+class LatencyRecorder:
+    """Streaming mean/variance plus (optionally capped) raw samples.
+
+    With the default unbounded storage, quantiles are exact. For very
+    long runs pass ``max_samples``: storage switches to uniform
+    reservoir sampling, keeping quantile estimates unbiased.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_samples: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_samples is not None and max_samples < 2:
+            raise ValidationError(f"max_samples must be >= 2, got {max_samples}")
+        self._max_samples = max_samples
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: List[float] = []
+
+    # ------------------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(f"observation must be finite, got {value}")
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if self._max_samples is None or len(self._samples) < self._max_samples:
+            self._samples.append(value)
+        else:
+            # Reservoir sampling: replace with probability cap/count.
+            slot = int(self._rng.integers(0, self._count))
+            if slot < self._max_samples:
+                self._samples[slot] = value
+
+    def record_many(self, values: Sequence[float]) -> None:
+        """Add a batch of observations."""
+        for value in np.asarray(values, dtype=float).ravel():
+            self.record(float(value))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValidationError("no observations recorded")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("no observations recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("no observations recorded")
+        return self._max
+
+    def quantile(self, k: float) -> float:
+        """Empirical k-th quantile from the stored samples."""
+        if not 0.0 <= k <= 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1]: {k}")
+        if not self._samples:
+            raise ValidationError("no observations recorded")
+        return float(np.quantile(np.asarray(self._samples), k))
+
+    def quantiles(self, ks: Sequence[float]) -> List[float]:
+        """Several empirical quantiles at once."""
+        return [self.quantile(float(k)) for k in ks]
+
+    def confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """t-based CI for the mean (the paper's Table 3 style)."""
+        if not 0.0 < confidence < 1.0:
+            raise ValidationError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        if self._count < 2:
+            raise ValidationError("need at least two observations for a CI")
+        half = float(
+            stats.t.ppf(0.5 + confidence / 2.0, self._count - 1)
+        ) * self.std / math.sqrt(self._count)
+        return self._mean - half, self._mean + half
+
+    def summary(self, confidence: float = 0.95) -> SummaryStats:
+        """Full summary used by benches and the CLI."""
+        low, high = self.confidence_interval(confidence)
+        return SummaryStats(
+            count=self._count,
+            mean=self.mean,
+            std=self.std,
+            ci_low=low,
+            ci_high=high,
+        )
+
+    def samples(self) -> np.ndarray:
+        """A copy of the stored (possibly subsampled) observations."""
+        return np.asarray(self._samples, dtype=float)
+
+
+class UtilizationMeter:
+    """Tracks busy time of a server to report measured utilization."""
+
+    def __init__(self) -> None:
+        self._busy = 0.0
+        self._busy_since: Optional[float] = None
+        self._start: Optional[float] = None
+        self._end = 0.0
+
+    def server_started(self, now: float) -> None:
+        """Server transitioned idle -> busy."""
+        if self._start is None:
+            self._start = now
+        self._busy_since = now
+        self._end = max(self._end, now)
+
+    def server_stopped(self, now: float) -> None:
+        """Server transitioned busy -> idle."""
+        if self._busy_since is None:
+            raise ValidationError("server was not busy")
+        self._busy += now - self._busy_since
+        self._busy_since = None
+        self._end = max(self._end, now)
+
+    def utilization(self, now: float) -> float:
+        """Fraction of time busy over the observed span."""
+        if self._start is None:
+            return 0.0
+        busy = self._busy
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        span = now - self._start
+        if span <= 0:
+            return 0.0
+        return busy / span

@@ -1,0 +1,56 @@
+"""Network stage for the simulator.
+
+The paper treats the network as a constant delay (utilization < 10%, no
+queueing); :class:`NetworkSim` models it as a pure delay element, with
+an optional random distribution for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..distributions import Deterministic, Distribution
+from ..errors import ValidationError
+from .engine import Simulator
+
+
+class NetworkSim:
+    """Delay element: delivers payloads after a (usually constant) delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: Distribution,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._sim = sim
+        self._delay = delay
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._delivered = 0
+
+    @classmethod
+    def constant(cls, sim: Simulator, delay: float) -> "NetworkSim":
+        """The paper's constant-latency network (eq. (2))."""
+        if delay < 0:
+            raise ValidationError(f"delay must be >= 0, got {delay}")
+        return cls(sim, Deterministic(delay))
+
+    @property
+    def delivered(self) -> int:
+        return self._delivered
+
+    @property
+    def mean_delay(self) -> float:
+        return self._delay.mean
+
+    def send(self, deliver: Callable[[], None]) -> float:
+        """Schedule ``deliver`` after one sampled network delay.
+
+        Returns the sampled delay so callers can account it per key.
+        """
+        delay = float(self._delay.sample(self._rng))
+        self._delivered += 1
+        self._sim.schedule(delay, deliver)
+        return delay

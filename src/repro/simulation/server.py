@@ -1,0 +1,152 @@
+"""Simulated Memcached server: a FIFO queue with pluggable service times.
+
+Keys enter (possibly in batches), wait FIFO, and are served one at a
+time; per-key wait and sojourn are reported to a completion callback.
+The exponential-service default matches the paper's model, and any
+:class:`~repro.distributions.Distribution` can be substituted for
+model-robustness ablations.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Callable, Deque, Optional
+
+import numpy as np
+
+from ..distributions import Distribution, Exponential
+from ..errors import SimulationError, ValidationError
+from .engine import Simulator
+from .metrics import UtilizationMeter
+
+
+@dataclasses.dataclass
+class KeyJob:
+    """One key's passage through a server queue."""
+
+    key_id: int
+    arrival_time: float
+    batch_id: int
+    position_in_batch: int
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    context: object = None
+
+    @property
+    def wait(self) -> float:
+        if self.start_time is None:
+            raise ValidationError("job has not started service")
+        return self.start_time - self.arrival_time
+
+    @property
+    def sojourn(self) -> float:
+        if self.finish_time is None:
+            raise ValidationError("job has not finished service")
+        return self.finish_time - self.arrival_time
+
+
+#: Completion callback: receives the finished job.
+CompletionSink = Callable[[KeyJob], None]
+
+
+class ServerSim:
+    """FIFO single-server queue living on the event engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: Distribution,
+        rng: np.random.Generator,
+        *,
+        name: str = "server",
+        on_complete: Optional[CompletionSink] = None,
+    ) -> None:
+        self._sim = sim
+        self._service = service
+        self._rng = rng
+        self.name = name
+        self._on_complete = on_complete
+        self._queue: Deque[KeyJob] = collections.deque()
+        self._busy = False
+        self._next_key_id = 0
+        self._next_batch_id = 0
+        self._completed = 0
+        self.utilization_meter = UtilizationMeter()
+
+    @classmethod
+    def exponential(
+        cls,
+        sim: Simulator,
+        service_rate: float,
+        rng: np.random.Generator,
+        **kwargs: object,
+    ) -> "ServerSim":
+        """The paper's server: ``Exp(muS)`` per-key service."""
+        return cls(sim, Exponential(service_rate), rng, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Keys waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def completed(self) -> int:
+        return self._completed
+
+    def offer_batch(self, now: float, size: int, *, contexts: Optional[list] = None) -> list[KeyJob]:
+        """Enqueue a batch of ``size`` keys arriving together at ``now``."""
+        if size < 1:
+            raise ValidationError(f"batch size must be >= 1, got {size}")
+        if contexts is not None and len(contexts) != size:
+            raise ValidationError("contexts must match the batch size")
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        jobs = []
+        for position in range(size):
+            job = KeyJob(
+                key_id=self._next_key_id,
+                arrival_time=now,
+                batch_id=batch_id,
+                position_in_batch=position + 1,
+                context=contexts[position] if contexts is not None else None,
+            )
+            self._next_key_id += 1
+            self._queue.append(job)
+            jobs.append(job)
+        if not self._busy:
+            self._start_next()
+        return jobs
+
+    def offer_key(self, now: float, *, context: object = None) -> KeyJob:
+        """Enqueue a single key (batch of one)."""
+        return self.offer_batch(now, 1, contexts=[context])[0]
+
+    # ------------------------------------------------------------------
+
+    def _start_next(self) -> None:
+        if self._busy:
+            raise SimulationError(f"{self.name}: server already busy")
+        if not self._queue:
+            return
+        job = self._queue.popleft()
+        self._busy = True
+        self.utilization_meter.server_started(self._sim.now)
+        job.start_time = self._sim.now
+        service_time = float(self._service.sample(self._rng))
+        self._sim.schedule(service_time, lambda: self._finish(job))
+
+    def _finish(self, job: KeyJob) -> None:
+        job.finish_time = self._sim.now
+        self._busy = False
+        self.utilization_meter.server_stopped(self._sim.now)
+        self._completed += 1
+        if self._on_complete is not None:
+            self._on_complete(job)
+        self._start_next()

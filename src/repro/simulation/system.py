@@ -1,0 +1,363 @@
+"""Closed-loop Memcached system simulator (the full testbed substitute).
+
+Models the paper's Fig. 1 end to end on the event engine:
+
+1. End-user requests arrive (Poisson by default); each generates N keys.
+2. Keys are spread over the M Memcached servers — either by the model's
+   share probabilities ``{p_j}`` or by hashing real key names through a
+   consistent-hash ring from :mod:`repro.memcached`.
+3. Each key crosses the network (constant delay), queues FIFO at its
+   server, and is served ``Exp(muS)``.
+4. A miss (Bernoulli ``r``, or a *real* cache lookup when a cache
+   backend is attached) relays the key to the M/M/1 database.
+5. The request completes when its last key's value returns; the
+   recorder keeps ``T(N)`` plus the per-stage maxima ``TS(N)``/``TD(N)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from ..distributions import make_rng, split_rng
+from ..core.cluster import ClusterModel
+from ..core.workload import WorkloadPattern
+
+from ..errors import SimulationError, ValidationError
+from .database import DatabaseSim
+from .engine import Simulator
+from .metrics import LatencyRecorder
+from .network import NetworkSim
+from .server import KeyJob, ServerSim
+
+
+class CacheBackend(Protocol):
+    """Decides whether a key hits; lets the real cache substrate plug in."""
+
+    def lookup(self, server_index: int, key: str) -> bool:
+        """Return True on hit. Implementations may mutate cache state."""
+
+
+class BernoulliMissModel:
+    """The paper's miss model: independent misses with probability r."""
+
+    def __init__(self, miss_ratio: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= miss_ratio <= 1.0:
+            raise ValidationError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
+        self._r = miss_ratio
+        self._rng = rng
+
+    def lookup(self, server_index: int, key: str) -> bool:
+        return bool(self._rng.random() >= self._r)
+
+
+@dataclasses.dataclass
+class _RequestState:
+    request_id: int
+    born: float
+    pending: int
+    max_server: float = 0.0
+    max_database: float = 0.0
+    max_network: float = 0.0
+
+
+@dataclasses.dataclass
+class _KeyContext:
+    request: _RequestState
+    key_name: str
+    server_index: int
+    network_so_far: float = 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemResults:
+    """Recorders filled during a run (all latencies in seconds)."""
+
+    total: LatencyRecorder
+    server_stage: LatencyRecorder
+    database_stage: LatencyRecorder
+    network_stage: LatencyRecorder
+    per_key_server: LatencyRecorder
+    requests_completed: int
+    keys_processed: int
+    misses: int
+    server_utilizations: List[float]
+
+    @property
+    def measured_miss_ratio(self) -> float:
+        if self.keys_processed == 0:
+            return 0.0
+        return self.misses / self.keys_processed
+
+
+class MemcachedSystemSimulator:
+    """End-to-end fork-join Memcached simulation.
+
+    Parameters
+    ----------
+    cluster:
+        Server count, shares and ``muS``.
+    n_keys_per_request:
+        N — keys generated per end-user request.
+    request_rate:
+        End-user requests per second. The induced per-server key rate is
+        ``request_rate * N * p_j``.
+    network_delay:
+        One-way constant network latency per key.
+    miss_ratio / database_rate:
+        Bernoulli miss model feeding an M/M/1 database. Ignored when a
+        ``cache_backend`` is supplied.
+    cache_backend:
+        Optional real cache (e.g. ``repro.memcached`` cluster adapter);
+        when present, hits and misses come from actual cache state.
+    key_namer:
+        Optional callable ``(rng) -> (key_name, server_index)``; defaults
+        to share-weighted server selection with synthetic key names.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterModel,
+        *,
+        n_keys_per_request: int,
+        request_rate: float,
+        network_delay: float = 0.0,
+        miss_ratio: float = 0.0,
+        database_rate: Optional[float] = None,
+        cache_backend: Optional[CacheBackend] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n_keys_per_request < 1:
+            raise ValidationError(
+                f"n_keys_per_request must be >= 1, got {n_keys_per_request}"
+            )
+        if request_rate <= 0:
+            raise ValidationError(f"request_rate must be > 0, got {request_rate}")
+        if miss_ratio > 0.0 and database_rate is None and cache_backend is None:
+            raise ValidationError("database_rate is required when miss_ratio > 0")
+        self._cluster = cluster
+        self._n_keys = int(n_keys_per_request)
+        self._request_rate = float(request_rate)
+        self._network_delay = float(network_delay)
+
+        self.sim = Simulator()
+        master = make_rng(seed)
+        (
+            self._rng_requests,
+            self._rng_routing,
+            rng_network,
+            rng_miss,
+            rng_db,
+            *server_rngs,
+        ) = split_rng(master, 5 + cluster.n_servers)
+
+        self._network = NetworkSim.constant(self.sim, self._network_delay)
+        self._servers = [
+            ServerSim.exponential(
+                self.sim,
+                cluster.service_rate,
+                server_rngs[j],
+                name=f"server-{j}",
+                on_complete=self._on_server_complete,
+            )
+            for j in range(cluster.n_servers)
+        ]
+        needs_db = (cache_backend is not None and database_rate is not None) or (
+            miss_ratio > 0.0 and database_rate is not None
+        )
+        self._database = (
+            DatabaseSim(
+                self.sim, database_rate, rng_db, on_complete=self._on_database_complete
+            )
+            if needs_db
+            else None
+        )
+        self._cache: CacheBackend = (
+            cache_backend
+            if cache_backend is not None
+            else BernoulliMissModel(miss_ratio, rng_miss)
+        )
+        self._shares = np.asarray(cluster.shares, dtype=float)
+        self._next_request_id = 0
+        self._generated_keys = 0
+        self._misses = 0
+        self._keys_processed = 0
+        self._completed_requests = 0
+        self._accepting = True
+
+        self._total = LatencyRecorder()
+        self._server_stage = LatencyRecorder()
+        self._database_stage = LatencyRecorder()
+        self._network_stage = LatencyRecorder()
+        self._per_key_server = LatencyRecorder(max_samples=500_000)
+
+    # ------------------------------------------------------------------
+    # Workload drive.
+    # ------------------------------------------------------------------
+
+    def induced_server_workload(self, server_index: int) -> WorkloadPattern:
+        """The per-server key-arrival pattern this system induces.
+
+        Requests are Poisson and each sends ``Binomial(N, p_j)`` keys to
+        server ``j`` *simultaneously* — so the per-server stream is a
+        compound-Poisson batch process. The matched model concurrency is
+        derived from the mean batch size ``E[X] = N p_j / (1 - (1-p_j)^N)``
+        via ``q = 1 - 1/E[X]``.
+        """
+        share = self._cluster.shares[server_index]
+        p_any = 1.0 - (1.0 - share) ** self._n_keys
+        mean_batch = self._n_keys * share / p_any
+        q = max(0.0, 1.0 - 1.0 / mean_batch)
+        rate = self._request_rate * self._n_keys * share
+        return WorkloadPattern(rate=rate, xi=0.0, q=q)
+
+    def _schedule_next_request(self) -> None:
+        gap = float(self._rng_requests.exponential(1.0 / self._request_rate))
+        self.sim.schedule(gap, self._spawn_request)
+
+    def _spawn_request(self) -> None:
+        if self._accepting:
+            self._launch_request()
+            self._schedule_next_request()
+
+    def _launch_request(self) -> None:
+        request = _RequestState(
+            request_id=self._next_request_id,
+            born=self.sim.now,
+            pending=self._n_keys,
+        )
+        self._next_request_id += 1
+        counts = self._rng_routing.multinomial(self._n_keys, self._shares)
+        for server_index, count in enumerate(counts):
+            if count == 0:
+                continue
+            contexts = [
+                _KeyContext(
+                    request=request,
+                    key_name=f"r{request.request_id}k{self._generated_keys + i}",
+                    server_index=server_index,
+                )
+                for i in range(int(count))
+            ]
+            self._generated_keys += int(count)
+            self._dispatch_batch(server_index, contexts)
+
+    def _dispatch_batch(self, server_index: int, contexts: List[_KeyContext]) -> None:
+        # One network traversal per key; all keys of the batch arrive
+        # together at the server (they left the client together).
+        def deliver() -> None:
+            now = self.sim.now
+            self._servers[server_index].offer_batch(
+                now, len(contexts), contexts=contexts
+            )
+
+        delay = self._network.send(deliver)
+        for context in contexts:
+            context.network_so_far += delay
+
+    # ------------------------------------------------------------------
+    # Completion plumbing.
+    # ------------------------------------------------------------------
+
+    def _on_server_complete(self, job: KeyJob) -> None:
+        context = job.context
+        assert isinstance(context, _KeyContext)
+        request = context.request
+        sojourn = job.sojourn
+        request.max_server = max(request.max_server, sojourn)
+        self._per_key_server.record(sojourn)
+        self._keys_processed += 1
+        hit = self._cache.lookup(context.server_index, context.key_name)
+        if hit or self._database is None:
+            if not hit:
+                self._misses += 1
+            self._finish_key(context, database_time=0.0)
+        else:
+            self._misses += 1
+            self._database.offer_key(self.sim.now, context=context)
+
+    def _on_database_complete(self, job: KeyJob) -> None:
+        context = job.context
+        assert isinstance(context, _KeyContext)
+        context.request.max_database = max(
+            context.request.max_database, job.sojourn
+        )
+        self._finish_key(context, database_time=job.sojourn)
+
+    def _finish_key(self, context: _KeyContext, *, database_time: float) -> None:
+        request = context.request
+
+        def delivered() -> None:
+            self._key_done(context)
+
+        delay = self._network.send(delivered)
+        context.network_so_far += delay
+        request.max_network = max(request.max_network, context.network_so_far)
+
+    def _key_done(self, context: _KeyContext) -> None:
+        request = context.request
+        request.pending -= 1
+        if request.pending < 0:  # pragma: no cover - defensive
+            raise SimulationError("request completed more keys than it has")
+        if request.pending == 0:
+            self._total.record(self.sim.now - request.born)
+            self._server_stage.record(request.max_server)
+            self._database_stage.record(request.max_database)
+            self._network_stage.record(request.max_network)
+            self._completed_requests += 1
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        *,
+        n_requests: int,
+        warmup_requests: int = 0,
+        max_events: Optional[int] = None,
+    ) -> SystemResults:
+        """Generate and complete ``warmup + n`` requests; report stats.
+
+        Warmup requests run through the system but their latencies are
+        discarded by resetting the recorders once warmup completes.
+        """
+        if n_requests < 1:
+            raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+        target = n_requests + warmup_requests
+        self._schedule_next_request()
+        warmup_done = warmup_requests == 0
+        budget = max_events
+        while self._completed_requests < target:
+            if not self.sim.step():
+                raise SimulationError("event queue drained before completion")
+            if budget is not None:
+                budget -= 1
+                if budget <= 0:
+                    raise SimulationError("event budget exhausted")
+            if not warmup_done and self._completed_requests >= warmup_requests:
+                self._reset_recorders()
+                warmup_done = True
+        self._accepting = False
+        return SystemResults(
+            total=self._total,
+            server_stage=self._server_stage,
+            database_stage=self._database_stage,
+            network_stage=self._network_stage,
+            per_key_server=self._per_key_server,
+            requests_completed=self._completed_requests
+            - (warmup_requests if warmup_requests else 0),
+            keys_processed=self._keys_processed,
+            misses=self._misses,
+            server_utilizations=[
+                server.utilization_meter.utilization(self.sim.now)
+                for server in self._servers
+            ],
+        )
+
+    def _reset_recorders(self) -> None:
+        self._total = LatencyRecorder()
+        self._server_stage = LatencyRecorder()
+        self._database_stage = LatencyRecorder()
+        self._network_stage = LatencyRecorder()
+        self._per_key_server = LatencyRecorder(max_samples=500_000)

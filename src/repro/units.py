@@ -1,0 +1,66 @@
+"""Unit helpers and conversion constants.
+
+Internally the library works in **seconds** for time and **events per
+second** for rates. The paper reports rates in "Kps" (thousand keys per
+second) and latencies in microseconds or milliseconds; these helpers keep
+the conversions explicit at API boundaries instead of scattering magic
+``1e-6`` factors through the code.
+"""
+
+from __future__ import annotations
+
+#: One microsecond, in seconds.
+MICROSECOND = 1e-6
+
+#: One millisecond, in seconds.
+MILLISECOND = 1e-3
+
+#: One "Kps" (thousand events per second), in events per second.
+KPS = 1e3
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def msec(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def kps(value: float) -> float:
+    """Convert thousand-per-second rates to per-second rates."""
+    return value * KPS
+
+
+def to_usec(seconds: float) -> float:
+    """Convert seconds to microseconds (for reporting)."""
+    return seconds / MICROSECOND
+
+
+def to_msec(seconds: float) -> float:
+    """Convert seconds to milliseconds (for reporting)."""
+    return seconds / MILLISECOND
+
+
+def to_kps(rate: float) -> float:
+    """Convert a per-second rate to thousands per second (for reporting)."""
+    return rate / KPS
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with a human-friendly unit.
+
+    >>> format_duration(3.66e-4)
+    '366.0us'
+    >>> format_duration(1.2e-3)
+    '1.200ms'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds / MICROSECOND:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds / MILLISECOND:.3f}ms"
+    return f"{seconds:.3f}s"

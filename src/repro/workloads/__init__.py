@@ -1,0 +1,33 @@
+"""Workload models: the Facebook/ETC statistical model, synthetic
+request streams, and trace record/replay/fitting."""
+
+from .facebook import (
+    ETC_BURST,
+    ETC_CONCURRENCY,
+    ETC_KEY_RATE,
+    ETC_MEAN_KEY_BYTES,
+    ETC_MEAN_VALUE_BYTES,
+    ETC_ZIPF_EXPONENT,
+    FacebookWorkload,
+    facebook_pattern,
+    popularity_shares,
+)
+from .synthetic import Request, RequestStream, empirical_shares, per_server_key_rates
+from .traces import KeyTrace
+
+__all__ = [
+    "ETC_BURST",
+    "ETC_CONCURRENCY",
+    "ETC_KEY_RATE",
+    "ETC_MEAN_KEY_BYTES",
+    "ETC_MEAN_VALUE_BYTES",
+    "ETC_ZIPF_EXPONENT",
+    "FacebookWorkload",
+    "KeyTrace",
+    "Request",
+    "RequestStream",
+    "empirical_shares",
+    "facebook_pattern",
+    "per_server_key_rates",
+    "popularity_shares",
+]

@@ -1,0 +1,131 @@
+"""Synthetic request-stream generators for experiments and examples.
+
+Produces end-user request streams (the client side of Fig. 1): request
+timestamps, per-request key lists drawn from a popularity law, and the
+derived per-server load shares — the knobs of the paper's §5.2 sweeps
+in executable form.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..distributions import DiscreteDistribution, Distribution, Exponential, Zipf, make_rng
+from ..errors import ValidationError
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One synthetic end-user request."""
+
+    request_id: int
+    time: float
+    key_ranks: tuple
+
+    @property
+    def n_keys(self) -> int:
+        return len(self.key_ranks)
+
+    def key_names(self, prefix: str = "item") -> List[str]:
+        """Catalog key names for this request's ranks."""
+        return [f"{prefix}:{rank}" for rank in self.key_ranks]
+
+
+class RequestStream:
+    """Generator of synthetic requests.
+
+    Parameters
+    ----------
+    request_rate:
+        End-user requests per second (Poisson arrivals by default).
+    n_keys:
+        Keys per request — fixed int, or a discrete distribution.
+    popularity:
+        Key popularity over the catalog (Zipf by default).
+    interarrival:
+        Optional non-Poisson request gaps.
+    """
+
+    def __init__(
+        self,
+        request_rate: float,
+        n_keys,
+        popularity: Zipf,
+        *,
+        interarrival: Optional[Distribution] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if request_rate <= 0:
+            raise ValidationError(f"request_rate must be > 0, got {request_rate}")
+        if isinstance(n_keys, int):
+            if n_keys < 1:
+                raise ValidationError(f"n_keys must be >= 1, got {n_keys}")
+        elif not isinstance(n_keys, DiscreteDistribution):
+            raise ValidationError(
+                "n_keys must be an int or a DiscreteDistribution"
+            )
+        self._rate = float(request_rate)
+        self._n_keys = n_keys
+        self._popularity = popularity
+        self._gap = (
+            interarrival if interarrival is not None else Exponential(request_rate)
+        )
+        self._rng = make_rng(seed)
+
+    def __iter__(self) -> Iterator[Request]:
+        return self.generate()
+
+    def generate(self, limit: Optional[int] = None) -> Iterator[Request]:
+        """Yield requests; bounded by ``limit`` when given."""
+        now = 0.0
+        request_id = 0
+        while limit is None or request_id < limit:
+            now += float(self._gap.sample(self._rng))
+            if isinstance(self._n_keys, int):
+                count = self._n_keys
+            else:
+                count = int(self._n_keys.sample(self._rng))
+            ranks = tuple(
+                int(r) for r in self._popularity.sample(self._rng, count)
+            )
+            yield Request(request_id=request_id, time=now, key_ranks=ranks)
+            request_id += 1
+
+    def take(self, count: int) -> List[Request]:
+        """Materialize the first ``count`` requests."""
+        if count < 1:
+            raise ValidationError(f"count must be >= 1, got {count}")
+        return list(self.generate(limit=count))
+
+
+def per_server_key_rates(
+    requests: Sequence[Request],
+    server_of_rank: Sequence[int],
+    n_servers: int,
+) -> List[float]:
+    """Measured per-server key rates from a materialized request stream."""
+    if not requests:
+        raise ValidationError("need at least one request")
+    servers = np.asarray(server_of_rank, dtype=int)
+    counts = np.zeros(int(n_servers))
+    for request in requests:
+        for rank in request.key_ranks:
+            counts[servers[rank - 1]] += 1
+    span = requests[-1].time - requests[0].time
+    if span <= 0:
+        raise ValidationError("requests must span a positive interval")
+    return (counts / span).tolist()
+
+
+def empirical_shares(
+    requests: Sequence[Request],
+    server_of_rank: Sequence[int],
+    n_servers: int,
+) -> List[float]:
+    """Observed load shares ``{p_j}`` from a request stream."""
+    rates = per_server_key_rates(requests, server_of_rank, n_servers)
+    total = sum(rates)
+    return [rate / total for rate in rates]

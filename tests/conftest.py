@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterModel, WorkloadPattern
+from repro.units import kps
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator; reseeded per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def facebook_workload() -> WorkloadPattern:
+    """The paper's §5.1 workload: 62.5 Kps, xi=0.15, q=0.1."""
+    return WorkloadPattern.facebook()
+
+
+@pytest.fixture
+def service_rate() -> float:
+    """The paper's measured Memcached service rate muS = 80 Kps."""
+    return kps(80)
+
+
+@pytest.fixture
+def balanced_cluster(service_rate: float) -> ClusterModel:
+    """The paper's 4-server balanced testbed."""
+    return ClusterModel.balanced(4, service_rate)

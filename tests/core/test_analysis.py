@@ -1,0 +1,142 @@
+"""Tests for the quantitative analysis helpers (paper §5.2)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DatabaseStage,
+    ServerStage,
+    WorkloadPattern,
+    concurrency_scaling_check,
+    database_regime_boundary,
+    fit_linear_slope,
+    fit_log_slope,
+    goodness_of_linear_fit,
+    marginal_benefit_fewer_keys,
+    marginal_benefit_lower_miss_ratio,
+    sweep_database_stage,
+    sweep_server_stage,
+)
+from repro.errors import ValidationError
+from repro.units import kps, msec
+
+
+class TestFits:
+    def test_linear_slope(self):
+        assert fit_linear_slope([0, 1, 2], [1, 3, 5]) == pytest.approx(2.0)
+
+    def test_log_slope(self):
+        xs = [10, 100, 1000]
+        ys = [5 + 2 * math.log(x) for x in xs]
+        assert fit_log_slope(xs, ys) == pytest.approx(2.0)
+
+    def test_log_slope_rejects_nonpositive_x(self):
+        with pytest.raises(ValidationError):
+            fit_log_slope([0, 1], [1, 2])
+
+    def test_r2_perfect(self):
+        assert goodness_of_linear_fit([0, 1, 2], [1, 3, 5]) == pytest.approx(1.0)
+
+    def test_r2_poor_for_nonlinear(self):
+        xs = list(range(1, 20))
+        ys = [math.exp(x / 3) for x in xs]
+        assert goodness_of_linear_fit(xs, ys) < 0.9
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValidationError):
+            fit_linear_slope([1], [1])
+        with pytest.raises(ValidationError):
+            fit_linear_slope([1, 1], [1, 2])
+
+
+class TestSweeps:
+    def test_server_sweep_rows(self, facebook_workload, service_rate):
+        sweep = sweep_server_stage(
+            "q",
+            [0.0, 0.2, 0.4],
+            lambda q: ServerStage(facebook_workload.with_q(q), service_rate),
+            150,
+        )
+        assert sweep.parameter == "q"
+        assert len(sweep.lower) == 3
+        assert all(lo <= up for lo, up in zip(sweep.lower, sweep.upper))
+        rows = sweep.as_rows()
+        assert rows[0]["q"] == 0.0
+
+    def test_server_sweep_monotone_in_q(self, facebook_workload, service_rate):
+        sweep = sweep_server_stage(
+            "q",
+            [0.0, 0.25, 0.5],
+            lambda q: ServerStage(facebook_workload.with_q(q), service_rate),
+            150,
+        )
+        assert sweep.upper[0] < sweep.upper[1] < sweep.upper[2]
+
+    def test_database_sweep(self):
+        sweep = sweep_database_stage(
+            "r",
+            [0.001, 0.01, 0.1],
+            lambda r: DatabaseStage(1.0 / msec(1), r),
+            150,
+        )
+        assert sweep.lower == sweep.upper  # point estimate
+        assert sweep.lower[0] < sweep.lower[2]
+
+    def test_midpoint(self, facebook_workload, service_rate):
+        sweep = sweep_server_stage(
+            "q",
+            [0.1],
+            lambda q: ServerStage(facebook_workload.with_q(q), service_rate),
+            150,
+        )
+        assert sweep.midpoint[0] == pytest.approx(
+            (sweep.lower[0] + sweep.upper[0]) / 2
+        )
+
+
+class TestScalingLaws:
+    def test_concurrency_theta_one_over_one_minus_q(self, facebook_workload, service_rate):
+        # Paper Fig. 5: E[TS(N)] grows linearly in 1/(1-q).
+        r2 = concurrency_scaling_check(
+            facebook_workload, service_rate, 150, [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        )
+        assert r2 > 0.99
+
+    def test_database_regime_boundary(self):
+        assert database_regime_boundary(0.01) == pytest.approx(100.0)
+
+    def test_regime_boundary_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            database_regime_boundary(0.0)
+
+
+class TestMarginalBenefits:
+    def test_large_n_benefits_converge(self):
+        # In the logarithmic regime halving N and halving r both save
+        # ~ln(2)/muD — the paper's point is that N can be cut drastically
+        # while r is already tiny, not that the marginal savings differ.
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        n = 10_000
+        fewer = marginal_benefit_fewer_keys(database, n)
+        lower = marginal_benefit_lower_miss_ratio(database, n)
+        assert fewer == pytest.approx(lower, rel=0.01)
+        assert fewer == pytest.approx(0.693 / 1000.0, rel=0.02)
+
+    def test_small_n_prefers_lower_miss_ratio(self):
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        n = 4
+        assert marginal_benefit_lower_miss_ratio(database, n) > \
+            marginal_benefit_fewer_keys(database, n)
+
+    def test_benefits_positive(self):
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        assert marginal_benefit_fewer_keys(database, 100) > 0
+        assert marginal_benefit_lower_miss_ratio(database, 100) > 0
+
+    def test_rejects_bad_factor(self):
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        with pytest.raises(ValidationError):
+            marginal_benefit_fewer_keys(database, 100, factor=1.0)
+        with pytest.raises(ValidationError):
+            marginal_benefit_lower_miss_ratio(database, 100, factor=0.5)

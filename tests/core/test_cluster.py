@@ -1,0 +1,122 @@
+"""Tests for ClusterModel (load shares {p_j})."""
+
+import pytest
+
+from repro.core import ClusterModel, WorkloadPattern
+from repro.errors import ValidationError
+from repro.units import kps
+
+
+class TestConstruction:
+    def test_balanced(self):
+        cluster = ClusterModel.balanced(4, kps(80))
+        assert cluster.n_servers == 4
+        assert cluster.shares == (0.25, 0.25, 0.25, 0.25)
+        assert cluster.is_balanced
+
+    def test_explicit_shares(self):
+        cluster = ClusterModel([0.5, 0.3, 0.2], kps(80))
+        assert cluster.heaviest_share == 0.5
+        assert not cluster.is_balanced
+
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            ClusterModel([0.5, 0.6], kps(80))
+
+    def test_shares_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            ClusterModel([1.0, 0.0], kps(80))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            ClusterModel([], kps(80))
+
+    def test_rejects_bad_service_rate(self):
+        with pytest.raises(ValidationError):
+            ClusterModel([1.0], 0.0)
+
+    def test_hot_cold(self):
+        cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=0.7)
+        assert cluster.heaviest_share == pytest.approx(0.7)
+        assert cluster.shares[1] == pytest.approx(0.1)
+        assert sum(cluster.shares) == pytest.approx(1.0)
+
+    def test_hot_cold_rejects_cold_hottest(self):
+        with pytest.raises(ValidationError):
+            ClusterModel.hot_cold(4, kps(80), hottest_share=0.1)
+
+    def test_hot_cold_needs_two_servers(self):
+        with pytest.raises(ValidationError):
+            ClusterModel.hot_cold(1, kps(80), hottest_share=0.5)
+
+
+class TestDerivedQuantities:
+    def test_imbalance_factor_balanced(self):
+        assert ClusterModel.balanced(4, kps(80)).imbalance_factor() == pytest.approx(1.0)
+
+    def test_imbalance_factor_skewed(self):
+        cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=0.75)
+        assert cluster.imbalance_factor() == pytest.approx(3.0)
+
+    def test_server_rates(self):
+        cluster = ClusterModel([0.5, 0.5], kps(80))
+        assert cluster.server_rates(kps(100)) == [kps(50), kps(50)]
+
+    def test_utilizations(self):
+        cluster = ClusterModel([0.75, 0.25], kps(80))
+        utils = cluster.utilizations(kps(80))
+        assert utils[0] == pytest.approx(0.75)
+        assert utils[1] == pytest.approx(0.25)
+
+    def test_max_utilization(self):
+        cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=0.75)
+        assert cluster.max_utilization(kps(80)) == pytest.approx(0.75)
+
+    def test_server_workloads_preserve_shape(self):
+        cluster = ClusterModel([0.6, 0.4], kps(80))
+        pattern = WorkloadPattern.facebook()
+        workloads = cluster.server_workloads(kps(100), pattern)
+        assert workloads[0].rate == pytest.approx(kps(60))
+        assert workloads[0].xi == pattern.xi
+        assert workloads[0].q == pattern.q
+
+    def test_heaviest_workload(self):
+        cluster = ClusterModel([0.6, 0.4], kps(80))
+        heavy = cluster.heaviest_workload(kps(100), WorkloadPattern.facebook())
+        assert heavy.rate == pytest.approx(kps(60))
+
+
+class TestFromKeyPopularity:
+    def test_aggregates_mass(self):
+        cluster = ClusterModel.from_key_popularity(
+            popularity=[0.5, 0.3, 0.2],
+            server_of_key=[0, 1, 0],
+            n_servers=2,
+            service_rate=kps(80),
+        )
+        assert cluster.shares[0] == pytest.approx(0.7)
+        assert cluster.shares[1] == pytest.approx(0.3)
+
+    def test_drops_empty_servers(self):
+        cluster = ClusterModel.from_key_popularity(
+            popularity=[0.5, 0.5],
+            server_of_key=[0, 0],
+            n_servers=3,
+            service_rate=kps(80),
+        )
+        assert cluster.n_servers == 1
+        assert cluster.shares[0] == pytest.approx(1.0)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValidationError):
+            ClusterModel.from_key_popularity(
+                popularity=[0.5], server_of_key=[0, 1], n_servers=2,
+                service_rate=kps(80),
+            )
+
+    def test_rejects_out_of_range_server(self):
+        with pytest.raises(ValidationError):
+            ClusterModel.from_key_popularity(
+                popularity=[1.0], server_of_key=[5], n_servers=2,
+                service_rate=kps(80),
+            )

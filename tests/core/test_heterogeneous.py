@@ -1,0 +1,90 @@
+"""Tests for heterogeneous (mixed-hardware) clusters."""
+
+import pytest
+
+from repro.core import HeterogeneousCluster, WorkloadPattern
+from repro.errors import ValidationError
+from repro.units import kps
+
+
+class TestConstruction:
+    def test_basic(self):
+        cluster = HeterogeneousCluster([0.5, 0.5], [kps(80), kps(40)])
+        assert cluster.n_servers == 2
+        assert cluster.total_capacity == kps(120)
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValidationError):
+            HeterogeneousCluster([0.5, 0.5], [kps(80)])
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValidationError):
+            HeterogeneousCluster([1.0], [0.0])
+
+    def test_shares_validated(self):
+        with pytest.raises(ValidationError):
+            HeterogeneousCluster([0.5, 0.6], [kps(80), kps(80)])
+
+
+class TestBottleneck:
+    def test_slow_server_dominates_even_with_equal_shares(self):
+        cluster = HeterogeneousCluster([0.5, 0.5], [kps(80), kps(40)])
+        # Equal shares but server 1 is half as fast: it is the bottleneck.
+        assert cluster.bottleneck_index(kps(60)) == 1
+        utils = cluster.utilizations(kps(60))
+        assert utils[1] == pytest.approx(0.75)
+        assert utils[0] == pytest.approx(0.375)
+
+    def test_max_utilization(self):
+        cluster = HeterogeneousCluster([0.5, 0.5], [kps(80), kps(40)])
+        assert cluster.max_utilization(kps(60)) == pytest.approx(0.75)
+
+    def test_share_can_outweigh_speed(self):
+        # A fast server with a huge share can still be the bottleneck.
+        cluster = HeterogeneousCluster([0.9, 0.1], [kps(80), kps(40)])
+        assert cluster.bottleneck_index(kps(50)) == 0
+
+
+class TestCapacityWeighting:
+    def test_weighted_shares_equalize_utilization(self):
+        cluster = HeterogeneousCluster([0.5, 0.5], [kps(80), kps(40)])
+        weighted = cluster.capacity_weighted_shares()
+        balanced = HeterogeneousCluster(weighted, [kps(80), kps(40)])
+        utils = balanced.utilizations(kps(60))
+        assert utils[0] == pytest.approx(utils[1])
+
+    def test_weighted_shares_sum_to_one(self):
+        cluster = HeterogeneousCluster(
+            [0.3, 0.3, 0.4], [kps(80), kps(60), kps(40)]
+        )
+        assert sum(cluster.capacity_weighted_shares()) == pytest.approx(1.0)
+
+
+class TestBottleneckStage:
+    def test_stage_uses_bottleneck_parameters(self):
+        cluster = HeterogeneousCluster([0.5, 0.5], [kps(80), kps(40)])
+        stage = cluster.bottleneck_stage(kps(60), WorkloadPattern.facebook())
+        assert stage.workload.rate == pytest.approx(kps(30))
+        assert stage.utilization == pytest.approx(0.75)
+
+    def test_latency_dominated_by_slow_server(self):
+        workload = WorkloadPattern.facebook()
+        mixed = HeterogeneousCluster([0.5, 0.5], [kps(80), kps(40)])
+        uniform = HeterogeneousCluster([0.5, 0.5], [kps(80), kps(80)])
+        slow = mixed.bottleneck_stage(kps(60), workload).mean_latency_bounds(150)
+        fast = uniform.bottleneck_stage(kps(60), workload).mean_latency_bounds(150)
+        assert slow.upper > fast.upper
+
+    def test_capacity_weighting_beats_uniform_shares(self):
+        """Routing by capacity strictly lowers the bottleneck latency
+        for a mixed fleet — the actionable recommendation."""
+        workload = WorkloadPattern.facebook()
+        rates = [kps(80), kps(40)]
+        total = kps(70)
+        uniform = HeterogeneousCluster([0.5, 0.5], rates)
+        weighted = HeterogeneousCluster(
+            uniform.capacity_weighted_shares(), rates
+        )
+        naive = uniform.bottleneck_stage(total, workload).mean_latency_bounds(150)
+        smart = weighted.bottleneck_stage(total, workload).mean_latency_bounds(150)
+        assert smart.upper < naive.upper

@@ -1,0 +1,126 @@
+"""Tests for the assembled LatencyModel (Theorem 1)."""
+
+import pytest
+
+from repro.core import ClusterModel, LatencyModel, NetworkStage, ServerStage, WorkloadPattern
+from repro.errors import ValidationError
+from repro.units import kps, msec, usec
+
+
+def paper_model() -> LatencyModel:
+    return LatencyModel.build(
+        workload=WorkloadPattern.facebook(),
+        service_rate=kps(80),
+        network_delay=usec(20),
+        database_rate=1.0 / msec(1),
+        miss_ratio=0.01,
+    )
+
+
+class TestTable3:
+    def test_total_bounds(self):
+        estimate = paper_model().estimate(150)
+        # Paper Table 3: T(N) in [836 us, 1222 us].
+        assert estimate.total_lower == pytest.approx(836e-6, rel=0.01)
+        assert estimate.total_upper == pytest.approx(1222e-6, rel=0.01)
+
+    def test_stage_values(self):
+        estimate = paper_model().estimate(150)
+        assert estimate.network == pytest.approx(20e-6)
+        assert estimate.server.lower == pytest.approx(351e-6, rel=0.01)
+        assert estimate.server.upper == pytest.approx(366e-6, rel=0.01)
+        assert estimate.database == pytest.approx(836e-6, rel=0.01)
+
+    def test_eq1_composition(self):
+        estimate = paper_model().estimate(150)
+        assert estimate.total_lower == max(
+            estimate.network, estimate.server.lower, estimate.database
+        )
+        assert estimate.total_upper == pytest.approx(
+            estimate.network + estimate.server.upper + estimate.database
+        )
+
+    def test_dominant_stage_is_database(self):
+        assert paper_model().estimate(150).dominant_stage == "database"
+
+    def test_dominant_stage_servers_when_no_misses(self):
+        model = LatencyModel.build(
+            workload=WorkloadPattern.facebook(),
+            service_rate=kps(80),
+            network_delay=usec(20),
+        )
+        assert model.estimate(150).dominant_stage == "servers"
+
+    def test_breakdown_keys(self):
+        breakdown = paper_model().estimate(150).breakdown()
+        assert set(breakdown) == {"network", "servers", "database"}
+
+    def test_str_is_informative(self):
+        text = str(paper_model().estimate(150))
+        assert "network" in text and "database" in text
+
+
+class TestBuild:
+    def test_no_database_stage_when_r_zero(self):
+        model = LatencyModel.build(
+            workload=WorkloadPattern.facebook(), service_rate=kps(80)
+        )
+        assert model.database_stage is None
+        assert model.estimate(150).database == 0.0
+
+    def test_requires_db_rate_with_misses(self):
+        with pytest.raises(ValidationError):
+            LatencyModel.build(
+                workload=WorkloadPattern.facebook(),
+                service_rate=kps(80),
+                miss_ratio=0.01,
+            )
+
+    def test_cluster_requires_total_rate(self):
+        with pytest.raises(ValidationError):
+            LatencyModel.build(
+                workload=WorkloadPattern.facebook(),
+                service_rate=kps(80),
+                cluster=ClusterModel.balanced(4, kps(80)),
+            )
+
+    def test_cluster_path_uses_heaviest(self):
+        cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=0.6)
+        model = LatencyModel.build(
+            workload=WorkloadPattern.facebook(),
+            service_rate=kps(80),
+            cluster=cluster,
+            total_key_rate=kps(80),
+        )
+        assert model.server_stage.workload.rate == pytest.approx(kps(48))
+
+    def test_default_network_is_zero(self):
+        model = LatencyModel(
+            ServerStage(WorkloadPattern.facebook(), kps(80))
+        )
+        assert model.estimate(10).network == 0.0
+
+    def test_explicit_stages(self):
+        model = LatencyModel(
+            ServerStage(WorkloadPattern.facebook(), kps(80)),
+            network_stage=NetworkStage(usec(50)),
+        )
+        assert model.estimate(10).network == pytest.approx(50e-6)
+
+
+class TestMonotonicity:
+    def test_totals_grow_with_n(self):
+        model = paper_model()
+        estimates = [model.estimate(n) for n in (1, 10, 100, 1000)]
+        uppers = [e.total_upper for e in estimates]
+        assert all(a < b for a, b in zip(uppers, uppers[1:]))
+
+    def test_lower_never_exceeds_upper(self):
+        model = paper_model()
+        for n in (1, 5, 50, 500, 5000):
+            estimate = model.estimate(n)
+            assert estimate.total_lower <= estimate.total_upper
+
+    def test_midpoint_between_bounds(self):
+        estimate = paper_model().estimate(150)
+        assert estimate.total_lower <= estimate.total_midpoint <= estimate.total_upper

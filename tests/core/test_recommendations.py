@@ -1,0 +1,113 @@
+"""Tests for the §5.3 configuration advisor."""
+
+import pytest
+
+from repro.core import (
+    ClusterModel,
+    DatabaseStage,
+    Severity,
+    WorkloadPattern,
+    advise,
+)
+from repro.units import kps, msec
+
+
+def run_advisor(total_rate_kps: float, *, hottest=None, n_keys=150, database=None):
+    workload = WorkloadPattern.facebook()
+    if hottest is None:
+        cluster = ClusterModel.balanced(4, kps(80))
+    else:
+        cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=hottest)
+    return advise(
+        workload=workload,
+        cluster=cluster,
+        total_key_rate=kps(total_rate_kps),
+        n_keys=n_keys,
+        database=database,
+    )
+
+
+class TestUtilizationRule:
+    def test_ok_when_far_below_cliff(self):
+        report = run_advisor(100.0)  # 25 Kps per server, ~31% util
+        rec = next(r for r in report.recommendations if r.rule == "utilization")
+        assert rec.severity is Severity.OK
+
+    def test_critical_when_past_cliff(self):
+        report = run_advisor(250.0)  # 62.5 Kps per server, ~78% util
+        rec = next(r for r in report.recommendations if r.rule == "utilization")
+        assert rec.severity is Severity.CRITICAL
+
+    def test_advisory_in_headroom_band(self):
+        # Cliff ~76%; aim for ~73% utilization (within 5% headroom).
+        report = run_advisor(4 * 80 * 0.73)
+        rec = next(r for r in report.recommendations if r.rule == "utilization")
+        assert rec.severity is Severity.ADVISORY
+
+    def test_report_metadata(self):
+        report = run_advisor(100.0)
+        assert 0 < report.cliff_utilization < 1
+        assert report.max_utilization == pytest.approx(100.0 / 320.0)
+
+
+class TestLoadBalancingRule:
+    def test_absent_for_balanced_cluster(self):
+        report = run_advisor(100.0)
+        assert not any(
+            r.rule == "load-balancing" for r in report.recommendations
+        )
+
+    def test_critical_when_imbalance_causes_overload(self):
+        # Hot server at 0.75 share of 80 Kps = 60 Kps -> 75% util (= cliff),
+        # balanced would be 20 Kps -> 25%.
+        report = run_advisor(80.0, hottest=0.76)
+        rec = next(r for r in report.recommendations if r.rule == "load-balancing")
+        assert rec.severity is Severity.CRITICAL
+
+    def test_ok_when_hot_server_below_cliff(self):
+        report = run_advisor(80.0, hottest=0.4)
+        rec = next(r for r in report.recommendations if r.rule == "load-balancing")
+        assert rec.severity is Severity.OK
+
+    def test_advisory_when_overloaded_even_balanced(self):
+        report = run_advisor(330.0, hottest=0.5)
+        rec = next(r for r in report.recommendations if r.rule == "load-balancing")
+        assert rec.severity is Severity.ADVISORY
+
+
+class TestKeysVsMissRatioRule:
+    def test_absent_without_database(self):
+        report = run_advisor(100.0)
+        assert not any(
+            r.rule == "keys-vs-miss-ratio" for r in report.recommendations
+        )
+
+    def test_prefers_fewer_keys_for_large_n(self):
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        report = run_advisor(100.0, n_keys=10_000, database=database)
+        rec = next(
+            r for r in report.recommendations if r.rule == "keys-vs-miss-ratio"
+        )
+        assert "keys per request" in rec.message
+
+    def test_prefers_cache_tuning_for_small_n(self):
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        report = run_advisor(100.0, n_keys=4, database=database)
+        rec = next(
+            r for r in report.recommendations if r.rule == "keys-vs-miss-ratio"
+        )
+        assert "cache tuning" in rec.message
+
+
+class TestReport:
+    def test_worst_severity(self):
+        report = run_advisor(250.0)
+        assert report.worst_severity is Severity.CRITICAL
+
+    def test_worst_severity_ok(self):
+        report = run_advisor(50.0)
+        assert report.worst_severity is Severity.OK
+
+    def test_str_renders(self):
+        text = str(run_advisor(100.0))
+        assert "cliff utilization" in text

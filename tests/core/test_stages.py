@@ -1,0 +1,199 @@
+"""Tests for the three Theorem-1 stages."""
+
+import math
+
+import pytest
+
+from repro.core import ClusterModel, DatabaseStage, NetworkStage, ServerStage, WorkloadPattern
+from repro.errors import ValidationError
+from repro.units import kps, msec, usec
+
+
+class TestNetworkStage:
+    def test_constant_in_n(self):
+        stage = NetworkStage(usec(20))
+        assert stage.mean_latency(1) == stage.mean_latency(10_000) == usec(20)
+
+    def test_zero_delay(self):
+        assert NetworkStage(0.0).mean_latency(5) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            NetworkStage(-1.0)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValidationError):
+            NetworkStage(1e-6).mean_latency(0)
+
+
+class TestServerStageBalanced:
+    def test_table3_bounds(self, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        estimate = stage.mean_latency_bounds(150)
+        assert estimate.lower == pytest.approx(351e-6, rel=0.01)
+        assert estimate.upper == pytest.approx(366e-6, rel=0.01)
+
+    def test_bounds_ordering(self, facebook_workload, service_rate):
+        estimate = ServerStage(facebook_workload, service_rate).mean_latency_bounds(150)
+        assert estimate.lower < estimate.upper
+        assert estimate.midpoint == pytest.approx(
+            (estimate.lower + estimate.upper) / 2
+        )
+        assert estimate.width == pytest.approx(estimate.upper - estimate.lower)
+
+    def test_upper_bound_eq14_form(self, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        estimate = stage.mean_latency_bounds(150)
+        expected = math.log(151) / estimate.decay_rate
+        assert estimate.upper == pytest.approx(expected)
+
+    def test_log_growth_in_n(self, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        uppers = [stage.mean_latency_bounds(n).upper for n in (10, 100, 1000)]
+        diffs = [b - a for a, b in zip(uppers, uppers[1:])]
+        # Theta(log N): equal increments per decade.
+        assert diffs[0] == pytest.approx(diffs[1], rel=0.05)
+
+    def test_per_key_bounds(self, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        lower, upper = stage.per_key_quantile_bounds(0.9)
+        assert 0 <= lower < upper
+
+    def test_utilization(self, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        assert stage.utilization == pytest.approx(62.5 / 80.0)
+
+    def test_exact_upper_refinement_above_rule(self, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        rule = stage.mean_latency_bounds(150).upper
+        exact = stage.mean_latency_upper_exact(150)
+        assert exact > rule  # ln(N+1) < H_N
+
+    def test_fractional_n(self, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        estimate = stage.mean_latency_bounds(37.5)
+        assert estimate.lower < estimate.upper
+
+    def test_rejects_bad_n(self, facebook_workload, service_rate):
+        with pytest.raises(ValidationError):
+            ServerStage(facebook_workload, service_rate).mean_latency_bounds(0)
+
+
+class TestServerStageUnbalanced:
+    def test_prop1_widens_lower_bound(self, facebook_workload, service_rate):
+        balanced = ServerStage(facebook_workload, service_rate)
+        unbalanced = ServerStage(
+            facebook_workload, service_rate, heaviest_share=0.5, balanced=False
+        )
+        n = 150
+        assert unbalanced.mean_latency_bounds(n).lower < balanced.mean_latency_bounds(n).lower
+        # Upper bound unchanged (same heaviest queue, same k).
+        assert unbalanced.mean_latency_bounds(n).upper == pytest.approx(
+            balanced.mean_latency_bounds(n).upper
+        )
+
+    def test_mixture_quantile_bounds_order(self, facebook_workload, service_rate):
+        stage = ServerStage(
+            facebook_workload, service_rate, heaviest_share=0.6, balanced=False
+        )
+        lower, upper = stage.mixture_quantile_bounds(0.99)
+        assert lower <= upper
+
+    def test_from_cluster_uses_heaviest(self, facebook_workload):
+        cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=0.7)
+        stage = ServerStage.from_cluster(cluster, kps(80), facebook_workload)
+        assert stage.workload.rate == pytest.approx(kps(56))
+        assert stage.heaviest_share == pytest.approx(0.7)
+        assert not stage.is_balanced
+
+    def test_from_cluster_balanced(self, facebook_workload, balanced_cluster):
+        stage = ServerStage.from_cluster(
+            balanced_cluster, 4 * kps(62.5), facebook_workload
+        )
+        assert stage.is_balanced
+        assert stage.workload.rate == pytest.approx(kps(62.5))
+
+    def test_rejects_bad_share(self, facebook_workload, service_rate):
+        with pytest.raises(ValidationError):
+            ServerStage(facebook_workload, service_rate, heaviest_share=0.0)
+        with pytest.raises(ValidationError):
+            ServerStage(facebook_workload, service_rate, heaviest_share=1.5)
+
+
+class TestDatabaseStage:
+    def test_paper_td150(self):
+        # Table 3: E[TD(150)] ~ 836 us with r=0.01, 1/muD = 1 ms.
+        stage = DatabaseStage(1.0 / msec(1), 0.01)
+        assert stage.mean_latency(150) == pytest.approx(836e-6, rel=0.01)
+
+    def test_eq23_closed_form(self):
+        mu, r, n = 1000.0, 0.02, 50
+        stage = DatabaseStage(mu, r)
+        p_any = 1 - (1 - r) ** n
+        expected = p_any / mu * math.log(n * r / p_any + 1)
+        assert stage.mean_latency(n) == pytest.approx(expected)
+
+    def test_miss_probability_eq17(self):
+        stage = DatabaseStage(1000.0, 0.01)
+        assert stage.miss_probability(150) == pytest.approx(1 - 0.99**150)
+
+    def test_expected_misses(self):
+        assert DatabaseStage(1000.0, 0.01).expected_misses(150) == pytest.approx(1.5)
+
+    def test_conditional_misses_eq18(self):
+        stage = DatabaseStage(1000.0, 0.01)
+        expected = 1.5 / (1 - 0.99**150)
+        assert stage.expected_misses_given_any(150) == pytest.approx(expected)
+
+    def test_zero_miss_ratio(self):
+        stage = DatabaseStage(1000.0, 0.0)
+        assert stage.mean_latency(1000) == 0.0
+        assert stage.miss_probability(1000) == 0.0
+
+    def test_conditional_undefined_at_zero_r(self):
+        with pytest.raises(ValidationError):
+            DatabaseStage(1000.0, 0.0).expected_misses_given_any(10)
+
+    def test_asymptotic_form(self):
+        stage = DatabaseStage(1000.0, 0.01)
+        n = 1_000_000
+        assert stage.mean_latency(n) == pytest.approx(
+            stage.mean_latency_asymptotic(n), rel=1e-3
+        )
+
+    def test_regimes(self):
+        stage = DatabaseStage(1000.0, 0.01)
+        assert stage.regime(10) == "linear"
+        assert stage.regime(1000) == "logarithmic"
+
+    def test_utilization_scales_rate(self):
+        light = DatabaseStage(1000.0, 0.01, utilization=0.0)
+        loaded = DatabaseStage(1000.0, 0.01, utilization=0.5)
+        assert loaded.mean_latency(100) == pytest.approx(
+            2 * light.mean_latency(100)
+        )
+
+    def test_sojourn_distribution(self):
+        stage = DatabaseStage(1000.0, 0.01, utilization=0.2)
+        assert stage.sojourn_distribution().rate == pytest.approx(800.0)
+
+    def test_with_miss_ratio(self):
+        stage = DatabaseStage(1000.0, 0.01).with_miss_ratio(0.05)
+        assert stage.miss_ratio == 0.05
+
+    def test_monotone_in_r(self):
+        mus = [DatabaseStage(1000.0, r).mean_latency(150) for r in (0.001, 0.01, 0.1)]
+        assert mus[0] < mus[1] < mus[2]
+
+    def test_monotone_in_n(self):
+        stage = DatabaseStage(1000.0, 0.01)
+        values = [stage.mean_latency(n) for n in (1, 10, 100, 1000)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            DatabaseStage(0.0, 0.01)
+        with pytest.raises(ValidationError):
+            DatabaseStage(1000.0, 1.5)
+        with pytest.raises(ValidationError):
+            DatabaseStage(1000.0, 0.1, utilization=1.0)

@@ -1,0 +1,213 @@
+"""Tests for tail-latency estimation and the redundancy extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatabaseStage,
+    NetworkStage,
+    QuantileBounds,
+    RedundancyModel,
+    ServerStage,
+    TailLatencyModel,
+    WorkloadPattern,
+    redundancy_crossover,
+    redundancy_speedup,
+)
+from repro.errors import StabilityError, ValidationError
+from repro.simulation import sample_request_latencies, simulate_key_latencies
+from repro.units import kps, msec, usec
+
+
+def tail_model(*, miss_ratio=0.01) -> TailLatencyModel:
+    stage = ServerStage(WorkloadPattern.facebook(), kps(80))
+    database = DatabaseStage(1.0 / msec(1), miss_ratio) if miss_ratio else None
+    return TailLatencyModel(
+        stage, network_stage=NetworkStage(usec(20)), database_stage=database
+    )
+
+
+class TestServerTail:
+    def test_cdf_bounds_ordered_and_valid(self):
+        model = tail_model()
+        for t in (1e-4, 3e-4, 1e-3):
+            lower, upper = model.server_cdf_bounds(t, 150)
+            assert 0.0 <= lower <= upper <= 1.0
+
+    def test_quantile_bounds_ordered(self):
+        model = tail_model()
+        bounds = model.server_quantile_bounds(0.99, 150)
+        assert isinstance(bounds, QuantileBounds)
+        assert 0 < bounds.lower < bounds.upper
+        assert bounds.midpoint == pytest.approx(
+            (bounds.lower + bounds.upper) / 2
+        )
+
+    def test_p99_exceeds_median(self):
+        model = tail_model()
+        p50 = model.server_quantile_bounds(0.5, 150)
+        p99 = model.server_quantile_bounds(0.99, 150)
+        assert p99.lower > p50.lower
+        assert p99.upper > p50.upper
+
+    def test_quantile_bounds_bracket_simulation(self, rng):
+        workload = WorkloadPattern.facebook()
+        model = tail_model()
+        pool = simulate_key_latencies(workload, kps(80), n_keys=400_000, rng=rng)
+        sample = sample_request_latencies(
+            [pool], [1.0], n_keys=150, n_requests=4000, rng=rng
+        )
+        for level in (0.5, 0.9, 0.99):
+            bounds = model.server_quantile_bounds(level, 150)
+            empirical = float(np.quantile(sample.server_max, level))
+            assert bounds.lower * 0.9 < empirical < bounds.upper * 1.25
+
+    def test_rejects_bad_args(self):
+        model = tail_model()
+        with pytest.raises(ValidationError):
+            model.server_quantile_bounds(1.0, 150)
+        with pytest.raises(ValidationError):
+            model.server_quantile_bounds(0.9, 0)
+
+
+class TestDatabaseTail:
+    def test_cdf_closed_form(self):
+        model = tail_model(miss_ratio=0.02)
+        r, n = 0.02, 100
+        t = 2e-3
+        f_d = 1 - np.exp(-1000.0 * t)
+        assert model.database_cdf(t, n) == pytest.approx(
+            (1 - r + r * f_d) ** n
+        )
+
+    def test_cdf_at_zero_is_no_miss_probability(self):
+        model = tail_model(miss_ratio=0.01)
+        assert model.database_cdf(0.0, 150) == pytest.approx(0.99**150)
+
+    def test_quantile_zero_below_no_miss_mass(self):
+        model = tail_model(miss_ratio=0.001)
+        # P(K = 0) for N = 10 is ~0.99 > 0.5, so the median is 0.
+        assert model.database_quantile(0.5, 10) == 0.0
+
+    def test_quantile_inverts_cdf(self):
+        model = tail_model(miss_ratio=0.05)
+        level = 0.99
+        quantile = model.database_quantile(level, 150)
+        assert model.database_cdf(quantile, 150) == pytest.approx(level)
+
+    def test_exact_mean_above_eq23(self):
+        # Our documented D2: eq. (23) underestimates the exact mean.
+        model = tail_model(miss_ratio=0.01)
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        exact = model.database_mean_exact(150)
+        approx = database.mean_latency(150)
+        assert exact > approx
+        assert exact == pytest.approx(approx * 1.28, rel=0.1)
+
+    def test_exact_mean_matches_simulation(self, rng):
+        model = tail_model(miss_ratio=0.01)
+        sample = sample_request_latencies(
+            [np.zeros(4)], [1.0], n_keys=150, n_requests=30_000, rng=rng,
+            miss_ratio=0.01, database_rate=1.0 / msec(1),
+        )
+        assert model.database_mean_exact(150) == pytest.approx(
+            float(sample.database_max.mean()), rel=0.05
+        )
+
+    def test_no_database_degenerates(self):
+        model = tail_model(miss_ratio=0.0)
+        assert model.database_cdf(1.0, 150) == 1.0
+        assert model.database_quantile(0.99, 150) == 0.0
+        assert model.database_mean_exact(150) == 0.0
+
+
+class TestRequestTail:
+    def test_bounds_ordered(self):
+        model = tail_model()
+        bounds = model.p99(150)
+        assert bounds.lower <= bounds.upper
+
+    def test_p999_above_p99(self):
+        model = tail_model()
+        assert model.p999(150).lower >= model.p99(150).lower
+
+    def test_request_bounds_bracket_simulation(self, rng):
+        workload = WorkloadPattern.facebook()
+        model = tail_model()
+        pool = simulate_key_latencies(workload, kps(80), n_keys=400_000, rng=rng)
+        sample = sample_request_latencies(
+            [pool], [1.0], n_keys=150, n_requests=20_000, rng=rng,
+            network_delay=usec(20), miss_ratio=0.01,
+            database_rate=1.0 / msec(1),
+        )
+        empirical = float(np.quantile(sample.total, 0.99))
+        bounds = model.p99(150)
+        assert bounds.lower * 0.9 < empirical < bounds.upper * 1.1
+
+
+class TestRedundancy:
+    def test_d1_reduces_to_base(self):
+        workload = WorkloadPattern.facebook().with_rate(kps(20))
+        base = ServerStage(workload, kps(80))
+        model = RedundancyModel(workload, kps(80), 1)
+        assert model.request_mean_upper(150) == pytest.approx(
+            base.mean_latency_bounds(150).upper
+        )
+
+    def test_helps_at_low_load(self):
+        workload = WorkloadPattern.facebook().with_rate(kps(10))
+        speedup = redundancy_speedup(workload, kps(80), 150, 2)
+        assert speedup is not None and speedup > 1.0
+
+    def test_hurts_at_high_load(self):
+        workload = WorkloadPattern.facebook().with_rate(kps(38))
+        speedup = redundancy_speedup(workload, kps(80), 150, 2)
+        assert speedup is not None and speedup < 1.0
+
+    def test_unstable_when_replicas_saturate(self):
+        workload = WorkloadPattern.facebook().with_rate(kps(50))
+        assert redundancy_speedup(workload, kps(80), 150, 2) is None
+        with pytest.raises(StabilityError):
+            RedundancyModel(workload, kps(80), 2)
+
+    def test_crossover_between_extremes(self):
+        workload = WorkloadPattern.facebook()
+        crossover = redundancy_crossover(workload, kps(80), 150, 2)
+        assert 0.05 < crossover < 0.5
+        # Below the crossover it helps; above it does not.
+        below = redundancy_speedup(
+            workload.with_rate(0.8 * crossover * kps(80)), kps(80), 150, 2
+        )
+        above = redundancy_speedup(
+            workload.with_rate(min(1.2 * crossover, 0.49) * kps(80)),
+            kps(80), 150, 2,
+        )
+        assert below is not None and below > 1.0
+        assert above is None or above < 1.0
+
+    def test_estimate_fields(self):
+        workload = WorkloadPattern.facebook().with_rate(kps(10))
+        estimate = RedundancyModel(workload, kps(80), 3).estimate(150)
+        assert estimate.replication == 3
+        assert estimate.utilization == pytest.approx(30 / 80)
+        assert estimate.mean_upper > 0
+
+    def test_rejects_bad_replication(self):
+        workload = WorkloadPattern.facebook()
+        with pytest.raises(ValidationError):
+            RedundancyModel(workload, kps(80), 0)
+        with pytest.raises(ValidationError):
+            redundancy_crossover(workload, kps(80), 150, 1)
+
+    def test_min_statistics_against_simulation(self, rng):
+        """Fastest-of-two completion times: simulate two independent
+        inflated servers and take the per-key min."""
+        workload = WorkloadPattern.facebook().with_rate(kps(15))
+        model = RedundancyModel(workload, kps(80), 2)
+        inflated = workload.scaled(2.0)
+        a = simulate_key_latencies(inflated, kps(80), n_keys=200_000, rng=rng)
+        b = simulate_key_latencies(inflated, kps(80), n_keys=200_000, rng=rng)
+        fastest = np.minimum(a, b)
+        # The model uses the completion-time upper bound; the simulated
+        # per-key min should be at or below it in mean.
+        assert fastest.mean() < model.mean_key_latency() * 1.15

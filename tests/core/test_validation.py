@@ -1,0 +1,90 @@
+"""Tests for the programmatic validation API."""
+
+import pytest
+
+from repro.core import (
+    LatencyModel,
+    ValidationReport,
+    WorkloadPattern,
+    validate_configuration,
+)
+from repro.errors import ValidationError
+from repro.units import kps, msec, usec
+
+
+def paper_model() -> LatencyModel:
+    return LatencyModel.build(
+        workload=WorkloadPattern.facebook(),
+        service_rate=kps(80),
+        network_delay=usec(20),
+        database_rate=1.0 / msec(1),
+        miss_ratio=0.01,
+    )
+
+
+class TestValidateConfiguration:
+    def test_paper_config_is_consistent(self):
+        report = validate_configuration(
+            paper_model(), n_keys=150, n_requests=5000,
+            pool_size=200_000, seed=7,
+        )
+        assert isinstance(report, ValidationReport)
+        assert report.all_consistent, str(report)
+        assert {s.stage for s in report.stages} == {"TS(N)", "TD(N)", "T(N)"}
+
+    def test_no_database_stage_omitted(self):
+        model = LatencyModel.build(
+            workload=WorkloadPattern.facebook(), service_rate=kps(80)
+        )
+        report = validate_configuration(
+            model, n_keys=50, n_requests=2000, pool_size=100_000, seed=7
+        )
+        assert {s.stage for s in report.stages} == {"TS(N)", "T(N)"}
+
+    def test_stage_lookup(self):
+        report = validate_configuration(
+            paper_model(), n_keys=50, n_requests=1000,
+            pool_size=100_000, seed=7,
+        )
+        ts = report.stage("TS(N)")
+        assert ts.theory_lower <= ts.theory_upper
+        assert ts.relative_position > 0
+        with pytest.raises(ValidationError):
+            report.stage("bogus")
+
+    def test_deterministic_with_seed(self):
+        a = validate_configuration(
+            paper_model(), n_keys=50, n_requests=1000,
+            pool_size=50_000, seed=11,
+        )
+        b = validate_configuration(
+            paper_model(), n_keys=50, n_requests=1000,
+            pool_size=50_000, seed=11,
+        )
+        assert a.stage("T(N)").simulated == b.stage("T(N)").simulated
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            validate_configuration(paper_model(), n_keys=0)
+        with pytest.raises(ValidationError):
+            validate_configuration(paper_model(), n_keys=10, n_requests=10)
+
+    def test_str_renders(self):
+        report = validate_configuration(
+            paper_model(), n_keys=20, n_requests=500,
+            pool_size=50_000, seed=3,
+        )
+        text = str(report)
+        assert "TS(N)" in text
+        assert "validation over" in text
+
+    @pytest.mark.parametrize("xi", [0.0, 0.3])
+    def test_consistency_across_burst(self, xi):
+        model = LatencyModel.build(
+            workload=WorkloadPattern.facebook().with_xi(xi),
+            service_rate=kps(80),
+        )
+        report = validate_configuration(
+            model, n_keys=100, n_requests=2000, pool_size=150_000, seed=5
+        )
+        assert report.all_consistent, str(report)

@@ -1,0 +1,96 @@
+"""Tests for WorkloadPattern."""
+
+import pytest
+
+from repro.core import WorkloadPattern
+from repro.core.workload import FACEBOOK_BURST, FACEBOOK_CONCURRENCY, FACEBOOK_KEY_RATE
+from repro.distributions import Exponential, GeneralizedPareto
+from repro.errors import ValidationError
+from repro.units import kps
+
+
+class TestConstruction:
+    def test_facebook_defaults(self):
+        workload = WorkloadPattern.facebook()
+        assert workload.rate == FACEBOOK_KEY_RATE == kps(62.5)
+        assert workload.xi == FACEBOOK_BURST == 0.15
+        assert workload.q == FACEBOOK_CONCURRENCY == 0.1
+
+    def test_poisson_shortcut(self):
+        workload = WorkloadPattern.poisson(kps(10))
+        assert workload.xi == 0.0
+        assert workload.q == 0.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValidationError):
+            WorkloadPattern(rate=0.0)
+
+    def test_rejects_bad_xi(self):
+        with pytest.raises(ValidationError):
+            WorkloadPattern(rate=1.0, xi=1.0)
+
+    def test_rejects_q_one(self):
+        with pytest.raises(ValidationError):
+            WorkloadPattern(rate=1.0, q=1.0)
+
+
+class TestRateConvention:
+    def test_batch_rate(self):
+        workload = WorkloadPattern(rate=1000.0, q=0.1)
+        assert workload.batch_rate == pytest.approx(900.0)
+
+    def test_mean_batch_size(self):
+        workload = WorkloadPattern(rate=1000.0, q=0.2)
+        assert workload.mean_batch_size == pytest.approx(1.25)
+
+    def test_key_rate_identity(self):
+        # lambda = E[X] / E[TX] (paper Table 1).
+        workload = WorkloadPattern(rate=1000.0, q=0.25, xi=0.3)
+        gap = workload.batch_gap_distribution()
+        assert workload.mean_batch_size / gap.mean == pytest.approx(1000.0)
+
+    def test_gap_distribution_is_gpd(self):
+        workload = WorkloadPattern.facebook()
+        gap = workload.batch_gap_distribution()
+        assert isinstance(gap, GeneralizedPareto)
+        assert gap.xi == 0.15
+        assert gap.arrival_rate == pytest.approx(workload.batch_rate)
+
+    def test_gap_override_used(self):
+        override = Exponential(900.0)
+        workload = WorkloadPattern(rate=1000.0, q=0.1, gap_override=override)
+        assert workload.batch_gap_distribution() is override
+
+    def test_gap_override_rate_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadPattern(rate=1000.0, q=0.1, gap_override=Exponential(500.0))
+
+
+class TestSweepHelpers:
+    def test_with_rate(self):
+        workload = WorkloadPattern.facebook().with_rate(kps(10))
+        assert workload.rate == kps(10)
+        assert workload.xi == 0.15
+
+    def test_with_xi(self):
+        assert WorkloadPattern.facebook().with_xi(0.6).xi == 0.6
+
+    def test_with_q(self):
+        assert WorkloadPattern.facebook().with_q(0.5).q == 0.5
+
+    def test_scaled(self):
+        workload = WorkloadPattern(rate=100.0).scaled(2.0)
+        assert workload.rate == 200.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            WorkloadPattern(rate=100.0).scaled(0.0)
+
+    def test_utilization(self):
+        workload = WorkloadPattern(rate=62.5)
+        assert workload.utilization(80.0) == pytest.approx(0.78125)
+
+    def test_frozen(self):
+        workload = WorkloadPattern.facebook()
+        with pytest.raises(Exception):
+            workload.rate = 1.0

@@ -1,0 +1,142 @@
+"""Tests for the discrete laws: geometric batches, Zipf popularity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import FixedCount, Geometric, Zipf
+from repro.errors import ValidationError
+
+
+class TestGeometric:
+    def test_pmf_matches_paper_form(self):
+        # P{X = n} = q^(n-1) (1 - q), paper §3.
+        q = 0.1159
+        dist = Geometric(q)
+        for n in range(1, 6):
+            assert math.isclose(dist.pmf(n), q ** (n - 1) * (1 - q))
+
+    def test_mean_is_one_over_one_minus_q(self):
+        assert math.isclose(Geometric(0.1).mean, 1.0 / 0.9)
+
+    def test_variance(self):
+        q = 0.3
+        assert math.isclose(Geometric(q).variance, q / (1 - q) ** 2)
+
+    def test_pmf_outside_support(self):
+        dist = Geometric(0.2)
+        assert dist.pmf(0) == 0.0
+        assert dist.pmf(-1) == 0.0
+
+    def test_cdf_closed_form(self):
+        dist = Geometric(0.25)
+        assert math.isclose(dist.cdf(3), 1.0 - 0.25**3)
+
+    def test_pmf_sums_to_one(self):
+        dist = Geometric(0.4)
+        total = sum(dist.pmf(n) for n in range(1, 200))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pgf_closed_form(self):
+        dist = Geometric(0.3)
+        z = 0.8
+        assert math.isclose(dist.pgf(z), z * 0.7 / (1 - 0.3 * z))
+
+    def test_pgf_at_one_is_one(self):
+        assert Geometric(0.3).pgf(1.0) == pytest.approx(1.0)
+
+    def test_q_zero_always_one(self, rng):
+        dist = Geometric(0.0)
+        assert dist.mean == 1.0
+        assert np.all(dist.sample(rng, 100) == 1)
+
+    def test_sampling_mean(self, rng):
+        dist = Geometric(0.1)
+        samples = dist.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.01)
+
+    def test_rejects_q_one(self):
+        with pytest.raises(ValidationError):
+            Geometric(1.0)
+
+    def test_rejects_q_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Geometric(-0.1)
+        with pytest.raises(ValidationError):
+            Geometric(1.5)
+
+
+class TestFixedCount:
+    def test_degenerate(self, rng):
+        dist = FixedCount(7)
+        assert dist.mean == 7.0
+        assert dist.variance == 0.0
+        assert dist.pmf(7) == 1.0
+        assert dist.pmf(6) == 0.0
+        assert dist.sample(rng) == 7
+
+    def test_pgf(self):
+        assert math.isclose(FixedCount(3).pgf(0.5), 0.125)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            FixedCount(0)
+
+
+class TestZipf:
+    def test_probabilities_normalized(self):
+        dist = Zipf(100, 1.0)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_rank_one_most_popular(self):
+        dist = Zipf(100, 0.9)
+        probs = dist.probabilities
+        assert probs[0] == max(probs)
+        assert np.all(np.diff(probs) <= 0)
+
+    def test_uniform_when_s_zero(self):
+        dist = Zipf(10, 0.0)
+        assert np.allclose(dist.probabilities, 0.1)
+
+    def test_pmf_matches_power_law(self):
+        dist = Zipf(1000, 1.0)
+        # p(1)/p(2) = 2 for s = 1.
+        assert dist.pmf(1) / dist.pmf(2) == pytest.approx(2.0)
+
+    def test_pmf_outside_support(self):
+        dist = Zipf(10, 1.0)
+        assert dist.pmf(0) == 0.0
+        assert dist.pmf(11) == 0.0
+
+    def test_cdf_endpoints(self):
+        dist = Zipf(10, 1.0)
+        assert dist.cdf(0) == 0.0
+        assert dist.cdf(10) == 1.0
+
+    def test_head_mass_skew(self):
+        # The paper's motivation: a small fraction of keys carries a
+        # disproportionate share of accesses.
+        dist = Zipf(100_000, 0.99)
+        assert dist.head_mass(0.01) > 0.3
+
+    def test_sampling_distribution(self, rng):
+        dist = Zipf(50, 1.0)
+        samples = dist.sample(rng, 100_000)
+        observed = np.bincount(samples, minlength=51)[1:] / samples.size
+        assert np.allclose(observed, dist.probabilities, atol=0.005)
+
+    def test_scalar_sample_in_support(self, rng):
+        value = Zipf(10, 1.0).sample(rng)
+        assert 1 <= value <= 10
+
+    def test_mean_consistency(self, rng):
+        dist = Zipf(20, 0.8)
+        samples = dist.sample(rng, 100_000)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.02)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            Zipf(0, 1.0)
+        with pytest.raises(ValidationError):
+            Zipf(10, -1.0)

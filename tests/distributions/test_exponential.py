@@ -1,0 +1,113 @@
+"""Tests for the exponential and deterministic distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Exponential
+from repro.errors import ValidationError
+
+
+class TestExponential:
+    def test_mean(self):
+        assert Exponential(4.0).mean == 0.25
+
+    def test_variance(self):
+        assert Exponential(4.0).variance == 0.0625
+
+    def test_rate_property(self):
+        assert Exponential(4.0).rate == 4.0
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(0.25).rate == 4.0
+
+    def test_cv2_is_one(self):
+        assert math.isclose(Exponential(3.0).cv2, 1.0)
+
+    def test_cdf_at_mean(self):
+        dist = Exponential(2.0)
+        assert math.isclose(dist.cdf(0.5), 1.0 - math.exp(-1.0))
+
+    def test_cdf_negative_is_zero(self):
+        assert Exponential(1.0).cdf(-1.0) == 0.0
+
+    def test_survival_complements_cdf(self):
+        dist = Exponential(2.0)
+        assert math.isclose(dist.survival(0.7) + dist.cdf(0.7), 1.0)
+
+    def test_pdf_integrates_to_cdf_slope(self):
+        dist = Exponential(2.0)
+        assert math.isclose(dist.pdf(0.0), 2.0)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Exponential(5.0)
+        for k in (0.1, 0.5, 0.9, 0.999):
+            assert math.isclose(dist.cdf(dist.quantile(k)), k, rel_tol=1e-12)
+
+    def test_quantile_zero(self):
+        assert Exponential(1.0).quantile(0.0) == 0.0
+
+    def test_quantile_rejects_one(self):
+        with pytest.raises(ValidationError):
+            Exponential(1.0).quantile(1.0)
+
+    def test_laplace_closed_form(self):
+        dist = Exponential(3.0)
+        assert math.isclose(dist.laplace(2.0), 3.0 / 5.0)
+
+    def test_laplace_at_zero_is_one(self):
+        assert Exponential(3.0).laplace(0.0) == 1.0
+
+    def test_laplace_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Exponential(1.0).laplace(-0.1)
+
+    def test_sample_mean_converges(self, rng):
+        dist = Exponential(4.0)
+        samples = dist.sample(rng, 200_000)
+        assert np.mean(samples) == pytest.approx(0.25, rel=0.02)
+
+    def test_sample_scalar(self, rng):
+        value = Exponential(4.0).sample(rng)
+        assert np.isscalar(value) or value.shape == ()
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValidationError):
+            Exponential(0.0)
+        with pytest.raises(ValidationError):
+            Exponential(-1.0)
+
+
+class TestDeterministic:
+    def test_mean_and_variance(self):
+        dist = Deterministic(0.3)
+        assert dist.mean == 0.3
+        assert dist.variance == 0.0
+
+    def test_cdf_step(self):
+        dist = Deterministic(0.3)
+        assert dist.cdf(0.29) == 0.0
+        assert dist.cdf(0.3) == 1.0
+        assert dist.cdf(1.0) == 1.0
+
+    def test_quantile_is_constant(self):
+        dist = Deterministic(0.3)
+        assert dist.quantile(0.01) == 0.3
+        assert dist.quantile(0.99) == 0.3
+
+    def test_laplace(self):
+        dist = Deterministic(0.5)
+        assert math.isclose(dist.laplace(2.0), math.exp(-1.0))
+
+    def test_sample_is_constant(self, rng):
+        dist = Deterministic(0.3)
+        assert dist.sample(rng) == 0.3
+        assert np.all(dist.sample(rng, 10) == 0.3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Deterministic(-0.1)
+
+    def test_zero_allowed(self):
+        assert Deterministic(0.0).mean == 0.0

@@ -1,0 +1,92 @@
+"""Tests for Pareto/Weibull/Lognormal."""
+
+import math
+
+import pytest
+
+from repro.distributions import Lognormal, Pareto, Weibull
+from repro.errors import ValidationError
+
+
+class TestPareto:
+    def test_mean_finite_above_one(self):
+        dist = Pareto(2.0, 3.0)
+        assert math.isclose(dist.mean, 3.0)
+
+    def test_mean_infinite_at_one(self):
+        assert Pareto(1.0, 3.0).mean == math.inf
+
+    def test_variance_infinite_at_two(self):
+        assert Pareto(2.0, 1.0).variance == math.inf
+
+    def test_survival_power_law(self):
+        dist = Pareto(2.0, 1.0)
+        assert dist.survival(1.0) == pytest.approx(0.25)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Pareto(1.5, 2.0)
+        for k in (0.1, 0.9, 0.999):
+            assert dist.cdf(dist.quantile(k)) == pytest.approx(k)
+
+    def test_sampling_tail(self, rng):
+        dist = Pareto(3.0, 1.0)
+        samples = dist.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            Pareto(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            Pareto(1.0, -1.0)
+
+
+class TestWeibull:
+    def test_shape_one_is_exponential_mean(self):
+        dist = Weibull(1.0, 2.0)
+        assert math.isclose(dist.mean, 2.0)
+
+    def test_from_mean(self):
+        dist = Weibull.from_mean(5.0, 0.7)
+        assert dist.mean == pytest.approx(5.0)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Weibull(0.8, 1.0)
+        assert dist.cdf(dist.quantile(0.6)) == pytest.approx(0.6)
+
+    def test_heavy_shape_has_larger_cv2(self):
+        assert Weibull(0.5, 1.0).cv2 > Weibull(2.0, 1.0).cv2
+
+    def test_sampling(self, rng):
+        dist = Weibull(1.5, 2.0)
+        samples = dist.sample(rng, 100_000)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.02)
+
+    def test_pdf_zero_below_support(self):
+        assert Weibull(1.5, 1.0).pdf(-1.0) == 0.0
+
+
+class TestLognormal:
+    def test_from_mean_cv2(self):
+        dist = Lognormal.from_mean_cv2(10.0, 0.5)
+        assert dist.mean == pytest.approx(10.0)
+        assert dist.cv2 == pytest.approx(0.5)
+
+    def test_quantile_median(self):
+        dist = Lognormal(1.0, 0.5)
+        assert dist.quantile(0.5) == pytest.approx(math.e)
+
+    def test_cdf_quantile_roundtrip(self):
+        dist = Lognormal(0.0, 1.0)
+        assert dist.cdf(dist.quantile(0.8)) == pytest.approx(0.8)
+
+    def test_quantile_zero(self):
+        assert Lognormal(0.0, 1.0).quantile(0.0) == 0.0
+
+    def test_sampling(self, rng):
+        dist = Lognormal.from_mean_cv2(3.0, 0.2)
+        samples = dist.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(3.0, rel=0.02)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValidationError):
+            Lognormal(0.0, 0.0)

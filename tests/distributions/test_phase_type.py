@@ -1,0 +1,127 @@
+"""Tests for Gamma/Erlang/Hyperexponential/Uniform."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Erlang, Exponential, Gamma, Hyperexponential, Uniform
+from repro.errors import ValidationError
+
+
+class TestGamma:
+    def test_moments(self):
+        dist = Gamma(3.0, 6.0)
+        assert math.isclose(dist.mean, 0.5)
+        assert math.isclose(dist.variance, 3.0 / 36.0)
+
+    def test_from_mean_cv2(self):
+        dist = Gamma.from_mean_cv2(2.0, 0.25)
+        assert math.isclose(dist.mean, 2.0)
+        assert math.isclose(dist.cv2, 0.25)
+
+    def test_shape_one_is_exponential(self):
+        gamma = Gamma(1.0, 3.0)
+        exp = Exponential(3.0)
+        for t in (0.1, 0.5, 1.0):
+            assert math.isclose(gamma.cdf(t), exp.cdf(t), rel_tol=1e-10)
+
+    def test_laplace_closed_form(self):
+        dist = Gamma(2.5, 4.0)
+        assert math.isclose(dist.laplace(3.0), (4.0 / 7.0) ** 2.5)
+
+    def test_quantile_inverts_cdf(self):
+        dist = Gamma(2.0, 1.0)
+        assert dist.cdf(dist.quantile(0.75)) == pytest.approx(0.75)
+
+    def test_sampling(self, rng):
+        dist = Gamma(3.0, 6.0)
+        samples = dist.sample(rng, 100_000)
+        assert samples.mean() == pytest.approx(0.5, rel=0.02)
+
+
+class TestErlang:
+    def test_is_integer_gamma(self):
+        dist = Erlang(4, 2.0)
+        assert dist.order == 4
+        assert math.isclose(dist.mean, 2.0)
+
+    def test_rejects_fractional_order(self):
+        with pytest.raises(ValidationError):
+            Erlang(2.5, 1.0)
+
+    def test_cv2_below_one(self):
+        # Erlang is smoother than Poisson: cv2 = 1/k < 1.
+        assert Erlang(4, 1.0).cv2 == pytest.approx(0.25)
+
+
+class TestHyperexponential:
+    def test_balanced_two_phase_moments(self):
+        dist = Hyperexponential.balanced_two_phase(2.0, 4.0)
+        assert dist.mean == pytest.approx(2.0)
+        assert dist.cv2 == pytest.approx(4.0)
+
+    def test_cv2_one_collapses_to_exponential(self):
+        dist = Hyperexponential.balanced_two_phase(1.0, 1.0)
+        exp = Exponential(1.0)
+        assert dist.cdf(0.5) == pytest.approx(exp.cdf(0.5))
+
+    def test_rejects_cv2_below_one(self):
+        with pytest.raises(ValidationError):
+            Hyperexponential.balanced_two_phase(1.0, 0.5)
+
+    def test_laplace_is_mixture(self):
+        dist = Hyperexponential([0.4, 0.6], [1.0, 5.0])
+        expected = 0.4 * 1.0 / 3.0 + 0.6 * 5.0 / 7.0
+        assert dist.laplace(2.0) == pytest.approx(expected)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            Hyperexponential([0.5, 0.5], [1.0])
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            Hyperexponential([0.5, 0.4], [1.0, 2.0])
+
+    def test_sampling_mean(self, rng):
+        dist = Hyperexponential.balanced_two_phase(1.0, 9.0)
+        samples = dist.sample(rng, 300_000)
+        assert samples.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_scalar_sample(self, rng):
+        assert Hyperexponential([1.0], [2.0]).sample(rng) > 0
+
+
+class TestUniform:
+    def test_moments(self):
+        dist = Uniform(1.0, 3.0)
+        assert dist.mean == 2.0
+        assert dist.variance == pytest.approx(4.0 / 12.0)
+
+    def test_cdf_piecewise(self):
+        dist = Uniform(1.0, 3.0)
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(2.0) == 0.5
+        assert dist.cdf(4.0) == 1.0
+
+    def test_quantile(self):
+        assert Uniform(0.0, 2.0).quantile(0.25) == 0.5
+
+    def test_laplace_at_zero(self):
+        assert Uniform(0.0, 1.0).laplace(0.0) == 1.0
+
+    def test_laplace_closed_form(self):
+        dist = Uniform(0.0, 1.0)
+        s = 2.0
+        assert dist.laplace(s) == pytest.approx((1 - math.exp(-2.0)) / 2.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValidationError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValidationError):
+            Uniform(-1.0, 1.0)
+
+    def test_sampling_range(self, rng):
+        samples = Uniform(1.0, 3.0).sample(rng, 1000)
+        assert samples.min() >= 1.0
+        assert samples.max() <= 3.0

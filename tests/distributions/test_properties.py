@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for distribution invariants.
+
+Each property pins an axiom every distribution must satisfy — CDF
+monotonicity and range, quantile/CDF consistency, LST bounds and
+monotonicity — over randomly drawn parameters, not just the unit-test
+grid.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Erlang,
+    Exponential,
+    Gamma,
+    GeneralizedPareto,
+    Geometric,
+    Hyperexponential,
+    Lognormal,
+    Pareto,
+    Uniform,
+    Weibull,
+    Zipf,
+)
+
+rates = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+xis = st.floats(min_value=0.0, max_value=0.95, allow_nan=False)
+levels = st.floats(min_value=0.001, max_value=0.999, allow_nan=False)
+times = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+qs = st.floats(min_value=0.0, max_value=0.95, allow_nan=False)
+
+
+def _make_distributions(rate: float, xi: float):
+    return [
+        Exponential(rate),
+        GeneralizedPareto(rate, xi),
+        Gamma(2.0, rate),
+        Erlang(3, rate),
+        Weibull(1.3, 1.0 / rate),
+        Uniform(0.0, 2.0 / rate),
+        Pareto(2.5, 1.0 / rate),
+        Lognormal.from_mean_cv2(1.0 / rate, 0.5),
+        Hyperexponential.balanced_two_phase(1.0 / rate, 2.5),
+    ]
+
+
+class TestCdfProperties:
+    @given(rate=rates, xi=xis, t=times)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_in_unit_interval(self, rate, xi, t):
+        for dist in _make_distributions(rate, xi):
+            value = dist.cdf(t)
+            assert 0.0 <= value <= 1.0
+
+    @given(rate=rates, xi=xis, t1=times, t2=times)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_monotone(self, rate, xi, t1, t2):
+        lo, hi = min(t1, t2), max(t1, t2)
+        for dist in _make_distributions(rate, xi):
+            assert dist.cdf(lo) <= dist.cdf(hi) + 1e-12
+
+    @given(rate=rates, xi=xis)
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_zero_at_origin(self, rate, xi):
+        for dist in _make_distributions(rate, xi):
+            assert dist.cdf(0.0) <= 1e-9
+            assert dist.cdf(-1.0) == 0.0
+
+
+class TestQuantileProperties:
+    @given(rate=rates, xi=xis, k=levels)
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_cdf_consistency(self, rate, xi, k):
+        # F(Q(k)) >= k and F(Q(k) - eps) <= k (+ numerical slack).
+        for dist in _make_distributions(rate, xi):
+            quantile = dist.quantile(k)
+            assert dist.cdf(quantile) >= k - 1e-6
+
+    @given(rate=rates, xi=xis, k1=levels, k2=levels)
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_monotone(self, rate, xi, k1, k2):
+        lo, hi = min(k1, k2), max(k1, k2)
+        for dist in _make_distributions(rate, xi):
+            assert dist.quantile(lo) <= dist.quantile(hi) + 1e-12
+
+
+class TestLaplaceProperties:
+    @given(rate=st.floats(min_value=0.01, max_value=100.0), xi=xis,
+           s=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_lst_in_unit_interval(self, rate, xi, s):
+        for dist in (Exponential(rate), GeneralizedPareto(rate, xi), Gamma(2.0, rate)):
+            value = dist.laplace(s)
+            assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(rate=st.floats(min_value=0.01, max_value=100.0), xi=xis,
+           s1=st.floats(min_value=0.0, max_value=20.0),
+           s2=st.floats(min_value=0.0, max_value=20.0))
+    @settings(max_examples=50, deadline=None)
+    def test_lst_monotone_decreasing(self, rate, xi, s1, s2):
+        lo, hi = min(s1, s2), max(s1, s2)
+        for dist in (Exponential(rate), GeneralizedPareto(rate, xi)):
+            assert dist.laplace(lo) >= dist.laplace(hi) - 1e-9
+
+
+class TestGeometricProperties:
+    @given(q=qs, n=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=100, deadline=None)
+    def test_pmf_nonnegative_and_cdf_valid(self, q, n):
+        dist = Geometric(q)
+        assert dist.pmf(n) >= 0.0
+        assert 0.0 <= dist.cdf(n) <= 1.0
+
+    @given(q=qs)
+    @settings(max_examples=100, deadline=None)
+    def test_mean_formula(self, q):
+        assert math.isclose(Geometric(q).mean, 1.0 / (1.0 - q))
+
+    @given(q=st.floats(min_value=0.0, max_value=0.9), z=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_pgf_bounded(self, q, z):
+        value = Geometric(q).pgf(z)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestZipfProperties:
+    @given(n=st.integers(min_value=1, max_value=500),
+           s=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_sum_to_one(self, n, s):
+        dist = Zipf(n, s)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    @given(n=st.integers(min_value=2, max_value=500),
+           s=st.floats(min_value=0.01, max_value=3.0),
+           fraction=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_head_mass_bounds(self, n, s, fraction):
+        mass = Zipf(n, s).head_mass(fraction)
+        assert 0.0 < mass <= 1.0
+        # The head is at least its proportional share for s >= 0.
+        assert mass >= fraction / 2.0 - 1e-9 or n * fraction < 1.5
+
+
+class TestGeneralizedParetoProperties:
+    @given(rate=st.floats(min_value=0.01, max_value=1e5), xi=xis, k=levels)
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_closed_form_inverts(self, rate, xi, k):
+        dist = GeneralizedPareto(rate, xi)
+        # abs=1e-7: float error in (1+xi t/s)^(-1/xi) amplifies near the
+        # exponential limit (tiny xi), where -1/xi is enormous.
+        assert dist.cdf(dist.quantile(k)) == pytest.approx(k, abs=1e-7)
+
+    @given(rate=st.floats(min_value=0.01, max_value=1e5), xi=xis)
+    @settings(max_examples=100, deadline=None)
+    def test_mean_invariant_in_xi(self, rate, xi):
+        assert GeneralizedPareto(rate, xi).mean == pytest.approx(1.0 / rate)

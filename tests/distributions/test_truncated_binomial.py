@@ -1,0 +1,94 @@
+"""Tests for the truncated binomial batch-size law."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distributions import TruncatedBinomial
+from repro.errors import ValidationError
+
+
+class TestPmf:
+    def test_no_mass_at_zero(self):
+        dist = TruncatedBinomial(4, 0.5)
+        assert dist.pmf(0) == 0.0
+
+    def test_sums_to_one(self):
+        dist = TruncatedBinomial(10, 0.3)
+        assert sum(dist.pmf(k) for k in range(1, 11)) == pytest.approx(1.0)
+
+    def test_matches_conditioned_binomial(self):
+        n, p = 6, 0.4
+        dist = TruncatedBinomial(n, p)
+        p_zero = (1 - p) ** n
+        for k in range(1, n + 1):
+            expected = stats.binom.pmf(k, n, p) / (1 - p_zero)
+            assert dist.pmf(k) == pytest.approx(expected, rel=1e-9)
+
+    def test_mean_formula(self):
+        n, p = 8, 0.25
+        dist = TruncatedBinomial(n, p)
+        assert dist.mean == pytest.approx(n * p / (1 - (1 - p) ** n))
+
+    def test_cdf_endpoints(self):
+        dist = TruncatedBinomial(5, 0.5)
+        assert dist.cdf(0) == 0.0
+        assert dist.cdf(5) == 1.0
+
+    def test_pmf_outside_support(self):
+        dist = TruncatedBinomial(5, 0.5)
+        assert dist.pmf(6) == 0.0
+        assert dist.pmf(-1) == 0.0
+
+
+class TestPgf:
+    def test_pgf_at_one(self):
+        assert TruncatedBinomial(7, 0.3).pgf(1.0) == pytest.approx(1.0)
+
+    def test_pgf_closed_form(self):
+        n, p, z = 4, 0.5, 0.7
+        dist = TruncatedBinomial(n, p)
+        p_zero = (1 - p) ** n
+        expected = ((1 - p + p * z) ** n - p_zero) / (1 - p_zero)
+        assert dist.pgf(z) == pytest.approx(expected)
+
+    def test_pgf_derivative_gives_mean(self):
+        dist = TruncatedBinomial(9, 0.2)
+        h = 1e-7
+        slope = (dist.pgf(1.0) - dist.pgf(1.0 - h)) / h
+        assert slope == pytest.approx(dist.mean, rel=1e-4)
+
+
+class TestSampling:
+    def test_support(self, rng):
+        samples = TruncatedBinomial(4, 0.5).sample(rng, 10_000)
+        assert samples.min() >= 1
+        assert samples.max() <= 4
+
+    def test_mean(self, rng):
+        dist = TruncatedBinomial(12, 0.3)
+        samples = dist.sample(rng, 200_000)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.01)
+
+    def test_scalar(self, rng):
+        assert 1 <= TruncatedBinomial(4, 0.5).sample(rng) <= 4
+
+    def test_p_one_always_n(self, rng):
+        dist = TruncatedBinomial(3, 1.0)
+        assert np.all(dist.sample(rng, 100) == 3)
+
+
+class TestValidation:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            TruncatedBinomial(0, 0.5)
+
+    def test_rejects_zero_p(self):
+        with pytest.raises(ValidationError):
+            TruncatedBinomial(4, 0.0)
+
+    def test_rejects_p_above_one(self):
+        with pytest.raises(ValidationError):
+            TruncatedBinomial(4, 1.5)

@@ -1,0 +1,92 @@
+"""Smoke tests: every shipped example must run clean.
+
+Each example is executed in-process (import-free via runpy, isolated
+argv/cwd) so documentation code cannot rot silently. The slowest
+examples get reduced workloads through environment-free module-level
+constants, so these stay within CI budgets.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"missing example: {name}"
+    argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+def test_example_inventory():
+    """The README promises at least these examples."""
+    expected = {
+        "quickstart.py",
+        "capacity_planning.py",
+        "load_balance_advisor.py",
+        "workload_fitting.py",
+        "full_system_simulation.py",
+        "cache_sizing.py",
+        "tail_latency_and_redundancy.py",
+        "failure_recovery.py",
+        "diurnal_provisioning.py",
+    }
+    assert expected <= set(ALL_EXAMPLES)
+
+
+class TestQuickExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "T(150)" in out
+        assert "logarithmic" in out
+
+    def test_capacity_planning(self, capsys):
+        out = run_example("capacity_planning.py", capsys)
+        assert "rhoS" in out
+        assert "servers" in out
+
+    def test_cache_sizing(self, capsys):
+        out = run_example("cache_sizing.py", capsys)
+        assert "Miss-ratio curve" in out
+        assert "Che prediction" in out
+
+    def test_tail_latency_and_redundancy(self, capsys):
+        out = run_example("tail_latency_and_redundancy.py", capsys)
+        assert "p99.9" in out
+        assert "redundant reads" in out
+
+
+@pytest.mark.slow
+class TestHeavyExamples:
+    def test_load_balance_advisor(self, capsys):
+        out = run_example("load_balance_advisor.py", capsys)
+        assert "cliff utilization" in out
+
+    def test_workload_fitting(self, capsys):
+        out = run_example("workload_fitting.py", capsys)
+        assert "Fitted workload model" in out
+
+    def test_full_system_simulation(self, capsys):
+        out = run_example("full_system_simulation.py", capsys)
+        assert "measured miss ratio" in out
+
+    def test_failure_recovery(self, capsys):
+        out = run_example("failure_recovery.py", capsys)
+        assert "crashes" in out
+        assert "post-crash" in out
+
+    def test_diurnal_provisioning(self, capsys):
+        out = run_example("diurnal_provisioning.py", capsys)
+        assert "Per-phase" in out
+        assert "required muS" in out

@@ -1,0 +1,198 @@
+"""Integration: the paper's headline tables, figures and claims.
+
+Each test pins one published number or shape so regressions in any layer
+surface as a broken paper claim.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    ClusterModel,
+    DatabaseStage,
+    LatencyModel,
+    ServerStage,
+    WorkloadPattern,
+    fit_log_slope,
+)
+from repro.queueing import PAPER_TABLE_4, cliff_utilization
+from repro.units import kps, msec, usec
+
+
+def paper_model() -> LatencyModel:
+    return LatencyModel.build(
+        workload=WorkloadPattern.facebook(),
+        service_rate=kps(80),
+        network_delay=usec(20),
+        database_rate=1.0 / msec(1),
+        miss_ratio=0.01,
+    )
+
+
+class TestTable3:
+    """Table 3: Theorem 1 columns for the Facebook workload."""
+
+    def test_tn(self):
+        assert paper_model().estimate(150).network == pytest.approx(20e-6)
+
+    def test_ts_range(self):
+        server = paper_model().estimate(150).server
+        assert server.lower == pytest.approx(351e-6, rel=0.015)
+        assert server.upper == pytest.approx(366e-6, rel=0.015)
+
+    def test_td(self):
+        assert paper_model().estimate(150).database == pytest.approx(
+            836e-6, rel=0.015
+        )
+
+    def test_total(self):
+        estimate = paper_model().estimate(150)
+        assert estimate.total_lower == pytest.approx(836e-6, rel=0.015)
+        assert estimate.total_upper == pytest.approx(1222e-6, rel=0.015)
+
+    def test_paper_experiment_values_inside_upper_bounds(self):
+        # The paper measured TS=368us, TD=867us, T=1144us.
+        estimate = paper_model().estimate(150)
+        assert estimate.total_lower < 1144e-6 < estimate.total_upper
+        assert 867e-6 > estimate.database * 0.9
+        assert 368e-6 > estimate.server.lower
+
+
+class TestFigure5Concurrency:
+    def test_linear_in_one_over_one_minus_q(self):
+        stage_at = lambda q: ServerStage(
+            WorkloadPattern.facebook().with_q(q), kps(80)
+        ).mean_latency_bounds(150).upper
+        qs = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
+        ys = [stage_at(q) for q in qs]
+        xs = [1 / (1 - q) for q in qs]
+        # Check linearity: correlation of y with x nearly 1.
+        from repro.core import goodness_of_linear_fit
+
+        assert goodness_of_linear_fit(xs, ys) > 0.999
+
+    def test_range_matches_figure(self):
+        # Fig. 5 shows ~330-360us at q=0 rising to ~650-700us at q=0.5.
+        low = ServerStage(
+            WorkloadPattern.facebook().with_q(0.0), kps(80)
+        ).mean_latency_bounds(150).upper
+        high = ServerStage(
+            WorkloadPattern.facebook().with_q(0.5), kps(80)
+        ).mean_latency_bounds(150).upper
+        assert 300e-6 < low < 400e-6
+        assert high == pytest.approx(low * 1.8, rel=0.15)
+
+
+class TestFigure6Burst:
+    def test_monotone_increasing_in_xi(self):
+        values = [
+            ServerStage(
+                WorkloadPattern.facebook().with_xi(xi), kps(80)
+            ).mean_latency_bounds(150).upper
+            for xi in (0.0, 0.2, 0.4, 0.6)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_burst_blowup_magnitude(self):
+        # Fig. 6: from ~300us at xi=0 to ~1200+us at xi=0.6.
+        at0 = ServerStage(
+            WorkloadPattern.facebook().with_xi(0.0), kps(80)
+        ).mean_latency_bounds(150).upper
+        at6 = ServerStage(
+            WorkloadPattern.facebook().with_xi(0.6), kps(80)
+        ).mean_latency_bounds(150).upper
+        assert at6 / at0 > 2.5
+
+
+class TestFigure7CliffInRate:
+    def test_gentle_then_sharp(self):
+        stage_at = lambda lam: ServerStage(
+            WorkloadPattern.facebook().with_rate(kps(lam)), kps(80)
+        ).mean_latency_bounds(150).upper
+        gentle = stage_at(50) - stage_at(40)
+        sharp = stage_at(75) - stage_at(65)
+        assert sharp > 4 * gentle
+
+    def test_cliff_location_near_60kps(self):
+        # rho_S(0.15) ~ 0.75 -> cliff at ~60 Kps for muS = 80 Kps.
+        cliff_rho = cliff_utilization(0.15)
+        assert cliff_rho * 80 == pytest.approx(60.0, abs=2.0)
+
+
+class TestTable4:
+    def test_realistic_range_within_two_points(self):
+        for xi in (0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5):
+            assert cliff_utilization(xi) == pytest.approx(
+                PAPER_TABLE_4[xi], abs=0.025
+            ), f"xi={xi}"
+
+    def test_monotone_decreasing(self):
+        values = [cliff_utilization(xi) for xi in (0.0, 0.2, 0.4, 0.6, 0.8)]
+        assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestFigure11MissRatio:
+    def test_linear_regime_small_n(self):
+        # E[TD(N)] = Theta(r) for small N: doubling r doubles latency.
+        stage = lambda r: DatabaseStage(1.0 / msec(1), r).mean_latency(4)
+        assert stage(0.02) == pytest.approx(2 * stage(0.01), rel=0.05)
+
+    def test_log_regime_large_n(self):
+        # E[TD(N)] = Theta(log r) for large N: equal increments per decade
+        # of r, each ln(10)/muD, once N*r >> 1 in both decades.
+        stage = lambda r: DatabaseStage(1.0 / msec(1), r).mean_latency(100_000)
+        d1 = stage(1e-2) - stage(1e-3)
+        d2 = stage(1e-3) - stage(1e-4)
+        assert d1 == pytest.approx(d2, rel=0.1)
+        assert d1 == pytest.approx(math.log(10) / 1000.0, rel=0.1)
+
+    def test_figure_magnitudes(self):
+        # Fig. 11 right panel: ~2-5 ms at r=1e-3..1e-2 for N=1000.
+        value = DatabaseStage(1.0 / msec(1), 0.001).mean_latency(1000)
+        assert 0.4e-3 < value < 2e-3
+
+
+class TestFigures12And13KeyCount:
+    def test_ts_log_growth(self):
+        stage = ServerStage(WorkloadPattern.facebook(), kps(80))
+        ns = [10, 100, 1000, 10_000]
+        ys = [stage.mean_latency_bounds(n).upper for n in ns]
+        slope = fit_log_slope(ns, ys)
+        decay = stage.mean_latency_bounds(10).decay_rate
+        assert slope == pytest.approx(1.0 / decay, rel=0.05)
+
+    def test_td_log_growth_large_n(self):
+        database = DatabaseStage(1.0 / msec(1), 0.01)
+        ns = [10_000, 100_000, 1_000_000]
+        ys = [database.mean_latency(n) for n in ns]
+        increments = [b - a for a, b in zip(ys, ys[1:])]
+        assert increments[0] == pytest.approx(
+            math.log(10) / 1000.0, rel=0.05
+        )
+        assert increments[1] == pytest.approx(increments[0], rel=0.05)
+
+    def test_fig13_magnitude(self):
+        # Fig. 13: ~9-11 ms at N = 10^6.
+        value = DatabaseStage(1.0 / msec(1), 0.01).mean_latency(1_000_000)
+        assert 8e-3 < value < 12e-3
+
+
+class TestFigure10Imbalance:
+    def test_latency_explodes_past_p1_075(self):
+        workload = WorkloadPattern.facebook()
+        total = kps(80)
+
+        def upper(p1: float) -> float:
+            cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=p1)
+            stage = ServerStage.from_cluster(cluster, total, workload)
+            return stage.mean_latency_bounds(150).upper
+
+        gentle = upper(0.5) - upper(0.3)
+        sharp = upper(0.9) - upper(0.75)
+        assert sharp > 3 * gentle
+
+    def test_cliff_at_p1_075(self):
+        # Fig. 10: cliff when p1 * 80 Kps hits 75% of muS.
+        cliff_rho = cliff_utilization(0.15)
+        assert cliff_rho == pytest.approx(0.75, abs=0.02)

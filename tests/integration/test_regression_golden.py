@@ -1,0 +1,86 @@
+"""Golden regression values: seeded runs must stay bit-stable.
+
+The analytic values pin the math (any change to the solvers shows up
+here first); the seeded simulation values pin the RNG plumbing (stream
+splitting, sampling order). Update a golden value only when a deliberate
+behaviour change explains it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LatencyModel, ServerStage, WorkloadPattern
+from repro.queueing import delta_for_utilization
+from repro.simulation import MemcachedSystemSimulator, simulate_key_latencies
+from repro.core import ClusterModel
+from repro.units import kps, msec, usec
+
+
+class TestAnalyticGoldens:
+    def test_facebook_delta(self):
+        stage = ServerStage(WorkloadPattern.facebook(), kps(80))
+        assert stage.delta == pytest.approx(0.8104, abs=2e-4)
+
+    def test_table3_bounds_exact(self):
+        model = LatencyModel.build(
+            workload=WorkloadPattern.facebook(),
+            service_rate=kps(80),
+            network_delay=usec(20),
+            database_rate=1.0 / msec(1),
+            miss_ratio=0.01,
+        )
+        estimate = model.estimate(150)
+        assert estimate.server.lower == pytest.approx(352.06e-6, abs=0.2e-6)
+        assert estimate.server.upper == pytest.approx(367.46e-6, abs=0.2e-6)
+        assert estimate.database == pytest.approx(836.05e-6, abs=0.2e-6)
+
+    def test_delta_grid(self):
+        # A small grid of the normalized fixed point.
+        goldens = {
+            (0.15, 0.5): 0.5422,
+            (0.15, 0.78125): 0.8104,
+            (0.5, 0.5): 0.6950,
+            (0.0, 0.75): 0.75,
+        }
+        for (xi, rho), expected in goldens.items():
+            assert delta_for_utilization(xi, rho) == pytest.approx(
+                expected, abs=2e-3
+            ), (xi, rho)
+
+    def test_cliff_facebook(self):
+        from repro.queueing import cliff_utilization
+
+        assert cliff_utilization(0.15) == pytest.approx(0.759, abs=0.004)
+
+
+class TestSeededSimulationGoldens:
+    def test_fastpath_seeded_mean(self):
+        rng = np.random.default_rng(20170327)
+        latencies = simulate_key_latencies(
+            WorkloadPattern.facebook(), kps(80), n_keys=100_000, rng=rng
+        )
+        # Pin to a tight band; identical-seed runs are deterministic.
+        first = float(latencies.mean())
+        rng = np.random.default_rng(20170327)
+        second = float(
+            simulate_key_latencies(
+                WorkloadPattern.facebook(), kps(80), n_keys=100_000, rng=rng
+            ).mean()
+        )
+        assert first == second  # bit-stable
+        assert first == pytest.approx(73e-6, rel=0.1)  # sane magnitude
+
+    def test_system_sim_seeded_determinism(self):
+        def run():
+            system = MemcachedSystemSimulator(
+                ClusterModel.balanced(2, kps(80)),
+                n_keys_per_request=10,
+                request_rate=200.0,
+                network_delay=usec(20),
+                miss_ratio=0.02,
+                database_rate=1.0 / msec(1),
+                seed=99,
+            )
+            return system.run(n_requests=200).total.mean
+
+        assert run() == run()

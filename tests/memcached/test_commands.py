@@ -1,0 +1,226 @@
+"""Tests for the extended memcached command set.
+
+add / replace / append / prepend / incr / decr / touch — both the typed
+store API and the wire protocol dialect.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError, ValidationError
+from repro.memcached import (
+    ArithCommand,
+    CacheStore,
+    MemcachedServer,
+    StoreVariantCommand,
+    TouchCommand,
+    parse_command,
+)
+
+MIB = 1 << 20
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestStoreAddReplace:
+    def test_add_only_when_absent(self):
+        store = CacheStore(4 * MIB)
+        assert store.add("k", b"first") is True
+        assert store.add("k", b"second") is False
+        assert store.get("k").value == b"first"
+
+    def test_replace_only_when_present(self):
+        store = CacheStore(4 * MIB)
+        assert store.replace("k", b"v") is False
+        store.set("k", b"old")
+        assert store.replace("k", b"new") is True
+        assert store.get("k").value == b"new"
+
+    def test_add_after_expiry(self):
+        clock = FakeClock()
+        store = CacheStore(4 * MIB, clock=clock)
+        store.set("k", b"v", ttl=1.0)
+        clock.now = 2.0
+        assert store.add("k", b"fresh") is True
+
+
+class TestStoreConcat:
+    def test_append(self):
+        store = CacheStore(4 * MIB)
+        store.set("k", b"hello")
+        assert store.append("k", b" world") is True
+        assert store.get("k").value == b"hello world"
+
+    def test_prepend(self):
+        store = CacheStore(4 * MIB)
+        store.set("k", b"world")
+        assert store.prepend("k", b"hello ") is True
+        assert store.get("k").value == b"hello world"
+
+    def test_concat_missing_key(self):
+        store = CacheStore(4 * MIB)
+        assert store.append("ghost", b"x") is False
+        assert store.prepend("ghost", b"x") is False
+
+    def test_concat_preserves_expiry(self):
+        clock = FakeClock()
+        store = CacheStore(4 * MIB, clock=clock)
+        store.set("k", b"v", ttl=10.0)
+        store.append("k", b"v2")
+        clock.now = 11.0
+        assert store.get("k") is None
+
+
+class TestStoreArith:
+    def test_incr(self):
+        store = CacheStore(4 * MIB)
+        store.set("n", b"41")
+        assert store.incr("n") == 42
+        assert store.get("n").value == b"42"
+
+    def test_incr_with_delta(self):
+        store = CacheStore(4 * MIB)
+        store.set("n", b"10")
+        assert store.incr("n", 32) == 42
+
+    def test_decr_clamps_at_zero(self):
+        store = CacheStore(4 * MIB)
+        store.set("n", b"5")
+        assert store.decr("n", 100) == 0
+
+    def test_arith_missing_returns_none(self):
+        store = CacheStore(4 * MIB)
+        assert store.incr("ghost") is None
+        assert store.decr("ghost") is None
+
+    def test_arith_non_numeric_raises(self):
+        store = CacheStore(4 * MIB)
+        store.set("k", b"hello")
+        with pytest.raises(ValidationError):
+            store.incr("k")
+
+    def test_arith_preserves_expiry(self):
+        clock = FakeClock()
+        store = CacheStore(4 * MIB, clock=clock)
+        store.set("n", b"1", ttl=10.0)
+        store.incr("n")
+        clock.now = 11.0
+        assert store.get("n") is None
+
+
+class TestStoreTouch:
+    def test_touch_extends_life(self):
+        clock = FakeClock()
+        store = CacheStore(4 * MIB, clock=clock)
+        store.set("k", b"v", ttl=5.0)
+        clock.now = 4.0
+        assert store.touch("k", 10.0) is True
+        clock.now = 9.0
+        assert store.get("k") is not None
+
+    def test_touch_can_remove_ttl(self):
+        clock = FakeClock()
+        store = CacheStore(4 * MIB, clock=clock)
+        store.set("k", b"v", ttl=5.0)
+        store.touch("k", None)
+        clock.now = 1e6
+        assert store.get("k") is not None
+
+    def test_touch_missing(self):
+        assert CacheStore(4 * MIB).touch("ghost", 5.0) is False
+
+
+class TestProtocolParsing:
+    @pytest.mark.parametrize("verb", ["add", "replace", "append", "prepend"])
+    def test_store_variants(self, verb):
+        cmd = parse_command(f"{verb} k 1 0 3", b"abc")
+        assert isinstance(cmd, StoreVariantCommand)
+        assert cmd.verb == verb
+        assert cmd.value == b"abc"
+
+    def test_variant_requires_data(self):
+        with pytest.raises(ProtocolError):
+            parse_command("add k 0 0 3")
+
+    def test_incr_decr(self):
+        cmd = parse_command("incr counter 5")
+        assert isinstance(cmd, ArithCommand)
+        assert cmd.verb == "incr"
+        assert cmd.delta == 5
+        assert parse_command("decr counter 1").verb == "decr"
+
+    def test_incr_rejects_negative_delta(self):
+        with pytest.raises(ProtocolError):
+            parse_command("incr counter -1")
+
+    def test_incr_rejects_bad_delta(self):
+        with pytest.raises(ProtocolError):
+            parse_command("incr counter abc")
+
+    def test_touch(self):
+        cmd = parse_command("touch k 30")
+        assert isinstance(cmd, TouchCommand)
+        assert cmd.exptime == 30.0
+
+    def test_touch_arity(self):
+        with pytest.raises(ProtocolError):
+            parse_command("touch k")
+
+    def test_noreply_variants(self):
+        assert parse_command("incr k 1 noreply").noreply
+        assert parse_command("touch k 5 noreply").noreply
+        assert parse_command("add k 0 0 1 noreply", b"x").noreply
+
+
+class TestServerWire:
+    def test_add_stored_then_not_stored(self):
+        server = MemcachedServer("s", 4 * MIB)
+        assert server.handle_line("add k 0 0 1", b"a") == "STORED\r\n"
+        assert server.handle_line("add k 0 0 1", b"b") == "NOT_STORED\r\n"
+
+    def test_replace_not_stored_when_absent(self):
+        server = MemcachedServer("s", 4 * MIB)
+        assert server.handle_line("replace k 0 0 1", b"a") == "NOT_STORED\r\n"
+
+    def test_append_roundtrip(self):
+        server = MemcachedServer("s", 4 * MIB)
+        server.handle_line("set k 0 0 2", b"ab")
+        assert server.handle_line("append k 0 0 2", b"cd") == "STORED\r\n"
+        assert "abcd" in server.handle_line("get k")
+
+    def test_prepend_roundtrip(self):
+        server = MemcachedServer("s", 4 * MIB)
+        server.handle_line("set k 0 0 2", b"cd")
+        server.handle_line("prepend k 0 0 2", b"ab")
+        assert "abcd" in server.handle_line("get k")
+
+    def test_incr_wire(self):
+        server = MemcachedServer("s", 4 * MIB)
+        server.handle_line("set n 0 0 2", b"41")
+        assert server.handle_line("incr n 1") == "42\r\n"
+        assert server.handle_line("decr n 2") == "40\r\n"
+
+    def test_incr_missing_key(self):
+        server = MemcachedServer("s", 4 * MIB)
+        assert server.handle_line("incr ghost 1") == "NOT_FOUND\r\n"
+
+    def test_incr_non_numeric_is_client_error(self):
+        server = MemcachedServer("s", 4 * MIB)
+        server.handle_line("set k 0 0 5", b"hello")
+        assert server.handle_line("incr k 1").startswith("CLIENT_ERROR")
+
+    def test_touch_wire(self):
+        server = MemcachedServer("s", 4 * MIB)
+        server.handle_line("set k 0 0 1", b"v")
+        assert server.handle_line("touch k 100") == "TOUCHED\r\n"
+        assert server.handle_line("touch ghost 100") == "NOT_FOUND\r\n"
+
+    def test_noreply_suppresses(self):
+        server = MemcachedServer("s", 4 * MIB)
+        assert server.handle_line("add k 0 0 1 noreply", b"v") == ""
+        assert server.handle_line("incr ghost 1 noreply") == ""

@@ -1,0 +1,134 @@
+"""Failure injection: server crashes, scale-out, and miss storms.
+
+The paper treats the miss ratio r as a constant; these tests exercise
+the regime where it is not — a node failure remaps keys through the
+ring and creates a transient miss storm whose magnitude and recovery
+the executable substrate lets us measure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Zipf
+from repro.errors import ValidationError
+from repro.memcached import MemcachedCluster, SimulatedCacheBackend
+
+MIB = 1 << 20
+
+
+def drive_traffic(cluster, popularity, rng, n_ops, *, fill=True):
+    """Run Zipf get-or-fill traffic; returns the measured miss count."""
+    misses = 0
+    for _ in range(n_ops):
+        rank = int(popularity.sample(rng))
+        key = f"item:{rank}"
+        if cluster.get(key) is None:
+            misses += 1
+            if fill:
+                cluster.set(key, b"x" * 100)
+    return misses
+
+
+class TestServerRemoval:
+    def test_items_of_removed_server_lost(self):
+        cluster = MemcachedCluster(3, 4 * MIB)
+        keys = [f"key{i}" for i in range(300)]
+        for key in keys:
+            cluster.set(key, b"v")
+        victim_index = 0
+        victim = cluster.servers[victim_index]
+        owned = [k for k in keys if cluster.server_for(k) is victim]
+        assert owned, "victim should own some keys"
+        cluster.remove_server(victim_index)
+        # Keys it owned now miss; others still hit.
+        for key in keys:
+            item = cluster.get(key)
+            if key in owned:
+                assert item is None
+            else:
+                assert item is not None
+
+    def test_survivors_keep_their_keys(self):
+        cluster = MemcachedCluster(4, 4 * MIB)
+        keys = [f"k{i}" for i in range(500)]
+        for key in keys:
+            cluster.set(key, b"v")
+        before = {key: cluster.server_for(key).name for key in keys}
+        removed = cluster.remove_server(1)
+        for key in keys:
+            if before[key] != removed.name:
+                assert cluster.server_for(key).name == before[key]
+
+    def test_cannot_remove_last(self):
+        cluster = MemcachedCluster(1, 4 * MIB)
+        with pytest.raises(ValidationError):
+            cluster.remove_server(0)
+
+    def test_bad_index(self):
+        with pytest.raises(ValidationError):
+            MemcachedCluster(2, 4 * MIB).remove_server(5)
+
+
+class TestMissStorm:
+    def test_failure_spikes_miss_ratio_then_recovers(self, rng):
+        popularity = Zipf(500, 0.9)
+        cluster = MemcachedCluster(4, 16 * MIB)
+        # Warm to steady state.
+        drive_traffic(cluster, popularity, rng, 5000)
+        baseline = drive_traffic(cluster, popularity, rng, 2000) / 2000
+        assert baseline < 0.05
+
+        cluster.remove_server(0)
+        # Measure the spike without demand fill so healing does not
+        # smear it within the measurement window.
+        storm = drive_traffic(cluster, popularity, rng, 2000, fill=False) / 2000
+        assert storm > max(5 * baseline, 0.03)  # the miss storm
+
+        # Demand fill heals the hole.
+        drive_traffic(cluster, popularity, rng, 8000)
+        recovered = drive_traffic(cluster, popularity, rng, 2000) / 2000
+        assert recovered < storm / 2
+
+    def test_storm_magnitude_tracks_ring_share(self, rng):
+        """The transient miss mass is ~ the failed node's access share."""
+        popularity = Zipf(2000, 0.8)
+        cluster = MemcachedCluster(4, 32 * MIB)
+        keys = [f"item:{rank}" for rank in range(1, 2001)]
+        shares = cluster.ring.load_shares(
+            keys, weights=popularity.probabilities
+        )
+        drive_traffic(cluster, popularity, rng, 20_000)
+        victim_share = shares[0]
+        cluster.remove_server(0)
+        storm = drive_traffic(cluster, popularity, rng, 4000, fill=False) / 4000
+        assert storm == pytest.approx(victim_share, abs=0.08)
+
+
+class TestScaleOut:
+    def test_new_server_is_cold_then_warms(self, rng):
+        popularity = Zipf(500, 0.9)
+        cluster = MemcachedCluster(2, 16 * MIB)
+        drive_traffic(cluster, popularity, rng, 5000)
+        new_server = cluster.add_server(16 * MIB)
+        assert len(new_server.store) == 0
+        assert cluster.n_servers == 3
+        drive_traffic(cluster, popularity, rng, 5000)
+        assert len(new_server.store) > 0
+
+    def test_add_assigns_fresh_name(self):
+        cluster = MemcachedCluster(2, 4 * MIB)
+        server = cluster.add_server(4 * MIB)
+        names = [s.name for s in cluster.servers]
+        assert len(set(names)) == 3
+        assert server.name in names
+
+    def test_routing_consistent_after_add(self):
+        cluster = MemcachedCluster(2, 4 * MIB)
+        cluster.set("stable-key", b"v")
+        owner_before = cluster.server_for("stable-key").name
+        cluster.add_server(4 * MIB)
+        owner_after = cluster.server_for("stable-key").name
+        # Either unchanged or remapped to the new node; if unchanged the
+        # value must still be readable.
+        if owner_after == owner_before:
+            assert cluster.get("stable-key") is not None

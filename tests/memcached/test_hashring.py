@@ -1,0 +1,127 @@
+"""Tests for consistent hashing and the modulo baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.memcached import HashRing, ModuloRouter, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("key") == stable_hash("key")
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_64bit_range(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+
+class TestHashRing:
+    def test_lookup_deterministic(self):
+        ring = HashRing(["a", "b", "c"])
+        assert ring.node_for("key1") == ring.node_for("key1")
+
+    def test_all_nodes_receive_keys(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        owners = {ring.node_for(f"key{i}") for i in range(1000)}
+        assert owners == {"a", "b", "c", "d"}
+
+    def test_roughly_uniform_shares(self):
+        ring = HashRing(["a", "b", "c", "d"], replicas=256)
+        keys = [f"key{i}" for i in range(20_000)]
+        shares = ring.load_shares(keys)
+        assert all(0.15 < share < 0.35 for share in shares)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_weighted_shares(self):
+        ring = HashRing(["a", "b"])
+        keys = ["k1", "k2"]
+        owner1, owner2 = ring.node_for("k1"), ring.node_for("k2")
+        shares = ring.load_shares(keys, weights=[3.0, 1.0])
+        idx1 = ring.nodes.index(owner1)
+        if owner1 == owner2:
+            assert shares[idx1] == pytest.approx(1.0)
+        else:
+            assert shares[idx1] == pytest.approx(0.75)
+
+    def test_add_node_minimal_remap(self):
+        ring = HashRing(["a", "b", "c", "d"], replicas=256)
+        keys = [f"key{i}" for i in range(5000)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.add_node("e")
+        moved = sum(1 for key in keys if ring.node_for(key) != before[key])
+        # Consistent hashing: ~1/5 of keys move, far from all.
+        assert moved / len(keys) < 0.35
+
+    def test_remove_node_only_moves_its_keys(self):
+        ring = HashRing(["a", "b", "c"], replicas=256)
+        keys = [f"key{i}" for i in range(3000)]
+        before = {key: ring.node_for(key) for key in keys}
+        ring.remove_node("b")
+        for key in keys:
+            if before[key] != "b":
+                assert ring.node_for(key) == before[key]
+            else:
+                assert ring.node_for(key) != "b"
+
+    def test_index_for(self):
+        ring = HashRing(["a", "b"])
+        idx = ring.index_for("some-key")
+        assert ring.nodes[idx] == ring.node_for("some-key")
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing(["a", "a"])
+        ring = HashRing(["a"])
+        with pytest.raises(ValidationError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValidationError):
+            HashRing(["a"]).remove_node("z")
+
+    def test_empty_ring_lookup_rejected(self):
+        ring = HashRing(["a"])
+        ring.remove_node("a")
+        with pytest.raises(ValidationError):
+            ring.node_for("key")
+
+    def test_more_replicas_smoother(self):
+        keys = [f"key{i}" for i in range(20_000)]
+        rough = HashRing(["a", "b", "c", "d"], replicas=4)
+        smooth = HashRing(["a", "b", "c", "d"], replicas=512)
+        spread_rough = np.std(rough.load_shares(keys))
+        spread_smooth = np.std(smooth.load_shares(keys))
+        assert spread_smooth < spread_rough
+
+    def test_weight_validation(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValidationError):
+            ring.load_shares(["k"], weights=[1.0, 2.0])
+        with pytest.raises(ValidationError):
+            ring.load_shares(["k"], weights=[-1.0])
+
+
+class TestModuloRouter:
+    def test_deterministic(self):
+        router = ModuloRouter(4)
+        assert router.index_for("k") == router.index_for("k")
+        assert 0 <= router.index_for("k") < 4
+
+    def test_resize_remaps_most_keys(self):
+        router = ModuloRouter(4)
+        keys = [f"key{i}" for i in range(5000)]
+        fraction = router.remap_fraction(5, keys)
+        # Modulo placement moves ~(1 - 1/5) of keys: the consistent-hash
+        # motivation in one number.
+        assert fraction > 0.6
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            ModuloRouter(0)
+        with pytest.raises(ValidationError):
+            ModuloRouter(4).remap_fraction(0, ["k"])
+        with pytest.raises(ValidationError):
+            ModuloRouter(4).remap_fraction(5, [])

@@ -1,0 +1,136 @@
+"""Tests for the O(1) LRU list."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.memcached import LRUList
+
+
+class TestBasicOrder:
+    def test_insert_and_len(self):
+        lru = LRUList()
+        lru.insert("a")
+        lru.insert("b")
+        assert len(lru) == 2
+        assert "a" in lru
+        assert "c" not in lru
+
+    def test_mru_lru_ends(self):
+        lru = LRUList()
+        for key in "abc":
+            lru.insert(key)
+        assert lru.peek_mru() == "c"
+        assert lru.peek_lru() == "a"
+
+    def test_iteration_mru_to_lru(self):
+        lru = LRUList()
+        for key in "abc":
+            lru.insert(key)
+        assert list(lru) == ["c", "b", "a"]
+
+    def test_empty_peeks(self):
+        lru = LRUList()
+        assert lru.peek_lru() is None
+        assert lru.peek_mru() is None
+
+
+class TestTouch:
+    def test_touch_moves_to_mru(self):
+        lru = LRUList()
+        for key in "abc":
+            lru.insert(key)
+        lru.touch("a")
+        assert lru.peek_mru() == "a"
+        assert lru.peek_lru() == "b"
+
+    def test_touch_head_is_noop(self):
+        lru = LRUList()
+        for key in "ab":
+            lru.insert(key)
+        lru.touch("b")
+        assert list(lru) == ["b", "a"]
+
+    def test_touch_missing_raises(self):
+        with pytest.raises(KeyError):
+            LRUList().touch("ghost")
+
+
+class TestEviction:
+    def test_evicts_lru_first(self):
+        lru = LRUList()
+        for key in "abc":
+            lru.insert(key)
+        assert lru.evict_lru() == "a"
+        assert lru.evict_lru() == "b"
+        assert lru.evict_lru() == "c"
+        assert len(lru) == 0
+
+    def test_touch_changes_eviction_order(self):
+        lru = LRUList()
+        for key in "abc":
+            lru.insert(key)
+        lru.touch("a")
+        assert lru.evict_lru() == "b"
+
+    def test_evict_empty_raises(self):
+        with pytest.raises(ValidationError):
+            LRUList().evict_lru()
+
+
+class TestRemove:
+    def test_remove_middle(self):
+        lru = LRUList()
+        for key in "abc":
+            lru.insert(key)
+        lru.remove("b")
+        assert list(lru) == ["c", "a"]
+
+    def test_remove_head_and_tail(self):
+        lru = LRUList()
+        for key in "abc":
+            lru.insert(key)
+        lru.remove("c")
+        lru.remove("a")
+        assert list(lru) == ["b"]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            LRUList().remove("ghost")
+
+    def test_duplicate_insert_rejected(self):
+        lru = LRUList()
+        lru.insert("a")
+        with pytest.raises(ValidationError):
+            lru.insert("a")
+
+    def test_reinsert_after_remove(self):
+        lru = LRUList()
+        lru.insert("a")
+        lru.remove("a")
+        lru.insert("a")
+        assert list(lru) == ["a"]
+
+
+class TestStress:
+    def test_many_operations_keep_consistency(self, rng):
+        lru = LRUList()
+        reference = []
+        for step in range(5000):
+            op = rng.integers(0, 4)
+            if op == 0 or not reference:
+                key = f"k{step}"
+                lru.insert(key)
+                reference.insert(0, key)
+            elif op == 1:
+                idx = int(rng.integers(0, len(reference)))
+                key = reference.pop(idx)
+                lru.touch(key)
+                reference.insert(0, key)
+            elif op == 2:
+                idx = int(rng.integers(0, len(reference)))
+                key = reference.pop(idx)
+                lru.remove(key)
+            else:
+                key = lru.evict_lru()
+                assert key == reference.pop()
+        assert list(lru) == reference

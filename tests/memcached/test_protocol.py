@@ -1,0 +1,157 @@
+"""Tests for the memcached text-protocol subset."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memcached import (
+    DeleteCommand,
+    FlushCommand,
+    GetCommand,
+    SetCommand,
+    StatsCommand,
+    VersionCommand,
+    parse_command,
+    render_get_response,
+    render_stats,
+)
+from repro.memcached.protocol import (
+    render_deleted,
+    render_error,
+    render_ok,
+    render_stored,
+    render_value,
+)
+
+
+class TestParseGet:
+    def test_single_key(self):
+        cmd = parse_command("get foo")
+        assert isinstance(cmd, GetCommand)
+        assert cmd.keys == ("foo",)
+        assert not cmd.with_cas
+
+    def test_multi_key(self):
+        cmd = parse_command("get a b c")
+        assert cmd.keys == ("a", "b", "c")
+
+    def test_gets_sets_cas_flag(self):
+        assert parse_command("gets foo").with_cas
+
+    def test_no_keys_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("get")
+
+    def test_key_with_whitespace_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("get bad\tkey")
+
+    def test_overlong_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("get " + "x" * 251)
+
+
+class TestParseSet:
+    def test_basic(self):
+        cmd = parse_command("set foo 5 0 3", b"bar")
+        assert isinstance(cmd, SetCommand)
+        assert cmd.key == "foo"
+        assert cmd.flags == 5
+        assert cmd.exptime == 0.0
+        assert cmd.value == b"bar"
+        assert not cmd.noreply
+
+    def test_noreply(self):
+        cmd = parse_command("set foo 0 0 1 noreply", b"x")
+        assert cmd.noreply
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("set foo 0 0 5", b"bar")
+
+    def test_missing_data_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("set foo 0 0 3")
+
+    def test_bad_numbers_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("set foo x 0 3", b"bar")
+
+    def test_bad_trailing_token_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("set foo 0 0 1 what", b"x")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("set foo 0 0", b"x")
+
+
+class TestParseOthers:
+    def test_delete(self):
+        cmd = parse_command("delete foo")
+        assert isinstance(cmd, DeleteCommand)
+        assert cmd.key == "foo"
+
+    def test_delete_noreply(self):
+        assert parse_command("delete foo noreply").noreply
+
+    def test_flush_all(self):
+        assert isinstance(parse_command("flush_all"), FlushCommand)
+
+    def test_flush_noreply(self):
+        assert parse_command("flush_all noreply").noreply
+
+    def test_flush_bad_arg(self):
+        with pytest.raises(ProtocolError):
+            parse_command("flush_all now")
+
+    def test_stats(self):
+        assert isinstance(parse_command("stats"), StatsCommand)
+
+    def test_version(self):
+        assert isinstance(parse_command("version"), VersionCommand)
+
+    def test_unknown_verb(self):
+        with pytest.raises(ProtocolError):
+            parse_command("frobnicate foo")
+
+    def test_empty_line(self):
+        with pytest.raises(ProtocolError):
+            parse_command("")
+
+    def test_crlf_stripped(self):
+        cmd = parse_command("get foo\r\n")
+        assert cmd.keys == ("foo",)
+
+
+class TestRender:
+    def test_value_block(self):
+        block = render_value("k", 1, b"abc")
+        assert block == "VALUE k 1 3\r\nabc\r\n"
+
+    def test_value_with_cas(self):
+        assert "VALUE k 1 3 42" in render_value("k", 1, b"abc", cas=42)
+
+    def test_get_response_hits_then_end(self):
+        text = render_get_response([("a", 0, b"1", 7), ("b", 2, b"22", 8)])
+        assert text.startswith("VALUE a 0 1\r\n")
+        assert text.endswith("END\r\n")
+        assert "VALUE b 2 2" in text
+
+    def test_get_response_cas_included_when_requested(self):
+        text = render_get_response([("a", 0, b"1", 7)], with_cas=True)
+        assert "VALUE a 0 1 7" in text
+
+    def test_empty_get_response(self):
+        assert render_get_response([]) == "END\r\n"
+
+    def test_simple_responses(self):
+        assert render_stored() == "STORED\r\n"
+        assert render_deleted(True) == "DELETED\r\n"
+        assert render_deleted(False) == "NOT_FOUND\r\n"
+        assert render_ok() == "OK\r\n"
+        assert render_error("oops") == "CLIENT_ERROR oops\r\n"
+
+    def test_stats_rendering(self):
+        text = render_stats([("cmd_get", 10), ("get_hits", 7)])
+        assert "STAT cmd_get 10\r\n" in text
+        assert text.endswith("END\r\n")

@@ -1,0 +1,186 @@
+"""Tests for the in-process server, cluster client and adapter."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Zipf
+from repro.errors import ValidationError
+from repro.memcached import (
+    MemcachedCluster,
+    MemcachedServer,
+    SimulatedCacheBackend,
+)
+
+MIB = 1 << 20
+
+
+class TestServerWireProtocol:
+    def test_set_get_roundtrip(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        assert server.handle_line("set foo 7 0 3", b"bar") == "STORED\r\n"
+        response = server.handle_line("get foo")
+        assert "VALUE foo 7 3" in response
+        assert "bar" in response
+        assert response.endswith("END\r\n")
+
+    def test_get_miss_returns_end(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        assert server.handle_line("get nothing") == "END\r\n"
+
+    def test_multi_get_partial_hits(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        server.handle_line("set a 0 0 1", b"1")
+        response = server.handle_line("get a b")
+        assert "VALUE a" in response
+        assert "VALUE b" not in response
+
+    def test_gets_includes_cas(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        server.handle_line("set a 0 0 1", b"1")
+        response = server.handle_line("gets a")
+        parts = response.splitlines()[0].split(" ")
+        assert len(parts) == 5  # VALUE key flags bytes cas
+
+    def test_delete(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        server.handle_line("set a 0 0 1", b"1")
+        assert server.handle_line("delete a") == "DELETED\r\n"
+        assert server.handle_line("delete a") == "NOT_FOUND\r\n"
+
+    def test_noreply_suppresses_response(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        assert server.handle_line("set a 0 0 1 noreply", b"1") == ""
+
+    def test_flush_all(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        server.handle_line("set a 0 0 1", b"1")
+        assert server.handle_line("flush_all") == "OK\r\n"
+        assert server.handle_line("get a") == "END\r\n"
+
+    def test_stats_counters(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        server.handle_line("set a 0 0 1", b"1")
+        server.handle_line("get a")
+        server.handle_line("get zz")
+        stats = server.handle_line("stats")
+        assert "STAT cmd_get 2" in stats
+        assert "STAT get_hits 1" in stats
+        assert "STAT get_misses 1" in stats
+        assert "STAT curr_items 1" in stats
+
+    def test_version(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        assert server.handle_line("version").startswith("VERSION")
+
+    def test_protocol_error_becomes_client_error(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        assert server.handle_line("bogus cmd").startswith("CLIENT_ERROR")
+
+    def test_miss_ratio_property(self):
+        server = MemcachedServer("s0", 4 * MIB)
+        server.handle_line("get a")
+        assert server.miss_ratio == 1.0
+
+
+class TestCluster:
+    def test_routing_consistent(self):
+        cluster = MemcachedCluster(4, 4 * MIB)
+        cluster.set("foo", b"bar")
+        assert cluster.get("foo").value == b"bar"
+        # Only the owner holds the key.
+        holders = sum(1 for s in cluster.servers if "foo" in s.store)
+        assert holders == 1
+
+    def test_multi_get(self):
+        cluster = MemcachedCluster(4, 4 * MIB)
+        cluster.set("a", b"1")
+        cluster.set("b", b"2")
+        result = cluster.multi_get(["a", "b", "c"])
+        assert result["a"].value == b"1"
+        assert result["b"].value == b"2"
+        assert result["c"] is None
+
+    def test_delete(self):
+        cluster = MemcachedCluster(2, 4 * MIB)
+        cluster.set("a", b"1")
+        assert cluster.delete("a") is True
+        assert cluster.get("a") is None
+
+    def test_aggregate_miss_ratio(self):
+        cluster = MemcachedCluster(2, 4 * MIB)
+        cluster.set("a", b"1")
+        cluster.get("a")
+        cluster.get("missing1")
+        cluster.get("missing2")
+        # delete-get-set bookkeeping: 3 gets, 2 misses... plus the set.
+        assert cluster.miss_ratio() == pytest.approx(2 / 3)
+
+    def test_access_shares_sum_to_one(self):
+        cluster = MemcachedCluster(4, 4 * MIB)
+        for i in range(400):
+            cluster.get(f"key{i}")
+        shares = cluster.access_shares()
+        assert sum(shares) == pytest.approx(1.0)
+        assert len(shares) == 4
+
+    def test_access_shares_need_traffic(self):
+        with pytest.raises(ValidationError):
+            MemcachedCluster(2, 4 * MIB).access_shares()
+
+    def test_predicted_shares(self):
+        cluster = MemcachedCluster(4, 4 * MIB)
+        keys = [f"key{i}" for i in range(2000)]
+        shares = cluster.predicted_shares(keys)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_flush_all(self):
+        cluster = MemcachedCluster(2, 4 * MIB)
+        cluster.set("a", b"1")
+        cluster.flush_all()
+        assert cluster.get("a") is None
+
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ValidationError):
+            MemcachedCluster(0, 4 * MIB)
+
+
+class TestSimulatedCacheBackend:
+    def test_miss_ratio_emerges_from_capacity(self, rng):
+        # Tiny cache, large catalog -> misses; demand fill keeps hot keys.
+        cluster = MemcachedCluster(2, MIB)
+        backend = SimulatedCacheBackend(
+            cluster, n_items=50_000, value_size=4096, rng=rng
+        )
+        for _ in range(4000):
+            backend.lookup(0, "ignored")
+        assert 0.0 < backend.measured_miss_ratio < 1.0
+
+    def test_big_cache_small_catalog_low_misses(self, rng):
+        cluster = MemcachedCluster(2, 32 * MIB)
+        backend = SimulatedCacheBackend(
+            cluster, n_items=500, value_size=256, rng=rng
+        )
+        backend.warm()
+        for _ in range(2000):
+            backend.lookup(0, "ignored")
+        assert backend.measured_miss_ratio < 0.02
+
+    def test_warm_fraction(self, rng):
+        cluster = MemcachedCluster(2, 32 * MIB)
+        backend = SimulatedCacheBackend(cluster, n_items=1000, rng=rng)
+        inserted = backend.warm(0.1)
+        assert inserted == 100
+
+    def test_model_shares_sum_to_one(self, rng):
+        cluster = MemcachedCluster(4, 4 * MIB)
+        backend = SimulatedCacheBackend(cluster, n_items=10_000, rng=rng)
+        shares = backend.model_shares()
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self, rng):
+        cluster = MemcachedCluster(2, 4 * MIB)
+        with pytest.raises(ValidationError):
+            SimulatedCacheBackend(cluster, n_items=0, rng=rng)
+        backend = SimulatedCacheBackend(cluster, n_items=10, rng=rng)
+        with pytest.raises(ValidationError):
+            backend.warm(0.0)

@@ -1,0 +1,141 @@
+"""Tests for the slab allocator."""
+
+import pytest
+
+from repro.errors import CacheCapacityError, ValidationError
+from repro.memcached import SlabAllocator, build_chunk_sizes
+from repro.memcached.slab import DEFAULT_PAGE_SIZE
+
+MIB = 1 << 20
+
+
+class TestChunkLadder:
+    def test_geometric_growth(self):
+        sizes = build_chunk_sizes(96, 1.25, MIB)
+        ratios = [b / a for a, b in zip(sizes[:-2], sizes[1:-1])]
+        assert all(1.0 < ratio <= 1.3 for ratio in ratios)
+
+    def test_starts_at_min_and_ends_at_page(self):
+        sizes = build_chunk_sizes(96, 1.25, MIB)
+        assert sizes[0] == 96
+        assert sizes[-1] == MIB
+
+    def test_eight_byte_alignment(self):
+        sizes = build_chunk_sizes(96, 1.25, MIB)
+        assert all(size % 8 == 0 for size in sizes[:-1])
+
+    def test_strictly_increasing(self):
+        sizes = build_chunk_sizes(48, 1.07, MIB)
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            build_chunk_sizes(0, 1.25, MIB)
+        with pytest.raises(ValidationError):
+            build_chunk_sizes(96, 1.0, MIB)
+        with pytest.raises(ValidationError):
+            build_chunk_sizes(96, 1.25, 10)
+
+
+class TestAllocation:
+    def test_class_selection(self):
+        allocator = SlabAllocator(4 * MIB)
+        sizes = allocator.chunk_sizes
+        idx = allocator.class_index_for(sizes[0] + 1)
+        assert sizes[idx] >= sizes[0] + 1
+        assert idx >= 1
+
+    def test_store_and_contains(self):
+        allocator = SlabAllocator(4 * MIB)
+        assert allocator.store("k1", 100) is None
+        assert "k1" in allocator
+        assert len(allocator) == 1
+
+    def test_oversized_item_rejected(self):
+        allocator = SlabAllocator(4 * MIB)
+        with pytest.raises(CacheCapacityError):
+            allocator.store("big", 2 * MIB)
+
+    def test_duplicate_key_rejected(self):
+        allocator = SlabAllocator(4 * MIB)
+        allocator.store("k", 100)
+        with pytest.raises(ValidationError):
+            allocator.store("k", 100)
+
+    def test_free_releases_chunk(self):
+        allocator = SlabAllocator(4 * MIB)
+        allocator.store("k", 100)
+        allocator.free("k")
+        assert "k" not in allocator
+        allocator.store("k", 100)  # chunk reusable
+
+    def test_free_missing_raises(self):
+        with pytest.raises(KeyError):
+            SlabAllocator(4 * MIB).free("ghost")
+
+    def test_capacity_below_page_rejected(self):
+        with pytest.raises(ValidationError):
+            SlabAllocator(1000)
+
+
+class TestEviction:
+    def test_evicts_lru_within_class_when_full(self):
+        allocator = SlabAllocator(MIB)  # one page only
+        chunk = allocator.chunk_sizes[-1]  # whole-page chunks
+        evicted = allocator.store("first", chunk)
+        assert evicted is None
+        evicted = allocator.store("second", chunk)
+        assert evicted == "first"
+        assert "first" not in allocator
+
+    def test_touch_protects_from_eviction(self):
+        allocator = SlabAllocator(MIB)
+        # Use quarter-page requests so one page holds at least two chunks.
+        nbytes = DEFAULT_PAGE_SIZE // 4 - 64
+        idx = allocator.class_index_for(nbytes)
+        per_page = DEFAULT_PAGE_SIZE // allocator.chunk_sizes[idx]
+        assert per_page >= 2
+        keys = [f"k{i}" for i in range(per_page)]
+        for key in keys:
+            assert allocator.store(key, nbytes) is None
+        allocator.touch(keys[0])
+        evicted = allocator.store("new", nbytes)
+        assert evicted == keys[1]
+
+    def test_touch_missing_raises(self):
+        with pytest.raises(KeyError):
+            SlabAllocator(MIB).touch("ghost")
+
+    def test_slab_calcification(self):
+        # All pages captured by one class; a different class cannot
+        # allocate and cannot evict from its own (empty) LRU.
+        allocator = SlabAllocator(MIB)
+        allocator.store("page-hog", DEFAULT_PAGE_SIZE // 2)
+        with pytest.raises(CacheCapacityError):
+            allocator.store("tiny", 10)
+
+    def test_eviction_counted_in_stats(self):
+        allocator = SlabAllocator(MIB)
+        chunk = allocator.chunk_sizes[-1]
+        allocator.store("a", chunk)
+        allocator.store("b", chunk)
+        stats = allocator.stats()
+        assert sum(s.evictions for s in stats) == 1
+
+
+class TestStats:
+    def test_stats_track_usage(self):
+        allocator = SlabAllocator(4 * MIB)
+        allocator.store("a", 100)
+        allocator.store("b", 100)
+        stats = allocator.stats()
+        assert len(stats) == 1
+        assert stats[0].used_chunks == 2
+        assert stats[0].pages == 1
+        assert stats[0].total_chunks == stats[0].chunks_per_page
+
+    def test_pages_accounting(self):
+        allocator = SlabAllocator(4 * MIB)
+        assert allocator.total_pages == 4
+        allocator.store("a", DEFAULT_PAGE_SIZE // 2)
+        assert allocator.free_pages == 3

@@ -1,0 +1,102 @@
+"""Cross-validation against classic GI/M/1 special cases.
+
+D/M/1, E2/M/1 and H2/M/1 have textbook characterizations of the root
+sigma; these tests pin our generic solver against independent
+evaluations (transcendental iteration, polynomial roots), so a solver
+regression cannot hide behind the quadrature-based GPD path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+)
+from repro.queueing import GIM1Queue, solve_gim1_root
+
+
+class TestDM1:
+    """Deterministic arrivals: sigma = exp(-mu (1 - sigma) / lam)."""
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.9])
+    def test_root_matches_transcendental(self, rho):
+        lam, mu = rho * 100.0, 100.0
+        gap = Deterministic(1.0 / lam)
+        sigma = solve_gim1_root(gap.laplace, mu, arrival_rate=lam)
+        # Independent fixed-point iteration of the known equation.
+        x = 0.5
+        for _ in range(10_000):
+            x = math.exp(-mu * (1.0 - x) / lam)
+        assert sigma == pytest.approx(x, abs=1e-10)
+
+    def test_dm1_has_least_delay(self):
+        # For fixed rho, deterministic arrivals minimize GI/M/1 delay.
+        rho, mu = 0.8, 100.0
+        lam = rho * mu
+        dm1 = GIM1Queue(Deterministic(1.0 / lam), mu)
+        mm1 = GIM1Queue(Exponential(lam), mu)
+        assert dm1.mean_wait < mm1.mean_wait
+
+
+class TestE2M1:
+    """Erlang-2 arrivals: sigma is a root of a cubic in closed form."""
+
+    @pytest.mark.parametrize("rho", [0.4, 0.7, 0.9])
+    def test_root_matches_polynomial(self, rho):
+        mu = 100.0
+        lam = rho * mu
+        # L_A(s) = (2 lam / (2 lam + s))^2; fixed point becomes
+        # sigma (2 lam + (1-sigma) mu)^2 = (2 lam)^2.
+        gap = Erlang(2, 2 * lam)
+        sigma = solve_gim1_root(gap.laplace, mu, arrival_rate=lam)
+        a = 2 * lam
+        # Build the cubic sigma (a + (1-sigma) mu)^2 - a^2 = 0 directly;
+        # its roots are {sigma*, 1, something > 1}. Exclude the trivial
+        # root at 1 with a safety margin for float error.
+        sig = np.polynomial.polynomial.Polynomial([0, 1])
+        expression = sig * (a + (1 - sig) * mu) ** 2 - a**2
+        real_roots = [
+            float(r.real)
+            for r in expression.roots()
+            if abs(r.imag) < 1e-9 and 0 < r.real < 1 - 1e-6
+        ]
+        assert len(real_roots) == 1
+        assert sigma == pytest.approx(real_roots[0], abs=1e-9)
+
+
+class TestH2M1:
+    """Hyperexponential arrivals: sigma from the rational fixed point."""
+
+    @pytest.mark.parametrize("cv2", [1.5, 3.0, 8.0])
+    def test_root_matches_rational_equation(self, cv2):
+        mu = 100.0
+        lam = 70.0
+        gap = Hyperexponential.balanced_two_phase(1.0 / lam, cv2)
+        sigma = solve_gim1_root(gap.laplace, mu, arrival_rate=lam)
+        # Check the fixed point directly through the closed-form LST.
+        assert gap.laplace((1 - sigma) * mu) == pytest.approx(sigma, abs=1e-10)
+        # And burstier arrivals produce a strictly larger root.
+        smoother = Hyperexponential.balanced_two_phase(1.0 / lam, max(cv2 / 2, 1.0))
+        sigma_smooth = solve_gim1_root(smoother.laplace, mu, arrival_rate=lam)
+        assert sigma > sigma_smooth - 1e-12
+
+
+class TestKingmanOrdering:
+    def test_wait_ordering_by_variability(self):
+        """D/M/1 <= E4/M/1 <= E2/M/1 <= M/M/1 <= H2/M/1 mean waits."""
+        mu, rho = 100.0, 0.8
+        lam = rho * mu
+        queues = [
+            GIM1Queue(Deterministic(1.0 / lam), mu),
+            GIM1Queue(Erlang(4, 4 * lam), mu),
+            GIM1Queue(Erlang(2, 2 * lam), mu),
+            GIM1Queue(Exponential(lam), mu),
+            GIM1Queue(Hyperexponential.balanced_two_phase(1.0 / lam, 4.0), mu),
+        ]
+        waits = [queue.mean_wait for queue in queues]
+        assert all(a <= b + 1e-12 for a, b in zip(waits, waits[1:]))

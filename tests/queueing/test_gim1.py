@@ -1,0 +1,122 @@
+"""Tests for the GI/M/1 queue."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Erlang, Exponential, GeneralizedPareto
+from repro.errors import StabilityError, ValidationError
+from repro.queueing import GIM1Queue
+
+
+class TestReducesToMM1:
+    def test_sigma_equals_rho(self):
+        queue = GIM1Queue(Exponential(60.0), 100.0)
+        assert queue.sigma == pytest.approx(0.6, abs=1e-9)
+
+    def test_mean_sojourn_matches_mm1(self):
+        queue = GIM1Queue(Exponential(60.0), 100.0)
+        assert queue.mean_sojourn == pytest.approx(1.0 / 40.0, rel=1e-8)
+
+    def test_mean_wait_matches_mm1(self):
+        queue = GIM1Queue(Exponential(60.0), 100.0)
+        assert queue.mean_wait == pytest.approx(0.6 / 40.0, rel=1e-8)
+
+
+class TestWaitingTime:
+    def test_wait_cdf_form(self):
+        # P(W <= t) = 1 - sigma exp(-(1-sigma) mu t) -- paper eq. (4).
+        queue = GIM1Queue(GeneralizedPareto(70.0, 0.15), 100.0)
+        sigma = queue.sigma
+        t = 0.01
+        expected = 1.0 - sigma * math.exp(-(1 - sigma) * 100.0 * t)
+        assert queue.wait_cdf(t) == pytest.approx(expected)
+
+    def test_wait_mass_at_zero(self):
+        queue = GIM1Queue(Exponential(50.0), 100.0)
+        assert queue.wait_mass_at_zero == pytest.approx(1.0 - queue.sigma)
+
+    def test_wait_quantile_clamped_at_zero(self):
+        queue = GIM1Queue(Exponential(20.0), 100.0)
+        # sigma = 0.2, so quantiles below 0.8 are zero.
+        assert queue.wait_quantile(0.5) == 0.0
+        assert queue.wait_quantile(0.9) > 0.0
+
+    def test_wait_quantile_matches_eq7(self):
+        queue = GIM1Queue(GeneralizedPareto(70.0, 0.15), 100.0)
+        sigma = queue.sigma
+        k = 0.99
+        expected = (math.log(sigma) - math.log(1 - k)) / ((1 - sigma) * 100.0)
+        assert queue.wait_quantile(k) == pytest.approx(expected)
+
+
+class TestSojournTime:
+    def test_sojourn_is_exponential(self):
+        queue = GIM1Queue(GeneralizedPareto(70.0, 0.15), 100.0)
+        dist = queue.sojourn_distribution()
+        assert dist.rate == pytest.approx((1 - queue.sigma) * 100.0)
+
+    def test_sojourn_quantile_matches_eq8(self):
+        queue = GIM1Queue(GeneralizedPareto(70.0, 0.15), 100.0)
+        k = 0.999
+        expected = -math.log(1 - k) / ((1 - queue.sigma) * 100.0)
+        assert queue.sojourn_quantile(k) == pytest.approx(expected)
+
+    def test_little_law(self):
+        queue = GIM1Queue(Erlang(2, 120.0), 100.0)
+        assert queue.mean_queue_length == pytest.approx(
+            queue.arrival_rate * queue.mean_sojourn
+        )
+
+
+class TestBurstMonotonicity:
+    def test_sojourn_increases_with_burst(self):
+        rate, mu = 70.0, 100.0
+        sojourns = [
+            GIM1Queue(GeneralizedPareto(rate, xi), mu).mean_sojourn
+            for xi in (0.0, 0.2, 0.4, 0.6)
+        ]
+        assert all(a < b for a, b in zip(sojourns, sojourns[1:]))
+
+    def test_smoother_than_poisson_is_faster(self):
+        rate, mu = 70.0, 100.0
+        erlang = GIM1Queue(Erlang(4, 4 * rate), mu).mean_sojourn
+        poisson = GIM1Queue(Exponential(rate), mu).mean_sojourn
+        assert erlang < poisson
+
+
+class TestAgainstSimulation:
+    def test_wait_distribution_matches_lindley_simulation(self, rng):
+        # Direct single-arrival Lindley recursion vs eq. (4).
+        rate, mu = 60.0, 100.0
+        queue = GIM1Queue(GeneralizedPareto(rate, 0.3), mu)
+        n = 200_000
+        gaps = GeneralizedPareto(rate, 0.3).sample(rng, n)
+        services = rng.exponential(1.0 / mu, n)
+        u = services[:-1] - gaps[1:]
+        c = np.concatenate(([0.0], np.cumsum(u)))
+        waits = c - np.minimum.accumulate(np.concatenate(([0.0], c))[:-1])
+        waits = np.maximum(waits, 0.0)
+        assert waits.mean() == pytest.approx(queue.mean_wait, rel=0.05)
+        # Quantile check at the 90th percentile.
+        assert np.quantile(waits, 0.9) == pytest.approx(
+            queue.wait_quantile(0.9), rel=0.05
+        )
+
+
+class TestValidation:
+    def test_rejects_unstable(self):
+        with pytest.raises(StabilityError):
+            GIM1Queue(Exponential(100.0), 100.0)
+
+    def test_rejects_bad_service_rate(self):
+        with pytest.raises(ValidationError):
+            GIM1Queue(Exponential(10.0), -1.0)
+
+    def test_rejects_bad_quantile_levels(self):
+        queue = GIM1Queue(Exponential(10.0), 100.0)
+        with pytest.raises(ValidationError):
+            queue.wait_quantile(1.0)
+        with pytest.raises(ValidationError):
+            queue.sojourn_quantile(-0.1)

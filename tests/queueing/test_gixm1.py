@@ -1,0 +1,145 @@
+"""Tests for the GI^X/M/1 batch queue — the paper's server model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, GeneralizedPareto, Geometric
+from repro.errors import StabilityError, ValidationError
+from repro.queueing import GIXM1Queue, batch_collapse_service
+from repro.units import kps
+
+
+def facebook_queue() -> GIXM1Queue:
+    q = 0.1
+    lam = kps(62.5)
+    return GIXM1Queue(GeneralizedPareto((1 - q) * lam, 0.15), q, kps(80))
+
+
+class TestBatchCollapse:
+    def test_geometric_sum_of_exponentials_is_exponential(self, rng):
+        # The identity behind the paper's GI/M/1 reduction ([32]).
+        q, mu = 0.3, 100.0
+        sizes = Geometric(q).sample(rng, 200_000)
+        totals = rng.gamma(shape=sizes.astype(float), scale=1.0 / mu)
+        expected = batch_collapse_service(q, mu)
+        assert totals.mean() == pytest.approx(expected.mean, rel=0.01)
+        # Exponentiality: compare a high quantile.
+        assert np.quantile(totals, 0.99) == pytest.approx(
+            expected.quantile(0.99), rel=0.03
+        )
+
+    def test_collapse_rate(self):
+        assert batch_collapse_service(0.1, 80.0).rate == pytest.approx(72.0)
+
+    def test_collapse_validates(self):
+        with pytest.raises(ValidationError):
+            batch_collapse_service(1.5, 80.0)
+        with pytest.raises(ValidationError):
+            batch_collapse_service(0.1, 0.0)
+
+
+class TestRates:
+    def test_key_arrival_rate_is_lambda(self):
+        queue = facebook_queue()
+        assert queue.key_arrival_rate == pytest.approx(kps(62.5), rel=1e-9)
+
+    def test_utilization_is_lambda_over_mu(self):
+        queue = facebook_queue()
+        assert queue.utilization == pytest.approx(62.5 / 80.0, rel=1e-9)
+
+    def test_batch_service_rate(self):
+        queue = facebook_queue()
+        assert queue.batch_service_rate == pytest.approx(0.9 * kps(80))
+
+    def test_mean_batch_size(self):
+        assert facebook_queue().batch_size.mean == pytest.approx(1.0 / 0.9)
+
+
+class TestPaperNumbers:
+    def test_delta_for_facebook_workload(self):
+        # With the key-rate convention, Table 3's [351, 366] us bounds
+        # imply delta ~ 0.81.
+        queue = facebook_queue()
+        assert queue.delta == pytest.approx(0.81, abs=0.01)
+
+    def test_ts150_bounds_match_table3(self):
+        queue = facebook_queue()
+        n = 150
+        k = n / (n + 1)
+        lower = queue.queueing_quantile(k)
+        upper = queue.completion_quantile(k)
+        assert lower == pytest.approx(351e-6, rel=0.01)
+        assert upper == pytest.approx(366e-6, rel=0.01)
+
+
+class TestDistributions:
+    def test_queueing_cdf_eq4(self):
+        queue = facebook_queue()
+        t = 100e-6
+        delta = queue.delta
+        expected = 1.0 - delta * math.exp(-queue.decay_rate * t)
+        assert queue.queueing_cdf(t) == pytest.approx(expected)
+
+    def test_completion_cdf_eq5(self):
+        queue = facebook_queue()
+        t = 100e-6
+        expected = 1.0 - math.exp(-queue.decay_rate * t)
+        assert queue.completion_cdf(t) == pytest.approx(expected)
+
+    def test_bounds_ordering(self):
+        queue = facebook_queue()
+        for k in (0.1, 0.5, 0.9, 0.999):
+            lower, upper = queue.key_latency_bounds(k)
+            assert lower <= upper
+
+    def test_mean_key_latency_equals_completion_mean(self):
+        # Documented identity: E[TS] = E[TC] for geometric batches.
+        queue = facebook_queue()
+        assert queue.mean_key_latency == pytest.approx(queue.mean_completion_time)
+
+    def test_completion_distribution_rate(self):
+        queue = facebook_queue()
+        assert queue.completion_distribution().rate == pytest.approx(
+            queue.decay_rate
+        )
+
+
+class TestKeySampling:
+    def test_sampled_mean_matches_theory(self, rng):
+        queue = facebook_queue()
+        samples = queue.sample_key_latency(rng, 300_000)
+        assert samples.mean() == pytest.approx(queue.mean_key_latency, rel=0.03)
+
+    def test_sampled_quantiles_within_bounds(self, rng):
+        queue = facebook_queue()
+        samples = queue.sample_key_latency(rng, 300_000)
+        for k in (0.5, 0.9, 0.99):
+            lower, upper = queue.key_latency_bounds(k)
+            empirical = np.quantile(samples, k)
+            assert lower - 5e-6 <= empirical <= upper * 1.05
+
+    def test_sample_rejects_nonpositive_size(self, rng):
+        with pytest.raises(ValidationError):
+            facebook_queue().sample_key_latency(rng, 0)
+
+    def test_no_concurrency_position_is_one(self, rng):
+        queue = GIXM1Queue(Exponential(50.0), 0.0, 100.0)
+        positions = queue._sample_size_biased_position(rng, 1000)
+        assert np.all(positions == 1.0)
+
+
+class TestStability:
+    def test_rejects_key_rate_above_mu(self):
+        with pytest.raises(StabilityError):
+            GIXM1Queue(Exponential(90.0), 0.5, 100.0)
+        # key rate = 90 / 0.5 = 180 > 100.
+
+    def test_stable_when_key_rate_below_mu(self):
+        queue = GIXM1Queue(Exponential(45.0), 0.5, 100.0)
+        assert queue.utilization == pytest.approx(0.9)
+
+    def test_rejects_bad_service_rate(self):
+        with pytest.raises(ValidationError):
+            GIXM1Queue(Exponential(10.0), 0.1, 0.0)

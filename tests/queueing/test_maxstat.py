@@ -1,0 +1,124 @@
+"""Tests for maximal statistics (the E[max] ~ quantile rule)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Exponential, Uniform
+from repro.errors import ValidationError
+from repro.queueing import (
+    expected_max_empirical,
+    expected_max_exact,
+    expected_max_of_exponential,
+    expected_max_quantile_rule,
+    harmonic_expected_max_of_exponential,
+    max_cdf_power,
+    quantile_level,
+)
+
+
+class TestQuantileLevel:
+    def test_level(self):
+        assert quantile_level(150) == pytest.approx(150 / 151)
+
+    def test_fractional_n(self):
+        assert quantile_level(0.5) == pytest.approx(1.0 / 3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            quantile_level(0)
+
+
+class TestExponentialMax:
+    def test_quantile_rule_closed_form(self):
+        # Q(N/(N+1)) for Exp(rate) = ln(N+1)/rate.
+        assert expected_max_of_exponential(2.0, 9) == pytest.approx(
+            math.log(10) / 2.0
+        )
+
+    def test_exact_is_harmonic(self):
+        exact = expected_max_exact(Exponential(1.0), 10)
+        harmonic = harmonic_expected_max_of_exponential(1.0, 10)
+        assert exact == pytest.approx(harmonic, rel=1e-6)
+
+    def test_quantile_rule_underestimates_exact(self):
+        # ln(N+1) < H_N for N >= 2: the paper's rule is a mild underestimate.
+        for n in (2, 10, 150):
+            rule = expected_max_of_exponential(1.0, n)
+            exact = harmonic_expected_max_of_exponential(1.0, n)
+            assert rule < exact
+            # ... but within the Euler-Mascheroni constant.
+            assert exact - rule < 0.58
+
+    def test_rule_matches_distribution_quantile(self):
+        dist = Exponential(3.0)
+        assert expected_max_quantile_rule(dist, 9) == pytest.approx(
+            dist.quantile(0.9)
+        )
+
+
+class TestEmpiricalMax:
+    def test_empirical_matches_exact(self, rng):
+        dist = Exponential(1.0)
+        value = expected_max_empirical(
+            lambda r, size: r.exponential(1.0, size),
+            8,
+            rng=rng,
+            replications=20_000,
+        )
+        assert value == pytest.approx(
+            harmonic_expected_max_of_exponential(1.0, 8), rel=0.02
+        )
+
+    def test_uniform_max(self, rng):
+        # E[max of n U(0,1)] = n/(n+1).
+        value = expected_max_empirical(
+            lambda r, size: r.random(size), 4, rng=rng, replications=20_000
+        )
+        assert value == pytest.approx(0.8, abs=0.01)
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValidationError):
+            expected_max_empirical(lambda r, s: r.random(s), 0, rng=rng)
+        with pytest.raises(ValidationError):
+            expected_max_empirical(lambda r, s: r.random(s), 2, rng=rng, replications=0)
+
+
+class TestExactIntegral:
+    def test_uniform_closed_form(self):
+        # E[max of n U(0,1)] = n/(n+1).
+        assert expected_max_exact(Uniform(0.0, 1.0), 4) == pytest.approx(0.8)
+
+    def test_n_one_is_mean(self):
+        dist = Exponential(2.0)
+        assert expected_max_exact(dist, 1) == pytest.approx(dist.mean, rel=1e-6)
+
+    def test_rejects_fractional_n(self):
+        with pytest.raises(ValidationError):
+            expected_max_exact(Exponential(1.0), 1.5)
+
+
+class TestMaxCdfPower:
+    def test_product_form(self):
+        # Paper eq. (10): product of per-server CDFs^counts.
+        value = max_cdf_power([0.9, 0.8], [2.0, 3.0])
+        assert value == pytest.approx(0.9**2 * 0.8**3)
+
+    def test_zero_exponent_skips(self):
+        assert max_cdf_power([0.0, 0.5], [0.0, 1.0]) == 0.5
+
+    def test_zero_cdf_with_positive_count(self):
+        assert max_cdf_power([0.0], [1.0]) == 0.0
+
+    def test_rejects_bad_cdf(self):
+        with pytest.raises(ValidationError):
+            max_cdf_power([1.5], [1.0])
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValidationError):
+            max_cdf_power([0.5], [-1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            max_cdf_power([0.5, 0.6], [1.0])

@@ -1,0 +1,81 @@
+"""Tests for the M/M/1 queue (database stage substrate)."""
+
+import math
+
+import pytest
+
+from repro.errors import StabilityError, ValidationError
+from repro.queueing import MM1Queue
+
+
+class TestBasics:
+    def test_utilization(self):
+        assert MM1Queue(50.0, 100.0).utilization == 0.5
+
+    def test_mean_sojourn(self):
+        queue = MM1Queue(50.0, 100.0)
+        assert queue.mean_sojourn == pytest.approx(1.0 / 50.0)
+
+    def test_mean_wait_plus_service_is_sojourn(self):
+        queue = MM1Queue(60.0, 100.0)
+        assert queue.mean_wait + 1.0 / 100.0 == pytest.approx(queue.mean_sojourn)
+
+    def test_mean_queue_length_littles_law(self):
+        queue = MM1Queue(60.0, 100.0)
+        assert queue.mean_queue_length == pytest.approx(0.6 / 0.4)
+
+    def test_zero_arrivals(self):
+        queue = MM1Queue(0.0, 10.0)
+        assert queue.mean_wait == 0.0
+        assert queue.mean_sojourn == pytest.approx(0.1)
+
+
+class TestDistributions:
+    def test_sojourn_is_exponential_rate(self):
+        queue = MM1Queue(30.0, 100.0)
+        dist = queue.sojourn_distribution()
+        assert dist.rate == pytest.approx(70.0)
+
+    def test_sojourn_cdf_matches_paper_eq19(self):
+        # TD(t) = 1 - exp(-(1 - rho) muD t).
+        queue = MM1Queue(10.0, 1000.0)
+        t = 2e-3
+        expected = 1.0 - math.exp(-(1000.0 - 10.0) * t)
+        assert queue.sojourn_cdf(t) == pytest.approx(expected)
+
+    def test_sojourn_quantile_inverts(self):
+        queue = MM1Queue(30.0, 100.0)
+        for k in (0.1, 0.5, 0.99):
+            assert queue.sojourn_cdf(queue.sojourn_quantile(k)) == pytest.approx(k)
+
+    def test_wait_has_atom_at_zero(self):
+        queue = MM1Queue(30.0, 100.0)
+        assert queue.wait_cdf(0.0) == pytest.approx(0.7)
+
+    def test_wait_quantile_below_atom_is_zero(self):
+        queue = MM1Queue(30.0, 100.0)
+        assert queue.wait_quantile(0.5) == 0.0
+
+    def test_wait_quantile_above_atom(self):
+        queue = MM1Queue(60.0, 100.0)
+        k = 0.9
+        value = queue.wait_quantile(k)
+        assert value > 0
+        assert queue.wait_cdf(value) == pytest.approx(k)
+
+
+class TestValidation:
+    def test_rejects_unstable(self):
+        with pytest.raises(StabilityError):
+            MM1Queue(100.0, 100.0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValidationError):
+            MM1Queue(-1.0, 100.0)
+
+    def test_rejects_bad_quantile(self):
+        queue = MM1Queue(10.0, 100.0)
+        with pytest.raises(ValidationError):
+            queue.sojourn_quantile(1.0)
+        with pytest.raises(ValidationError):
+            queue.wait_quantile(-0.1)

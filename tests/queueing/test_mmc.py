@@ -1,0 +1,104 @@
+"""Tests for the M/M/c queue and pooling comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StabilityError, ValidationError
+from repro.queueing import MM1Queue, MMcQueue, erlang_c, pooling_comparison
+
+
+class TestErlangC:
+    def test_single_server_is_rho(self):
+        # For c = 1 the wait probability equals the utilization.
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_known_value(self):
+        # Classic reference: c = 2, a = 1 -> C = 1/3.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(4, a) for a in (1.0, 2.0, 3.0, 3.9)]
+        assert all(x < y for x, y in zip(values, values[1:]))
+
+    def test_rejects_unstable(self):
+        with pytest.raises(StabilityError):
+            erlang_c(2, 2.0)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValidationError):
+            erlang_c(0, 0.5)
+
+
+class TestMMcQueue:
+    def test_c1_reduces_to_mm1(self):
+        mmc = MMcQueue(60.0, 100.0, 1)
+        mm1 = MM1Queue(60.0, 100.0)
+        assert mmc.mean_wait == pytest.approx(mm1.mean_wait)
+        assert mmc.mean_sojourn == pytest.approx(mm1.mean_sojourn)
+
+    def test_utilization(self):
+        queue = MMcQueue(150.0, 100.0, 4)
+        assert queue.utilization == pytest.approx(0.375)
+
+    def test_wait_cdf_atom(self):
+        queue = MMcQueue(150.0, 100.0, 2)
+        assert queue.wait_cdf(0.0) == pytest.approx(1.0 - queue.wait_probability)
+
+    def test_wait_quantile_inverts(self):
+        queue = MMcQueue(170.0, 100.0, 2)
+        k = 0.99
+        assert queue.wait_cdf(queue.wait_quantile(k)) == pytest.approx(k)
+
+    def test_wait_quantile_below_atom(self):
+        queue = MMcQueue(50.0, 100.0, 4)  # lightly loaded
+        assert queue.wait_quantile(0.5) == 0.0
+
+    def test_against_simulation(self, rng):
+        lam, mu, c = 250.0, 100.0, 4
+        queue = MMcQueue(lam, mu, c)
+        # Event-free M/M/c simulation via busy-server bookkeeping.
+        n = 200_000
+        arrivals = np.cumsum(rng.exponential(1.0 / lam, n))
+        free_at = np.zeros(c)
+        waits = np.empty(n)
+        for i, t in enumerate(arrivals):
+            j = int(np.argmin(free_at))
+            start = max(t, free_at[j])
+            waits[i] = start - t
+            free_at[j] = start + rng.exponential(1.0 / mu)
+        assert waits.mean() == pytest.approx(queue.mean_wait, rel=0.05)
+        assert float(np.mean(waits > 0)) == pytest.approx(
+            queue.wait_probability, abs=0.02
+        )
+
+    def test_rejects_unstable(self):
+        with pytest.raises(StabilityError):
+            MMcQueue(400.0, 100.0, 4)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            MMcQueue(-1.0, 100.0, 2)
+        with pytest.raises(ValidationError):
+            MMcQueue(10.0, 100.0, 0)
+        with pytest.raises(ValidationError):
+            MMcQueue(10.0, 100.0, 2).wait_quantile(1.0)
+
+
+class TestPooling:
+    def test_pooling_always_wins(self):
+        # Resource pooling: one 4-core queue beats 4 single-core queues.
+        result = pooling_comparison(300.0, 100.0, 4)
+        assert result["speedup"] > 1.0
+        assert result["pooled_sojourn"] < result["split_sojourn"]
+
+    def test_speedup_grows_with_load(self):
+        light = pooling_comparison(100.0, 100.0, 4)
+        heavy = pooling_comparison(380.0, 100.0, 4)
+        assert heavy["speedup"] > light["speedup"]
+
+    def test_utilization_reported(self):
+        result = pooling_comparison(200.0, 100.0, 4)
+        assert result["utilization"] == pytest.approx(0.5)

@@ -1,0 +1,156 @@
+"""Property-based tests (hypothesis) on queueing-theory invariants."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DatabaseStage, ServerStage, WorkloadPattern
+from repro.distributions import Exponential, GeneralizedPareto
+from repro.queueing import (
+    GIXM1Queue,
+    MM1Queue,
+    delta_for_utilization,
+    solve_gim1_root,
+)
+
+rhos = st.floats(min_value=0.05, max_value=0.9, allow_nan=False)
+xis = st.floats(min_value=0.0, max_value=0.7, allow_nan=False)
+qs = st.floats(min_value=0.0, max_value=0.6, allow_nan=False)
+levels = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+key_counts = st.integers(min_value=1, max_value=5000)
+
+
+class TestFixedPointProperties:
+    @given(rho=rhos, xi=xis)
+    @settings(max_examples=40, deadline=None)
+    def test_delta_in_unit_interval(self, rho, xi):
+        delta = delta_for_utilization(xi, rho)
+        assert 0.0 < delta < 1.0
+
+    @given(rho=rhos, xi=xis)
+    @settings(max_examples=40, deadline=None)
+    def test_delta_satisfies_fixed_point(self, rho, xi):
+        delta = delta_for_utilization(xi, rho)
+        gap = GeneralizedPareto(rho, xi)
+        assert gap.laplace((1.0 - delta) * 1.0) == pytest.approx(delta, abs=1e-7)
+
+    @given(rho=rhos, xi=xis)
+    @settings(max_examples=40, deadline=None)
+    def test_delta_at_least_poisson(self, rho, xi):
+        # GPD arrivals are burstier than Poisson: delta >= rho.
+        assert delta_for_utilization(xi, rho) >= rho - 1e-9
+
+    @given(rho=rhos)
+    @settings(max_examples=40, deadline=None)
+    def test_poisson_delta_is_rho(self, rho):
+        sigma = solve_gim1_root(Exponential(rho).laplace, 1.0, arrival_rate=rho)
+        assert sigma == pytest.approx(rho, abs=1e-9)
+
+
+class TestGIXM1Properties:
+    @given(rho=rhos, xi=xis, q=qs, k=levels)
+    @settings(max_examples=40, deadline=None)
+    def test_eq9_band_ordered(self, rho, xi, q, k):
+        workload = WorkloadPattern(rate=rho * 1000.0, xi=xi, q=q)
+        queue = GIXM1Queue(workload.batch_gap_distribution(), q, 1000.0)
+        lower, upper = queue.key_latency_bounds(k)
+        assert 0.0 <= lower <= upper
+
+    @given(rho=rhos, xi=xis, q=qs)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_identities(self, rho, xi, q):
+        workload = WorkloadPattern(rate=rho * 1000.0, xi=xi, q=q)
+        queue = GIXM1Queue(workload.batch_gap_distribution(), q, 1000.0)
+        # E[TC] = E[TQ] + batch service mean.
+        assert queue.mean_completion_time == pytest.approx(
+            queue.mean_queueing_time + 1.0 / queue.batch_service_rate
+        )
+        # Documented identity: E[TS] = E[TC].
+        assert queue.mean_key_latency == queue.mean_completion_time
+
+    @given(rho=rhos, xi=xis, q=qs, n=key_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_stage_bounds_ordered_and_positive(self, rho, xi, q, n):
+        workload = WorkloadPattern(rate=rho * 1000.0, xi=xi, q=q)
+        stage = ServerStage(workload, 1000.0)
+        estimate = stage.mean_latency_bounds(n)
+        assert 0.0 <= estimate.lower <= estimate.upper
+        assert estimate.upper == pytest.approx(
+            math.log(n + 1) / estimate.decay_rate
+        )
+
+    @given(rho=rhos, xi=xis, q=qs, n=key_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_stage_monotone_in_n(self, rho, xi, q, n):
+        workload = WorkloadPattern(rate=rho * 1000.0, xi=xi, q=q)
+        stage = ServerStage(workload, 1000.0)
+        assert stage.mean_latency_bounds(n + 1).upper >= \
+            stage.mean_latency_bounds(n).upper
+
+    @given(rho=rhos, xi=xis, q=qs, p1=st.floats(min_value=0.1, max_value=0.99))
+    @settings(max_examples=40, deadline=None)
+    def test_prop1_widens_with_imbalance(self, rho, xi, q, p1):
+        workload = WorkloadPattern(rate=rho * 1000.0, xi=xi, q=q)
+        balanced = ServerStage(workload, 1000.0)
+        unbalanced = ServerStage(
+            workload, 1000.0, heaviest_share=p1, balanced=False
+        )
+        n = 150
+        assert unbalanced.mean_latency_bounds(n).lower <= \
+            balanced.mean_latency_bounds(n).lower + 1e-12
+        assert unbalanced.mean_latency_bounds(n).upper == pytest.approx(
+            balanced.mean_latency_bounds(n).upper
+        )
+
+
+class TestMM1Properties:
+    @given(rho=rhos)
+    @settings(max_examples=60, deadline=None)
+    def test_wait_less_than_sojourn(self, rho):
+        queue = MM1Queue(rho * 100.0, 100.0)
+        assert queue.mean_wait < queue.mean_sojourn
+
+    @given(rho=rhos, k=levels)
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_invert_cdfs(self, rho, k):
+        queue = MM1Queue(rho * 100.0, 100.0)
+        t = queue.sojourn_quantile(k)
+        assert queue.sojourn_cdf(t) == pytest.approx(k, abs=1e-9)
+
+
+class TestDatabaseStageProperties:
+    @given(
+        r=st.floats(min_value=1e-6, max_value=0.5),
+        n=st.integers(min_value=1, max_value=100_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_latency_positive_and_bounded_by_asymptote(self, r, n):
+        stage = DatabaseStage(1000.0, r)
+        value = stage.mean_latency(n)
+        assert value > 0
+        # The conditional mean exceeds the unconditional one; both are
+        # below the large-N asymptote + a miss-probability factor bound.
+        assert value <= stage.mean_latency_given_any(n) + 1e-12
+
+    @given(
+        r=st.floats(min_value=1e-6, max_value=0.5),
+        n=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_in_n_and_r(self, r, n):
+        stage = DatabaseStage(1000.0, r)
+        assert stage.mean_latency(n + 1) > stage.mean_latency(n)
+        richer = DatabaseStage(1000.0, min(r * 1.5, 0.9))
+        assert richer.mean_latency(n) > stage.mean_latency(n)
+
+    @given(
+        r=st.floats(min_value=1e-6, max_value=0.5),
+        n=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_miss_probability_in_unit_interval(self, r, n):
+        stage = DatabaseStage(1000.0, r)
+        p = stage.miss_probability(n)
+        assert 0.0 < p <= 1.0

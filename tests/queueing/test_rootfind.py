@@ -1,0 +1,80 @@
+"""Tests for the GI/M/1 fixed-point solver."""
+
+import math
+
+import pytest
+
+from repro.distributions import Erlang, Exponential, GeneralizedPareto
+from repro.errors import StabilityError, ValidationError
+from repro.queueing import fixed_point_iterate, solve_gim1_root
+
+
+class TestPoissonClosedForm:
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 0.75, 0.9, 0.99])
+    def test_mm1_root_is_rho(self, rho):
+        # For exponential arrivals sigma = rho exactly.
+        arrival = Exponential(rho)
+        sigma = solve_gim1_root(arrival.laplace, 1.0, arrival_rate=rho)
+        assert sigma == pytest.approx(rho, abs=1e-10)
+
+    def test_scale_invariance(self):
+        # sigma depends only on rho, not on absolute rates.
+        a = solve_gim1_root(Exponential(50.0).laplace, 100.0, arrival_rate=50.0)
+        b = solve_gim1_root(Exponential(5e4).laplace, 1e5, arrival_rate=5e4)
+        assert a == pytest.approx(b, abs=1e-10)
+
+
+class TestDeterministicAndErlang:
+    def test_erlang_arrivals_have_smaller_root_than_poisson(self):
+        # Smoother arrivals -> less queueing -> smaller sigma.
+        rho = 0.8
+        erlang = Erlang(4, 4 * rho)  # mean gap 1/rho
+        sigma_erlang = solve_gim1_root(erlang.laplace, 1.0, arrival_rate=rho)
+        assert sigma_erlang < rho
+
+    def test_bursty_arrivals_have_larger_root(self):
+        rho = 0.8
+        gpd = GeneralizedPareto(rho, 0.5)
+        sigma = solve_gim1_root(gpd.laplace, 1.0, arrival_rate=rho)
+        assert sigma > rho
+
+
+class TestStability:
+    def test_rejects_unstable(self):
+        with pytest.raises(StabilityError):
+            solve_gim1_root(Exponential(2.0).laplace, 1.0, arrival_rate=2.0)
+
+    def test_rejects_critical(self):
+        with pytest.raises(StabilityError):
+            solve_gim1_root(Exponential(1.0).laplace, 1.0, arrival_rate=1.0)
+
+    def test_detects_instability_without_rate_hint(self):
+        with pytest.raises(StabilityError):
+            solve_gim1_root(Exponential(2.0).laplace, 1.0)
+
+    def test_rejects_bad_service_rate(self):
+        with pytest.raises(ValidationError):
+            solve_gim1_root(Exponential(1.0).laplace, 0.0)
+
+    def test_near_critical_root_close_to_one(self):
+        sigma = solve_gim1_root(Exponential(0.999).laplace, 1.0, arrival_rate=0.999)
+        assert 0.99 < sigma < 1.0
+
+
+class TestPicardCrossCheck:
+    @pytest.mark.parametrize("xi", [0.0, 0.15, 0.5])
+    def test_matches_brent(self, xi):
+        rho = 0.7
+        gpd = GeneralizedPareto(rho, xi)
+        brent = solve_gim1_root(gpd.laplace, 1.0, arrival_rate=rho)
+        picard = fixed_point_iterate(gpd.laplace, 1.0)
+        assert picard == pytest.approx(brent, abs=1e-9)
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValidationError):
+            fixed_point_iterate(Exponential(0.5).laplace, 1.0, initial=1.5)
+
+    def test_fixed_point_satisfies_equation(self):
+        gpd = GeneralizedPareto(0.6, 0.3)
+        sigma = solve_gim1_root(gpd.laplace, 1.0, arrival_rate=0.6)
+        assert gpd.laplace((1.0 - sigma) * 1.0) == pytest.approx(sigma, abs=1e-9)

@@ -1,0 +1,182 @@
+"""Tests for arrival processes and the simulated server."""
+
+import numpy as np
+import pytest
+
+from repro.core import WorkloadPattern
+from repro.distributions import Exponential, FixedCount, Geometric
+from repro.errors import ValidationError
+from repro.simulation import (
+    Batch,
+    BatchArrivalProcess,
+    PoissonProcess,
+    ServerSim,
+    Simulator,
+    TraceReplay,
+    generate_batches,
+)
+
+
+class TestBatchArrivalProcess:
+    def test_delivers_batches(self, rng):
+        sim = Simulator()
+        received = []
+        process = BatchArrivalProcess(Exponential(100.0), Geometric(0.2), rng)
+        process.start(sim, lambda t, size: received.append((t, size)))
+        sim.run_until(1.0)
+        assert len(received) > 50
+        assert all(size >= 1 for _, size in received)
+        times = [t for t, _ in received]
+        assert times == sorted(times)
+
+    def test_rate_approximately_correct(self, rng):
+        sim = Simulator()
+        received = []
+        process = BatchArrivalProcess(Exponential(1000.0), FixedCount(1), rng)
+        process.start(sim, lambda t, size: received.append(t))
+        sim.run_until(5.0)
+        assert len(received) == pytest.approx(5000, rel=0.1)
+
+    def test_stop_halts_generation(self, rng):
+        sim = Simulator()
+        received = []
+        process = BatchArrivalProcess(Exponential(100.0), FixedCount(1), rng)
+        process.start(sim, lambda t, size: received.append(t))
+        sim.run_until(0.5)
+        count = len(received)
+        process.stop()
+        sim.run_until(1.0)
+        assert len(received) <= count + 1
+
+    def test_double_start_rejected(self, rng):
+        sim = Simulator()
+        process = BatchArrivalProcess(Exponential(100.0), FixedCount(1), rng)
+        process.start(sim, lambda t, s: None)
+        with pytest.raises(ValidationError):
+            process.start(sim, lambda t, s: None)
+
+    def test_from_workload_matches_pattern(self, rng):
+        workload = WorkloadPattern.facebook()
+        process = BatchArrivalProcess.from_workload(workload, rng)
+        assert process._gap.rate == pytest.approx(workload.batch_rate)
+
+    def test_poisson_process_single_arrivals(self, rng):
+        sim = Simulator()
+        sizes = []
+        PoissonProcess(500.0, rng).start(sim, lambda t, size: sizes.append(size))
+        sim.run_until(1.0)
+        assert all(size == 1 for size in sizes)
+
+
+class TestGenerateBatches:
+    def test_offline_generation(self, rng):
+        batches = list(
+            generate_batches(Exponential(100.0), Geometric(0.3), rng, n_batches=500)
+        )
+        assert len(batches) == 500
+        times = [b.time for b in batches]
+        assert times == sorted(times)
+        mean_size = np.mean([b.size for b in batches])
+        assert mean_size == pytest.approx(1 / 0.7, rel=0.1)
+
+    def test_rejects_zero_batches(self, rng):
+        with pytest.raises(ValidationError):
+            list(generate_batches(Exponential(1.0), FixedCount(1), rng, n_batches=0))
+
+
+class TestTraceReplay:
+    def test_replays_in_order(self):
+        sim = Simulator()
+        received = []
+        trace = TraceReplay(
+            [Batch(time=0.2, size=2), Batch(time=0.1, size=1)]
+        )
+        trace.start(sim, lambda t, size: received.append((t, size)))
+        sim.run()
+        assert received == [(0.1, 1), (0.2, 2)]
+        assert len(trace) == 2
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValidationError):
+            TraceReplay([Batch(time=0.1, size=0)])
+
+
+class TestServerSim:
+    def test_fifo_single_key(self, rng):
+        sim = Simulator()
+        done = []
+        server = ServerSim.exponential(
+            sim, 100.0, rng, on_complete=lambda job: done.append(job)
+        )
+        server.offer_key(0.0)
+        sim.run()
+        assert len(done) == 1
+        assert done[0].wait == 0.0
+        assert done[0].sojourn > 0.0
+
+    def test_batch_positions_tracked(self, rng):
+        sim = Simulator()
+        done = []
+        server = ServerSim.exponential(
+            sim, 100.0, rng, on_complete=lambda job: done.append(job)
+        )
+        server.offer_batch(0.0, 3)
+        sim.run()
+        assert [job.position_in_batch for job in done] == [1, 2, 3]
+        assert len({job.batch_id for job in done}) == 1
+        # Later positions finish later (FIFO within the batch).
+        finishes = [job.finish_time for job in done]
+        assert finishes == sorted(finishes)
+
+    def test_mm1_sojourn_matches_theory(self, rng):
+        sim = Simulator()
+        sojourns = []
+        server = ServerSim.exponential(
+            sim, 1000.0, rng, on_complete=lambda job: sojourns.append(job.sojourn)
+        )
+        arrivals = PoissonProcess(600.0, rng)
+        arrivals.start(sim, lambda t, size: server.offer_batch(t, size))
+        sim.run_until(200.0)
+        # M/M/1: E[T] = 1/(mu - lam) = 2.5 ms.
+        assert np.mean(sojourns) == pytest.approx(1.0 / 400.0, rel=0.06)
+
+    def test_utilization_measured(self, rng):
+        sim = Simulator()
+        server = ServerSim.exponential(sim, 1000.0, rng)
+        arrivals = PoissonProcess(500.0, rng)
+        arrivals.start(sim, lambda t, size: server.offer_batch(t, size))
+        sim.run_until(100.0)
+        assert server.utilization_meter.utilization(sim.now) == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_contexts_attached(self, rng):
+        sim = Simulator()
+        done = []
+        server = ServerSim.exponential(
+            sim, 100.0, rng, on_complete=lambda job: done.append(job.context)
+        )
+        server.offer_batch(0.0, 2, contexts=["a", "b"])
+        sim.run()
+        assert done == ["a", "b"]
+
+    def test_context_length_mismatch(self, rng):
+        sim = Simulator()
+        server = ServerSim.exponential(sim, 100.0, rng)
+        with pytest.raises(ValidationError):
+            server.offer_batch(0.0, 2, contexts=["only-one"])
+
+    def test_rejects_empty_batch(self, rng):
+        sim = Simulator()
+        server = ServerSim.exponential(sim, 100.0, rng)
+        with pytest.raises(ValidationError):
+            server.offer_batch(0.0, 0)
+
+    def test_completed_counter(self, rng):
+        sim = Simulator()
+        server = ServerSim.exponential(sim, 100.0, rng)
+        server.offer_batch(0.0, 5)
+        sim.run()
+        assert server.completed == 5
+        assert server.queue_length == 0
+        assert not server.busy

@@ -1,0 +1,139 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.simulation import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(sim.now)
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle = sim.schedule_at(5.0, lambda: None)
+        assert handle.time == 5.0
+
+    def test_rejects_past_scheduling(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValidationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValidationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # must not raise
+
+
+class TestRunUntil:
+    def test_stops_at_end_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_remaining_events_fire_later(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(2.0)
+        sim.run()
+        assert fired == [3]
+
+    def test_rejects_past_end_time(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until(5.0)
+        with pytest.raises(ValidationError):
+            sim.run_until(1.0)
+
+    def test_event_budget_enforced(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_until(1e9, max_events=100)
+
+
+class TestIntrospection:
+    def test_counts(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.events_processed == 2
+        assert sim.pending_events == 0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_run_with_budget(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=10)

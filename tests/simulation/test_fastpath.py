@@ -1,0 +1,207 @@
+"""Tests for the vectorized fast-path simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import ServerStage, WorkloadPattern
+from repro.errors import StabilityError, ValidationError
+from repro.simulation import (
+    sample_request_latencies,
+    simulate_batch_times,
+    simulate_key_latencies,
+    simulate_server_stage_mean,
+)
+from repro.units import kps
+
+
+class TestKeyLatencies:
+    def test_mm1_mean_sojourn(self, rng):
+        workload = WorkloadPattern.poisson(kps(40))
+        latencies = simulate_key_latencies(workload, kps(80), n_keys=300_000, rng=rng)
+        assert latencies.mean() == pytest.approx(1.0 / kps(40), rel=0.03)
+
+    def test_facebook_mean_matches_gixm1(self, rng, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        latencies = simulate_key_latencies(
+            facebook_workload, service_rate, n_keys=1_000_000, rng=rng
+        )
+        assert latencies.mean() == pytest.approx(
+            stage.queue.mean_key_latency, rel=0.05
+        )
+
+    def test_quantiles_within_eq9_bounds(self, rng, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        latencies = simulate_key_latencies(
+            facebook_workload, service_rate, n_keys=1_000_000, rng=rng
+        )
+        for k in (0.5, 0.9, 0.99):
+            lower, upper = stage.per_key_quantile_bounds(k)
+            value = float(np.quantile(latencies, k))
+            assert lower * 0.95 <= value <= upper * 1.05
+
+    def test_all_latencies_positive(self, rng):
+        latencies = simulate_key_latencies(
+            WorkloadPattern.facebook(), kps(80), n_keys=10_000, rng=rng
+        )
+        assert np.all(latencies > 0)
+
+    def test_requested_count_returned(self, rng):
+        latencies = simulate_key_latencies(
+            WorkloadPattern.facebook(), kps(80), n_keys=12_345, rng=rng
+        )
+        assert latencies.size == 12_345
+
+    def test_rejects_unstable(self, rng):
+        with pytest.raises(StabilityError):
+            simulate_key_latencies(
+                WorkloadPattern.poisson(kps(100)), kps(80), n_keys=100, rng=rng
+            )
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(ValidationError):
+            simulate_key_latencies(
+                WorkloadPattern.facebook(), kps(80), n_keys=0, rng=rng
+            )
+        with pytest.raises(ValidationError):
+            simulate_key_latencies(
+                WorkloadPattern.facebook(), kps(80), n_keys=10, rng=rng,
+                warmup_fraction=1.0,
+            )
+
+
+class TestBatchTimes:
+    def test_waits_match_eq4_mean(self, rng, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        waits, completions = simulate_batch_times(
+            facebook_workload, service_rate, n_batches=400_000, rng=rng
+        )
+        assert waits.mean() == pytest.approx(stage.queue.mean_queueing_time, rel=0.05)
+        assert completions.mean() == pytest.approx(
+            stage.queue.mean_completion_time, rel=0.05
+        )
+
+    def test_completion_quantile_matches_eq8(self, rng, facebook_workload, service_rate):
+        stage = ServerStage(facebook_workload, service_rate)
+        _, completions = simulate_batch_times(
+            facebook_workload, service_rate, n_batches=400_000, rng=rng
+        )
+        assert float(np.quantile(completions, 0.9)) == pytest.approx(
+            stage.queue.completion_quantile(0.9), rel=0.05
+        )
+
+    def test_wait_atom_at_zero(self, rng, facebook_workload, service_rate):
+        # P(W = 0) = 1 - delta.
+        stage = ServerStage(facebook_workload, service_rate)
+        waits, _ = simulate_batch_times(
+            facebook_workload, service_rate, n_batches=400_000, rng=rng
+        )
+        assert float(np.mean(waits == 0.0)) == pytest.approx(
+            1.0 - stage.delta, abs=0.02
+        )
+
+    def test_completions_exceed_waits(self, rng, facebook_workload, service_rate):
+        waits, completions = simulate_batch_times(
+            facebook_workload, service_rate, n_batches=10_000, rng=rng
+        )
+        assert np.all(completions > waits)
+
+
+class TestRequestSampling:
+    def test_max_of_pools(self, rng):
+        pools = [np.array([1.0]), np.array([5.0])]
+        sample = sample_request_latencies(
+            pools, [0.5, 0.5], n_keys=20, n_requests=200, rng=rng
+        )
+        # With 20 keys, nearly every request touches the 5.0 pool.
+        assert np.mean(sample.total == 5.0) > 0.95
+
+    def test_network_added_once(self, rng):
+        pools = [np.array([1.0])]
+        sample = sample_request_latencies(
+            pools, [1.0], n_keys=5, n_requests=10, rng=rng, network_delay=2.0
+        )
+        assert np.all(sample.total == 3.0)
+        assert sample.network == 2.0
+
+    def test_database_component_zero_without_misses(self, rng):
+        pools = [np.array([1.0, 2.0])]
+        sample = sample_request_latencies(
+            pools, [1.0], n_keys=10, n_requests=50, rng=rng
+        )
+        assert np.all(sample.database_max == 0.0)
+
+    def test_miss_ratio_produces_db_latency(self, rng):
+        pools = [np.array([1e-4])]
+        sample = sample_request_latencies(
+            pools,
+            [1.0],
+            n_keys=100,
+            n_requests=2000,
+            rng=rng,
+            miss_ratio=0.05,
+            database_rate=1000.0,
+        )
+        assert sample.database_max.mean() > 0
+        assert sample.n_requests == 2000
+
+    def test_requires_db_rate_with_misses(self, rng):
+        with pytest.raises(ValidationError):
+            sample_request_latencies(
+                [np.array([1.0])], [1.0], n_keys=5, n_requests=5, rng=rng,
+                miss_ratio=0.1,
+            )
+
+    def test_rejects_misaligned_shares(self, rng):
+        with pytest.raises(ValidationError):
+            sample_request_latencies(
+                [np.array([1.0])], [0.5, 0.5], n_keys=5, n_requests=5, rng=rng
+            )
+
+    def test_rejects_empty_pool(self, rng):
+        with pytest.raises(ValidationError):
+            sample_request_latencies(
+                [np.array([])], [1.0], n_keys=5, n_requests=5, rng=rng
+            )
+
+    def test_shares_must_sum_to_one(self, rng):
+        with pytest.raises(ValidationError):
+            sample_request_latencies(
+                [np.array([1.0]), np.array([1.0])], [0.5, 0.6],
+                n_keys=5, n_requests=5, rng=rng,
+            )
+
+
+class TestServerStageMean:
+    def test_balanced_between_bounds_loosely(self, rng, facebook_workload, service_rate):
+        # The measured E[TS(N)] should land near the Theorem 1 band; the
+        # quantile rule slightly underestimates E[max], so allow the
+        # documented ~15% excess above the upper bound.
+        stage = ServerStage(facebook_workload, service_rate)
+        estimate = stage.mean_latency_bounds(150)
+        measured = simulate_server_stage_mean(
+            facebook_workload,
+            service_rate,
+            n_keys_per_request=150,
+            rng=rng,
+            pool_size=300_000,
+        )
+        assert estimate.lower * 0.9 < measured < estimate.upper * 1.25
+
+    def test_unbalanced_dominated_by_heaviest(self, rng, facebook_workload, service_rate):
+        balanced = simulate_server_stage_mean(
+            facebook_workload.with_rate(kps(80)),
+            service_rate,
+            n_keys_per_request=50,
+            rng=rng,
+            pool_size=100_000,
+            shares=[0.25, 0.25, 0.25, 0.25],
+        )
+        skewed = simulate_server_stage_mean(
+            facebook_workload.with_rate(kps(80)),
+            service_rate,
+            n_keys_per_request=50,
+            rng=rng,
+            pool_size=100_000,
+            shares=[0.85, 0.05, 0.05, 0.05],
+        )
+        assert skewed > balanced

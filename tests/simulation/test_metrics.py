@@ -1,0 +1,128 @@
+"""Tests for metrics collection."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.simulation import LatencyRecorder, UtilizationMeter
+
+
+class TestLatencyRecorder:
+    def test_streaming_moments(self):
+        recorder = LatencyRecorder()
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        recorder.record_many(data)
+        assert recorder.count == 5
+        assert recorder.mean == pytest.approx(3.0)
+        assert recorder.variance == pytest.approx(np.var(data, ddof=1))
+        assert recorder.std == pytest.approx(math.sqrt(recorder.variance))
+        assert recorder.minimum == 1.0
+        assert recorder.maximum == 5.0
+
+    def test_single_observation_variance_zero(self):
+        recorder = LatencyRecorder()
+        recorder.record(2.0)
+        assert recorder.variance == 0.0
+
+    def test_quantiles_exact_when_unbounded(self):
+        recorder = LatencyRecorder()
+        recorder.record_many(np.arange(101, dtype=float))
+        assert recorder.quantile(0.5) == pytest.approx(50.0)
+        lo, hi = recorder.quantiles([0.1, 0.9])
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(90.0)
+
+    def test_reservoir_keeps_distribution(self, rng):
+        recorder = LatencyRecorder(max_samples=2000, rng=rng)
+        data = rng.exponential(1.0, 50_000)
+        recorder.record_many(data)
+        assert len(recorder.samples()) == 2000
+        assert recorder.quantile(0.5) == pytest.approx(
+            float(np.quantile(data, 0.5)), rel=0.1
+        )
+        # Streaming mean is exact regardless of the reservoir.
+        assert recorder.mean == pytest.approx(float(data.mean()))
+
+    def test_confidence_interval_contains_truth(self, rng):
+        recorder = LatencyRecorder()
+        recorder.record_many(rng.normal(10.0, 2.0, 10_000))
+        low, high = recorder.confidence_interval()
+        assert low < 10.0 < high
+        assert high - low < 0.2
+
+    def test_summary(self, rng):
+        recorder = LatencyRecorder()
+        recorder.record_many(rng.normal(5.0, 1.0, 1000))
+        summary = recorder.summary()
+        assert summary.count == 1000
+        assert summary.ci_low < summary.mean < summary.ci_high
+        assert summary.contains(summary.mean)
+        assert summary.ci == (summary.ci_low, summary.ci_high)
+
+    def test_errors_on_empty(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValidationError):
+            _ = recorder.mean
+        with pytest.raises(ValidationError):
+            recorder.quantile(0.5)
+        with pytest.raises(ValidationError):
+            _ = recorder.minimum
+
+    def test_rejects_nonfinite(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValidationError):
+            recorder.record(float("nan"))
+        with pytest.raises(ValidationError):
+            recorder.record(float("inf"))
+
+    def test_ci_needs_two_observations(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValidationError):
+            recorder.confidence_interval()
+
+    def test_rejects_bad_confidence(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            recorder.confidence_interval(1.0)
+
+    def test_rejects_tiny_reservoir(self):
+        with pytest.raises(ValidationError):
+            LatencyRecorder(max_samples=1)
+
+
+class TestUtilizationMeter:
+    def test_full_busy(self):
+        meter = UtilizationMeter()
+        meter.server_started(0.0)
+        meter.server_stopped(10.0)
+        assert meter.utilization(10.0) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        meter = UtilizationMeter()
+        meter.server_started(0.0)
+        meter.server_stopped(5.0)
+        assert meter.utilization(10.0) == pytest.approx(0.5)
+
+    def test_ongoing_busy_period_counted(self):
+        meter = UtilizationMeter()
+        meter.server_started(0.0)
+        assert meter.utilization(4.0) == pytest.approx(1.0)
+
+    def test_never_started(self):
+        assert UtilizationMeter().utilization(10.0) == 0.0
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ValidationError):
+            UtilizationMeter().server_stopped(1.0)
+
+    def test_multiple_busy_periods(self):
+        meter = UtilizationMeter()
+        meter.server_started(0.0)
+        meter.server_stopped(2.0)
+        meter.server_started(4.0)
+        meter.server_stopped(6.0)
+        assert meter.utilization(8.0) == pytest.approx(0.5)

@@ -1,0 +1,133 @@
+"""Tests for the closed-loop system simulator."""
+
+import pytest
+
+from repro.core import ClusterModel
+from repro.errors import ValidationError
+from repro.simulation import BernoulliMissModel, MemcachedSystemSimulator
+from repro.units import kps, msec, usec
+
+
+def build_system(**overrides):
+    defaults = dict(
+        n_keys_per_request=20,
+        request_rate=100.0,
+        network_delay=usec(20),
+        miss_ratio=0.01,
+        database_rate=1.0 / msec(1),
+        seed=7,
+    )
+    defaults.update(overrides)
+    cluster = defaults.pop("cluster", ClusterModel.balanced(4, kps(80)))
+    return MemcachedSystemSimulator(cluster, **defaults)
+
+
+class TestBasicRun:
+    def test_completes_requests(self):
+        system = build_system()
+        results = system.run(n_requests=300)
+        assert results.total.count == 300
+        assert results.keys_processed >= 300 * 20
+
+    def test_component_decomposition(self):
+        results = build_system().run(n_requests=300)
+        # T(N) >= each stage max (eq. (1) lower bound, per request means).
+        assert results.total.mean >= results.server_stage.mean
+        assert results.total.mean >= results.database_stage.mean
+        assert results.total.mean >= results.network_stage.mean
+
+    def test_network_at_least_two_traversals(self):
+        results = build_system().run(n_requests=100)
+        assert results.network_stage.mean >= 2 * usec(20) - 1e-12
+
+    def test_measured_miss_ratio_near_r(self):
+        results = build_system(n_keys_per_request=50).run(n_requests=600)
+        assert results.measured_miss_ratio == pytest.approx(0.01, abs=0.005)
+
+    def test_no_database_when_r_zero(self):
+        system = build_system(miss_ratio=0.0, database_rate=None)
+        results = system.run(n_requests=100)
+        assert results.database_stage.mean == 0.0
+        assert results.misses == 0
+
+    def test_reproducible_with_seed(self):
+        a = build_system(seed=42).run(n_requests=100)
+        b = build_system(seed=42).run(n_requests=100)
+        assert a.total.mean == b.total.mean
+
+    def test_different_seeds_differ(self):
+        a = build_system(seed=1).run(n_requests=100)
+        b = build_system(seed=2).run(n_requests=100)
+        assert a.total.mean != b.total.mean
+
+    def test_warmup_discards_early_samples(self):
+        system = build_system()
+        results = system.run(n_requests=200, warmup_requests=50)
+        assert results.total.count == pytest.approx(200, abs=50)
+
+    def test_utilizations_reported(self):
+        results = build_system().run(n_requests=300)
+        assert len(results.server_utilizations) == 4
+        assert all(0 <= u <= 1 for u in results.server_utilizations)
+
+
+class TestLoadBehaviour:
+    def test_higher_load_higher_latency(self):
+        light = build_system(request_rate=50.0).run(n_requests=400)
+        heavy = build_system(request_rate=500.0).run(n_requests=400)
+        assert heavy.server_stage.mean > light.server_stage.mean
+
+    def test_mm1_utilization_matches_offered_load(self):
+        # 20 keys/request * 100 req/s spread over 4 servers of 80 Kps
+        # = 500 keys/s per server -> rho ~ 0.00625 (light).
+        results = build_system().run(n_requests=500)
+        for utilization in results.server_utilizations:
+            assert utilization == pytest.approx(500.0 / kps(80), rel=0.5)
+
+    def test_imbalanced_cluster_loads_hot_server(self):
+        cluster = ClusterModel.hot_cold(4, kps(80), hottest_share=0.7)
+        results = build_system(cluster=cluster, request_rate=300.0).run(
+            n_requests=400
+        )
+        utils = results.server_utilizations
+        assert utils[0] > max(utils[1:]) * 2
+
+    def test_induced_workload_model(self):
+        system = build_system()
+        workload = system.induced_server_workload(0)
+        # rate = request_rate * N * p_j = 100 * 20 * 0.25 = 500.
+        assert workload.rate == pytest.approx(500.0)
+        assert 0.0 <= workload.q < 1.0
+
+
+class TestValidation:
+    def test_rejects_bad_n_keys(self):
+        with pytest.raises(ValidationError):
+            build_system(n_keys_per_request=0)
+
+    def test_rejects_bad_request_rate(self):
+        with pytest.raises(ValidationError):
+            build_system(request_rate=0.0)
+
+    def test_requires_db_rate_with_misses(self):
+        with pytest.raises(ValidationError):
+            build_system(database_rate=None)
+
+    def test_rejects_zero_requests(self):
+        with pytest.raises(ValidationError):
+            build_system().run(n_requests=0)
+
+
+class TestBernoulliMissModel:
+    def test_rate(self, rng):
+        model = BernoulliMissModel(0.2, rng)
+        hits = sum(model.lookup(0, f"k{i}") for i in range(10_000))
+        assert hits / 10_000 == pytest.approx(0.8, abs=0.02)
+
+    def test_zero_ratio_always_hits(self, rng):
+        model = BernoulliMissModel(0.0, rng)
+        assert all(model.lookup(0, f"k{i}") for i in range(100))
+
+    def test_rejects_bad_ratio(self, rng):
+        with pytest.raises(ValidationError):
+            BernoulliMissModel(1.5, rng)

@@ -1,0 +1,163 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_estimate_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.rate == 62.5
+        assert args.n_keys == 150
+
+    def test_sweep_requires_range(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "q"])
+
+
+class TestEstimate:
+    def test_outputs_theorem1(self, capsys):
+        assert main(["estimate"]) == 0
+        out = capsys.readouterr().out
+        assert "T(150)" in out
+        assert "dominant stage" in out
+        assert "delta" in out
+
+
+class TestSweep:
+    def test_q_sweep(self, capsys):
+        code = main(["sweep", "q", "--start", "0", "--stop", "0.4", "--points", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q" in out
+        assert out.count("\n") >= 5
+
+    def test_miss_ratio_sweep(self, capsys):
+        assert main(["sweep", "r", "--start", "0.001", "--stop", "0.1", "--points", "3"]) == 0
+        assert "miss_ratio" in capsys.readouterr().out
+
+    def test_mu_sweep(self, capsys):
+        assert main(["sweep", "mu", "--start", "90", "--stop", "200", "--points", "3"]) == 0
+
+    def test_unstable_sweep_reports_error(self, capsys):
+        code = main(["sweep", "rate", "--start", "10", "--stop", "100", "--points", "4"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCliffTable:
+    def test_lists_all_xis(self, capsys):
+        assert main(["cliff-table"]) == 0
+        out = capsys.readouterr().out
+        assert "0.00" in out and "0.95" in out
+        assert "77%" in out
+
+
+class TestValidate:
+    def test_reports_theory_and_simulation(self, capsys):
+        code = main(
+            ["validate", "--requests", "500", "--pool-size", "50000", "--n-keys", "50"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TS(N)" in out and "simulated" in out
+
+
+class TestSimulate:
+    def test_small_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--requests", "100",
+                "--n-keys", "10",
+                "--rate", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T(N)" in out
+        assert "miss ratio" in out
+
+
+class TestConfigWorkflow:
+    def test_template_prints_json(self, capsys):
+        assert main(["config-template"]) == 0
+        out = capsys.readouterr().out
+        assert '"key_rate"' in out
+
+    def test_estimate_from_config(self, tmp_path, capsys):
+        from repro.config import ExperimentConfig
+
+        path = tmp_path / "exp.json"
+        ExperimentConfig.paper_section_5_1().save(path)
+        assert main(["estimate", "--config", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "T(150)" in out
+
+
+class TestTail:
+    def test_percentile_table(self, capsys):
+        assert main(["tail"]) == 0
+        out = capsys.readouterr().out
+        assert "p99.9" in out
+        assert "exact E[TD(N)]" in out
+
+    def test_no_database(self, capsys):
+        assert main(["tail", "--miss-ratio", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "exact E[TD(N)]" not in out
+
+
+class TestMissCurve:
+    def test_curve_rows(self, capsys):
+        assert main(["miss-curve", "--items", "5000", "--points", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "miss ratio r" in out
+        assert "E[TD(N)]" in out
+
+
+class TestFit:
+    def test_fit_from_csv(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.workloads import KeyTrace
+
+        rng = np.random.default_rng(5)
+        trace = KeyTrace(np.cumsum(rng.exponential(1 / 20_000, 40_000)))
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        assert main(["fit", str(path), "--service-rate", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "key rate" in out
+        assert "E[TS(150)]" in out
+
+    def test_fit_without_service_rate(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.workloads import KeyTrace
+
+        rng = np.random.default_rng(6)
+        trace = KeyTrace(np.cumsum(rng.exponential(1 / 20_000, 20_000)))
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        assert main(["fit", str(path)]) == 0
+        assert "E[TS" not in capsys.readouterr().out
+
+
+class TestRecommend:
+    def test_balanced_report(self, capsys):
+        assert main(["recommend", "--total-rate", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "cliff utilization" in out
+
+    def test_hot_cold_report(self, capsys):
+        assert main(
+            ["recommend", "--total-rate", "80", "--hottest-share", "0.76"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "load-balancing" in out

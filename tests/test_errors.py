@@ -1,0 +1,65 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CacheCapacityError,
+    CacheError,
+    ConfigError,
+    ConvergenceError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    StabilityError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            ValidationError,
+            StabilityError,
+            ConvergenceError,
+            SimulationError,
+            CacheError,
+            CacheCapacityError,
+            ProtocolError,
+            ConfigError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, cls):
+        assert issubclass(cls, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_cache_capacity_is_cache_error(self):
+        assert issubclass(CacheCapacityError, CacheError)
+
+    def test_protocol_is_cache_error(self):
+        assert issubclass(ProtocolError, CacheError)
+
+
+class TestStabilityError:
+    def test_records_utilization(self):
+        err = StabilityError(1.25)
+        assert err.utilization == 1.25
+        assert "1.25" in str(err)
+
+    def test_custom_message(self):
+        err = StabilityError(1.0, "saturated")
+        assert str(err) == "saturated"
+
+
+class TestConvergenceError:
+    def test_records_diagnostics(self):
+        err = ConvergenceError("no convergence", last_value=0.5, iterations=100)
+        assert err.last_value == 0.5
+        assert err.iterations == 100
+
+    def test_diagnostics_optional(self):
+        err = ConvergenceError("failed")
+        assert err.last_value is None
+        assert err.iterations is None

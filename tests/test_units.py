@@ -1,0 +1,47 @@
+"""Tests for unit conversion helpers."""
+
+import math
+
+from repro.units import (
+    format_duration,
+    kps,
+    msec,
+    to_kps,
+    to_msec,
+    to_usec,
+    usec,
+)
+
+
+class TestConversions:
+    def test_usec_roundtrip(self):
+        assert math.isclose(to_usec(usec(366.0)), 366.0)
+
+    def test_msec_roundtrip(self):
+        assert math.isclose(to_msec(msec(1.5)), 1.5)
+
+    def test_kps_roundtrip(self):
+        assert math.isclose(to_kps(kps(62.5)), 62.5)
+
+    def test_usec_is_seconds(self):
+        assert usec(1.0) == 1e-6
+
+    def test_kps_is_per_second(self):
+        assert kps(80) == 80_000.0
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(366e-6) == "366.0us"
+
+    def test_milliseconds(self):
+        assert format_duration(1.2e-3) == "1.200ms"
+
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.500s"
+
+    def test_negative(self):
+        assert format_duration(-366e-6) == "-366.0us"
+
+    def test_zero(self):
+        assert format_duration(0.0) == "0.0us"
