@@ -8,15 +8,25 @@ them to ``benchmark.extra_info``, and asserts the reproduced *shape*
 simulator, not the authors' testbed.
 
 The paper's §5.1 baseline configuration is centralized here.
+
+Every printed series is also dropped as a JSON artifact (shared
+run-report serializer) under ``benchmarks/artifacts/`` — override with
+``REPRO_BENCH_ARTIFACTS``, or set it to an empty string to disable —
+so regression tooling can diff benches without scraping stdout.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core import WorkloadPattern
+from repro.observability import to_jsonable
 from repro.units import kps, msec, usec
 
 #: §5.1 testbed constants.
@@ -46,12 +56,34 @@ def bench_rng() -> np.random.Generator:
     return np.random.default_rng(SEED)
 
 
+def artifact_dir() -> Optional[Path]:
+    """Where bench artifacts go; ``None`` when disabled."""
+    configured = os.environ.get("REPRO_BENCH_ARTIFACTS")
+    if configured is not None:
+        return Path(configured) if configured else None
+    return Path(__file__).resolve().parent / "artifacts"
+
+
+def emit_artifact(title: str, payload: Dict[str, object]) -> Optional[Path]:
+    """Write one machine-readable bench artifact; returns its path."""
+    directory = artifact_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-") or "series"
+    path = directory / f"{slug}.json"
+    document = {"kind": "repro-bench-artifact", "title": title}
+    document.update(to_jsonable(payload))
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
 def print_series(
     title: str,
     header: Sequence[str],
     rows: Sequence[Sequence[object]],
 ) -> None:
-    """Print one figure/table as an aligned text block."""
+    """Print one figure/table as an aligned text block (+ JSON artifact)."""
     cells = [[_fmt(cell) for cell in row] for row in rows]
     widths = [
         max(len(str(head)), *(len(row[i]) for row in cells))
@@ -61,6 +93,7 @@ def print_series(
     print("  ".join(str(head).rjust(width) for head, width in zip(header, widths)))
     for row in cells:
         print("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    emit_artifact(title, {"header": list(header), "rows": [list(row) for row in rows]})
 
 
 def _fmt(cell: object) -> str:

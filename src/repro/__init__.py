@@ -56,6 +56,13 @@ from .errors import (
     StabilityError,
     ValidationError,
 )
+from .observability import (
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    RunReport,
+    Tracer,
+)
 from .queueing import (
     GIM1Queue,
     GIXM1Queue,
@@ -76,12 +83,17 @@ __all__ = [
     "DatabaseStage",
     "GIM1Queue",
     "GIXM1Queue",
+    "Histogram",
     "LatencyEstimate",
     "LatencyModel",
     "MG1Queue",
     "MM1Queue",
     "MemcachedSystemSimulator",
+    "MetricsRegistry",
     "NetworkStage",
+    "Observability",
+    "RunReport",
+    "Tracer",
     "ProtocolError",
     "Recommendation",
     "ReproError",

@@ -8,9 +8,14 @@ Subcommands map to the paper's workflows::
     repro cliff-table  reproduce Table 4
     repro validate     theory-vs-simulation comparison (Table 3 style)
     repro recommend    the §5.3 configuration advisor
+    repro report       inspect a saved run report (JSON artifact)
+    repro trace        print slowest-request span trees from a report
 
 All rates are entered in Kps (thousand keys per second) and times in
 microseconds, matching the paper's units; output is aligned text.
+``estimate``, ``simulate``, ``validate``, and ``sweep`` accept a
+``--json`` flag (before or after the subcommand) for machine-readable
+output through the shared run-report serializer.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from .core import (
 )
 from .core.stages import ServerStage
 from .errors import ReproError
+from .observability import Observability, RunReport, Span, json_dumps
 from .queueing import PAPER_TABLE_4, cliff_table
 from .simulation import MemcachedSystemSimulator
 from .units import kps, to_usec, usec
@@ -59,6 +65,21 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--db-latency", type=float, default=1000.0, help="mean DB service in us"
+    )
+
+
+def _add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of aligned text",
+    )
+
+
+def _wants_json(args: argparse.Namespace) -> bool:
+    """``--json`` before or after the subcommand both count."""
+    return bool(getattr(args, "json", False)) or bool(
+        getattr(args, "json_global", False)
     )
 
 
@@ -102,14 +123,27 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 
         config = ExperimentConfig.load(args.config)
         model = config.latency_model()
-        estimate = model.estimate(config.n_keys)
-        print(estimate)
-        print(f"dominant stage: {estimate.dominant_stage}")
-        print(f"server utilization: {model.server_stage.utilization:.1%}")
-        print(f"delta: {model.server_stage.delta:.4f}")
+        n_keys = config.n_keys
+    else:
+        model = _model_from(args)
+        n_keys = args.n_keys
+    estimate = model.estimate(n_keys)
+    if _wants_json(args):
+        print(
+            json_dumps(
+                {
+                    "kind": "repro-estimate",
+                    "n_keys": n_keys,
+                    "estimate": estimate,
+                    "total_lower": estimate.total_lower,
+                    "total_upper": estimate.total_upper,
+                    "dominant_stage": estimate.dominant_stage,
+                    "server_utilization": model.server_stage.utilization,
+                    "delta": model.server_stage.delta,
+                }
+            )
+        )
         return 0
-    model = _model_from(args)
-    estimate = model.estimate(args.n_keys)
     print(estimate)
     print(f"dominant stage: {estimate.dominant_stage}")
     print(f"server utilization: {model.server_stage.utilization:.1%}")
@@ -120,6 +154,16 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     cluster = ClusterModel.balanced(args.servers, kps(args.service_rate))
     request_rate = kps(args.rate) * args.servers / args.n_keys
+    want_json = _wants_json(args)
+    want_report = args.report is not None
+    observability = None
+    if args.trace or args.profile or want_report:
+        observability = Observability(
+            trace=args.trace,
+            metrics=True,
+            profile=args.profile or want_report,
+            slowest_k=args.slowest,
+        )
     system = MemcachedSystemSimulator(
         cluster,
         n_keys_per_request=args.n_keys,
@@ -128,10 +172,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         miss_ratio=args.miss_ratio,
         database_rate=1.0 / usec(args.db_latency),
         seed=args.seed,
+        observability=observability,
     )
     results = system.run(
         n_requests=args.requests, warmup_requests=args.requests // 10
     )
+    report = None
+    if want_report or want_json:
+        report = RunReport.from_simulation(
+            results,
+            observability,
+            config={
+                "servers": args.servers,
+                "rate_kps": args.rate,
+                "service_rate_kps": args.service_rate,
+                "n_keys": args.n_keys,
+                "network_delay_us": args.network_delay,
+                "miss_ratio": args.miss_ratio,
+                "db_latency_us": args.db_latency,
+                "requests": args.requests,
+                "seed": args.seed,
+            },
+        )
+    if want_report:
+        report.save(args.report)
+    if want_json:
+        print(report.to_json())
+        return 0
     rows = []
     for label, recorder in [
         ("T(N)", results.total),
@@ -153,6 +220,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         "server utilizations: "
         + ", ".join(f"{u:.1%}" for u in results.server_utilizations)
     )
+    if observability is not None and observability.tracer is not None:
+        slowest = observability.tracer.slowest(3)
+        if slowest:
+            worst = ", ".join(f"{to_usec(span.duration):.0f}" for span in slowest)
+            print(f"slowest requests (us): {worst}")
+    if want_report:
+        print(f"report written: {args.report}")
     return 0
 
 
@@ -197,6 +271,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     else:
         raise ReproError(f"unknown sweep factor {args.factor!r}")
+    if _wants_json(args):
+        print(
+            json_dumps(
+                {
+                    "kind": "repro-sweep",
+                    "parameter": sweep.parameter,
+                    "values": list(sweep.values),
+                    "lower": list(sweep.lower),
+                    "upper": list(sweep.upper),
+                }
+            )
+        )
+        return 0
     rows = [
         [f"{value:.4g}", f"{to_usec(lo):.1f}", f"{to_usec(up):.1f}"]
         for value, lo, up in zip(sweep.values, sweep.lower, sweep.upper)
@@ -227,6 +314,19 @@ def cmd_validate(args: argparse.Namespace) -> int:
         pool_size=args.pool_size,
         seed=args.seed,
     )
+    if _wants_json(args):
+        print(
+            json_dumps(
+                {
+                    "kind": "repro-validate",
+                    "n_keys": report.n_keys,
+                    "n_requests": report.n_requests,
+                    "all_consistent": report.all_consistent,
+                    "stages": report.stages,
+                }
+            )
+        )
+        return 0 if report.all_consistent else 1
     rows = []
     for stage in report.stages:
         if stage.theory_lower == stage.theory_upper:
@@ -336,6 +436,90 @@ def cmd_miss_curve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    report = RunReport.load(args.path)
+    if _wants_json(args):
+        print(report.to_json())
+        return 0
+    if report.config:
+        print("config:")
+        for key in sorted(report.config):
+            print(f"  {key}: {report.config[key]}")
+    rows = []
+    for stage, count, mean, p50, p95, p99 in report.stage_rows():
+        rows.append(
+            [
+                stage,
+                count,
+                f"{to_usec(mean):.1f}",
+                f"{to_usec(p50):.1f}" if p50 is not None else "-",
+                f"{to_usec(p95):.1f}" if p95 is not None else "-",
+                f"{to_usec(p99):.1f}" if p99 is not None else "-",
+            ]
+        )
+    if rows:
+        _print_rows(
+            ["stage", "count", "mean (us)", "p50 (us)", "p95 (us)", "p99 (us)"],
+            rows,
+        )
+    for key in ("requests_completed", "keys_processed", "measured_miss_ratio"):
+        if key in report.meta:
+            print(f"{key}: {report.meta[key]}")
+    if report.profile:
+        profile = report.profile
+        print(
+            f"event loop: {profile.get('events')} events, "
+            f"{profile.get('wall_seconds', 0.0):.3f}s wall, "
+            f"{profile.get('events_per_second', 0.0):,.0f} events/s, "
+            f"max pending {profile.get('pending_max')}"
+        )
+        categories = profile.get("categories") or {}
+        for name, stats in list(categories.items())[:5]:
+            print(
+                f"  {name}: {stats['count']} calls, "
+                f"{stats['wall_seconds'] * 1e3:.1f} ms, "
+                f"{stats['mean_usec']:.1f} us/call"
+            )
+    print(f"metrics: {len(report.metrics)}  slow traces: {len(report.slowest)}")
+    return 0
+
+
+def _print_span(span: Span, root_start: float, depth: int) -> None:
+    indent = "  " * depth
+    duration = f"{to_usec(span.duration):.1f}us" if span.finished else "?"
+    offset = to_usec(span.start - root_start)
+    attrs = ""
+    if span.attributes:
+        attrs = "  " + " ".join(
+            f"{key}={value}" for key, value in sorted(span.attributes.items())
+        )
+    print(f"{indent}{span.name}  +{offset:.1f}us  {duration}{attrs}")
+    for child in span.children:
+        _print_span(child, root_start, depth + 1)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    report = RunReport.load(args.path)
+    spans = report.slowest_spans()[: args.top]
+    if not spans:
+        print("report contains no traces (run simulate with --trace)")
+        return 1
+    if _wants_json(args):
+        print(json_dumps([span.to_dict() for span in spans]))
+        return 0
+    for rank, span in enumerate(spans, 1):
+        print(
+            f"#{rank}  {span.name}  {to_usec(span.duration):.1f}us  "
+            + " ".join(
+                f"{key}={value}" for key, value in sorted(span.attributes.items())
+            )
+        )
+        for child in span.children:
+            _print_span(child, span.start, 1)
+        print()
+    return 0
+
+
 def cmd_recommend(args: argparse.Namespace) -> int:
     workload = _workload_from(args)
     if args.hottest_share is not None:
@@ -364,10 +548,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Memcached latency model (ICDCS 2017 reproduction)",
     )
+    parser.add_argument(
+        "--json",
+        dest="json_global",
+        action="store_true",
+        help="emit machine-readable JSON (estimate/simulate/validate/sweep)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_est = sub.add_parser("estimate", help="Theorem 1 latency bounds")
     _add_workload_args(p_est)
+    _add_json_flag(p_est)
     p_est.add_argument(
         "--config", default=None,
         help="JSON experiment config (overrides the flag-based workload)",
@@ -381,13 +572,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="closed-loop system simulation")
     _add_workload_args(p_sim)
+    _add_json_flag(p_sim)
     p_sim.add_argument("--servers", type=int, default=4)
     p_sim.add_argument("--requests", type=int, default=2000)
     p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-request span trees (slowest kept, see --slowest)",
+    )
+    p_sim.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the event loop (wall time per callback category)",
+    )
+    p_sim.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="write a JSON run report (enables metrics + profiling)",
+    )
+    p_sim.add_argument(
+        "--slowest",
+        type=int,
+        default=10,
+        help="how many slowest-request traces to retain (default 10)",
+    )
     p_sim.set_defaults(func=cmd_simulate)
 
     p_sweep = sub.add_parser("sweep", help="factor sweeps")
     _add_workload_args(p_sweep)
+    _add_json_flag(p_sweep)
     p_sweep.add_argument("factor", choices=["q", "xi", "rate", "mu", "r"])
     p_sweep.add_argument("--start", type=float, required=True)
     p_sweep.add_argument("--stop", type=float, required=True)
@@ -404,10 +619,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_val = sub.add_parser("validate", help="theory vs fast-path simulation")
     _add_workload_args(p_val)
+    _add_json_flag(p_val)
     p_val.add_argument("--requests", type=int, default=20000)
     p_val.add_argument("--pool-size", type=int, default=500_000)
     p_val.add_argument("--seed", type=int, default=1)
     p_val.set_defaults(func=cmd_validate)
+
+    p_rep = sub.add_parser("report", help="inspect a saved run report")
+    p_rep.add_argument("path", help="JSON file written by simulate --report")
+    _add_json_flag(p_rep)
+    p_rep.set_defaults(func=cmd_report)
+
+    p_trc = sub.add_parser(
+        "trace", help="print slowest-request span trees from a run report"
+    )
+    p_trc.add_argument("path", help="JSON file written by simulate --report")
+    p_trc.add_argument(
+        "--top", type=int, default=10, help="how many traces to print"
+    )
+    _add_json_flag(p_trc)
+    p_trc.set_defaults(func=cmd_trace)
 
     p_fit = sub.add_parser("fit", help="fit (lambda, xi, q) from a trace CSV")
     p_fit.add_argument("trace", help="CSV written by KeyTrace.save_csv")

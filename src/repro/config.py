@@ -111,11 +111,13 @@ class ExperimentConfig:
             database_stage=database,
         )
 
-    def simulator(self) -> MemcachedSystemSimulator:
+    def simulator(self, observability=None) -> MemcachedSystemSimulator:
         """Closed-loop simulator for this configuration.
 
         The request rate is chosen so the induced per-server key rate
-        equals ``key_rate``.
+        equals ``key_rate``. Pass an
+        :class:`~repro.observability.Observability` bundle to collect
+        traces/metrics/profiles for the run.
         """
         request_rate = self.total_key_rate() / self.n_keys
         return MemcachedSystemSimulator(
@@ -126,6 +128,7 @@ class ExperimentConfig:
             miss_ratio=self.miss_ratio,
             database_rate=self.database_rate,
             seed=self.seed,
+            observability=observability,
         )
 
     # ------------------------------------------------------------------

@@ -83,7 +83,10 @@ class GeneralizedPareto(Distribution):
         xi = self._xi
         if xi == 0.0:
             return -math.expm1(-t / self._scale)
-        return 1.0 - (1.0 + xi * t / self._scale) ** (-1.0 / xi)
+        # expm1/log1p form of 1 - (1 + xi t/s)^(-1/xi): stable for tiny
+        # xi, where the direct power loses ~xi*t/s of precision to the
+        # enormous -1/xi exponent.
+        return -math.expm1(-math.log1p(xi * t / self._scale) / xi)
 
     def survival(self, t: float) -> float:
         if t <= 0:
@@ -91,7 +94,7 @@ class GeneralizedPareto(Distribution):
         xi = self._xi
         if xi == 0.0:
             return math.exp(-t / self._scale)
-        return (1.0 + xi * t / self._scale) ** (-1.0 / xi)
+        return math.exp(-math.log1p(xi * t / self._scale) / xi)
 
     def pdf(self, t: float) -> float:
         if t < 0:
@@ -99,7 +102,10 @@ class GeneralizedPareto(Distribution):
         xi = self._xi
         if xi == 0.0:
             return math.exp(-t / self._scale) / self._scale
-        return (1.0 + xi * t / self._scale) ** (-1.0 / xi - 1.0) / self._scale
+        return (
+            math.exp(-(1.0 / xi + 1.0) * math.log1p(xi * t / self._scale))
+            / self._scale
+        )
 
     def quantile(self, k: float) -> float:
         if not 0.0 <= k < 1.0:
@@ -107,7 +113,8 @@ class GeneralizedPareto(Distribution):
         xi = self._xi
         if xi == 0.0:
             return -self._scale * math.log1p(-k)
-        return self._scale / xi * ((1.0 - k) ** (-xi) - 1.0)
+        # expm1 form of s/xi * ((1-k)^(-xi) - 1); exact inverse of cdf.
+        return self._scale / xi * math.expm1(-xi * math.log1p(-k))
 
     def laplace(self, s: float) -> float:
         """LST via the confluent hypergeometric function of the second kind.
@@ -150,8 +157,8 @@ class GeneralizedPareto(Distribution):
                 return -self._scale * math.log1p(-float(u))
             return -self._scale * np.log1p(-u)
         if size is None:
-            return self._scale / xi * ((1.0 - float(u)) ** (-xi) - 1.0)
-        return self._scale / xi * ((1.0 - u) ** (-xi) - 1.0)
+            return self._scale / xi * math.expm1(-xi * math.log1p(-float(u)))
+        return self._scale / xi * np.expm1(-xi * np.log1p(-u))
 
     def with_rate(self, rate: float) -> "GeneralizedPareto":
         """Return a copy with the same burst degree and a new rate."""

@@ -1,0 +1,101 @@
+"""End-to-end observability for the simulator.
+
+The paper's contribution is *measuring* where latency lives; this
+package gives the simulator the same property:
+
+* :mod:`~repro.observability.metrics` — log-bucketed
+  :class:`Histogram`, :class:`Counter`, :class:`Gauge`, and the
+  :class:`MetricsRegistry` components publish into;
+* :mod:`~repro.observability.tracing` — per-request :class:`Span` trees
+  with bounded retention (:class:`Tracer`);
+* :mod:`~repro.observability.profiler` — :class:`EngineProfiler`
+  wall-time accounting on the event loop;
+* :mod:`~repro.observability.report` — :class:`RunReport` JSON/CSV
+  artifacts plus the shared ``--json`` serializer.
+
+:class:`Observability` bundles the three collectors so callers can flip
+them on together::
+
+    obs = Observability(trace=True, metrics=True, profile=True)
+    system = MemcachedSystemSimulator(..., observability=obs)
+    results = system.run(n_requests=10_000)
+    RunReport.from_simulation(results, obs).save("run.json")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import EngineProfiler, callback_category
+from .report import (
+    STAGE_QUANTILES,
+    RunReport,
+    json_dumps,
+    recorder_summary,
+    to_jsonable,
+)
+from .tracing import Span, Tracer
+
+
+class Observability:
+    """A switchboard of collectors for one simulation run.
+
+    Every collector is optional and independently toggled; components
+    treat a ``None`` collector as "off" with a single attribute check,
+    so a fully-disabled bundle (or no bundle at all) costs nothing on
+    the hot path.
+    """
+
+    def __init__(
+        self,
+        *,
+        trace: bool = True,
+        metrics: bool = True,
+        profile: bool = False,
+        trace_capacity: int = 1024,
+        slowest_k: int = 10,
+    ) -> None:
+        self.tracer: Optional[Tracer] = (
+            Tracer(capacity=trace_capacity, slowest_k=slowest_k) if trace else None
+        )
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+        self.profiler: Optional[EngineProfiler] = (
+            EngineProfiler() if profile else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            collector is not None
+            for collector in (self.tracer, self.registry, self.profiler)
+        )
+
+    def reset(self) -> None:
+        """Drop collected data in place (e.g. at the warmup boundary)."""
+        if self.tracer is not None:
+            self.tracer.reset()
+        if self.registry is not None:
+            self.registry.reset_all()
+        if self.profiler is not None:
+            self.profiler.reset()
+
+
+__all__ = [
+    "Counter",
+    "EngineProfiler",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "RunReport",
+    "STAGE_QUANTILES",
+    "Span",
+    "Tracer",
+    "callback_category",
+    "json_dumps",
+    "recorder_summary",
+    "to_jsonable",
+]

@@ -1,0 +1,391 @@
+"""Cheap always-on metric primitives: histograms, counters, gauges.
+
+The paper's analysis decomposes latency per stage; validating that
+decomposition on a live run needs per-stage distributions that are cheap
+to record (O(1) per observation, no sample storage). :class:`Histogram`
+is an HDR-style log-bucketed histogram — fixed relative error per
+bucket, quantiles by interpolation — and :class:`MetricsRegistry` is the
+namespace the simulator components publish into. Exact-moment paths
+(Table 3 confidence intervals) keep using
+:class:`~repro.simulation.metrics.LatencyRecorder`; these primitives
+cover everything else.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ValidationError
+
+
+class Histogram:
+    """Log-bucketed histogram with bounded relative error.
+
+    Bucket ``i`` covers ``[min_value * g**i, min_value * g**(i+1))`` with
+    ``g = 10 ** (1 / buckets_per_decade)``, so every recorded value is
+    off by at most a factor ``g`` (~4.7% at the default resolution).
+    Zero is tracked in a dedicated bucket; sub-``min_value`` positives
+    clamp into bucket 0. Storage is a sparse dict, so wide dynamic
+    ranges (nanoseconds to seconds) stay small.
+    """
+
+    def __init__(
+        self,
+        *,
+        min_value: float = 1e-9,
+        buckets_per_decade: int = 50,
+    ) -> None:
+        if min_value <= 0:
+            raise ValidationError(f"min_value must be > 0, got {min_value}")
+        if buckets_per_decade < 1:
+            raise ValidationError(
+                f"buckets_per_decade must be >= 1, got {buckets_per_decade}"
+            )
+        self._min_value = float(min_value)
+        self._bpd = int(buckets_per_decade)
+        self._log_min = math.log10(self._min_value)
+        self._counts: Dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Add one observation (must be finite and >= 0)."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(f"observation must be finite, got {value}")
+        if value < 0:
+            raise ValidationError(f"observation must be >= 0, got {value}")
+        self._count += 1
+        self._sum += value
+        self._sumsq += value * value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if value == 0.0:
+            self._zero += 1
+            return
+        index = self.bucket_index(value)
+        self._counts[index] = self._counts.get(index, 0) + 1
+
+    def record_many(self, values: Sequence[float]) -> None:
+        """Add a batch of observations."""
+        for value in values:
+            self.record(float(value))
+
+    # ------------------------------------------------------------------
+    # Bucket geometry.
+    # ------------------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """Index of the bucket holding ``value`` (clamped at 0)."""
+        if value <= self._min_value:
+            return 0
+        index = int(math.floor((math.log10(value) - self._log_min) * self._bpd))
+        # Guard the float boundary: log10 rounding can land a value one
+        # bucket high or low; nudge so bounds contain the value.
+        lo, hi = self.bucket_bounds(index)
+        if value < lo:
+            return index - 1
+        if value >= hi:
+            return index + 1
+        return index
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """``[lower, upper)`` value bounds of bucket ``index``."""
+        lower = 10.0 ** (self._log_min + index / self._bpd)
+        upper = 10.0 ** (self._log_min + (index + 1) / self._bpd)
+        return lower, upper
+
+    def buckets(self) -> List[Tuple[float, float, int]]:
+        """Sorted non-empty ``(lower, upper, count)`` triples (zeros first)."""
+        out: List[Tuple[float, float, int]] = []
+        if self._zero:
+            out.append((0.0, 0.0, self._zero))
+        for index in sorted(self._counts):
+            lower, upper = self.bucket_bounds(index)
+            out.append((lower, upper, self._counts[index]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Statistics.
+    # ------------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValidationError("no observations recorded")
+        return self._sum / self._count
+
+    @property
+    def std(self) -> float:
+        if self._count < 2:
+            return 0.0
+        mean = self._sum / self._count
+        var = max(0.0, (self._sumsq - self._count * mean * mean) / (self._count - 1))
+        return math.sqrt(var)
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("no observations recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("no observations recorded")
+        return self._max
+
+    def quantile(self, k: float) -> float:
+        """Approximate k-th quantile by within-bucket interpolation."""
+        if not 0.0 <= k <= 1.0:
+            raise ValidationError(f"quantile level must be in [0, 1]: {k}")
+        if self._count == 0:
+            raise ValidationError("no observations recorded")
+        rank = k * self._count
+        seen = 0.0
+        for lower, upper, count in self.buckets():
+            if seen + count >= rank:
+                if upper == 0.0:  # the zero bucket
+                    return 0.0
+                fraction = (rank - seen) / count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self._min), self._max)
+            seen += count
+        return self._max
+
+    def quantiles(self, ks: Sequence[float]) -> List[float]:
+        return [self.quantile(float(k)) for k in ks]
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-ready summary (count, moments, standard percentiles)."""
+        if self._count == 0:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle / persistence.
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all observations (bucket geometry is kept)."""
+        self._counts.clear()
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same geometry) into this one."""
+        if (other._min_value, other._bpd) != (self._min_value, self._bpd):
+            raise ValidationError("cannot merge histograms with different buckets")
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._zero += other._zero
+        self._count += other._count
+        self._sum += other._sum
+        self._sumsq += other._sumsq
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "min_value": self._min_value,
+            "buckets_per_decade": self._bpd,
+            "zero": self._zero,
+            "counts": {str(index): count for index, count in sorted(self._counts.items())},
+            "count": self._count,
+            "sum": self._sum,
+            "sumsq": self._sumsq,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Histogram":
+        hist = cls(
+            min_value=float(payload["min_value"]),
+            buckets_per_decade=int(payload["buckets_per_decade"]),
+        )
+        hist._zero = int(payload["zero"])
+        hist._counts = {
+            int(index): int(count)
+            for index, count in dict(payload["counts"]).items()
+        }
+        hist._count = int(payload["count"])
+        hist._sum = float(payload["sum"])
+        hist._sumsq = float(payload["sumsq"])
+        hist._min = float(payload["min"]) if payload.get("min") is not None else math.inf
+        hist._max = float(payload["max"]) if payload.get("max") is not None else -math.inf
+        return hist
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValidationError(f"counter increments must be >= 0, got {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Point-in-time level that also tracks min/max/mean of its samples."""
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValidationError(f"gauge value must be finite, got {value}")
+        self._value = value
+        self._count += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def maximum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("gauge never set")
+        return self._max
+
+    @property
+    def minimum(self) -> float:
+        if self._count == 0:
+            raise ValidationError("gauge never set")
+        return self._min
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValidationError("gauge never set")
+        return self._sum / self._count
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def to_dict(self) -> Dict[str, object]:
+        if self._count == 0:
+            return {"type": "gauge", "samples": 0}
+        return {
+            "type": "gauge",
+            "value": self._value,
+            "samples": self._count,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create namespace for the simulator's metrics.
+
+    Components ask for a metric by dotted name (``server.0.wait``);
+    re-asking returns the same object, so wiring does not need a central
+    construction site. :meth:`snapshot` serializes everything for
+    :class:`~repro.observability.report.RunReport`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type, **kwargs: object):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ValidationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = kind(**kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def histogram(self, name: str, **kwargs: object) -> Histogram:
+        return self._get_or_create(name, Histogram, **kwargs)
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def get(self, name: str):
+        if name not in self._metrics:
+            raise ValidationError(f"unknown metric: {name!r}")
+        return self._metrics[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def reset_all(self) -> None:
+        """Reset every metric in place (references stay valid)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Serializable view: histograms as summaries, plus raw state."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            payload = metric.to_dict()
+            if isinstance(metric, Histogram):
+                payload["summary"] = metric.summary()
+            out[name] = payload
+        return out

@@ -1,0 +1,190 @@
+"""Per-request span trees with bounded retention.
+
+Answers the question the aggregate recorders cannot: *which key on
+which server pushed this request past the 99th percentile*. Each
+completed request leaves a tree of spans (request → key → network /
+queue / service / database) stamped in simulated time, with attributes
+such as the server index, hit/miss, and the queue depth seen at
+enqueue. Retention is bounded two ways so tracing can stay on for
+arbitrarily long runs: a ring buffer of the most recent roots and a
+min-heap of the slowest-K requests ever observed.
+"""
+
+from __future__ import annotations
+
+import collections
+import heapq
+import itertools
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..errors import ValidationError
+
+
+class Span:
+    """One timed operation; spans nest into a tree."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children")
+
+    def __init__(
+        self,
+        name: str,
+        start: float,
+        *,
+        end: Optional[float] = None,
+        **attributes: object,
+    ) -> None:
+        self.name = name
+        self.start = float(start)
+        self.end = float(end) if end is not None else None
+        self.attributes: Dict[str, object] = dict(attributes)
+        self.children: List["Span"] = []
+
+    def child(
+        self,
+        name: str,
+        start: float,
+        *,
+        end: Optional[float] = None,
+        **attributes: object,
+    ) -> "Span":
+        """Create, attach, and return a child span."""
+        span = Span(name, start, end=end, **attributes)
+        self.children.append(span)
+        return span
+
+    def finish(self, end: float) -> None:
+        if end < self.start:
+            raise ValidationError(
+                f"span {self.name!r} cannot end at {end} before start {self.start}"
+            )
+        self.end = float(end)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValidationError(f"span {self.name!r} has not finished")
+        return self.end - self.start
+
+    def walk(self) -> List["Span"]:
+        """This span and all descendants, depth first."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.walk())
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        if self.children:
+            payload["children"] = [child.to_dict() for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Span":
+        span = cls(
+            str(payload["name"]),
+            float(payload["start"]),
+            end=payload.get("end"),
+            **dict(payload.get("attributes", {})),
+        )
+        for child in payload.get("children", []):
+            span.children.append(cls.from_dict(child))
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        end = f"{self.end:.6g}" if self.end is not None else "?"
+        return f"Span({self.name!r}, [{self.start:.6g}, {end}], {len(self.children)} children)"
+
+
+class Tracer:
+    """Collects finished request roots under two retention policies.
+
+    ``capacity`` bounds the ring buffer of recent requests;
+    ``slowest_k`` bounds the all-time slowest set. Both are O(log K)
+    per finished request and O(1) memory, so tracing every request of a
+    multi-hour run is safe.
+    """
+
+    def __init__(self, *, capacity: int = 1024, slowest_k: int = 10) -> None:
+        if capacity < 1:
+            raise ValidationError(f"capacity must be >= 1, got {capacity}")
+        if slowest_k < 1:
+            raise ValidationError(f"slowest_k must be >= 1, got {slowest_k}")
+        self._capacity = capacity
+        self._slowest_k = slowest_k
+        self._recent: Deque[Span] = collections.deque(maxlen=capacity)
+        # Min-heap of (duration, seq, span): the root is the *fastest*
+        # of the retained slow set and is evicted first.
+        self._slow: List[Tuple[float, int, Span]] = []
+        self._seq = itertools.count()
+        self._started = 0
+        self._finished = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def slowest_k(self) -> int:
+        return self._slowest_k
+
+    @property
+    def started(self) -> int:
+        """Root spans handed out."""
+        return self._started
+
+    @property
+    def finished(self) -> int:
+        """Root spans completed (may exceed what is retained)."""
+        return self._finished
+
+    def start_request(self, name: str, start: float, **attributes: object) -> Span:
+        """Open a new root span."""
+        self._started += 1
+        return Span(name, start, **attributes)
+
+    def finish_request(self, span: Span, end: Optional[float] = None) -> None:
+        """Close a root span and fold it into both retention sets."""
+        if end is not None:
+            span.finish(end)
+        if not span.finished:
+            raise ValidationError(f"root span {span.name!r} has no end time")
+        self._finished += 1
+        self._recent.append(span)
+        entry = (span.duration, next(self._seq), span)
+        if len(self._slow) < self._slowest_k:
+            heapq.heappush(self._slow, entry)
+        elif entry[0] > self._slow[0][0]:
+            heapq.heapreplace(self._slow, entry)
+
+    # ------------------------------------------------------------------
+
+    def recent(self) -> List[Span]:
+        """The ring buffer, oldest first."""
+        return list(self._recent)
+
+    def slowest(self, k: Optional[int] = None) -> List[Span]:
+        """The retained slowest requests, slowest first."""
+        ranked = sorted(self._slow, key=lambda entry: (-entry[0], entry[1]))
+        spans = [span for _, _, span in ranked]
+        if k is not None:
+            spans = spans[:k]
+        return spans
+
+    def reset(self) -> None:
+        """Drop retained spans (counters restart too)."""
+        self._recent.clear()
+        self._slow.clear()
+        self._started = 0
+        self._finished = 0

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..distributions import Distribution, Exponential
+from ..observability import MetricsRegistry
 from .engine import Simulator
 from .server import KeyJob, ServerSim
 
@@ -32,6 +33,7 @@ class DatabaseSim(ServerSim):
         rng: np.random.Generator,
         *,
         on_complete: Optional[Callable[[KeyJob], None]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         super().__init__(
             sim,
@@ -39,6 +41,7 @@ class DatabaseSim(ServerSim):
             rng,
             name="database",
             on_complete=on_complete,
+            metrics=metrics,
         )
 
     @classmethod

@@ -5,6 +5,11 @@ binary-heap event queue. Components (arrival processes, servers, the
 database) schedule callbacks; the engine guarantees deterministic
 ordering — events at equal times fire in scheduling order — so seeded
 runs are exactly reproducible.
+
+An optional :class:`~repro.observability.EngineProfiler` can be
+attached to attribute wall-clock time to callback categories; when no
+profiler is attached the event loop pays one ``is None`` check per
+event.
 """
 
 from __future__ import annotations
@@ -25,19 +30,25 @@ class _Event:
     seq: int
     callback: Callback = dataclasses.field(compare=False)
     cancelled: bool = dataclasses.field(compare=False, default=False)
+    fired: bool = dataclasses.field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing (no-op if already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._sim._live -= 1
 
     @property
     def time(self) -> float:
@@ -51,11 +62,15 @@ class EventHandle:
 class Simulator:
     """Event loop: schedule callbacks on the simulated clock and run."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, profiler: Optional[object] = None) -> None:
         self._now = 0.0
         self._heap: list[_Event] = []
         self._counter = itertools.count()
         self._processed = 0
+        # Live (scheduled, not yet fired or cancelled) event count,
+        # maintained on schedule/cancel/fire so introspection is O(1).
+        self._live = 0
+        self._profiler = profiler
 
     @property
     def now(self) -> float:
@@ -68,7 +83,16 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Live events awaiting their fire time (O(1))."""
+        return self._live
+
+    @property
+    def profiler(self) -> Optional[object]:
+        return self._profiler
+
+    def set_profiler(self, profiler: Optional[object]) -> None:
+        """Attach (or detach with ``None``) an event-loop profiler."""
+        self._profiler = profiler
 
     def schedule(self, delay: float, callback: Callback) -> EventHandle:
         """Run ``callback`` ``delay`` seconds from now."""
@@ -84,7 +108,8 @@ class Simulator:
             )
         event = _Event(time=float(time), seq=next(self._counter), callback=callback)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""
@@ -96,8 +121,21 @@ class Simulator:
                 raise SimulationError(
                     f"time went backwards: {event.time} < {self._now}"
                 )
+            event.fired = True
+            self._live -= 1
             self._now = event.time
-            event.callback()
+            profiler = self._profiler
+            if profiler is None:
+                event.callback()
+            else:
+                started = profiler.clock()
+                event.callback()
+                profiler.record(
+                    event.callback,
+                    profiler.clock() - started,
+                    started_at=started,
+                    pending=self._live,
+                )
             self._processed += 1
             return True
         return False

@@ -83,9 +83,49 @@ class LatencyRecorder:
                 self._samples[slot] = value
 
     def record_many(self, values: Sequence[float]) -> None:
-        """Add a batch of observations."""
-        for value in np.asarray(values, dtype=float).ravel():
-            self.record(float(value))
+        """Add a batch of observations (vectorized).
+
+        Equivalent to calling :meth:`record` per element — same
+        validation, same streaming moments (merged with the Chan
+        parallel-Welford update), same uniform-reservoir semantics —
+        but one NumPy pass instead of a Python loop.
+        """
+        array = np.asarray(values, dtype=float).ravel()
+        if array.size == 0:
+            return
+        finite = np.isfinite(array)
+        if not finite.all():
+            bad = float(array[~finite][0])
+            raise ValidationError(f"observation must be finite, got {bad}")
+        n = int(array.size)
+        batch_mean = float(array.mean())
+        batch_m2 = float(np.square(array - batch_mean).sum())
+        total = self._count + n
+        delta = batch_mean - self._mean
+        self._mean += delta * n / total
+        self._m2 += batch_m2 + delta * delta * self._count * n / total
+        self._min = min(self._min, float(array.min()))
+        self._max = max(self._max, float(array.max()))
+        start_count = self._count
+        self._count = total
+        if self._max_samples is None:
+            self._samples.extend(array.tolist())
+            return
+        cap = self._max_samples
+        fill = min(max(cap - len(self._samples), 0), n)
+        if fill:
+            self._samples.extend(array[:fill].tolist())
+        if fill == n:
+            return
+        # Reservoir step for the remainder: element with global index
+        # c (1-based) replaces a uniform slot in [0, c) when slot < cap.
+        rest = array[fill:]
+        counts = start_count + fill + 1 + np.arange(rest.size)
+        slots = np.floor(self._rng.random(rest.size) * counts).astype(np.int64)
+        accepted = slots < cap
+        samples = self._samples
+        for slot, value in zip(slots[accepted].tolist(), rest[accepted].tolist()):
+            samples[slot] = value
 
     # ------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..distributions import Distribution, Exponential
 from ..errors import SimulationError, ValidationError
+from ..observability import MetricsRegistry
 from .engine import Simulator
 from .metrics import UtilizationMeter
 
@@ -61,6 +62,7 @@ class ServerSim:
         *,
         name: str = "server",
         on_complete: Optional[CompletionSink] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._sim = sim
         self._service = service
@@ -73,6 +75,19 @@ class ServerSim:
         self._next_batch_id = 0
         self._completed = 0
         self.utilization_meter = UtilizationMeter()
+        # Optional per-queue observability: wait/service distributions
+        # and the queue depth each arriving key sees (Little's-Law
+        # auditing à la Hill's queue-level counters).
+        if metrics is not None:
+            self._hist_wait = metrics.histogram(f"{name}.wait")
+            self._hist_service = metrics.histogram(f"{name}.service")
+            self._hist_depth = metrics.histogram(f"{name}.queue_depth", min_value=1.0)
+            self._ctr_arrivals = metrics.counter(f"{name}.arrivals")
+        else:
+            self._hist_wait = None
+            self._hist_service = None
+            self._hist_depth = None
+            self._ctr_arrivals = None
 
     @classmethod
     def exponential(
@@ -108,8 +123,13 @@ class ServerSim:
             raise ValidationError("contexts must match the batch size")
         batch_id = self._next_batch_id
         self._next_batch_id += 1
+        if self._ctr_arrivals is not None:
+            self._ctr_arrivals.inc(size)
         jobs = []
         for position in range(size):
+            if self._hist_depth is not None:
+                # Jobs ahead of this key: queued + the one in service.
+                self._hist_depth.record(len(self._queue) + (1 if self._busy else 0))
             job = KeyJob(
                 key_id=self._next_key_id,
                 arrival_time=now,
@@ -147,6 +167,9 @@ class ServerSim:
         self._busy = False
         self.utilization_meter.server_stopped(self._sim.now)
         self._completed += 1
+        if self._hist_wait is not None:
+            self._hist_wait.record(job.wait)
+            self._hist_service.record(job.finish_time - job.start_time)
         if self._on_complete is not None:
             self._on_complete(job)
         self._start_next()

@@ -26,6 +26,7 @@ from ..core.cluster import ClusterModel
 from ..core.workload import WorkloadPattern
 
 from ..errors import SimulationError, ValidationError
+from ..observability import Observability, Span
 from .database import DatabaseSim
 from .engine import Simulator
 from .metrics import LatencyRecorder
@@ -61,6 +62,7 @@ class _RequestState:
     max_server: float = 0.0
     max_database: float = 0.0
     max_network: float = 0.0
+    span: Optional[Span] = None
 
 
 @dataclasses.dataclass
@@ -69,6 +71,7 @@ class _KeyContext:
     key_name: str
     server_index: int
     network_so_far: float = 0.0
+    span: Optional[Span] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,6 +87,7 @@ class SystemResults:
     keys_processed: int
     misses: int
     server_utilizations: List[float]
+    observability: Optional["Observability"] = None
 
     @property
     def measured_miss_ratio(self) -> float:
@@ -115,6 +119,11 @@ class MemcachedSystemSimulator:
     key_namer:
         Optional callable ``(rng) -> (key_name, server_index)``; defaults
         to share-weighted server selection with synthetic key names.
+    observability:
+        Optional :class:`~repro.observability.Observability` bundle.
+        When present, per-request span trees, per-stage/per-server
+        histograms, and an event-loop profile are collected; when
+        absent the hot path is identical to the uninstrumented one.
     """
 
     def __init__(
@@ -128,6 +137,7 @@ class MemcachedSystemSimulator:
         database_rate: Optional[float] = None,
         cache_backend: Optional[CacheBackend] = None,
         seed: Optional[int] = None,
+        observability: Optional[Observability] = None,
     ) -> None:
         if n_keys_per_request < 1:
             raise ValidationError(
@@ -142,7 +152,14 @@ class MemcachedSystemSimulator:
         self._request_rate = float(request_rate)
         self._network_delay = float(network_delay)
 
-        self.sim = Simulator()
+        self.observability = observability
+        self._tracer = observability.tracer if observability is not None else None
+        registry = observability.registry if observability is not None else None
+        self._registry = registry
+
+        self.sim = Simulator(
+            profiler=observability.profiler if observability is not None else None
+        )
         master = make_rng(seed)
         (
             self._rng_requests,
@@ -161,6 +178,7 @@ class MemcachedSystemSimulator:
                 server_rngs[j],
                 name=f"server-{j}",
                 on_complete=self._on_server_complete,
+                metrics=registry,
             )
             for j in range(cluster.n_servers)
         ]
@@ -169,7 +187,11 @@ class MemcachedSystemSimulator:
         )
         self._database = (
             DatabaseSim(
-                self.sim, database_rate, rng_db, on_complete=self._on_database_complete
+                self.sim,
+                database_rate,
+                rng_db,
+                on_complete=self._on_database_complete,
+                metrics=registry,
             )
             if needs_db
             else None
@@ -192,6 +214,28 @@ class MemcachedSystemSimulator:
         self._database_stage = LatencyRecorder()
         self._network_stage = LatencyRecorder()
         self._per_key_server = LatencyRecorder(max_samples=500_000)
+
+        # Registry views of the same stages: cheap log-bucketed
+        # histograms that serialize into RunReport (the exact-moment
+        # LatencyRecorders above stay authoritative for CIs).
+        if registry is not None:
+            self._hist_total = registry.histogram("request.total")
+            self._hist_server_max = registry.histogram("request.server_max")
+            self._hist_database_max = registry.histogram("request.database_max")
+            self._hist_network_max = registry.histogram("request.network_max")
+            self._hist_key_sojourn = registry.histogram("key.server_sojourn")
+            self._ctr_requests = registry.counter("requests.completed")
+            self._ctr_keys = registry.counter("keys.processed")
+            self._ctr_misses = registry.counter("keys.missed")
+        else:
+            self._hist_total = None
+            self._hist_server_max = None
+            self._hist_database_max = None
+            self._hist_network_max = None
+            self._hist_key_sojourn = None
+            self._ctr_requests = None
+            self._ctr_keys = None
+            self._ctr_misses = None
 
     # ------------------------------------------------------------------
     # Workload drive.
@@ -229,6 +273,13 @@ class MemcachedSystemSimulator:
             pending=self._n_keys,
         )
         self._next_request_id += 1
+        if self._tracer is not None:
+            request.span = self._tracer.start_request(
+                "request",
+                self.sim.now,
+                request_id=request.request_id,
+                n_keys=self._n_keys,
+            )
         counts = self._rng_routing.multinomial(self._n_keys, self._shares)
         for server_index, count in enumerate(counts):
             if count == 0:
@@ -247,15 +298,33 @@ class MemcachedSystemSimulator:
     def _dispatch_batch(self, server_index: int, contexts: List[_KeyContext]) -> None:
         # One network traversal per key; all keys of the batch arrive
         # together at the server (they left the client together).
+        server = self._servers[server_index]
+
         def deliver() -> None:
             now = self.sim.now
-            self._servers[server_index].offer_batch(
-                now, len(contexts), contexts=contexts
-            )
+            if contexts[0].span is not None:
+                # Queue depth every key of the batch sees at enqueue:
+                # earlier batch members count as ahead of later ones.
+                base_depth = server.queue_length + (1 if server.busy else 0)
+                for position, context in enumerate(contexts):
+                    context.span.attributes["queue_depth_at_enqueue"] = (
+                        base_depth + position
+                    )
+            server.offer_batch(now, len(contexts), contexts=contexts)
 
         delay = self._network.send(deliver)
+        now = self.sim.now
         for context in contexts:
             context.network_so_far += delay
+            request_span = context.request.span
+            if request_span is not None:
+                context.span = request_span.child(
+                    "key",
+                    now,
+                    key=context.key_name,
+                    server=server_index,
+                )
+                context.span.child("network.out", now, end=now + delay)
 
     # ------------------------------------------------------------------
     # Completion plumbing.
@@ -268,14 +337,26 @@ class MemcachedSystemSimulator:
         sojourn = job.sojourn
         request.max_server = max(request.max_server, sojourn)
         self._per_key_server.record(sojourn)
+        if self._hist_key_sojourn is not None:
+            self._hist_key_sojourn.record(sojourn)
+            self._ctr_keys.inc()
         self._keys_processed += 1
         hit = self._cache.lookup(context.server_index, context.key_name)
+        span = context.span
+        if span is not None:
+            span.attributes["hit"] = bool(hit)
+            span.child("queue", job.arrival_time, end=job.start_time)
+            span.child("service", job.start_time, end=self.sim.now)
         if hit or self._database is None:
             if not hit:
                 self._misses += 1
+                if self._ctr_misses is not None:
+                    self._ctr_misses.inc()
             self._finish_key(context, database_time=0.0)
         else:
             self._misses += 1
+            if self._ctr_misses is not None:
+                self._ctr_misses.inc()
             self._database.offer_key(self.sim.now, context=context)
 
     def _on_database_complete(self, job: KeyJob) -> None:
@@ -284,6 +365,13 @@ class MemcachedSystemSimulator:
         context.request.max_database = max(
             context.request.max_database, job.sojourn
         )
+        if context.span is not None:
+            context.span.child(
+                "database",
+                job.arrival_time,
+                end=self.sim.now,
+                wait=job.wait,
+            )
         self._finish_key(context, database_time=job.sojourn)
 
     def _finish_key(self, context: _KeyContext, *, database_time: float) -> None:
@@ -295,17 +383,30 @@ class MemcachedSystemSimulator:
         delay = self._network.send(delivered)
         context.network_so_far += delay
         request.max_network = max(request.max_network, context.network_so_far)
+        if context.span is not None:
+            context.span.child("network.in", self.sim.now, end=self.sim.now + delay)
 
     def _key_done(self, context: _KeyContext) -> None:
         request = context.request
         request.pending -= 1
         if request.pending < 0:  # pragma: no cover - defensive
             raise SimulationError("request completed more keys than it has")
+        if context.span is not None:
+            context.span.finish(self.sim.now)
         if request.pending == 0:
-            self._total.record(self.sim.now - request.born)
+            total = self.sim.now - request.born
+            self._total.record(total)
             self._server_stage.record(request.max_server)
             self._database_stage.record(request.max_database)
             self._network_stage.record(request.max_network)
+            if self._hist_total is not None:
+                self._hist_total.record(total)
+                self._hist_server_max.record(request.max_server)
+                self._hist_database_max.record(request.max_database)
+                self._hist_network_max.record(request.max_network)
+                self._ctr_requests.inc()
+            if request.span is not None:
+                self._tracer.finish_request(request.span, self.sim.now)
             self._completed_requests += 1
 
     # ------------------------------------------------------------------
@@ -353,6 +454,7 @@ class MemcachedSystemSimulator:
                 server.utilization_meter.utilization(self.sim.now)
                 for server in self._servers
             ],
+            observability=self.observability,
         )
 
     def _reset_recorders(self) -> None:
@@ -361,3 +463,7 @@ class MemcachedSystemSimulator:
         self._database_stage = LatencyRecorder()
         self._network_stage = LatencyRecorder()
         self._per_key_server = LatencyRecorder(max_samples=500_000)
+        # Observability resets in place: the histogram/counter objects
+        # held by servers and the database stay valid.
+        if self.observability is not None:
+            self.observability.reset()

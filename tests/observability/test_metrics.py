@@ -1,0 +1,229 @@
+"""Tests for the log-bucketed histogram, counter, gauge, and registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestBucketGeometry:
+    def test_bucket_bounds_contain_value(self):
+        hist = Histogram(min_value=1e-9, buckets_per_decade=50)
+        rng = np.random.default_rng(3)
+        for value in 10.0 ** rng.uniform(-8.5, 2.5, 500):
+            lower, upper = hist.bucket_bounds(hist.bucket_index(value))
+            assert lower <= value < upper
+
+    def test_bucket_zero_starts_at_min_value(self):
+        hist = Histogram(min_value=1e-6, buckets_per_decade=10)
+        lower, upper = hist.bucket_bounds(0)
+        assert lower == pytest.approx(1e-6)
+        assert upper == pytest.approx(1e-6 * 10 ** 0.1)
+
+    def test_buckets_per_decade(self):
+        hist = Histogram(min_value=1.0, buckets_per_decade=5)
+        # Exactly 5 buckets between 1 and 10.
+        assert hist.bucket_index(1.0 + 1e-12) == 0
+        assert hist.bucket_index(9.999) == 4
+        assert hist.bucket_index(10.001) == 5
+
+    def test_sub_min_values_clamp_into_bucket_zero(self):
+        hist = Histogram(min_value=1e-6)
+        assert hist.bucket_index(1e-12) == 0
+
+    def test_relative_error_bounded(self):
+        hist = Histogram(min_value=1e-9, buckets_per_decade=50)
+        growth = 10 ** (1 / 50)
+        for value in (3.7e-6, 1.1e-3, 0.42, 7.0):
+            lower, upper = hist.bucket_bounds(hist.bucket_index(value))
+            assert upper / lower == pytest.approx(growth)
+
+    def test_zero_gets_dedicated_bucket(self):
+        hist = Histogram()
+        hist.record(0.0)
+        hist.record(1.0)
+        buckets = hist.buckets()
+        assert buckets[0] == (0.0, 0.0, 1)
+        assert hist.quantile(0.25) == 0.0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValidationError):
+            Histogram(min_value=0.0)
+        with pytest.raises(ValidationError):
+            Histogram(buckets_per_decade=0)
+
+
+class TestHistogramStats:
+    def test_exact_moments(self):
+        hist = Histogram()
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        hist.record_many(data)
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(3.0)
+        assert hist.std == pytest.approx(float(np.std(data, ddof=1)))
+        assert hist.minimum == 1.0
+        assert hist.maximum == 5.0
+
+    def test_rejects_nonfinite_and_negative(self):
+        hist = Histogram()
+        with pytest.raises(ValidationError):
+            hist.record(float("nan"))
+        with pytest.raises(ValidationError):
+            hist.record(float("inf"))
+        with pytest.raises(ValidationError):
+            hist.record(-1.0)
+
+    def test_quantile_interpolation_within_bucket(self):
+        # A single bucket with uniform interpolation: the k-th quantile
+        # must move linearly between the bucket bounds.
+        hist = Histogram(min_value=1.0, buckets_per_decade=1)
+        for _ in range(100):
+            hist.record(2.0)  # all land in the [1, 10) bucket
+        q25, q75 = hist.quantile(0.25), hist.quantile(0.75)
+        # Interpolated positions differ, but both are clamped to the
+        # observed [min, max] = [2, 2].
+        assert q25 == q75 == 2.0
+
+    def test_quantiles_accurate_on_exponential(self):
+        hist = Histogram(min_value=1e-9, buckets_per_decade=50)
+        rng = np.random.default_rng(11)
+        data = rng.exponential(1e-3, 100_000)
+        hist.record_many(data)
+        for k in (0.5, 0.9, 0.99):
+            exact = float(np.quantile(data, k))
+            assert hist.quantile(k) == pytest.approx(exact, rel=0.05)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = Histogram()
+        hist.record(5.0)
+        assert hist.quantile(0.0) == 5.0
+        assert hist.quantile(1.0) == 5.0
+
+    def test_quantile_errors(self):
+        hist = Histogram()
+        with pytest.raises(ValidationError):
+            hist.quantile(0.5)  # empty
+        hist.record(1.0)
+        with pytest.raises(ValidationError):
+            hist.quantile(1.5)
+
+    def test_summary_keys(self):
+        hist = Histogram()
+        assert hist.summary() == {"count": 0}
+        hist.record_many([1.0, 2.0, 3.0])
+        summary = hist.summary()
+        for key in ("count", "mean", "std", "min", "max", "p50", "p95", "p99"):
+            assert key in summary
+
+    def test_reset(self):
+        hist = Histogram()
+        hist.record_many([1.0, 2.0])
+        hist.reset()
+        assert hist.count == 0
+        assert hist.buckets() == []
+
+    def test_merge(self):
+        a, b = Histogram(), Histogram()
+        a.record_many([1.0, 2.0])
+        b.record_many([3.0, 4.0])
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean == pytest.approx(2.5)
+        assert a.maximum == 4.0
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValidationError):
+            Histogram(buckets_per_decade=10).merge(Histogram(buckets_per_decade=50))
+
+    def test_dict_round_trip(self):
+        hist = Histogram(min_value=1e-6, buckets_per_decade=20)
+        rng = np.random.default_rng(7)
+        hist.record_many(rng.exponential(1e-3, 1000))
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.summary() == hist.summary()
+        assert clone.buckets() == hist.buckets()
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            Counter().inc(-1)
+
+    def test_reset(self):
+        counter = Counter()
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_tracks_extrema_and_mean(self):
+        gauge = Gauge()
+        for value in (3.0, 1.0, 2.0):
+            gauge.set(value)
+        assert gauge.value == 2.0
+        assert gauge.minimum == 1.0
+        assert gauge.maximum == 3.0
+        assert gauge.mean == pytest.approx(2.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValidationError):
+            Gauge().set(math.inf)
+
+    def test_empty_gauge_errors(self):
+        with pytest.raises(ValidationError):
+            _ = Gauge().mean
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("a.wait") is registry.histogram("a.wait")
+        assert registry.counter("hits") is registry.counter("hits")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("x")
+        with pytest.raises(ValidationError):
+            registry.counter("x")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().get("missing")
+
+    def test_names_sorted_and_iterable(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.histogram("a")
+        assert registry.names() == ["a", "b"]
+        assert list(registry) == ["a", "b"]
+        assert "a" in registry
+
+    def test_reset_all_keeps_references_valid(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        hist.record(1.0)
+        registry.reset_all()
+        assert hist.count == 0
+        hist.record(2.0)  # old reference still feeds the registry
+        assert registry.histogram("h").count == 1
+
+    def test_snapshot_includes_histogram_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").record(1.0)
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(0.5)
+        snap = registry.snapshot()
+        assert snap["h"]["type"] == "histogram"
+        assert snap["h"]["summary"]["count"] == 1
+        assert snap["c"] == {"type": "counter", "value": 2}
+        assert snap["g"]["samples"] == 1

@@ -1,0 +1,134 @@
+"""Tests for the event-loop profiler."""
+
+import functools
+
+import pytest
+
+from repro.observability import EngineProfiler, callback_category
+from repro.simulation import Simulator
+
+
+class _Component:
+    def tick(self):
+        pass
+
+
+def _module_level():
+    pass
+
+
+class TestCallbackCategory:
+    def test_bound_method(self):
+        assert callback_category(_Component().tick) == "_Component.tick"
+
+    def test_module_function(self):
+        assert callback_category(_module_level) == "_module_level"
+
+    def test_lambda_collapses_onto_enclosing_scope(self):
+        def enclosing():
+            return lambda: None
+
+        assert (
+            callback_category(enclosing())
+            == "TestCallbackCategory.test_lambda_collapses_onto_enclosing_scope.enclosing"
+        )
+
+    def test_partial_unwraps(self):
+        bound = functools.partial(_module_level)
+        assert callback_category(bound) == "_module_level"
+
+    def test_plain_callable_object(self):
+        class Callable:
+            def __call__(self):
+                pass
+
+        # Instances have no __qualname__; fall back to the type name.
+        assert callback_category(Callable()) == "Callable"
+
+
+class TestEngineProfiler:
+    def _fake_clock(self, values):
+        it = iter(values)
+        return lambda: next(it)
+
+    def test_accumulates_per_category(self):
+        profiler = EngineProfiler()
+        component = _Component()
+        profiler.record(component.tick, 0.002, started_at=0.0, pending=3)
+        profiler.record(component.tick, 0.004, started_at=0.01, pending=5)
+        profiler.record(_module_level, 0.001, started_at=0.02, pending=1)
+        assert profiler.events == 3
+        assert profiler.wall_seconds == pytest.approx(0.007)
+        categories = profiler.categories()
+        assert list(categories) == ["_Component.tick", "_module_level"]
+        tick = categories["_Component.tick"]
+        assert tick["count"] == 2
+        assert tick["wall_seconds"] == pytest.approx(0.006)
+        assert tick["mean_usec"] == pytest.approx(3000.0)
+
+    def test_pending_gauges(self):
+        profiler = EngineProfiler()
+        profiler.record(_module_level, 0.001, started_at=0.0, pending=2)
+        profiler.record(_module_level, 0.001, started_at=0.1, pending=6)
+        assert profiler.mean_pending == pytest.approx(4.0)
+        assert profiler.max_pending == 6
+
+    def test_events_per_second_window(self):
+        profiler = EngineProfiler()
+        profiler.record(_module_level, 0.5, started_at=0.0, pending=0)
+        profiler.record(_module_level, 0.5, started_at=1.5, pending=0)
+        # Window is first start to last end: 2 events over 2 seconds.
+        assert profiler.events_per_second == pytest.approx(1.0)
+
+    def test_empty_profile(self):
+        profiler = EngineProfiler()
+        assert profiler.events_per_second == 0.0
+        assert profiler.mean_pending == 0.0
+        assert profiler.stats()["events"] == 0
+
+    def test_stats_shape(self):
+        profiler = EngineProfiler()
+        profiler.record(_module_level, 0.001, started_at=0.0, pending=1)
+        stats = profiler.stats()
+        for key in (
+            "events", "wall_seconds", "events_per_second",
+            "pending_mean", "pending_max", "categories",
+        ):
+            assert key in stats
+
+    def test_reset(self):
+        profiler = EngineProfiler()
+        profiler.record(_module_level, 0.001, started_at=0.0, pending=1)
+        profiler.reset()
+        assert profiler.events == 0
+        assert profiler.categories() == {}
+
+
+class TestEngineIntegration:
+    def test_engine_feeds_profiler(self):
+        profiler = EngineProfiler()
+        sim = Simulator(profiler=profiler)
+        component = _Component()
+        for i in range(5):
+            sim.schedule(float(i + 1), component.tick)
+        sim.run()
+        assert profiler.events == 5
+        assert list(profiler.categories()) == ["_Component.tick"]
+        assert profiler.categories()["_Component.tick"]["count"] == 5
+
+    def test_profiler_attachable_after_construction(self):
+        profiler = EngineProfiler()
+        sim = Simulator()
+        sim.schedule(1.0, _module_level)
+        sim.set_profiler(profiler)
+        sim.run()
+        assert profiler.events == 1
+
+    def test_cancelled_events_not_profiled(self):
+        profiler = EngineProfiler()
+        sim = Simulator(profiler=profiler)
+        handle = sim.schedule(1.0, _module_level)
+        sim.schedule(2.0, _module_level)
+        handle.cancel()
+        sim.run()
+        assert profiler.events == 1

@@ -1,0 +1,159 @@
+"""Integration tests: the system simulator feeding the observability stack."""
+
+import pytest
+
+from repro.core import ClusterModel
+from repro.observability import Observability
+from repro.simulation import MemcachedSystemSimulator
+from repro.units import kps, msec, usec
+
+
+def build_system(observability, **overrides):
+    defaults = dict(
+        n_keys_per_request=10,
+        request_rate=200.0,
+        network_delay=usec(20),
+        miss_ratio=0.05,
+        database_rate=1.0 / msec(1),
+        seed=11,
+    )
+    defaults.update(overrides)
+    cluster = defaults.pop("cluster", ClusterModel.balanced(2, kps(80)))
+    return MemcachedSystemSimulator(
+        cluster, observability=observability, **defaults
+    )
+
+
+class TestSpanTrees:
+    def test_request_span_structure(self):
+        obs = Observability(trace=True, metrics=False, profile=False)
+        results = build_system(obs).run(n_requests=100)
+        spans = obs.tracer.slowest()
+        assert spans
+        for root in spans:
+            assert root.name == "request"
+            assert root.attributes["n_keys"] == 10
+            assert root.finished
+            keys = [child for child in root.children if child.name == "key"]
+            assert len(keys) == 10
+            for key_span in keys:
+                names = [child.name for child in key_span.children]
+                assert names[0] == "network.out"
+                assert "queue" in names and "service" in names
+                assert names[-1] == "network.in"
+                assert key_span.attributes["server"] in (0, 1)
+                assert isinstance(key_span.attributes["hit"], bool)
+                assert key_span.attributes["queue_depth_at_enqueue"] >= 0
+                # Children are timestamped inside the key span.
+                for child in key_span.children:
+                    assert child.start >= key_span.start - 1e-12
+                    assert child.end <= key_span.end + 1e-12
+
+    def test_miss_spans_include_database(self):
+        obs = Observability(trace=True, metrics=False, profile=False)
+        results = build_system(obs, miss_ratio=0.5).run(n_requests=100)
+        assert results.misses > 0
+        database_spans = [
+            span
+            for root in obs.tracer.slowest()
+            for span in root.walk()
+            if span.name == "database"
+        ]
+        assert database_spans
+        for span in database_spans:
+            assert span.duration > 0
+            assert "wait" in span.attributes
+
+    def test_trace_counters_match_results(self):
+        obs = Observability(trace=True, metrics=False, profile=False)
+        results = build_system(obs).run(n_requests=100)
+        assert obs.tracer.finished == results.requests_completed
+
+    def test_network_span_duration_is_the_link_delay(self):
+        obs = Observability(trace=True, metrics=False, profile=False)
+        build_system(obs, network_delay=usec(20)).run(n_requests=50)
+        root = obs.tracer.slowest()[0]
+        outs = [span for span in root.walk() if span.name == "network.out"]
+        assert outs
+        for span in outs:
+            assert span.duration == pytest.approx(usec(20))
+
+
+class TestMetricsWiring:
+    def test_expected_metric_names(self):
+        obs = Observability(trace=False, metrics=True, profile=False)
+        build_system(obs).run(n_requests=100)
+        names = obs.registry.names()
+        for expected in (
+            "request.total",
+            "request.server_max",
+            "request.network_max",
+            "key.server_sojourn",
+            "requests.completed",
+            "keys.processed",
+            "server-0.wait",
+            "server-0.service",
+            "server-0.queue_depth",
+            "server-0.arrivals",
+            "server-1.wait",
+            "database.wait",
+        ):
+            assert expected in names
+
+    def test_counters_match_recorders(self):
+        obs = Observability(trace=False, metrics=True, profile=False)
+        results = build_system(obs).run(n_requests=100)
+        assert obs.registry.counter("requests.completed").value == (
+            results.requests_completed
+        )
+        assert obs.registry.counter("keys.missed").value == results.misses
+        assert obs.registry.histogram("request.total").count == (
+            results.total.count
+        )
+
+    def test_histograms_agree_with_exact_recorders(self):
+        obs = Observability(trace=False, metrics=True, profile=False)
+        results = build_system(obs).run(n_requests=200)
+        hist = obs.registry.histogram("request.total")
+        assert hist.mean == pytest.approx(results.total.mean, rel=1e-6)
+        assert hist.quantile(0.5) == pytest.approx(
+            results.total.quantile(0.5), rel=0.05
+        )
+
+    def test_warmup_resets_observability(self):
+        obs = Observability(trace=True, metrics=True, profile=False)
+        results = build_system(obs).run(n_requests=100, warmup_requests=40)
+        # Post-warmup only: counters and traces restart at the boundary.
+        assert obs.registry.counter("requests.completed").value == (
+            results.requests_completed
+        )
+        assert obs.tracer.finished == results.requests_completed
+        assert results.requests_completed <= 100
+
+
+class TestProfiling:
+    def test_profiler_sees_simulation_callbacks(self):
+        obs = Observability(trace=False, metrics=False, profile=True)
+        build_system(obs).run(n_requests=100)
+        stats = obs.profiler.stats()
+        assert stats["events"] > 100
+        assert stats["wall_seconds"] > 0.0
+        assert any(
+            "ServerSim" in name or "MemcachedSystemSimulator" in name
+            for name in stats["categories"]
+        )
+
+    def test_observability_off_costs_nothing_extra(self):
+        # Identical seeds with and without collectors give identical
+        # simulated results: observability never perturbs the run.
+        plain = build_system(None).run(n_requests=100)
+        obs = Observability(trace=True, metrics=True, profile=True)
+        traced = build_system(obs).run(n_requests=100)
+        assert traced.total.mean == plain.total.mean
+        assert traced.total.count == plain.total.count
+        assert traced.misses == plain.misses
+
+    def test_results_expose_observability(self):
+        obs = Observability(trace=True, metrics=True, profile=False)
+        results = build_system(obs).run(n_requests=50)
+        assert results.observability is obs

@@ -125,6 +125,46 @@ class TestIntrospection:
         assert sim.events_processed == 2
         assert sim.pending_events == 0
 
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending_events == 1
+        assert keep.time == 1.0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_fire_keeps_count_consistent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(1.5)
+        handle.cancel()  # already fired: must not touch the live count
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_pending_tracks_nested_scheduling(self):
+        sim = Simulator()
+        observed = []
+
+        def spawn():
+            sim.schedule(1.0, lambda: None)
+            observed.append(sim.pending_events)
+
+        sim.schedule(1.0, spawn)
+        sim.run()
+        # Inside the callback the fired event is gone, the new one live.
+        assert observed == [1]
+        assert sim.pending_events == 0
+
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False
 

@@ -94,6 +94,64 @@ class TestLatencyRecorder:
             LatencyRecorder(max_samples=1)
 
 
+class TestVectorizedRecordMany:
+    def test_matches_scalar_loop_exactly(self, rng):
+        data = rng.exponential(1.0, 5000)
+        batched = LatencyRecorder()
+        batched.record_many(data)
+        looped = LatencyRecorder()
+        for value in data:
+            looped.record(float(value))
+        assert batched.count == looped.count
+        assert batched.mean == pytest.approx(looped.mean, rel=1e-12)
+        assert batched.variance == pytest.approx(looped.variance, rel=1e-9)
+        assert batched.minimum == looped.minimum
+        assert batched.maximum == looped.maximum
+
+    def test_chunked_batches_match_single_batch(self, rng):
+        data = rng.normal(5.0, 1.0, 3000)
+        whole = LatencyRecorder()
+        whole.record_many(data)
+        chunked = LatencyRecorder()
+        for chunk in np.array_split(data, 7):
+            chunked.record_many(chunk)
+        assert chunked.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert chunked.variance == pytest.approx(whole.variance, rel=1e-9)
+
+    def test_reservoir_quantiles_on_large_stream(self):
+        # Satellite acceptance: 100k-sample seeded stream through a
+        # bounded reservoir; quantile estimates stay within tolerance of
+        # the exact ones, streaming moments stay exact.
+        rng = np.random.default_rng(20170327)
+        recorder = LatencyRecorder(
+            max_samples=10_000, rng=np.random.default_rng(1)
+        )
+        data = rng.lognormal(mean=-8.0, sigma=1.0, size=100_000)
+        recorder.record_many(data)
+        assert recorder.count == 100_000
+        assert len(recorder.samples()) == 10_000
+        assert recorder.mean == pytest.approx(float(data.mean()), rel=1e-12)
+        assert recorder.std == pytest.approx(float(data.std(ddof=1)), rel=1e-9)
+        for level, tolerance in [(0.5, 0.05), (0.9, 0.05), (0.99, 0.10)]:
+            exact = float(np.quantile(data, level))
+            assert recorder.quantile(level) == pytest.approx(exact, rel=tolerance)
+
+    def test_record_many_rejects_nonfinite(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValidationError):
+            recorder.record_many([1.0, float("nan"), 2.0])
+        with pytest.raises(ValidationError):
+            recorder.record_many(np.array([1.0, np.inf]))
+        # The failed batch must not corrupt the stream.
+        assert recorder.count == 0
+
+    def test_empty_batch_is_noop(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([])
+        recorder.record_many(np.array([]))
+        assert recorder.count == 0
+
+
 class TestUtilizationMeter:
     def test_full_busy(self):
         meter = UtilizationMeter()

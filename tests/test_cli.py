@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -147,6 +149,147 @@ class TestFit:
         trace.save_csv(path)
         assert main(["fit", str(path)]) == 0
         assert "E[TS" not in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_estimate_json(self, capsys):
+        assert main(["estimate", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-estimate"
+        assert payload["n_keys"] == 150
+        assert payload["total_lower"] <= payload["total_upper"]
+        assert "dominant_stage" in payload
+
+    def test_global_json_flag_before_subcommand(self, capsys):
+        assert main(["--json", "estimate"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-estimate"
+
+    def test_sweep_json(self, capsys):
+        code = main(
+            ["sweep", "q", "--start", "0", "--stop", "0.4", "--points", "3", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-sweep"
+        assert payload["parameter"] == "q"
+        assert len(payload["values"]) == 3
+        assert len(payload["lower"]) == len(payload["upper"]) == 3
+
+    def test_validate_json(self, capsys):
+        code = main(
+            [
+                "validate", "--json",
+                "--requests", "500",
+                "--pool-size", "50000",
+                "--n-keys", "50",
+            ]
+        )
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["kind"] == "repro-validate"
+        assert isinstance(payload["stages"], list)
+        assert code == (0 if payload["all_consistent"] else 1)
+
+    def test_simulate_json(self, capsys):
+        code = main(
+            [
+                "simulate", "--json",
+                "--requests", "100",
+                "--n-keys", "10",
+                "--rate", "20",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-run-report"
+        assert payload["stages"]["total"]["count"] > 0
+
+
+class TestSimulateReport:
+    def run_simulate(self, tmp_path, *extra):
+        path = tmp_path / "run.json"
+        code = main(
+            [
+                "simulate",
+                "--requests", "200",
+                "--n-keys", "10",
+                "--rate", "20",
+                "--trace",
+                "--report", str(path),
+                *extra,
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_report_file_contents(self, tmp_path, capsys):
+        path = self.run_simulate(tmp_path)
+        out = capsys.readouterr().out
+        assert "slowest requests" in out
+        assert "report written" in out
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "repro-run-report"
+        # Acceptance: per-stage histograms with count/mean/quantiles.
+        for stage in ("total", "server_stage", "network_stage"):
+            summary = payload["stages"][stage]
+            for key in ("count", "mean", "p50", "p95", "p99"):
+                assert key in summary
+        # Event-loop profile stats.
+        assert payload["profile"]["events"] > 0
+        assert "categories" in payload["profile"]
+        # Slowest span trees (default top-10 retention).
+        assert 1 <= len(payload["slowest"]) <= 10
+        assert payload["slowest"][0]["name"] == "request"
+        assert payload["metrics"]["request.total"]["summary"]["count"] > 0
+
+    def test_slowest_flag_bounds_retention(self, tmp_path):
+        path = self.run_simulate(tmp_path, "--slowest", "3")
+        payload = json.loads(path.read_text())
+        assert len(payload["slowest"]) <= 3
+
+    def test_report_subcommand(self, tmp_path, capsys):
+        path = self.run_simulate(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out
+        assert "p99 (us)" in out
+        assert "event loop:" in out
+        assert "requests_completed" in out
+
+    def test_trace_subcommand(self, tmp_path, capsys):
+        path = self.run_simulate(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(path), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("#") >= 1
+        assert "request" in out
+        assert "key" in out
+        assert "server=" in out
+
+    def test_trace_without_traces_fails(self, tmp_path, capsys):
+        path = tmp_path / "run.json"
+        code = main(
+            [
+                "simulate",
+                "--requests", "50",
+                "--n-keys", "5",
+                "--rate", "20",
+                "--report", str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 1
+        assert "no traces" in capsys.readouterr().out
+
+    def test_report_json_round_trip(self, tmp_path, capsys):
+        path = self.run_simulate(tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == json.loads(path.read_text())
 
 
 class TestRecommend:
