@@ -5,16 +5,16 @@ linearity check from §5.2.1(i).
 """
 
 from repro.core import ServerStage, goodness_of_linear_fit
-from repro.simulation import simulate_server_stage_mean
 from repro.units import to_usec
 
 from helpers import (
     N_KEYS,
+    POOL_SIZE,
     SERVICE_RATE,
-    bench_rng,
     facebook_workload,
     print_series,
     series_info,
+    sweep_simulated,
 )
 
 QS = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5]
@@ -30,17 +30,7 @@ def theory_series():
 
 def test_fig05(benchmark):
     theory = benchmark(theory_series)
-    rng = bench_rng()
-    simulated = [
-        simulate_server_stage_mean(
-            facebook_workload().with_q(q),
-            SERVICE_RATE,
-            n_keys_per_request=N_KEYS,
-            rng=rng,
-            pool_size=150_000,
-        )
-        for q in QS
-    ]
+    simulated = sweep_simulated("q", QS, pool_size=POOL_SIZE).series("server_expected_max")
 
     rows = [
         [q, to_usec(est.lower), to_usec(est.upper), to_usec(sim)]

@@ -6,16 +6,16 @@ muS = 80 Kps for xi = 0.15), then takes off.
 
 from repro.core import ServerStage
 from repro.queueing import cliff_utilization
-from repro.simulation import simulate_server_stage_mean
 from repro.units import kps, to_usec
 
 from helpers import (
     N_KEYS,
+    POOL_SIZE,
     SERVICE_RATE,
-    bench_rng,
     facebook_workload,
     print_series,
     series_info,
+    sweep_simulated,
 )
 
 RATES_KPS = [10, 20, 30, 40, 50, 55, 60, 65, 70, 75]
@@ -32,17 +32,9 @@ def theory_series():
 
 def test_fig07(benchmark):
     theory = benchmark(theory_series)
-    rng = bench_rng()
-    simulated = [
-        simulate_server_stage_mean(
-            facebook_workload().with_rate(kps(rate)),
-            SERVICE_RATE,
-            n_keys_per_request=N_KEYS,
-            rng=rng,
-            pool_size=150_000,
-        )
-        for rate in RATES_KPS
-    ]
+    simulated = sweep_simulated(
+        "rate", [float(r) for r in RATES_KPS], pool_size=POOL_SIZE
+    ).series("server_expected_max")
 
     rows = [
         [rate, to_usec(est.lower), to_usec(est.upper), to_usec(sim)]

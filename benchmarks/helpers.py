@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core import WorkloadPattern
+from repro.experiments import Scenario, SuiteResult, run_suite, sweep_suite
 from repro.observability import to_jsonable
 from repro.units import kps, msec, usec
 
@@ -54,6 +55,59 @@ def facebook_workload() -> WorkloadPattern:
 
 def bench_rng() -> np.random.Generator:
     return np.random.default_rng(SEED)
+
+
+def baseline_scenario() -> Scenario:
+    """The §5.1 baseline as a :class:`Scenario` (full system point)."""
+    return Scenario(
+        key_rate=KEY_RATE,
+        burst_xi=BURST,
+        concurrency_q=CONCURRENCY,
+        n_servers=N_SERVERS,
+        service_rate=SERVICE_RATE,
+        n_keys=N_KEYS,
+        network_delay=NETWORK_DELAY,
+        miss_ratio=MISS_RATIO,
+        database_rate=DB_RATE,
+        seed=SEED,
+        n_requests=N_REQUESTS,
+    )
+
+
+def bench_workers() -> Optional[int]:
+    """Worker processes for runner-backed benches (REPRO_BENCH_WORKERS).
+
+    Results are bit-identical for any setting; the knob only trades
+    wall clock for cores.
+    """
+    value = os.environ.get("REPRO_BENCH_WORKERS")
+    return int(value) if value else None
+
+
+def sweep_simulated(
+    factor: str,
+    values: Sequence[float],
+    *,
+    pool_size: int = 150_000,
+    n_requests: int = N_REQUESTS,
+) -> SuiteResult:
+    """One-factor fast-path sweep of the server stage via the runner.
+
+    The server-stage figures (5-9) isolate one server with no network
+    or database, so each cell's ``server_mean`` is the simulated
+    ``E[TS(N)]`` the paper plots.
+    """
+    base = baseline_scenario().replace(
+        n_servers=1,
+        network_delay=0.0,
+        miss_ratio=0.0,
+        database_rate=None,
+        n_requests=n_requests,
+    )
+    suite = sweep_suite(
+        base, factor, values, backend="fastpath", pool_size=pool_size
+    )
+    return run_suite(suite, workers=bench_workers())
 
 
 def artifact_dir() -> Optional[Path]:

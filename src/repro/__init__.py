@@ -63,6 +63,15 @@ from .observability import (
     RunReport,
     Tracer,
 )
+from .experiments import (
+    ExperimentRunner,
+    Grid,
+    Scenario,
+    Suite,
+    SuiteResult,
+    run_suite,
+    sweep_suite,
+)
 from .queueing import (
     GIM1Queue,
     GIXM1Queue,
@@ -71,7 +80,12 @@ from .queueing import (
     cliff_utilization,
     delta_for_utilization,
 )
-from .simulation import MemcachedSystemSimulator, Simulator
+from .simulation import (
+    MemcachedSystemSimulator,
+    SimulationResult,
+    Simulator,
+    StageStats,
+)
 
 __all__ = [
     "AdvisorReport",
@@ -81,8 +95,10 @@ __all__ = [
     "ConfigError",
     "ConvergenceError",
     "DatabaseStage",
+    "ExperimentRunner",
     "GIM1Queue",
     "GIXM1Queue",
+    "Grid",
     "Histogram",
     "LatencyEstimate",
     "LatencyModel",
@@ -97,16 +113,23 @@ __all__ = [
     "ProtocolError",
     "Recommendation",
     "ReproError",
+    "Scenario",
     "ServerStage",
     "ServerStageEstimate",
     "Severity",
     "SimulationError",
+    "SimulationResult",
     "Simulator",
     "StabilityError",
+    "StageStats",
+    "Suite",
+    "SuiteResult",
     "ValidationError",
     "WorkloadPattern",
     "__version__",
     "advise",
     "cliff_utilization",
     "delta_for_utilization",
+    "run_suite",
+    "sweep_suite",
 ]

@@ -4,7 +4,8 @@ Subcommands map to the paper's workflows::
 
     repro estimate     Theorem 1 bounds for one configuration
     repro simulate     closed-loop system simulation
-    repro sweep        factor sweeps (q, xi, rate, p1, r, n)
+    repro sweep        one-factor sweeps through the factor registry
+    repro experiment   multi-factor grids on the parallel runner
     repro cliff-table  reproduce Table 4
     repro validate     theory-vs-simulation comparison (Table 3 style)
     repro recommend    the §5.3 configuration advisor
@@ -13,16 +14,24 @@ Subcommands map to the paper's workflows::
 
 All rates are entered in Kps (thousand keys per second) and times in
 microseconds, matching the paper's units; output is aligned text.
-``estimate``, ``simulate``, ``validate``, and ``sweep`` accept a
-``--json`` flag (before or after the subcommand) for machine-readable
-output through the shared run-report serializer.
+``estimate``, ``simulate``, ``validate``, ``sweep``, and ``experiment``
+accept a ``--json`` flag (before or after the subcommand) for
+machine-readable output through the shared run-report serializer.
+
+Parameter parsing funnels through one object:
+:func:`_scenario_from_args` builds a
+:class:`~repro.experiments.Scenario`, and every subcommand derives its
+models/simulators from it. ``sweep`` and ``experiment`` expand the
+scenario over the factor registry and execute on the (optionally
+process-parallel, resumable) :class:`~repro.experiments.ExperimentRunner`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+import warnings
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,14 +41,23 @@ from .core import (
     LatencyModel,
     WorkloadPattern,
     advise,
-    sweep_database_stage,
-    sweep_server_stage,
 )
 from .core.stages import ServerStage
 from .errors import ReproError
+from .experiments import (
+    BACKENDS,
+    DEFAULT_POOL_SIZE,
+    Grid,
+    Scenario,
+    Suite,
+    SuiteResult,
+    factor_names,
+    get_factor,
+    run_suite,
+    sweep_suite,
+)
 from .observability import Observability, RunReport, Span, json_dumps
 from .queueing import PAPER_TABLE_4, cliff_table
-from .simulation import MemcachedSystemSimulator
 from .units import kps, to_usec, usec
 
 
@@ -68,6 +86,48 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the runner-backed subcommands (sweep/experiment)."""
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="estimate",
+        help="how each cell is evaluated (default: estimate)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, help="replications per grid point"
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (results are identical for any N)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory (one JSON per cell)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed cells from --out and run only the rest",
+    )
+    parser.add_argument("--servers", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--requests", type=int, default=2000, help="requests per simulated cell"
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=DEFAULT_POOL_SIZE,
+        help="fastpath per-server latency pool size",
+    )
+
+
 def _add_json_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json",
@@ -83,20 +143,50 @@ def _wants_json(args: argparse.Namespace) -> bool:
     )
 
 
-def _workload_from(args: argparse.Namespace) -> WorkloadPattern:
-    return WorkloadPattern(
-        rate=kps(args.rate), xi=args.xi, q=args.concurrency
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    """Build the unified :class:`Scenario` from CLI flags.
+
+    Converts the CLI's paper units (Kps, microseconds) into the
+    library's internal units; flags a subcommand does not define fall
+    back to the scenario defaults.
+    """
+    requests = int(getattr(args, "requests", 2000))
+    return Scenario(
+        key_rate=kps(args.rate),
+        burst_xi=args.xi,
+        concurrency_q=args.concurrency,
+        n_servers=int(getattr(args, "servers", 1)),
+        service_rate=kps(args.service_rate),
+        n_keys=args.n_keys,
+        network_delay=usec(args.network_delay),
+        miss_ratio=args.miss_ratio,
+        database_rate=1.0 / usec(args.db_latency),
+        seed=int(getattr(args, "seed", 0)),
+        n_requests=requests,
+        warmup_requests=requests // 10,
     )
+
+
+def _workload_from(args: argparse.Namespace) -> WorkloadPattern:
+    """Deprecated: build a Scenario and use ``Scenario.workload()``."""
+    warnings.warn(
+        "_workload_from is deprecated; build a Scenario with "
+        "_scenario_from_args(args) and call Scenario.workload()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _scenario_from_args(args).workload()
 
 
 def _model_from(args: argparse.Namespace) -> LatencyModel:
-    return LatencyModel.build(
-        workload=_workload_from(args),
-        service_rate=kps(args.service_rate),
-        network_delay=usec(args.network_delay),
-        database_rate=1.0 / usec(args.db_latency),
-        miss_ratio=args.miss_ratio,
+    """Deprecated: build a Scenario and use ``Scenario.latency_model()``."""
+    warnings.warn(
+        "_model_from is deprecated; build a Scenario with "
+        "_scenario_from_args(args) and call Scenario.latency_model()",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _scenario_from_args(args).latency_model()
 
 
 def _print_rows(header: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
@@ -121,12 +211,11 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     if args.config is not None:
         from .config import ExperimentConfig
 
-        config = ExperimentConfig.load(args.config)
-        model = config.latency_model()
-        n_keys = config.n_keys
+        scenario = Scenario.from_config(ExperimentConfig.load(args.config))
     else:
-        model = _model_from(args)
-        n_keys = args.n_keys
+        scenario = _scenario_from_args(args)
+    model = scenario.latency_model()
+    n_keys = scenario.n_keys
     estimate = model.estimate(n_keys)
     if _wants_json(args):
         print(
@@ -152,8 +241,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    cluster = ClusterModel.balanced(args.servers, kps(args.service_rate))
-    request_rate = kps(args.rate) * args.servers / args.n_keys
+    scenario = _scenario_from_args(args)
     want_json = _wants_json(args)
     want_report = args.report is not None
     observability = None
@@ -164,18 +252,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             profile=args.profile or want_report,
             slowest_k=args.slowest,
         )
-    system = MemcachedSystemSimulator(
-        cluster,
-        n_keys_per_request=args.n_keys,
-        request_rate=request_rate,
-        network_delay=usec(args.network_delay),
-        miss_ratio=args.miss_ratio,
-        database_rate=1.0 / usec(args.db_latency),
-        seed=args.seed,
-        observability=observability,
-    )
+    system = scenario.simulator(observability=observability)
     results = system.run(
-        n_requests=args.requests, warmup_requests=args.requests // 10
+        n_requests=scenario.n_requests,
+        warmup_requests=scenario.warmup_requests,
     )
     report = None
     if want_report or want_json:
@@ -230,66 +310,127 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _backend_options(args: argparse.Namespace) -> dict:
+    """Per-backend runner options from CLI flags."""
+    if getattr(args, "backend", "estimate") == "fastpath":
+        return {"pool_size": args.pool_size}
+    return {}
+
+
+def _execute_suite(args: argparse.Namespace, suite: Suite) -> SuiteResult:
+    """Run a suite with the CLI's parallel/checkpoint/resume flags."""
+    return run_suite(
+        suite,
+        workers=getattr(args, "parallel", None),
+        checkpoint_dir=getattr(args, "out", None),
+        resume=bool(getattr(args, "resume", False)),
+    )
+
+
+#: Metrics shown (in us) per backend by ``sweep``/``experiment`` tables.
+_DISPLAY_METRICS = {
+    "estimate": ("mean", "total_lower", "total_upper"),
+    "simulate": ("mean", "p95", "p99"),
+    "fastpath": ("mean", "p95", "p99"),
+}
+
+
+def _print_suite(args: argparse.Namespace, result: SuiteResult) -> int:
+    """Aggregated suite table (replicate means) + run accounting."""
+    if _wants_json(args):
+        print(json_dumps(result.to_dict()))
+        return 0
+    metrics = _DISPLAY_METRICS[result.backend]
+    coord_labels = [
+        label for label in result.cells[0].coords if label != "replicate"
+    ]
+    aggregates = {metric: result.aggregate(metric) for metric in metrics}
+    rows = [
+        [f"{value:.4g}" for value in key]
+        + [f"{to_usec(aggregates[metric][key]):.1f}" for metric in metrics]
+        for key in aggregates[metrics[0]]
+    ]
+    _print_rows(coord_labels + [f"{m} (us)" for m in metrics], rows)
+    print(
+        f"{result.n_cells} cells: {result.executed} executed, "
+        f"{result.resumed} resumed, {result.elapsed:.2f}s"
+    )
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    workload = _workload_from(args)
-    service_rate = kps(args.service_rate)
-    values = np.linspace(args.start, args.stop, args.points)
-    if args.factor == "q":
-        sweep = sweep_server_stage(
-            "q",
-            values,
-            lambda q: ServerStage(workload.with_q(q), service_rate),
-            args.n_keys,
-        )
-    elif args.factor == "xi":
-        sweep = sweep_server_stage(
-            "xi",
-            values,
-            lambda xi: ServerStage(workload.with_xi(xi), service_rate),
-            args.n_keys,
-        )
-    elif args.factor == "rate":
-        sweep = sweep_server_stage(
-            "rate_kps",
-            values,
-            lambda rate: ServerStage(workload.with_rate(kps(rate)), service_rate),
-            args.n_keys,
-        )
-    elif args.factor == "mu":
-        sweep = sweep_server_stage(
-            "mu_kps",
-            values,
-            lambda mu: ServerStage(workload, kps(mu)),
-            args.n_keys,
-        )
-    elif args.factor == "r":
-        sweep = sweep_database_stage(
-            "miss_ratio",
-            values,
-            lambda r: DatabaseStage(1.0 / usec(args.db_latency), r),
-            args.n_keys,
-        )
-    else:
-        raise ReproError(f"unknown sweep factor {args.factor!r}")
+    factor = get_factor(args.factor)
+    values = [float(v) for v in np.linspace(args.start, args.stop, args.points)]
+    suite = sweep_suite(
+        _scenario_from_args(args),
+        args.factor,
+        values,
+        backend=args.backend,
+        seeds=args.seeds,
+        **_backend_options(args),
+    )
+    result = _execute_suite(args, suite)
+    if args.backend != "estimate" or args.seeds > 1:
+        return _print_suite(args, result)
+    # Classic one-factor table: the Theorem 1 bounds the paper plots
+    # for this axis (server-stage bounds for server factors, the
+    # eq. (23) point estimate for the database factor).
+    lower_key, upper_key = factor.sweep_metrics
+    lower = result.series(lower_key)
+    upper = result.series(upper_key)
     if _wants_json(args):
         print(
             json_dumps(
                 {
                     "kind": "repro-sweep",
-                    "parameter": sweep.parameter,
-                    "values": list(sweep.values),
-                    "lower": list(sweep.lower),
-                    "upper": list(sweep.upper),
+                    "parameter": factor.label,
+                    "values": values,
+                    "lower": lower,
+                    "upper": upper,
                 }
             )
         )
         return 0
     rows = [
         [f"{value:.4g}", f"{to_usec(lo):.1f}", f"{to_usec(up):.1f}"]
-        for value, lo, up in zip(sweep.values, sweep.lower, sweep.upper)
+        for value, lo, up in zip(values, lower, upper)
     ]
-    _print_rows([sweep.parameter, "lower (us)", "upper (us)"], rows)
+    _print_rows([factor.label, "lower (us)", "upper (us)"], rows)
     return 0
+
+
+def _parse_factor_spec(spec: str) -> Tuple[str, List[float]]:
+    """``NAME=START:STOP:POINTS`` or ``NAME=v1,v2,...`` -> (name, values)."""
+    name, sep, rhs = spec.partition("=")
+    name = name.strip()
+    if not sep or not name or not rhs:
+        raise ReproError(
+            f"bad factor spec {spec!r} "
+            "(expected NAME=START:STOP:POINTS or NAME=v1,v2,...)"
+        )
+    try:
+        if ":" in rhs:
+            start_s, stop_s, points_s = rhs.split(":")
+            points = int(points_s)
+            if points < 1:
+                raise ReproError(f"factor {name!r} needs >= 1 points")
+            values = [
+                float(v) for v in np.linspace(float(start_s), float(stop_s), points)
+            ]
+        else:
+            values = [float(v) for v in rhs.split(",")]
+    except ValueError as exc:
+        raise ReproError(f"bad factor spec {spec!r}: {exc}") from exc
+    return name, values
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    axes = dict(_parse_factor_spec(spec) for spec in args.factor)
+    grid = Grid(_scenario_from_args(args), axes, seeds=args.seeds)
+    suite = Suite(
+        args.name, grid, backend=args.backend, options=_backend_options(args)
+    )
+    return _print_suite(args, _execute_suite(args, suite))
 
 
 def cmd_cliff_table(args: argparse.Namespace) -> int:
@@ -306,13 +447,13 @@ def cmd_cliff_table(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     from .core import validate_configuration
 
-    model = _model_from(args)
+    scenario = _scenario_from_args(args)
     report = validate_configuration(
-        model,
-        n_keys=args.n_keys,
-        n_requests=args.requests,
+        scenario.latency_model(),
+        n_keys=scenario.n_keys,
+        n_requests=scenario.n_requests,
         pool_size=args.pool_size,
-        seed=args.seed,
+        seed=scenario.seed,
     )
     if _wants_json(args):
         print(
@@ -384,23 +525,16 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
 
 def cmd_tail(args: argparse.Namespace) -> int:
-    from .core import NetworkStage, TailLatencyModel
-
-    workload = _workload_from(args)
-    stage = ServerStage(workload, kps(args.service_rate))
+    scenario = _scenario_from_args(args)
+    model = scenario.tail_model()
     database = (
-        DatabaseStage(1.0 / usec(args.db_latency), args.miss_ratio)
-        if args.miss_ratio > 0
+        DatabaseStage(scenario.database_rate, scenario.miss_ratio)
+        if scenario.miss_ratio > 0
         else None
-    )
-    model = TailLatencyModel(
-        stage,
-        network_stage=NetworkStage(usec(args.network_delay)),
-        database_stage=database,
     )
     rows = []
     for level in (0.5, 0.9, 0.95, 0.99, 0.999):
-        bounds = model.request_quantile_bounds(level, args.n_keys)
+        bounds = model.request_quantile_bounds(level, scenario.n_keys)
         rows.append(
             [
                 f"p{level * 100:g}",
@@ -410,7 +544,7 @@ def cmd_tail(args: argparse.Namespace) -> int:
         )
     _print_rows(["percentile", "lower (us)", "upper (us)"], rows)
     if database is not None:
-        exact = model.database_mean_exact(args.n_keys)
+        exact = model.database_mean_exact(scenario.n_keys)
         print(f"exact E[TD(N)] (vs eq. 23): {to_usec(exact):.1f} us")
     return 0
 
@@ -521,19 +655,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_recommend(args: argparse.Namespace) -> int:
-    workload = _workload_from(args)
+    scenario = _scenario_from_args(args)
     if args.hottest_share is not None:
         cluster = ClusterModel.hot_cold(
-            args.servers, kps(args.service_rate), hottest_share=args.hottest_share
+            scenario.n_servers,
+            scenario.service_rate,
+            hottest_share=args.hottest_share,
         )
     else:
-        cluster = ClusterModel.balanced(args.servers, kps(args.service_rate))
-    database = DatabaseStage(1.0 / usec(args.db_latency), args.miss_ratio)
+        cluster = scenario.cluster()
+    database = DatabaseStage(scenario.database_rate, scenario.miss_ratio)
     report = advise(
-        workload=workload,
+        workload=scenario.workload(),
         cluster=cluster,
         total_key_rate=kps(args.total_rate),
-        n_keys=args.n_keys,
+        n_keys=scenario.n_keys,
         database=database,
     )
     print(report)
@@ -600,14 +736,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.set_defaults(func=cmd_simulate)
 
-    p_sweep = sub.add_parser("sweep", help="factor sweeps")
+    p_sweep = sub.add_parser(
+        "sweep", help="one-factor sweeps (factor registry + runner)"
+    )
     _add_workload_args(p_sweep)
     _add_json_flag(p_sweep)
-    p_sweep.add_argument("factor", choices=["q", "xi", "rate", "mu", "r"])
+    p_sweep.add_argument("factor", choices=list(factor_names()))
     p_sweep.add_argument("--start", type=float, required=True)
     p_sweep.add_argument("--stop", type=float, required=True)
     p_sweep.add_argument("--points", type=int, default=11)
+    _add_runner_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_exp = sub.add_parser(
+        "experiment", help="multi-factor experiment grids (parallel runner)"
+    )
+    _add_workload_args(p_exp)
+    _add_json_flag(p_exp)
+    p_exp.add_argument(
+        "--factor",
+        action="append",
+        required=True,
+        metavar="NAME=START:STOP:POINTS",
+        help="sweep axis (repeatable); NAME=v1,v2,... also accepted",
+    )
+    p_exp.add_argument("--name", default="experiment", help="suite name")
+    _add_runner_args(p_exp)
+    p_exp.set_defaults(func=cmd_experiment)
 
     p_cliff = sub.add_parser("cliff-table", help="reproduce Table 4")
     p_cliff.add_argument(

@@ -29,7 +29,7 @@ from .generalized_pareto import GeneralizedPareto
 from .heavy_tail import Lognormal, Pareto, Weibull
 from .laplace import laplace_derivative, laplace_from_survival
 from .phase_type import Erlang, Gamma, Hyperexponential, Uniform
-from .rng import RngLike, make_rng, rng_stream, spawn_child, split_rng
+from .rng import RngLike, make_rng, rng_stream, seed_sequence, spawn_child, split_rng
 
 __all__ = [
     "CONCURRENCY_WINDOW_SECONDS",
@@ -68,6 +68,7 @@ __all__ = [
     "require_probability",
     "require_weights",
     "rng_stream",
+    "seed_sequence",
     "spawn_child",
     "split_rng",
 ]

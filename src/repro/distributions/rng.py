@@ -28,34 +28,61 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def seed_sequence(rng: np.random.Generator) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` behind a generator.
+
+    Spawning children from the seed sequence (rather than drawing seeds
+    from the generator's stream) makes the children a pure function of
+    the parent's *seed*: consuming random numbers from the parent before
+    splitting no longer changes which child streams are handed out.
+    """
+    bit_generator = rng.bit_generator
+    seq = getattr(bit_generator, "seed_seq", None)
+    if seq is None:  # numpy < 1.24 spelled it _seed_seq
+        seq = getattr(bit_generator, "_seed_seq", None)
+    if isinstance(seq, np.random.SeedSequence):
+        return seq
+    # Exotic bit generator without a seed sequence: derive one from the
+    # stream (the legacy, order-dependent behavior — unavoidable here).
+    return np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+
+
 def split_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
-    The children are seeded from the parent's bit generator, so two
-    simulator components (e.g. one arrival process per server) never share
-    a stream even when run in arbitrary interleavings.
+    Children are spawned from the parent's seed sequence, so two
+    simulator components (e.g. one arrival process per server) never
+    share a stream, and the assignment depends only on the parent seed
+    and spawn order — not on how much of the parent stream was consumed
+    beforehand.
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
-    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    children = seed_sequence(rng).spawn(count)
+    return [np.random.Generator(np.random.PCG64(child)) for child in children]
 
 
 def rng_stream(rng: np.random.Generator) -> Iterator[np.random.Generator]:
     """Infinite iterator of independent child generators."""
+    seq = seed_sequence(rng)
     while True:
-        yield np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
+        yield np.random.Generator(np.random.PCG64(seq.spawn(1)[0]))
 
 
 def spawn_child(rng: np.random.Generator, tag: Optional[int] = None) -> np.random.Generator:
-    """Derive a single child generator, optionally mixed with ``tag``.
+    """Derive a single child generator, optionally keyed by ``tag``.
 
-    Mixing in a caller-supplied tag (e.g. a server index) makes the child
-    stream a deterministic function of (parent seed, tag) rather than of
-    the call order, which keeps sweeps reproducible when components are
-    constructed in different orders.
+    A tagged child (e.g. per server index) is a deterministic function
+    of (parent seed, tag): tags extend the seed sequence's spawn key,
+    offset far above the sequential spawn counter so they can never
+    collide with :func:`split_rng` children of the same parent.
     """
-    base = int(rng.integers(0, 2**63 - 1))
-    if tag is not None:
-        base ^= (int(tag) * 0x9E3779B97F4A7C15) & (2**63 - 1)
-    return np.random.default_rng(base)
+    seq = seed_sequence(rng)
+    if tag is None:
+        child = seq.spawn(1)[0]
+    else:
+        child = np.random.SeedSequence(
+            entropy=seq.entropy,
+            spawn_key=tuple(seq.spawn_key) + (2**31 + int(tag),),
+        )
+    return np.random.Generator(np.random.PCG64(child))

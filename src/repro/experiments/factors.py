@@ -1,0 +1,161 @@
+"""Factor registry: named sweep axes over :class:`Scenario` fields.
+
+The paper's §5 evaluation sweeps q, xi, the arrival rate, the service
+rate, the miss ratio, the hottest share p1, and the request size N.
+Each :class:`Factor` knows how to apply one swept value to a scenario
+and which estimate metrics a classic ``repro sweep`` table shows for it
+(server-stage bounds for server factors, the eq. (23) point estimate
+for the database factor, total bounds otherwise).
+
+The registry replaces the per-factor ``if/elif`` branches that used to
+live in ``cli.cmd_sweep``; :func:`register_factor` lets downstream code
+add axes without touching the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigError, ValidationError
+from ..units import kps, usec
+from .scenario import Scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class Factor:
+    """One sweepable axis.
+
+    ``apply(scenario, value)`` returns the scenario at the swept value;
+    ``sweep_metrics`` names the (lower, upper) estimate metrics the
+    classic sweep table reports for this axis.
+    """
+
+    name: str
+    label: str
+    apply: Callable[[Scenario, float], Scenario]
+    sweep_metrics: Tuple[str, str] = ("total_lower", "total_upper")
+    description: str = ""
+
+
+_REGISTRY: Dict[str, Factor] = {}
+
+
+def register_factor(factor: Factor) -> Factor:
+    """Add (or replace) a factor in the global registry."""
+    _REGISTRY[factor.name] = factor
+    return factor
+
+
+def get_factor(name: str) -> Factor:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown sweep factor {name!r} (have {sorted(_REGISTRY)})"
+        ) from None
+
+
+def factor_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def _apply_p1(scenario: Scenario, value: float) -> Scenario:
+    """Hot/cold shares: the hottest server takes ``p1``, the rest split."""
+    m = scenario.n_servers
+    if m < 2:
+        raise ValidationError("p1 sweeps need at least 2 servers")
+    if not 1.0 / m <= value < 1.0:
+        raise ValidationError(
+            f"p1 must be in [1/M, 1) = [{1.0 / m:.4f}, 1), got {value}"
+        )
+    cold = (1.0 - value) / (m - 1)
+    return scenario.replace(shares=(value,) + (cold,) * (m - 1))
+
+
+register_factor(
+    Factor(
+        "q",
+        "q",
+        lambda s, v: s.replace(concurrency_q=float(v)),
+        sweep_metrics=("server_lower", "server_upper"),
+        description="concurrency probability (Fig. 5)",
+    )
+)
+register_factor(
+    Factor(
+        "xi",
+        "xi",
+        lambda s, v: s.replace(burst_xi=float(v)),
+        sweep_metrics=("server_lower", "server_upper"),
+        description="burst degree (Fig. 6)",
+    )
+)
+register_factor(
+    Factor(
+        "rate",
+        "rate_kps",
+        lambda s, v: s.replace(key_rate=kps(float(v))),
+        sweep_metrics=("server_lower", "server_upper"),
+        description="per-server key rate in Kps (Fig. 7)",
+    )
+)
+register_factor(
+    Factor(
+        "mu",
+        "mu_kps",
+        lambda s, v: s.replace(service_rate=kps(float(v))),
+        sweep_metrics=("server_lower", "server_upper"),
+        description="server service rate in Kps (Fig. 9)",
+    )
+)
+register_factor(
+    Factor(
+        "r",
+        "miss_ratio",
+        lambda s, v: s.replace(miss_ratio=float(v)),
+        sweep_metrics=("database", "database"),
+        description="cache miss ratio (Fig. 11)",
+    )
+)
+register_factor(
+    Factor(
+        "n",
+        "n_keys",
+        lambda s, v: s.replace(n_keys=int(v)),
+        description="keys per request N (Figs. 12-13)",
+    )
+)
+register_factor(
+    Factor(
+        "p1",
+        "p1",
+        _apply_p1,
+        sweep_metrics=("server_lower", "server_upper"),
+        description="hottest server share (Fig. 10)",
+    )
+)
+register_factor(
+    Factor(
+        "servers",
+        "servers",
+        lambda s, v: s.replace(n_servers=int(v), shares=None),
+        description="cluster size M",
+    )
+)
+register_factor(
+    Factor(
+        "network",
+        "network_us",
+        lambda s, v: s.replace(network_delay=usec(float(v))),
+        description="one-way network delay in us",
+    )
+)
+register_factor(
+    Factor(
+        "db",
+        "db_us",
+        lambda s, v: s.replace(database_rate=1.0 / usec(float(v))),
+        description="mean database service time in us",
+    )
+)

@@ -1,0 +1,181 @@
+"""Grid/Suite expansion: factor axes x seed replications -> cells.
+
+A :class:`Grid` crosses factor axes over a base :class:`Scenario` and
+replicates each point ``seeds`` times; a :class:`Suite` names the grid
+and fixes the evaluation backend. Expansion assigns every cell a seed
+derived via ``np.random.SeedSequence(base.seed).spawn`` — a pure
+function of (suite seed, cell index) — so results are bit-identical no
+matter how many workers execute the cells or in which order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ValidationError
+from .factors import get_factor
+from .scenario import BACKENDS, Scenario
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One unit of experiment work: a scenario plus its grid coordinates."""
+
+    index: int
+    cell_id: str
+    scenario: Scenario
+    coords: Tuple[Tuple[str, float], ...]
+    backend: str
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def coord_dict(self) -> Dict[str, float]:
+        return dict(self.coords)
+
+    @property
+    def option_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+
+def _cell_id(index: int, scenario: Scenario, backend: str, options) -> str:
+    """Stable id: grid position + a digest of what the cell computes.
+
+    The digest covers the scenario, backend, and options, so a resumed
+    run refuses checkpoints from a different grid definition.
+    """
+    blob = json.dumps(
+        {
+            "scenario": scenario.to_dict(),
+            "backend": backend,
+            "options": {str(k): repr(v) for k, v in options},
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(blob.encode()).hexdigest()[:10]
+    return f"cell-{index:04d}-{digest}"
+
+
+class Grid:
+    """Cross-product of factor axes over a base scenario.
+
+    Parameters
+    ----------
+    base:
+        The scenario every cell starts from; its ``seed`` is the
+        suite-level master seed.
+    axes:
+        Mapping of factor *name* (see :mod:`repro.experiments.factors`)
+        to the sequence of values to sweep. Later axes vary fastest.
+    seeds:
+        Independent replications per grid point (distinct derived
+        seeds); replication varies fastest of all.
+    """
+
+    def __init__(
+        self,
+        base: Scenario,
+        axes: Mapping[str, Sequence[float]],
+        *,
+        seeds: int = 1,
+    ) -> None:
+        if seeds < 1:
+            raise ValidationError(f"seeds must be >= 1, got {seeds}")
+        self.base = base
+        self.axes: Tuple[Tuple[str, Tuple[float, ...]], ...] = tuple(
+            (name, tuple(float(v) for v in values)) for name, values in axes.items()
+        )
+        for name, values in self.axes:
+            get_factor(name)  # fail fast on unknown factors
+            if not values:
+                raise ValidationError(f"axis {name!r} has no values")
+        self.seeds = int(seeds)
+
+    @property
+    def n_cells(self) -> int:
+        n = self.seeds
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def cells(self, backend: str = "estimate", **options: object) -> List[Cell]:
+        """Expand to concrete cells with spawned per-cell seeds."""
+        if backend not in BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r} (have {BACKENDS})"
+            )
+        option_items = tuple(sorted(options.items()))
+        value_lists = [values for _, values in self.axes]
+        children = np.random.SeedSequence(self.base.seed).spawn(self.n_cells)
+        cells: List[Cell] = []
+        index = 0
+        for combo in itertools.product(*value_lists) if value_lists else [()]:
+            scenario = self.base
+            coords: List[Tuple[str, float]] = []
+            for (name, _values), value in zip(self.axes, combo):
+                factor = get_factor(name)
+                scenario = factor.apply(scenario, value)
+                coords.append((factor.label, float(value)))
+            for replicate in range(self.seeds):
+                cell_seed = int(children[index].generate_state(1, np.uint64)[0])
+                cell_scenario = scenario.replace(seed=cell_seed)
+                cell_coords = tuple(coords + [("replicate", float(replicate))])
+                cells.append(
+                    Cell(
+                        index=index,
+                        cell_id=_cell_id(
+                            index, cell_scenario, backend, option_items
+                        ),
+                        scenario=cell_scenario,
+                        coords=cell_coords,
+                        backend=backend,
+                        options=option_items,
+                    )
+                )
+                index += 1
+        return cells
+
+
+@dataclasses.dataclass
+class Suite:
+    """A named grid bound to an evaluation backend."""
+
+    name: str
+    grid: Grid
+    backend: str = "estimate"
+    options: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def n_cells(self) -> int:
+        return self.grid.n_cells
+
+    @property
+    def axes(self) -> Tuple[Tuple[str, Tuple[float, ...]], ...]:
+        return self.grid.axes
+
+    def cells(self) -> List[Cell]:
+        return self.grid.cells(self.backend, **self.options)
+
+
+def sweep_suite(
+    base: Scenario,
+    factor_name: str,
+    values: Sequence[float],
+    *,
+    backend: str = "estimate",
+    seeds: int = 1,
+    name: Optional[str] = None,
+    **options: object,
+) -> Suite:
+    """One-axis suite — the shape behind ``repro sweep``."""
+    return Suite(
+        name=name or f"sweep-{factor_name}",
+        grid=Grid(base, {factor_name: values}, seeds=seeds),
+        backend=backend,
+        options=dict(options),
+    )

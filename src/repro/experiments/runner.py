@@ -1,0 +1,342 @@
+"""Process-parallel experiment execution with resumable checkpoints.
+
+:class:`ExperimentRunner` fans a suite's cells out over a
+``concurrent.futures.ProcessPoolExecutor``. Because every cell's seed
+was derived at expansion time (``SeedSequence.spawn``, see
+:mod:`repro.experiments.grid`), a cell computes the same bits no matter
+which worker runs it, in what order, or whether it runs at all in this
+process — so 1-worker and 8-worker runs produce identical
+:class:`SuiteResult`\\ s, and interrupted suites resume from their
+checkpoint directory without re-running completed cells.
+
+Checkpoints are one JSON file per cell (written through the
+observability serializer) keyed by the cell id, which embeds a digest
+of the scenario + backend + options: resuming against a *changed* grid
+re-runs the changed cells instead of silently reusing stale results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigError, ReproError, SimulationError
+from ..observability import json_dumps
+from .grid import Cell, Suite
+from .scenario import Scenario, cell_metrics
+
+CHECKPOINT_KIND = "repro-experiment-cell"
+SUITE_KIND = "repro-experiment-suite"
+
+
+@dataclasses.dataclass
+class CellResult:
+    """One completed cell: coordinates, scalar metrics, provenance.
+
+    ``elapsed`` (worker wall-clock) and ``resumed`` are excluded from
+    equality so worker-count-invariance and resume produce *equal*
+    results.
+    """
+
+    index: int
+    cell_id: str
+    backend: str
+    coords: Dict[str, float]
+    scenario: Scenario
+    metrics: Dict[str, float]
+    error: Optional[str] = None
+    elapsed: float = dataclasses.field(default=0.0, compare=False)
+    resumed: bool = dataclasses.field(default=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": CHECKPOINT_KIND,
+            "index": self.index,
+            "cell_id": self.cell_id,
+            "backend": self.backend,
+            "coords": dict(self.coords),
+            "scenario": self.scenario.to_dict(),
+            "metrics": dict(self.metrics),
+            "error": self.error,
+            "elapsed": self.elapsed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CellResult":
+        if not isinstance(payload, dict) or payload.get("kind") != CHECKPOINT_KIND:
+            raise ConfigError("not an experiment-cell checkpoint")
+        return cls(
+            index=int(payload["index"]),
+            cell_id=str(payload["cell_id"]),
+            backend=str(payload["backend"]),
+            coords={str(k): float(v) for k, v in payload["coords"].items()},
+            scenario=Scenario.from_dict(payload["scenario"]),
+            metrics={str(k): float(v) for k, v in payload["metrics"].items()},
+            error=payload.get("error"),
+            elapsed=float(payload.get("elapsed", 0.0)),
+        )
+
+
+@dataclasses.dataclass
+class SuiteResult:
+    """All cell results of one suite, in grid order."""
+
+    name: str
+    backend: str
+    axes: Tuple[Tuple[str, Tuple[float, ...]], ...]
+    cells: List[CellResult]
+    executed: int = dataclasses.field(default=0, compare=False)
+    resumed: int = dataclasses.field(default=0, compare=False)
+    elapsed: float = dataclasses.field(default=0.0, compare=False)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def series(self, metric: str) -> List[float]:
+        """One metric across all cells, in grid order."""
+        return [cell.metrics[metric] for cell in self.cells]
+
+    def coordinates(self, label: str) -> List[float]:
+        return [cell.coords[label] for cell in self.cells]
+
+    def aggregate(self, metric: str) -> "Dict[Tuple[float, ...], float]":
+        """Mean of ``metric`` over replicates, keyed by axis coordinates."""
+        sums: Dict[Tuple[float, ...], List[float]] = {}
+        for cell in self.cells:
+            key = tuple(
+                value for label, value in cell.coords.items() if label != "replicate"
+            )
+            sums.setdefault(key, []).append(cell.metrics[metric])
+        return {key: sum(vals) / len(vals) for key, vals in sums.items()}
+
+    def table(self) -> Tuple[List[str], List[List[float]]]:
+        """(header, rows) across coords + metrics, for CLI/bench printers."""
+        if not self.cells:
+            return [], []
+        coord_labels = list(self.cells[0].coords)
+        metric_labels = sorted(self.cells[0].metrics)
+        header = coord_labels + metric_labels
+        rows = [
+            [cell.coords[label] for label in coord_labels]
+            + [cell.metrics[label] for label in metric_labels]
+            for cell in self.cells
+        ]
+        return header, rows
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": SUITE_KIND,
+            "name": self.name,
+            "backend": self.backend,
+            "axes": [[label, list(values)] for label, values in self.axes],
+            "cells": [cell.to_dict() for cell in self.cells],
+            "executed": self.executed,
+            "resumed": self.resumed,
+            "elapsed": self.elapsed,
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json_dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SuiteResult":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read suite result {path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("kind") != SUITE_KIND:
+            raise ConfigError("not an experiment-suite result")
+        return cls(
+            name=str(payload["name"]),
+            backend=str(payload["backend"]),
+            axes=tuple(
+                (str(label), tuple(float(v) for v in values))
+                for label, values in payload["axes"]
+            ),
+            cells=[CellResult.from_dict(cell) for cell in payload["cells"]],
+            executed=int(payload.get("executed", 0)),
+            resumed=int(payload.get("resumed", 0)),
+            elapsed=float(payload.get("elapsed", 0.0)),
+        )
+
+
+def _execute_cell(cell: Cell) -> CellResult:
+    """Run one cell (possibly in a worker process).
+
+    Errors are carried back as data: exception *instances* with custom
+    constructors do not always survive pickling across the process
+    boundary, and a failed cell should name its grid coordinates.
+    """
+    started = time.perf_counter()
+    error: Optional[str] = None
+    metrics: Dict[str, float] = {}
+    try:
+        outcome = cell.scenario.run(cell.backend, **cell.option_dict)
+        metrics = cell_metrics(outcome)
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return CellResult(
+        index=cell.index,
+        cell_id=cell.cell_id,
+        backend=cell.backend,
+        coords=cell.coord_dict,
+        scenario=cell.scenario,
+        metrics=metrics,
+        error=error,
+        elapsed=time.perf_counter() - started,
+    )
+
+
+class ExperimentRunner:
+    """Execute a suite's cells, optionally in parallel, with checkpoints.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``None`` or ``1`` runs serially in-process (no
+        executor, easiest to debug/profile); ``N > 1`` fans out over a
+        ``ProcessPoolExecutor``.
+    checkpoint_dir:
+        Directory for per-cell JSON checkpoints. Created on demand.
+        Without it nothing is persisted.
+    resume:
+        Load matching checkpoints from ``checkpoint_dir`` and run only
+        the missing cells. Checkpoints whose cell id (a digest of
+        scenario + backend + options) does not match the current grid
+        are ignored and re-run.
+    on_error:
+        ``"raise"`` (default) raises a :class:`SimulationError` naming
+        the first failed cell; ``"keep"`` returns failed cells in the
+        :class:`SuiteResult` with their ``error`` set.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        on_error: str = "raise",
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if on_error not in ("raise", "keep"):
+            raise ConfigError(f"on_error must be 'raise' or 'keep', got {on_error!r}")
+        if resume and checkpoint_dir is None:
+            raise ConfigError("resume requires a checkpoint_dir")
+        self.workers = workers
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.resume = resume
+        self.on_error = on_error
+
+    # ------------------------------------------------------------------
+
+    def _checkpoint_path(self, cell: Cell) -> Path:
+        return self.checkpoint_dir / f"{cell.cell_id}.json"
+
+    def _load_checkpoint(self, cell: Cell) -> Optional[CellResult]:
+        path = self._checkpoint_path(cell)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            result = CellResult.from_dict(payload)
+        except (ConfigError, OSError, json.JSONDecodeError, KeyError, ValueError):
+            return None  # corrupt or stale checkpoint: re-run the cell
+        if result.cell_id != cell.cell_id or not result.ok:
+            return None
+        result.resumed = True
+        return result
+
+    def _save_checkpoint(self, result: CellResult) -> None:
+        if self.checkpoint_dir is None or not result.ok:
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        path = self.checkpoint_dir / f"{result.cell_id}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json_dumps(result.to_dict()))
+        tmp.replace(path)  # atomic: a killed run never leaves torn JSON
+
+    # ------------------------------------------------------------------
+
+    def run(self, suite: Suite) -> SuiteResult:
+        """Execute (or resume) every cell; aggregate in grid order."""
+        started = time.perf_counter()
+        cells = suite.cells()
+        done: Dict[int, CellResult] = {}
+        if self.resume:
+            for cell in cells:
+                loaded = self._load_checkpoint(cell)
+                if loaded is not None:
+                    done[cell.index] = loaded
+        pending = [cell for cell in cells if cell.index not in done]
+        resumed = len(done)
+
+        if self.workers is not None and self.workers > 1 and len(pending) > 1:
+            executed = self._run_parallel(pending, done)
+        else:
+            executed = self._run_serial(pending, done)
+
+        failed = [done[c.index] for c in cells if not done[c.index].ok]
+        if failed and self.on_error == "raise":
+            first = min(failed, key=lambda r: r.index)
+            raise SimulationError(
+                f"experiment cell {first.cell_id} ({first.coords}) failed: "
+                f"{first.error}"
+            )
+        return SuiteResult(
+            name=suite.name,
+            backend=suite.backend,
+            axes=suite.axes,
+            cells=[done[cell.index] for cell in cells],
+            executed=executed,
+            resumed=resumed,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def _run_serial(self, pending: Sequence[Cell], done: Dict[int, CellResult]) -> int:
+        for cell in pending:
+            result = _execute_cell(cell)
+            self._save_checkpoint(result)
+            done[cell.index] = result
+        return len(pending)
+
+    def _run_parallel(
+        self, pending: Sequence[Cell], done: Dict[int, CellResult]
+    ) -> int:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {pool.submit(_execute_cell, cell): cell for cell in pending}
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_EXCEPTION)
+                for future in finished:
+                    result = future.result()  # worker crashes propagate here
+                    self._save_checkpoint(result)
+                    done[result.index] = result
+        return len(pending)
+
+
+def run_suite(
+    suite: Suite,
+    *,
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    on_error: str = "raise",
+) -> SuiteResult:
+    """One-call convenience wrapper around :class:`ExperimentRunner`."""
+    return ExperimentRunner(
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        on_error=on_error,
+    ).run(suite)

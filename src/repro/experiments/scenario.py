@@ -1,0 +1,266 @@
+"""The unified parameter object: one fully-specified system point.
+
+Every entry point used to re-plumb the same dozen parameters through
+slightly different kwargs (``cmd_estimate`` vs ``cmd_simulate`` vs the
+benches). :class:`Scenario` is the single source of truth: it captures
+workload shape, cluster, request structure, network/database and
+simulation knobs in the library's internal units, round-trips through
+:class:`~repro.config.ExperimentConfig` (and plain dicts, for
+checkpoints), and dispatches to any of the three evaluation backends:
+
+``estimate``
+    Theorem 1 analytic bounds (:class:`~repro.core.LatencyEstimate`).
+``simulate``
+    The closed-loop discrete-event simulator
+    (:class:`~repro.simulation.SimulationResult`).
+``fastpath``
+    The vectorized Lindley simulator + fork-join Monte-Carlo
+    (:class:`~repro.simulation.SimulationResult`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from ..config import ExperimentConfig
+from ..distributions import make_rng
+from ..errors import ConfigError, ValidationError
+from ..simulation.fastpath import (
+    expected_max_from_pool,
+    expected_max_from_pools,
+    sample_request_latencies,
+    simulate_key_latencies,
+)
+from ..simulation.results import SimulationResult
+
+#: Evaluation backends a scenario can dispatch to.
+BACKENDS = ("estimate", "simulate", "fastpath")
+
+#: Default per-server latency pool size for the fast-path backend.
+DEFAULT_POOL_SIZE = 200_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One fully-specified Memcached latency experiment point.
+
+    Field names and units mirror :class:`~repro.config.ExperimentConfig`
+    exactly (seconds, keys/second), so ``Scenario.from_config`` /
+    ``to_config`` are lossless; ``shares`` is a tuple so scenarios stay
+    hashable and safely shareable across processes.
+    """
+
+    # Workload shape (per-server when shares are balanced/omitted).
+    key_rate: float
+    burst_xi: float = 0.0
+    concurrency_q: float = 0.0
+    # Cluster.
+    n_servers: int = 1
+    service_rate: float = 80_000.0
+    shares: Optional[Tuple[float, ...]] = None
+    # Request structure.
+    n_keys: int = 150
+    # Network & database.
+    network_delay: float = 0.0
+    miss_ratio: float = 0.0
+    database_rate: Optional[float] = None
+    # Simulation knobs.
+    seed: int = 0
+    n_requests: int = 2000
+    warmup_requests: int = 200
+
+    def __post_init__(self) -> None:
+        if self.shares is not None and not isinstance(self.shares, tuple):
+            object.__setattr__(self, "shares", tuple(self.shares))
+        if self.n_keys < 1:
+            raise ValidationError(f"n_keys must be >= 1, got {self.n_keys}")
+        if self.n_servers < 1:
+            raise ValidationError(f"n_servers must be >= 1, got {self.n_servers}")
+
+    # ------------------------------------------------------------------
+    # Config round trip.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "Scenario":
+        """Lossless conversion from an :class:`ExperimentConfig`."""
+        payload = dataclasses.asdict(config)
+        if payload.get("shares") is not None:
+            payload["shares"] = tuple(payload["shares"])
+        return cls(**payload)
+
+    def to_config(self) -> ExperimentConfig:
+        """Lossless conversion to an :class:`ExperimentConfig`."""
+        payload = dataclasses.asdict(self)
+        if payload.get("shares") is not None:
+            payload["shares"] = list(payload["shares"])
+        return ExperimentConfig(**payload)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        if payload.get("shares") is not None:
+            payload["shares"] = list(payload["shares"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Scenario":
+        if not isinstance(payload, dict):
+            raise ConfigError("scenario payload must be an object")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown scenario keys: {sorted(unknown)}")
+        data = dict(payload)
+        if data.get("shares") is not None:
+            data["shares"] = tuple(data["shares"])
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigError(f"incomplete scenario: {exc}") from exc
+
+    def replace(self, **changes: object) -> "Scenario":
+        """Functional update (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Derived builders (delegated to the config layer — one code path).
+    # ------------------------------------------------------------------
+
+    def workload(self):
+        return self.to_config().workload()
+
+    def cluster(self):
+        return self.to_config().cluster()
+
+    def total_key_rate(self) -> float:
+        return self.key_rate * self.n_servers
+
+    def latency_model(self):
+        return self.to_config().latency_model()
+
+    def tail_model(self):
+        return self.to_config().tail_model()
+
+    def simulator(self, observability=None):
+        return self.to_config().simulator(observability=observability)
+
+    # ------------------------------------------------------------------
+    # Backend dispatch.
+    # ------------------------------------------------------------------
+
+    def estimate(self):
+        """Theorem 1 bounds (:class:`~repro.core.LatencyEstimate`)."""
+        return self.latency_model().estimate(self.n_keys)
+
+    def simulate(self, observability=None) -> SimulationResult:
+        """Closed-loop discrete-event simulation of this scenario."""
+        system = self.simulator(observability=observability)
+        results = system.run(
+            n_requests=self.n_requests, warmup_requests=self.warmup_requests
+        )
+        return SimulationResult.from_system(results, n_keys=self.n_keys)
+
+    def fastpath(self, *, pool_size: int = DEFAULT_POOL_SIZE) -> SimulationResult:
+        """Vectorized Lindley + fork-join Monte-Carlo simulation.
+
+        Balanced clusters share one per-server latency pool (every
+        server is statistically identical); unbalanced clusters get one
+        pool per share, each at its share of the total key stream.
+        """
+        rng = make_rng(self.seed)
+        workload = self.workload()
+        cluster = self.cluster()
+        if self.shares is None:
+            pools = [
+                simulate_key_latencies(
+                    workload, self.service_rate, n_keys=pool_size, rng=rng
+                )
+            ]
+            shares = [1.0]
+        else:
+            total = self.total_key_rate()
+            pools = [
+                simulate_key_latencies(
+                    workload.with_rate(total * share),
+                    self.service_rate,
+                    n_keys=pool_size,
+                    rng=rng,
+                )
+                for share in cluster.shares
+            ]
+            shares = list(cluster.shares)
+        sample = sample_request_latencies(
+            pools,
+            shares,
+            n_keys=self.n_keys,
+            n_requests=self.n_requests,
+            rng=rng,
+            network_delay=self.network_delay,
+            miss_ratio=self.miss_ratio,
+            database_rate=self.database_rate,
+        )
+        if len(pools) == 1:
+            exact_server = expected_max_from_pool(pools[0], self.n_keys)
+        else:
+            exact_server = expected_max_from_pools(pools, shares, self.n_keys)
+        result = SimulationResult.from_sample(sample, n_keys=self.n_keys)
+        return dataclasses.replace(result, server_expected_max=exact_server)
+
+    def run(self, backend: str = "estimate", **options: object):
+        """Dispatch to ``estimate``/``simulate``/``fastpath``."""
+        if backend == "estimate":
+            if options:
+                raise ConfigError(
+                    f"estimate backend takes no options, got {sorted(options)}"
+                )
+            return self.estimate()
+        if backend == "simulate":
+            return self.simulate(**options)
+        if backend == "fastpath":
+            return self.fastpath(**options)
+        raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def paper_section_5_1(cls) -> "Scenario":
+        """The paper's §5.1 testbed configuration."""
+        return cls.from_config(ExperimentConfig.paper_section_5_1())
+
+
+def cell_metrics(outcome) -> Dict[str, float]:
+    """Flatten a backend outcome into a scalar metric dict.
+
+    Both backends expose ``mean`` so estimate-vs-simulate grids compare
+    directly; the remaining keys are backend-specific.
+    """
+    if isinstance(outcome, SimulationResult):
+        if outcome.server_expected_max is not None:
+            extra = {"server_expected_max": outcome.server_expected_max}
+        else:
+            extra = {}
+        return {
+            **extra,
+            "mean": outcome.total.mean,
+            "p50": outcome.total.p50,
+            "p95": outcome.total.p95,
+            "p99": outcome.total.p99,
+            "std": outcome.total.std,
+            "count": float(outcome.total.count),
+            "server_mean": outcome.server.mean,
+            "server_p99": outcome.server.p99,
+            "database_mean": outcome.database.mean,
+            "network_mean": outcome.network.mean,
+            "measured_miss_ratio": outcome.measured_miss_ratio,
+        }
+    # LatencyEstimate (duck-typed to avoid importing core here).
+    return {
+        "mean": outcome.total_midpoint,
+        "total_lower": outcome.total_lower,
+        "total_upper": outcome.total_upper,
+        "network": outcome.network,
+        "server_lower": outcome.server.lower,
+        "server_upper": outcome.server.upper,
+        "database": outcome.database,
+    }

@@ -28,6 +28,7 @@ from .fastpath import (
 )
 from .metrics import LatencyRecorder, SummaryStats, UtilizationMeter
 from .network import NetworkSim
+from .results import SimulationResult, StageStats
 from .server import KeyJob, ServerSim
 from .service_models import SizeDependentService, exponential_assumption_error
 from .system import (
@@ -51,8 +52,10 @@ __all__ = [
     "PoissonProcess",
     "RequestSample",
     "ServerSim",
+    "SimulationResult",
     "SizeDependentService",
     "Simulator",
+    "StageStats",
     "SummaryStats",
     "SystemResults",
     "TimeVaryingPoissonProcess",

@@ -1,0 +1,232 @@
+"""Typed simulation results shared by every simulator entry point.
+
+Historically ``estimate`` returned a typed
+:class:`~repro.core.latency.LatencyEstimate` while the event-driven and
+fast-path simulators handed back ad-hoc recorder bundles and numpy
+arrays, so every comparison script re-invented the same key juggling.
+:class:`SimulationResult` is the common shape: one
+:class:`StageStats` per stage (``total``, ``server``, ``database``,
+``network``) with the same field names everywhere (``mean``, ``p50``,
+``p95``, ``p99``), a ``breakdown()`` whose keys match
+:meth:`LatencyEstimate.breakdown`, and a JSON round trip for
+checkpointing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .metrics import LatencyRecorder
+
+__all__ = ["StageStats", "SimulationResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StageStats:
+    """Summary statistics of one latency stage (all times in seconds)."""
+
+    count: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    p99: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    @classmethod
+    def empty(cls) -> "StageStats":
+        return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def from_recorder(cls, recorder: LatencyRecorder) -> "StageStats":
+        """Summarize a :class:`LatencyRecorder` (the event-sim path)."""
+        if recorder.count == 0:
+            return cls.empty()
+        mean = recorder.mean
+        if recorder.count >= 2:
+            ci_low, ci_high = recorder.confidence_interval()
+        else:
+            ci_low = ci_high = mean
+        p50, p95, p99 = recorder.quantiles([0.50, 0.95, 0.99])
+        return cls(
+            count=recorder.count,
+            mean=mean,
+            std=recorder.std,
+            p50=p50,
+            p95=p95,
+            p99=p99,
+            minimum=recorder.minimum,
+            maximum=recorder.maximum,
+            ci_low=ci_low,
+            ci_high=ci_high,
+        )
+
+    @classmethod
+    def from_samples(cls, values: Sequence[float]) -> "StageStats":
+        """Summarize a raw latency array (the fast-path path)."""
+        array = np.asarray(values, dtype=float).ravel()
+        if array.size == 0:
+            return cls.empty()
+        recorder = LatencyRecorder()
+        recorder.record_many(array)
+        return cls.from_recorder(recorder)
+
+    @property
+    def ci(self) -> Tuple[float, float]:
+        return self.ci_low, self.ci_high
+
+    def to_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StageStats":
+        try:
+            return cls(**{f.name: payload[f.name] for f in dataclasses.fields(cls)})
+        except KeyError as exc:
+            raise ConfigError(f"stage stats missing key: {exc}") from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """One simulation run, summarized with the estimate's vocabulary.
+
+    ``total``/``server``/``database``/``network`` are the fork-join
+    stages of paper eq. (1); ``server`` and ``database`` are the
+    per-request maxima ``TS(N)``/``TD(N)``, matching what
+    :meth:`LatencyModel.estimate` bounds.
+    """
+
+    n_keys: int
+    n_requests: int
+    total: StageStats
+    server: StageStats
+    database: StageStats
+    network: StageStats
+    measured_miss_ratio: float = 0.0
+    server_utilizations: Tuple[float, ...] = ()
+    #: Exact E[TS(N)] over the empirical latency pools (fast-path runs
+    #: only) — the Monte-Carlo-noise-free statistic the figures plot.
+    server_expected_max: Optional[float] = None
+
+    # -- LatencyEstimate-compatible accessors --------------------------
+
+    @property
+    def mean(self) -> float:
+        """Mean end-to-end request latency ``E[T(N)]``."""
+        return self.total.mean
+
+    @property
+    def p50(self) -> float:
+        return self.total.p50
+
+    @property
+    def p95(self) -> float:
+        return self.total.p95
+
+    @property
+    def p99(self) -> float:
+        return self.total.p99
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-stage means, keyed like :meth:`LatencyEstimate.breakdown`."""
+        return {
+            "network": self.network.mean,
+            "servers": self.server.mean,
+            "database": self.database.mean,
+        }
+
+    def stage(self, name: str) -> StageStats:
+        stages = {
+            "total": self.total,
+            "server": self.server,
+            "database": self.database,
+            "network": self.network,
+        }
+        if name not in stages:
+            raise ConfigError(f"unknown stage {name!r} (have {sorted(stages)})")
+        return stages[name]
+
+    # -- Constructors ---------------------------------------------------
+
+    @classmethod
+    def from_system(cls, results, *, n_keys: int) -> "SimulationResult":
+        """Wrap :class:`~repro.simulation.system.SystemResults`."""
+        return cls(
+            n_keys=int(n_keys),
+            n_requests=int(results.requests_completed),
+            total=StageStats.from_recorder(results.total),
+            server=StageStats.from_recorder(results.server_stage),
+            database=StageStats.from_recorder(results.database_stage),
+            network=StageStats.from_recorder(results.network_stage),
+            measured_miss_ratio=float(results.measured_miss_ratio),
+            server_utilizations=tuple(results.server_utilizations),
+        )
+
+    @classmethod
+    def from_sample(cls, sample, *, n_keys: int) -> "SimulationResult":
+        """Wrap a fast-path :class:`~repro.simulation.fastpath.RequestSample`."""
+        n_requests = sample.n_requests
+        network = float(sample.network)
+        constant_network = StageStats(
+            count=n_requests,
+            mean=network,
+            std=0.0,
+            p50=network,
+            p95=network,
+            p99=network,
+            minimum=network,
+            maximum=network,
+            ci_low=network,
+            ci_high=network,
+        )
+        return cls(
+            n_keys=int(n_keys),
+            n_requests=n_requests,
+            total=StageStats.from_samples(sample.total),
+            server=StageStats.from_samples(sample.server_max),
+            database=StageStats.from_samples(sample.database_max),
+            network=constant_network,
+        )
+
+    # -- Persistence ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_keys": self.n_keys,
+            "n_requests": self.n_requests,
+            "total": self.total.to_dict(),
+            "server": self.server.to_dict(),
+            "database": self.database.to_dict(),
+            "network": self.network.to_dict(),
+            "measured_miss_ratio": self.measured_miss_ratio,
+            "server_utilizations": list(self.server_utilizations),
+            "server_expected_max": self.server_expected_max,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
+        if not isinstance(payload, dict):
+            raise ConfigError("simulation result must be a JSON object")
+        try:
+            return cls(
+                n_keys=int(payload["n_keys"]),
+                n_requests=int(payload["n_requests"]),
+                total=StageStats.from_dict(payload["total"]),
+                server=StageStats.from_dict(payload["server"]),
+                database=StageStats.from_dict(payload["database"]),
+                network=StageStats.from_dict(payload["network"]),
+                measured_miss_ratio=float(payload.get("measured_miss_ratio", 0.0)),
+                server_utilizations=tuple(
+                    payload.get("server_utilizations") or ()
+                ),
+                server_expected_max=payload.get("server_expected_max"),
+            )
+        except KeyError as exc:
+            raise ConfigError(f"simulation result missing key: {exc}") from exc

@@ -69,6 +69,37 @@ class TestSplitRng:
         b = spawn_child(make_rng(5), tag=2)
         assert not np.array_equal(a.random(5), b.random(5))
 
+    def test_split_independent_of_parent_consumption(self):
+        # Regression: children used to be drawn from the parent's
+        # stream, so consuming the parent before splitting reassigned
+        # every component's stream.
+        fresh = make_rng(3)
+        consumed = make_rng(3)
+        consumed.random(1000)
+        for a, b in zip(split_rng(fresh, 4), split_rng(consumed, 4)):
+            assert np.array_equal(a.random(10), b.random(10))
+
+    def test_spawn_child_tag_independent_of_parent_consumption(self):
+        fresh = spawn_child(make_rng(5), tag=7)
+        consumed_parent = make_rng(5)
+        consumed_parent.random(123)
+        consumed = spawn_child(consumed_parent, tag=7)
+        assert np.array_equal(fresh.random(10), consumed.random(10))
+
+    def test_tagged_children_disjoint_from_split_children(self):
+        parent = make_rng(11)
+        split = split_rng(make_rng(11), 4)
+        tagged = [spawn_child(parent, tag=t) for t in range(4)]
+        split_draws = [g.random(5).tolist() for g in split]
+        for child in tagged:
+            assert child.random(5).tolist() not in split_draws
+
+    def test_sequential_splits_do_not_collide(self):
+        parent = make_rng(9)
+        (first,) = split_rng(parent, 1)
+        (second,) = split_rng(parent, 1)
+        assert not np.array_equal(first.random(10), second.random(10))
+
 
 class TestValidators:
     def test_require_positive(self):

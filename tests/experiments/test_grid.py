@@ -1,0 +1,133 @@
+"""Grid/Suite expansion: axes, replication, and seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ValidationError
+from repro.experiments import (
+    Factor,
+    Grid,
+    Scenario,
+    Suite,
+    factor_names,
+    get_factor,
+    register_factor,
+    sweep_suite,
+)
+from repro.units import kps
+
+
+BASE = Scenario(key_rate=kps(10), service_rate=kps(80), n_keys=10, seed=42)
+
+
+class TestFactors:
+    def test_registry_has_paper_axes(self):
+        assert {"q", "xi", "rate", "mu", "r", "n", "p1"} <= set(factor_names())
+
+    def test_unknown_factor(self):
+        with pytest.raises(ConfigError):
+            get_factor("nope")
+
+    def test_q_factor_applies(self):
+        scenario = get_factor("q").apply(BASE, 0.3)
+        assert scenario.concurrency_q == 0.3
+
+    def test_rate_factor_converts_kps(self):
+        scenario = get_factor("rate").apply(BASE, 50.0)
+        assert scenario.key_rate == pytest.approx(kps(50))
+
+    def test_p1_builds_hot_cold_shares(self):
+        base = BASE.replace(n_servers=4)
+        scenario = get_factor("p1").apply(base, 0.7)
+        assert scenario.shares == pytest.approx((0.7, 0.1, 0.1, 0.1))
+
+    def test_p1_rejects_single_server(self):
+        with pytest.raises(ValidationError):
+            get_factor("p1").apply(BASE, 0.7)
+
+    def test_p1_rejects_share_below_uniform(self):
+        base = BASE.replace(n_servers=4)
+        with pytest.raises(ValidationError):
+            get_factor("p1").apply(base, 0.1)
+
+    def test_register_custom_factor(self):
+        name = "warmup-test-factor"
+        register_factor(
+            Factor(name, "warmup", lambda s, v: s.replace(warmup_requests=int(v)))
+        )
+        try:
+            grid = Grid(BASE, {name: [10, 20]})
+            cells = grid.cells()
+            assert [c.scenario.warmup_requests for c in cells] == [10, 20]
+        finally:
+            from repro.experiments.factors import _REGISTRY
+
+            del _REGISTRY[name]
+
+
+class TestGrid:
+    def test_cell_count(self):
+        grid = Grid(BASE, {"q": [0.0, 0.1, 0.2], "n": [10, 20]}, seeds=3)
+        assert grid.n_cells == 18
+        assert len(grid.cells()) == 18
+
+    def test_later_axes_vary_fastest(self):
+        grid = Grid(BASE, {"q": [0.0, 0.1], "n": [10, 20]})
+        coords = [cell.coord_dict for cell in grid.cells()]
+        assert [c["q"] for c in coords] == [0.0, 0.0, 0.1, 0.1]
+        assert [c["n_keys"] for c in coords] == [10.0, 20.0, 10.0, 20.0]
+
+    def test_replicates_get_distinct_seeds(self):
+        grid = Grid(BASE, {"q": [0.1]}, seeds=4)
+        seeds = [cell.scenario.seed for cell in grid.cells()]
+        assert len(set(seeds)) == 4
+
+    def test_seeds_are_pure_function_of_base_seed(self):
+        a = Grid(BASE, {"q": [0.0, 0.1]}, seeds=2).cells()
+        b = Grid(BASE, {"q": [0.0, 0.1]}, seeds=2).cells()
+        assert [c.scenario.seed for c in a] == [c.scenario.seed for c in b]
+        other = Grid(BASE.replace(seed=43), {"q": [0.0, 0.1]}, seeds=2).cells()
+        assert [c.scenario.seed for c in a] != [c.scenario.seed for c in other]
+
+    def test_seeds_match_seed_sequence_spawn(self):
+        cells = Grid(BASE, {"q": [0.0, 0.1]}, seeds=2).cells()
+        children = np.random.SeedSequence(BASE.seed).spawn(4)
+        expected = [int(c.generate_state(1, np.uint64)[0]) for c in children]
+        assert [cell.scenario.seed for cell in cells] == expected
+
+    def test_cell_id_changes_with_definition(self):
+        a = Grid(BASE, {"q": [0.1]}).cells("estimate")
+        b = Grid(BASE, {"q": [0.1]}).cells("fastpath", pool_size=100)
+        c = Grid(BASE.replace(n_keys=11), {"q": [0.1]}).cells("estimate")
+        assert a[0].cell_id != b[0].cell_id != c[0].cell_id
+        assert a[0].cell_id == Grid(BASE, {"q": [0.1]}).cells("estimate")[0].cell_id
+
+    def test_rejects_unknown_axis_eagerly(self):
+        with pytest.raises(ConfigError):
+            Grid(BASE, {"nope": [1.0]})
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ValidationError):
+            Grid(BASE, {"q": []})
+
+    def test_rejects_bad_seeds(self):
+        with pytest.raises(ValidationError):
+            Grid(BASE, {"q": [0.1]}, seeds=0)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValidationError):
+            Grid(BASE, {"q": [0.1]}).cells("warp-drive")
+
+
+class TestSuite:
+    def test_suite_wraps_grid(self):
+        suite = Suite("s", Grid(BASE, {"q": [0.0, 0.1]}, seeds=2))
+        assert suite.n_cells == 4
+        assert suite.axes[0][0] == "q"
+        assert len(suite.cells()) == 4
+
+    def test_sweep_suite_shape(self):
+        suite = sweep_suite(BASE, "xi", [0.0, 0.2], backend="estimate")
+        assert suite.name == "sweep-xi"
+        cells = suite.cells()
+        assert [c.coord_dict["xi"] for c in cells] == [0.0, 0.2]

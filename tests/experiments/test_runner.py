@@ -1,0 +1,151 @@
+"""ExperimentRunner: parallel invariance, checkpoints, resume, errors."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.experiments import (
+    CellResult,
+    ExperimentRunner,
+    Grid,
+    Scenario,
+    Suite,
+    SuiteResult,
+    run_suite,
+    sweep_suite,
+)
+from repro.units import kps
+
+
+def fast_suite(seeds=1, **base_overrides):
+    fields = dict(
+        key_rate=kps(40),
+        service_rate=kps(80),
+        n_keys=10,
+        seed=42,
+        n_requests=200,
+    )
+    fields.update(base_overrides)
+    base = Scenario(**fields)
+    return Suite(
+        "fast",
+        Grid(base, {"q": [0.0, 0.2], "n": [5, 10]}, seeds=seeds),
+        backend="fastpath",
+        options={"pool_size": 5_000},
+    )
+
+
+class TestExecution:
+    def test_serial_runs_all_cells(self):
+        result = run_suite(fast_suite())
+        assert result.n_cells == 4
+        assert result.executed == 4
+        assert result.resumed == 0
+        assert all(cell.ok for cell in result.cells)
+        assert result.cells == sorted(result.cells, key=lambda c: c.index)
+
+    def test_worker_count_invariance(self, tmp_path):
+        suite = fast_suite(seeds=2)
+        serial = ExperimentRunner(workers=1).run(suite)
+        parallel = ExperimentRunner(workers=4).run(suite)
+        assert serial == parallel  # bit-identical metrics, any worker count
+
+    def test_estimate_backend_runs_parallel(self):
+        suite = sweep_suite(
+            Scenario(key_rate=kps(40), service_rate=kps(80), n_keys=10),
+            "q",
+            [0.0, 0.1, 0.2],
+        )
+        assert ExperimentRunner(workers=2).run(suite) == run_suite(suite)
+
+    def test_series_and_aggregate(self):
+        result = run_suite(fast_suite(seeds=2))
+        assert len(result.series("mean")) == 8
+        aggregated = result.aggregate("mean")
+        assert len(aggregated) == 4  # replicates averaged out
+        header, rows = result.table()
+        assert header[:3] == ["q", "n_keys", "replicate"]
+        assert len(rows) == 8
+
+
+class TestCheckpointsAndResume:
+    def test_checkpoints_written(self, tmp_path):
+        run_suite(fast_suite(), checkpoint_dir=tmp_path)
+        files = list(tmp_path.glob("cell-*.json"))
+        assert len(files) == 4
+        payload = json.loads(files[0].read_text())
+        assert payload["kind"] == "repro-experiment-cell"
+        assert CellResult.from_dict(payload).ok
+
+    def test_resume_after_partial_run_executes_remainder_only(self, tmp_path):
+        suite = fast_suite()
+        full = run_suite(suite, checkpoint_dir=tmp_path)
+        # Simulate a killed run: two cells' checkpoints are missing.
+        files = sorted(tmp_path.glob("cell-*.json"))
+        files[1].unlink()
+        files[3].unlink()
+        resumed = run_suite(suite, checkpoint_dir=tmp_path, resume=True)
+        assert resumed.resumed == 2
+        assert resumed.executed == 2
+        assert resumed == full  # identical results after resume
+
+    def test_resume_ignores_stale_checkpoints(self, tmp_path):
+        run_suite(fast_suite(), checkpoint_dir=tmp_path)
+        changed = fast_suite(n_requests=150)  # different grid definition
+        result = run_suite(changed, checkpoint_dir=tmp_path, resume=True)
+        assert result.resumed == 0
+        assert result.executed == 4
+
+    def test_resume_ignores_corrupt_checkpoint(self, tmp_path):
+        suite = fast_suite()
+        run_suite(suite, checkpoint_dir=tmp_path)
+        corrupt = sorted(tmp_path.glob("cell-*.json"))[0]
+        corrupt.write_text("{not json")
+        result = run_suite(suite, checkpoint_dir=tmp_path, resume=True)
+        assert result.resumed == 3
+        assert result.executed == 1
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ConfigError):
+            ExperimentRunner(resume=True)
+
+    def test_suite_result_round_trip(self, tmp_path):
+        result = run_suite(fast_suite())
+        path = tmp_path / "suite.json"
+        result.save(path)
+        assert SuiteResult.load(path) == result
+
+
+class TestErrors:
+    def unstable_suite(self):
+        base = Scenario(key_rate=kps(40), service_rate=kps(80), n_keys=10)
+        return sweep_suite(base, "rate", [40.0, 500.0])  # second cell unstable
+
+    def test_failed_cell_raises_by_default(self):
+        with pytest.raises(SimulationError, match="StabilityError"):
+            run_suite(self.unstable_suite())
+
+    def test_failed_cell_raises_across_processes(self):
+        # StabilityError's custom __init__ does not survive pickling;
+        # the runner must carry the failure back as data regardless.
+        with pytest.raises(SimulationError, match="StabilityError"):
+            ExperimentRunner(workers=2).run(self.unstable_suite())
+
+    def test_on_error_keep_returns_partial(self):
+        result = ExperimentRunner(on_error="keep").run(self.unstable_suite())
+        assert [cell.ok for cell in result.cells] == [True, False]
+        assert "StabilityError" in result.cells[1].error
+
+    def test_failed_cells_are_not_checkpointed(self, tmp_path):
+        ExperimentRunner(on_error="keep", checkpoint_dir=tmp_path).run(
+            self.unstable_suite()
+        )
+        assert len(list(tmp_path.glob("cell-*.json"))) == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentRunner(workers=0)
+        with pytest.raises(ConfigError):
+            ExperimentRunner(on_error="explode")

@@ -1,0 +1,159 @@
+"""Scenario: the unified parameter object and its backend dispatch."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ExperimentConfig
+from repro.core import LatencyEstimate
+from repro.errors import ConfigError, ValidationError
+from repro.experiments import BACKENDS, Scenario, cell_metrics
+from repro.simulation import SimulationResult
+from repro.units import kps, msec, usec
+
+
+def small_scenario(**overrides):
+    base = dict(
+        key_rate=kps(62.5),
+        burst_xi=0.15,
+        concurrency_q=0.1,
+        service_rate=kps(80),
+        n_keys=20,
+        network_delay=usec(20),
+        miss_ratio=0.01,
+        database_rate=1 / msec(1),
+        seed=7,
+        n_requests=300,
+        warmup_requests=30,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestRoundTrips:
+    def test_config_round_trip_paper_point(self):
+        scenario = Scenario.paper_section_5_1()
+        assert Scenario.from_config(scenario.to_config()) == scenario
+
+    def test_dict_round_trip(self):
+        scenario = small_scenario(shares=(0.7, 0.3), n_servers=2)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            Scenario.from_dict({"key_rate": 1.0, "bogus": 2})
+
+    def test_shares_coerced_to_tuple(self):
+        scenario = small_scenario(shares=[0.5, 0.5], n_servers=2)
+        assert scenario.shares == (0.5, 0.5)
+        assert isinstance(scenario.to_config().shares, list)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        key_rate=st.floats(1.0, 1e6, allow_nan=False),
+        burst_xi=st.floats(0.0, 0.9),
+        concurrency_q=st.floats(0.0, 0.9),
+        n_servers=st.integers(1, 8),
+        service_rate=st.floats(1.0, 1e6),
+        n_keys=st.integers(1, 500),
+        network_delay=st.floats(0.0, 1e-3),
+        miss_ratio=st.floats(0.0, 1.0),
+        database_rate=st.one_of(st.none(), st.floats(1.0, 1e5)),
+        seed=st.integers(0, 2**63 - 1),
+    )
+    def test_config_round_trip_property(self, **fields):
+        scenario = Scenario(**fields)
+        assert Scenario.from_config(scenario.to_config()) == scenario
+        config = scenario.to_config()
+        assert Scenario.from_config(config).to_config() == config
+
+    def test_from_config_accepts_loaded_json(self, tmp_path):
+        path = tmp_path / "config.json"
+        ExperimentConfig.paper_section_5_1().save(path)
+        loaded = Scenario.from_config(ExperimentConfig.load(path))
+        assert loaded == Scenario.paper_section_5_1()
+
+
+class TestValidation:
+    def test_rejects_bad_n_keys(self):
+        with pytest.raises(ValidationError):
+            small_scenario(n_keys=0)
+
+    def test_rejects_bad_n_servers(self):
+        with pytest.raises(ValidationError):
+            small_scenario(n_servers=0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            small_scenario().n_keys = 10
+
+    def test_replace(self):
+        scenario = small_scenario()
+        assert scenario.replace(seed=9).seed == 9
+        assert scenario.seed == 7  # original untouched
+
+
+class TestDispatch:
+    def test_estimate_backend(self):
+        estimate = small_scenario().run("estimate")
+        assert isinstance(estimate, LatencyEstimate)
+        assert estimate.total_lower <= estimate.total_upper
+
+    def test_estimate_rejects_options(self):
+        with pytest.raises(ConfigError):
+            small_scenario().run("estimate", pool_size=100)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigError):
+            small_scenario().run("warp-drive")
+
+    def test_simulate_backend_returns_typed_result(self):
+        result = small_scenario().run("simulate")
+        assert isinstance(result, SimulationResult)
+        assert result.total.count > 0
+        assert result.p50 <= result.p95 <= result.p99
+        assert set(result.breakdown()) == {"network", "servers", "database"}
+
+    def test_fastpath_backend_returns_typed_result(self):
+        result = small_scenario().run("fastpath", pool_size=20_000)
+        assert isinstance(result, SimulationResult)
+        assert result.total.count == 300
+        assert result.network.mean == pytest.approx(usec(20))
+
+    def test_fastpath_unbalanced_shares(self):
+        # key_rate low enough that the hot server (0.7 of 2x rate)
+        # stays below the 80 Kps service rate.
+        scenario = small_scenario(
+            key_rate=kps(40), n_servers=2, shares=(0.7, 0.3)
+        )
+        result = scenario.run("fastpath", pool_size=20_000)
+        assert result.total.count == 300
+
+    def test_simulate_deterministic_in_seed(self):
+        a = small_scenario().run("simulate")
+        b = small_scenario().run("simulate")
+        assert a == b
+
+    def test_fastpath_deterministic_in_seed(self):
+        a = small_scenario().run("fastpath", pool_size=10_000)
+        b = small_scenario().run("fastpath", pool_size=10_000)
+        assert a == b
+
+    def test_backends_constant_lists_all(self):
+        assert BACKENDS == ("estimate", "simulate", "fastpath")
+
+
+class TestCellMetrics:
+    def test_estimate_metrics(self):
+        metrics = cell_metrics(small_scenario().estimate())
+        assert {"mean", "total_lower", "total_upper", "server_lower"} <= set(
+            metrics
+        )
+        assert metrics["total_lower"] <= metrics["mean"] <= metrics["total_upper"]
+
+    def test_simulation_metrics(self):
+        metrics = cell_metrics(small_scenario().run("fastpath", pool_size=5_000))
+        assert {"mean", "p95", "p99", "server_mean"} <= set(metrics)
+        assert all(isinstance(v, float) for v in metrics.values())

@@ -1,0 +1,86 @@
+"""StageStats / SimulationResult: the typed simulation result shape."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulation import LatencyRecorder, SimulationResult, StageStats
+
+
+def stats_from(values):
+    return StageStats.from_samples(np.asarray(values, dtype=float))
+
+
+class TestStageStats:
+    def test_from_samples_basic(self):
+        stats = stats_from([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.ci_low < stats.mean < stats.ci_high
+
+    def test_quantiles_are_ordered(self):
+        stats = stats_from(np.linspace(0.0, 1.0, 1000))
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+
+    def test_empty(self):
+        assert stats_from([]).count == 0
+        assert StageStats.empty().mean == 0.0
+
+    def test_single_sample_ci_collapses_to_mean(self):
+        stats = stats_from([2.0])
+        assert stats.ci == (2.0, 2.0)
+
+    def test_matches_recorder(self):
+        recorder = LatencyRecorder()
+        recorder.record_many(np.array([1.0, 2.0, 3.0]))
+        assert StageStats.from_recorder(recorder) == stats_from([1.0, 2.0, 3.0])
+
+    def test_dict_round_trip(self):
+        stats = stats_from([1.0, 5.0, 9.0])
+        assert StageStats.from_dict(stats.to_dict()) == stats
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ConfigError):
+            StageStats.from_dict({"count": 1})
+
+
+class TestSimulationResult:
+    def make(self):
+        return SimulationResult(
+            n_keys=10,
+            n_requests=3,
+            total=stats_from([3.0, 4.0, 5.0]),
+            server=stats_from([1.0, 2.0, 3.0]),
+            database=stats_from([0.0, 0.0, 1.0]),
+            network=stats_from([0.5, 0.5, 0.5]),
+            measured_miss_ratio=0.02,
+            server_utilizations=(0.5, 0.6),
+        )
+
+    def test_estimate_compatible_accessors(self):
+        result = self.make()
+        assert result.mean == result.total.mean
+        assert result.p95 == result.total.p95
+        assert result.p99 == result.total.p99
+
+    def test_breakdown_matches_estimate_keys(self):
+        assert set(self.make().breakdown()) == {"network", "servers", "database"}
+
+    def test_stage_lookup(self):
+        result = self.make()
+        assert result.stage("server") is result.server
+        with pytest.raises(ConfigError):
+            result.stage("bogus")
+
+    def test_json_round_trip(self):
+        result = self.make()
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert SimulationResult.from_dict(payload) == result
+
+    def test_from_dict_rejects_non_object(self):
+        with pytest.raises(ConfigError):
+            SimulationResult.from_dict("nope")

@@ -55,6 +55,26 @@ class TestBasicRun:
         b = build_system(seed=42).run(n_requests=100)
         assert a.total.mean == b.total.mean
 
+    def test_same_seed_bit_identical_samples(self):
+        a = build_system(seed=42).run(n_requests=200)
+        b = build_system(seed=42).run(n_requests=200)
+        assert a.total.samples().tolist() == b.total.samples().tolist()
+        assert a.server_stage.samples().tolist() == b.server_stage.samples().tolist()
+        assert a.misses == b.misses
+
+    def test_component_streams_independent_of_prior_rng_use(self):
+        # Regression: component streams used to be drawn from the master
+        # generator's stream, so any prior consumption of a shared
+        # generator reassigned every component's randomness.
+        from repro.distributions import make_rng
+
+        fresh = make_rng(42)
+        consumed = make_rng(42)
+        consumed.random(777)
+        a = build_system(seed=fresh).run(n_requests=150)
+        b = build_system(seed=consumed).run(n_requests=150)
+        assert a.total.samples().tolist() == b.total.samples().tolist()
+
     def test_different_seeds_differ(self):
         a = build_system(seed=1).run(n_requests=100)
         b = build_system(seed=2).run(n_requests=100)

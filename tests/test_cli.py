@@ -52,6 +52,112 @@ class TestSweep:
         assert "error" in capsys.readouterr().err
 
 
+class TestSweepRunnerFlags:
+    def test_parallel_matches_serial_json(self, capsys):
+        argv = ["sweep", "q", "--start", "0", "--stop", "0.4", "--points", "4",
+                "--json"]
+        assert main(argv) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--parallel", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_fastpath_backend_table(self, capsys):
+        code = main(
+            ["sweep", "q", "--start", "0", "--stop", "0.2", "--points", "2",
+             "--backend", "fastpath", "--pool-size", "5000",
+             "--requests", "200", "--n-keys", "10", "--rate", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99 (us)" in out
+        assert "2 cells: 2 executed, 0 resumed" in out
+
+    def test_sweep_resume_from_checkpoints(self, tmp_path, capsys):
+        argv = ["sweep", "q", "--start", "0", "--stop", "0.2", "--points", "3",
+                "--backend", "fastpath", "--pool-size", "5000",
+                "--requests", "200", "--n-keys", "10", "--rate", "40",
+                "--out", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(tmp_path.glob("cell-*.json"))) == 3
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 3 resumed" in second
+        assert second.splitlines()[:4] == first.splitlines()[:4]  # same table
+
+    def test_new_registry_factor(self, capsys):
+        assert main(
+            ["sweep", "n", "--start", "10", "--stop", "150", "--points", "3"]
+        ) == 0
+        assert "n_keys" in capsys.readouterr().out
+
+
+class TestExperiment:
+    ARGS = ["experiment", "--factor", "n=10:20:2", "--factor", "q=0,0.2",
+            "--backend", "fastpath", "--pool-size", "5000",
+            "--requests", "200", "--n-keys", "10", "--rate", "40"]
+
+    def test_grid_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "n_keys" in out and "q" in out
+        assert "4 cells: 4 executed, 0 resumed" in out
+
+    def test_parallel_json_identical_to_serial(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(self.ARGS + ["--json", "--parallel", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["kind"] == "repro-experiment-suite"
+
+        def stable(cells):  # wall-clock timing is the one legit difference
+            return [{k: v for k, v in c.items() if k != "elapsed"} for c in cells]
+
+        assert stable(parallel["cells"]) == stable(serial["cells"])
+
+    def test_seeds_replicate(self, capsys):
+        assert main(self.ARGS + ["--seeds", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["cells"]) == 8
+
+    def test_resume(self, tmp_path, capsys):
+        argv = self.ARGS + ["--out", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        checkpoints = sorted(tmp_path.glob("cell-*.json"))
+        assert len(checkpoints) == 4
+        checkpoints[0].unlink()
+        assert main(argv + ["--resume"]) == 0
+        assert "1 executed, 3 resumed" in capsys.readouterr().out
+
+    def test_bad_factor_spec(self, capsys):
+        assert main(["experiment", "--factor", "nonsense"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_factor_name(self, capsys):
+        assert main(["experiment", "--factor", "bogus=1:2:2"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDeprecatedHelpers:
+    def test_workload_from_warns(self):
+        from repro.cli import _workload_from
+
+        args = build_parser().parse_args(["estimate"])
+        with pytest.warns(DeprecationWarning, match="Scenario"):
+            workload = _workload_from(args)
+        assert workload.rate == pytest.approx(62_500.0)
+
+    def test_model_from_warns(self):
+        from repro.cli import _model_from
+
+        args = build_parser().parse_args(["estimate"])
+        with pytest.warns(DeprecationWarning, match="Scenario"):
+            model = _model_from(args)
+        assert model.estimate(10).total_lower > 0
+
+
 class TestCliffTable:
     def test_lists_all_xis(self, capsys):
         assert main(["cliff-table"]) == 0
