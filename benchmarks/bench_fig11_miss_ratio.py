@@ -3,7 +3,10 @@
 Two panels like the paper's: small N (1, 4, 10) on a linear r axis where
 latency is Theta(r), and large N (1e2, 1e3, 1e4) on a log r axis where
 latency is Theta(log r). Theory (eq. 23) vs Monte-Carlo simulation of
-the miss/max process.
+the miss/max process — plus a whole-system check: the ``fastpath-system``
+backend replays the same sweep through the full Fig. 1 pipeline, where
+misses queue at a genuinely shared database instead of drawing
+independent exponentials.
 """
 
 import numpy as np
@@ -12,12 +15,25 @@ from repro.core import DatabaseStage
 from repro.simulation import sample_request_latencies
 from repro.units import to_msec
 
-from helpers import DB_RATE, bench_rng, print_series, series_info
+from helpers import (
+    DB_RATE,
+    N_KEYS,
+    baseline_scenario,
+    bench_rng,
+    print_series,
+    series_info,
+)
 
 SMALL_N = [1, 4, 10]
 SMALL_R = [0.0001, 0.02, 0.04, 0.06, 0.08, 0.1]
 LARGE_N = [100, 1000, 10_000]
 LARGE_R = [1e-4, 1e-3, 1e-2, 1e-1]
+#: Miss ratios for the whole-system panel, chosen to keep the shared
+#: database stationary (rho_D = 0.125 .. 0.5 at the §5.1 key rate); the
+#: eq.-23 curve assumes a contention-free database, so the system series
+#: must sit on or above it, inflated by at most the 1/(1-rho_D) M/M/1
+#: queueing factor.
+SYSTEM_R = [0.0005, 0.001, 0.002]
 
 
 def theory_surface():
@@ -43,6 +59,12 @@ def simulate_td(n: int, r: float, rng: np.random.Generator) -> float:
         database_rate=DB_RATE,
     )
     return float(sample.database_max.mean())
+
+
+def system_td(r: float) -> float:
+    """E[TD(N)] at the §5.1 point via the whole-system fast path."""
+    scenario = baseline_scenario().replace(miss_ratio=r, n_requests=1500)
+    return float(scenario.run("fastpath-system").database.mean)
 
 
 def test_fig11(benchmark):
@@ -90,6 +112,19 @@ def test_fig11(benchmark):
         )
     )
 
+    system = [system_td(r) for r in SYSTEM_R]
+    system_theory = [
+        DatabaseStage(DB_RATE, r).mean_latency(N_KEYS) for r in SYSTEM_R
+    ]
+    print_series(
+        f"Fig 11 (system): E[TD(N={N_KEYS})] vs r, fastpath-system (ms)",
+        ["r", "thy (eq. 23)", "system sim"],
+        [
+            [r, to_msec(thy), to_msec(sim)]
+            for r, thy, sim in zip(SYSTEM_R, system_theory, system)
+        ],
+    )
+
     # Shape 1: small N — linear in r (double r => ~double latency).
     n4 = DatabaseStage(DB_RATE, 0.02).mean_latency(4)
     n4_double = DatabaseStage(DB_RATE, 0.04).mean_latency(4)
@@ -103,3 +138,9 @@ def test_fig11(benchmark):
         for i in range(len(LARGE_R)):
             if large[n][i] > 1e-4:
                 assert large[n][i] * 0.7 < sim_large[n][i] < large[n][i] * 1.6
+    # Shape 4: whole-system sweep — increasing in r, and database
+    # contention keeps it between the contention-free eq.-23 curve and
+    # that curve inflated by the M/M/1 queueing factor (with slack).
+    assert system[0] < system[1] < system[2]
+    for sim, thy in zip(system, system_theory):
+        assert thy * 0.8 < sim < thy * 3.0

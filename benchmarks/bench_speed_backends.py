@@ -1,0 +1,159 @@
+"""Backend speed trajectory: engine vs vectorized system fast path.
+
+Times the three simulation backends (``simulate`` — the event engine,
+``fastpath`` — the stationary pool sampler, ``fastpath-system`` — the
+whole-system vectorized twin) on one stable fig-11-style point and
+writes ``BENCH_speed.json`` at the repo root:
+
+    {"<backend>": {"keys_per_sec": ..., "wall_s": ..., "n_keys": ...}}
+
+``n_keys`` is the total number of key lookups the run pushed through the
+pipeline (requests x N); ``keys_per_sec`` is the throughput the paper's
+experiments actually care about when choosing a backend. The committed
+JSON is the perf trajectory: re-run the bench after engine or fast-path
+changes and diff it.
+
+Run modes:
+
+* ``python benchmarks/bench_speed_backends.py`` — full measurement
+  (best of 3, 4000 requests).
+* ``python benchmarks/bench_speed_backends.py --quick`` — CI smoke
+  (single repeat, 600 requests) writing to ``--out``; still asserts the
+  fast path's >= 10x speedup over the engine.
+* ``pytest benchmarks/bench_speed_backends.py`` — same measurement via
+  the house pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.experiments import Scenario
+from repro.units import kps, msec, usec
+
+from helpers import print_series
+
+#: Backends being raced. ``estimate`` is excluded: closed-form bounds
+#: answer a different question (and finish in microseconds).
+BACKENDS = ("simulate", "fastpath", "fastpath-system")
+
+#: The fast path must beat the engine by at least this factor on
+#: keys/sec — the contract that justifies its existence.
+MIN_SPEEDUP = 10.0
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
+
+
+def speed_scenario(n_requests: int) -> Scenario:
+    """Stable two-server miss-ratio point both simulators can hold."""
+    return Scenario(
+        key_rate=kps(40),
+        n_servers=2,
+        service_rate=kps(80),
+        n_keys=20,
+        network_delay=usec(20),
+        miss_ratio=0.005,
+        database_rate=1 / msec(1),
+        n_requests=n_requests,
+        warmup_requests=n_requests // 10,
+        seed=20170327,
+    )
+
+
+def _run_once(scenario: Scenario, backend: str) -> float:
+    options = {"pool_size": 50_000} if backend == "fastpath" else {}
+    start = time.perf_counter()
+    scenario.run(backend, **options)
+    return time.perf_counter() - start
+
+
+def measure(
+    n_requests: int, repeats: int, backends: Sequence[str] = BACKENDS
+) -> Dict[str, Dict[str, float]]:
+    """Best-of-``repeats`` wall time per backend on the same scenario."""
+    scenario = speed_scenario(n_requests)
+    total_keys = n_requests * scenario.n_keys
+    results = {}
+    for backend in backends:
+        wall = min(_run_once(scenario, backend) for _ in range(repeats))
+        results[backend] = {
+            "keys_per_sec": total_keys / wall,
+            "wall_s": wall,
+            "n_keys": total_keys,
+        }
+    return results
+
+
+def speedup(results: Dict[str, Dict[str, float]]) -> float:
+    return (
+        results["fastpath-system"]["keys_per_sec"]
+        / results["simulate"]["keys_per_sec"]
+    )
+
+
+def report(results: Dict[str, Dict[str, float]], out: Path) -> None:
+    print_series(
+        "Backend speed (keys/sec, higher is better)",
+        ["backend", "keys_per_sec", "wall_s", "n_keys"],
+        [
+            [name, row["keys_per_sec"], row["wall_s"], row["n_keys"]]
+            for name, row in results.items()
+        ],
+    )
+    print(f"fastpath-system speedup over engine: {speedup(results):.1f}x")
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: one repeat, 600 requests",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    n_requests, repeats = (600, 1) if args.quick else (4_000, 3)
+    results = measure(n_requests, repeats)
+    report(results, args.out)
+    if speedup(results) < MIN_SPEEDUP:
+        print(f"FAIL: speedup below the {MIN_SPEEDUP:.0f}x contract")
+        return 1
+    return 0
+
+
+def test_backend_speed(benchmark, tmp_path):
+    results = measure(600, repeats=1, backends=("simulate", "fastpath"))
+    results["fastpath-system"] = {}
+    scenario = speed_scenario(600)
+
+    def fast_run():
+        return scenario.run("fastpath-system")
+
+    start = time.perf_counter()
+    benchmark(fast_run)
+    elapsed = time.perf_counter() - start
+    try:
+        wall = benchmark.stats.stats.min
+    except AttributeError:  # --benchmark-disable: one plain call
+        wall = elapsed
+    results["fastpath-system"] = {
+        "keys_per_sec": 600 * scenario.n_keys / wall,
+        "wall_s": wall,
+        "n_keys": 600 * scenario.n_keys,
+    }
+    report(results, tmp_path / "BENCH_speed.json")
+    benchmark.extra_info.update(
+        {name: row["keys_per_sec"] for name, row in results.items()}
+    )
+    assert speedup(results) >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,7 @@ from .core import (
     advise,
 )
 from .core.stages import ServerStage
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .experiments import (
     BACKENDS,
     DEFAULT_POOL_SIZE,
@@ -240,8 +240,44 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_fastpath_system(args: argparse.Namespace, scenario) -> int:
+    """``repro simulate --backend fastpath-system``: vectorized run."""
+    if args.trace or args.profile or args.report is not None:
+        raise ConfigError(
+            "--trace/--profile/--report need per-event instrumentation; "
+            "use the default event-engine backend"
+        )
+    result = scenario.fastpath_system()
+    if _wants_json(args):
+        print(json_dumps(result.to_dict()))
+        return 0
+    rows = []
+    for label, stage in [
+        ("T(N)", result.total),
+        ("TS(N)", result.server),
+        ("TD(N)", result.database),
+        ("TN(N)", result.network),
+    ]:
+        rows.append(
+            [
+                label,
+                f"{to_usec(stage.mean):.1f}",
+                f"[{to_usec(stage.ci_low):.1f}, {to_usec(stage.ci_high):.1f}]",
+            ]
+        )
+    _print_rows(["stage", "mean (us)", "95% CI (us)"], rows)
+    print(f"measured miss ratio: {result.measured_miss_ratio:.4f}")
+    print(
+        "server utilizations: "
+        + ", ".join(f"{u:.1%}" for u in result.server_utilizations)
+    )
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
+    if args.backend == "fastpath-system":
+        return _simulate_fastpath_system(args, scenario)
     want_json = _wants_json(args)
     want_report = args.report is not None
     observability = None
@@ -332,6 +368,7 @@ _DISPLAY_METRICS = {
     "estimate": ("mean", "total_lower", "total_upper"),
     "simulate": ("mean", "p95", "p99"),
     "fastpath": ("mean", "p95", "p99"),
+    "fastpath-system": ("mean", "p95", "p99"),
 }
 
 
@@ -709,6 +746,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="closed-loop system simulation")
     _add_workload_args(p_sim)
     _add_json_flag(p_sim)
+    p_sim.add_argument(
+        "--backend",
+        choices=["engine", "fastpath-system"],
+        default="engine",
+        help=(
+            "event engine (default; supports tracing/reports) or the "
+            "vectorized whole-system fast path"
+        ),
+    )
     p_sim.add_argument("--servers", type=int, default=4)
     p_sim.add_argument("--requests", type=int, default=2000)
     p_sim.add_argument("--seed", type=int, default=1)

@@ -127,6 +127,18 @@ class Distribution(abc.ABC):
         """
         return laplace_from_survival(self.survival, s, mean=self.mean)
 
+    def cache_token(self):
+        """Hashable value identifying this law, or ``None``.
+
+        Two distributions with equal tokens must be identical in law
+        (same CDF/LST); solvers use the token to memoize derived
+        quantities such as the GI/M/1 fixed point across parameter
+        sweeps. The default ``None`` opts out of caching — safe for
+        data-backed laws (empirical samples, mixtures) whose identity
+        is not captured by scalar parameters.
+        """
+        return None
+
     # ------------------------------------------------------------------
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -65,6 +65,9 @@ class Exponential(Distribution):
             raise ValidationError(f"LST argument must be >= 0, got {s}")
         return self._rate / (self._rate + s)
 
+    def cache_token(self):
+        return ("exponential", self._rate)
+
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         return rng.exponential(1.0 / self._rate, size=size)
 
@@ -106,6 +109,9 @@ class Deterministic(Distribution):
         if s < 0:
             raise ValidationError(f"LST argument must be >= 0, got {s}")
         return math.exp(-s * self._value)
+
+    def cache_token(self):
+        return ("deterministic", self._value)
 
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         if size is None:

@@ -116,6 +116,9 @@ class GeneralizedPareto(Distribution):
         # expm1 form of s/xi * ((1-k)^(-xi) - 1); exact inverse of cdf.
         return self._scale / xi * math.expm1(-xi * math.log1p(-k))
 
+    def cache_token(self):
+        return ("gpd", self._rate, self._xi)
+
     def laplace(self, s: float) -> float:
         """LST via the confluent hypergeometric function of the second kind.
 

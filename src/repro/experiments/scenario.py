@@ -16,6 +16,10 @@ checkpoints), and dispatches to any of the three evaluation backends:
 ``fastpath``
     The vectorized Lindley simulator + fork-join Monte-Carlo
     (:class:`~repro.simulation.SimulationResult`).
+``fastpath-system``
+    The whole-system vectorized simulator — the event engine's coupled
+    request/server/database pipeline at numpy speed
+    (:class:`~repro.simulation.SimulationResult`).
 """
 
 from __future__ import annotations
@@ -32,10 +36,11 @@ from ..simulation.fastpath import (
     sample_request_latencies,
     simulate_key_latencies,
 )
+from ..simulation.fastpath_system import simulate_system_requests
 from ..simulation.results import SimulationResult
 
 #: Evaluation backends a scenario can dispatch to.
-BACKENDS = ("estimate", "simulate", "fastpath")
+BACKENDS = ("estimate", "simulate", "fastpath", "fastpath-system")
 
 #: Default per-server latency pool size for the fast-path backend.
 DEFAULT_POOL_SIZE = 200_000
@@ -207,8 +212,32 @@ class Scenario:
         result = SimulationResult.from_sample(sample, n_keys=self.n_keys)
         return dataclasses.replace(result, server_expected_max=exact_server)
 
+    def fastpath_system(self) -> SimulationResult:
+        """Whole-system vectorized simulation of this scenario.
+
+        Statistically equivalent to :meth:`simulate` — same Poisson
+        request process, multinomial routing, per-server batch queueing,
+        shared M/M/1 database and fork-join joins — but run as numpy
+        Lindley scans instead of events, so it sustains millions of
+        simulated keys per second.
+        """
+        cluster = self.cluster()
+        sample = simulate_system_requests(
+            cluster.shares,
+            self.service_rate,
+            n_keys=self.n_keys,
+            request_rate=self.total_key_rate() / self.n_keys,
+            n_requests=self.n_requests,
+            warmup_requests=self.warmup_requests,
+            rng=make_rng(self.seed),
+            network_delay=self.network_delay,
+            miss_ratio=self.miss_ratio,
+            database_rate=self.database_rate,
+        )
+        return SimulationResult.from_system_sample(sample, n_keys=self.n_keys)
+
     def run(self, backend: str = "estimate", **options: object):
-        """Dispatch to ``estimate``/``simulate``/``fastpath``."""
+        """Dispatch to ``estimate``/``simulate``/``fastpath``/``fastpath-system``."""
         if backend == "estimate":
             if options:
                 raise ConfigError(
@@ -219,6 +248,13 @@ class Scenario:
             return self.simulate(**options)
         if backend == "fastpath":
             return self.fastpath(**options)
+        if backend == "fastpath-system":
+            if options:
+                raise ConfigError(
+                    f"fastpath-system backend takes no options, "
+                    f"got {sorted(options)}"
+                )
+            return self.fastpath_system()
         raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")
 
     # ------------------------------------------------------------------

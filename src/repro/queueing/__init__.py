@@ -44,7 +44,13 @@ from .maxstat import (
 from .mg1 import MG1Queue
 from .mm1 import MM1Queue
 from .mmc import MMcQueue, erlang_c, pooling_comparison
-from .rootfind import fixed_point_iterate, solve_gim1_root
+from .rootfind import (
+    fixed_point_iterate,
+    gim1_root_cache_clear,
+    gim1_root_cache_info,
+    solve_gim1_root,
+    solve_gim1_root_cached,
+)
 
 __all__ = [
     "CLIFF_METHODS",
@@ -78,6 +84,9 @@ __all__ = [
     "normalized_latency",
     "poisson_cliff_closed_form",
     "quantile_level",
+    "gim1_root_cache_clear",
+    "gim1_root_cache_info",
     "solve_gim1_root",
+    "solve_gim1_root_cached",
     "varma_makowski_interpolation",
 ]

@@ -19,7 +19,7 @@ import math
 
 from ..distributions import Distribution, Exponential
 from ..errors import StabilityError, ValidationError
-from .rootfind import solve_gim1_root
+from .rootfind import solve_gim1_root, solve_gim1_root_cached
 
 
 class GIM1Queue:
@@ -37,9 +37,17 @@ class GIM1Queue:
         arrival_rate = interarrival.rate
         if arrival_rate >= self._mu:
             raise StabilityError(arrival_rate / self._mu)
-        self._sigma = solve_gim1_root(
-            interarrival.laplace, self._mu, arrival_rate=arrival_rate
-        )
+        token = interarrival.cache_token()
+        if token is None:
+            self._sigma = solve_gim1_root(
+                interarrival.laplace, self._mu, arrival_rate=arrival_rate
+            )
+        else:
+            # Parameter sweeps re-solve identical (gap law, mu) points
+            # constantly; the memoized front end skips the re-solve.
+            self._sigma = solve_gim1_root_cached(
+                token, interarrival.laplace, self._mu, arrival_rate=arrival_rate
+            )
 
     @property
     def interarrival(self) -> Distribution:

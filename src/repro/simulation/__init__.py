@@ -21,11 +21,13 @@ from .fastpath import (
     RequestSample,
     expected_max_from_pool,
     expected_max_from_pools,
+    lindley_waits,
     sample_request_latencies,
     simulate_batch_times,
     simulate_key_latencies,
     simulate_server_stage_mean,
 )
+from .fastpath_system import SystemSample, simulate_system_requests
 from .metrics import LatencyRecorder, SummaryStats, UtilizationMeter
 from .network import NetworkSim
 from .results import SimulationResult, StageStats
@@ -58,6 +60,7 @@ __all__ = [
     "StageStats",
     "SummaryStats",
     "SystemResults",
+    "SystemSample",
     "TimeVaryingPoissonProcess",
     "TraceReplay",
     "UtilizationMeter",
@@ -65,8 +68,10 @@ __all__ = [
     "expected_max_from_pool",
     "expected_max_from_pools",
     "generate_batches",
+    "lindley_waits",
     "sample_request_latencies",
     "simulate_batch_times",
     "simulate_key_latencies",
     "simulate_server_stage_mean",
+    "simulate_system_requests",
 ]

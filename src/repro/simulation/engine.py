@@ -6,6 +6,12 @@ database) schedule callbacks; the engine guarantees deterministic
 ordering — events at equal times fire in scheduling order — so seeded
 runs are exactly reproducible.
 
+The heap holds plain ``(time, seq, event)`` tuples: tuple comparison
+resolves on the float/int prefix without ever reaching the event
+object, which is markedly cheaper per push/pop than a dataclass
+``__lt__`` (generated ``order=True`` comparisons dominated the
+per-event cost in profiles).
+
 An optional :class:`~repro.observability.EngineProfiler` can be
 attached to attribute wall-clock time to callback categories; when no
 profiler is attached the event loop pays one ``is None`` check per
@@ -14,7 +20,6 @@ event.
 
 from __future__ import annotations
 
-import dataclasses
 import heapq
 import itertools
 from typing import Callable, Optional
@@ -24,13 +29,17 @@ from ..errors import SimulationError, ValidationError
 Callback = Callable[[], None]
 
 
-@dataclasses.dataclass(order=True)
 class _Event:
-    time: float
-    seq: int
-    callback: Callback = dataclasses.field(compare=False)
-    cancelled: bool = dataclasses.field(compare=False, default=False)
-    fired: bool = dataclasses.field(compare=False, default=False)
+    """Mutable event record; ordering lives in the heap tuple, not here."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callback) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
@@ -64,7 +73,7 @@ class Simulator:
 
     def __init__(self, *, profiler: Optional[object] = None) -> None:
         self._now = 0.0
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, _Event]] = []
         self._counter = itertools.count()
         self._processed = 0
         # Live (scheduled, not yet fired or cancelled) event count,
@@ -106,15 +115,15 @@ class Simulator:
             raise ValidationError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        event = _Event(time=float(time), seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        event = _Event(float(time), next(self._counter), callback)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
         self._live += 1
         return EventHandle(event, self)
 
     def step(self) -> bool:
         """Process one event; returns False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if event.cancelled:
                 continue
             if event.time < self._now:  # pragma: no cover - heap invariant
@@ -148,11 +157,11 @@ class Simulator:
             )
         budget = max_events
         while self._heap:
-            head = self._heap[0]
+            head_time, _, head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if head.time > end_time:
+            if head_time > end_time:
                 break
             if budget is not None:
                 if budget <= 0:

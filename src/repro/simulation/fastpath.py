@@ -29,6 +29,24 @@ from ..core.workload import WorkloadPattern
 from ..errors import StabilityError, ValidationError
 
 
+def lindley_waits(service_times: np.ndarray, gaps: np.ndarray) -> np.ndarray:
+    """Vectorized Lindley recursion: FIFO waits of ``n`` arrivals.
+
+    ``service_times`` holds the ``n`` per-arrival service requirements
+    and ``gaps`` the ``n - 1`` inter-arrival gaps between consecutive
+    arrivals. Uses the prefix-minimum identity::
+
+        W_n = C_n - min_{0<=k<=n} C_k,   C_n = sum_{j<n} (S_j - G_{j+1})
+
+    which replaces the sequential ``W_{n+1} = max(0, W_n + S_n - G_{n+1})``
+    with two cumulative scans.
+    """
+    u = service_times[:-1] - gaps
+    c = np.concatenate(([0.0], np.cumsum(u)))
+    waits = c - np.minimum.accumulate(np.concatenate(([0.0], c))[:-1])
+    return np.maximum(waits, 0.0)
+
+
 def simulate_key_latencies(
     workload: WorkloadPattern,
     service_rate: float,
@@ -73,12 +91,7 @@ def simulate_key_latencies(
     np.cumsum(sizes[:-1], out=starts[1:])
     batch_service = np.add.reduceat(services, starts)
 
-    # Lindley recursion for batch waits, vectorized:
-    # U_j = S_j - G_{j+1}; C_n = prefix sum; W_n = C_n - running min C.
-    u = batch_service[:-1] - gaps[1:]
-    c = np.concatenate(([0.0], np.cumsum(u)))
-    waits = c - np.minimum.accumulate(np.concatenate(([0.0], c))[:-1])
-    waits = np.maximum(waits, 0.0)
+    waits = lindley_waits(batch_service, gaps[1:])
 
     # Per-key latency: batch wait + within-batch inclusive service prefix.
     cumulative = np.cumsum(services)
@@ -115,10 +128,7 @@ def simulate_batch_times(
     gaps = np.asarray(gap_dist.sample(rng, n_batches), dtype=float)
     sizes = np.asarray(size_dist.sample(rng, n_batches), dtype=np.int64)
     batch_service = rng.gamma(shape=sizes.astype(float), scale=1.0 / service_rate)
-    u = batch_service[:-1] - gaps[1:]
-    c = np.concatenate(([0.0], np.cumsum(u)))
-    waits = c - np.minimum.accumulate(np.concatenate(([0.0], c))[:-1])
-    waits = np.maximum(waits, 0.0)
+    waits = lindley_waits(batch_service, gaps[1:])
     return waits, waits + batch_service
 
 
@@ -173,12 +183,15 @@ def sample_request_latencies(
 
     total_keys = n_keys * n_requests
     server_of_key = rng.choice(shares_arr.size, size=total_keys, p=shares_arr)
-    latencies = np.empty(total_keys, dtype=float)
-    for j, pool in enumerate(pools):
-        mask = server_of_key == j
-        count = int(mask.sum())
-        if count:
-            latencies[mask] = pool[rng.integers(0, pool.size, size=count)]
+    # One vectorized index draw for every key at once — `high` varies
+    # per key with its pool's size — then a single gather from the
+    # concatenated pools. Replaces the per-pool boolean-mask loop,
+    # which scanned all `total_keys` entries once per server.
+    pool_sizes = np.array([pool.size for pool in pools], dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(pool_sizes[:-1])))
+    merged = pools[0] if len(pools) == 1 else np.concatenate(pools)
+    within = rng.integers(0, pool_sizes[server_of_key])
+    latencies = merged[offsets[server_of_key] + within]
 
     server_component = latencies.reshape(n_requests, n_keys)
     database_component = np.zeros_like(server_component)

@@ -1,0 +1,312 @@
+"""Whole-system vectorized simulator (the event engine's fast twin).
+
+:mod:`repro.simulation.fastpath` vectorizes one GI^X/M/1 server and then
+*resamples* request latencies from stationary pools — fast, but it loses
+the coupling the event engine keeps: keys of the same request really do
+queue behind each other, misses really do contend at one shared
+database. This module simulates the complete Fig. 1 pipeline of
+:class:`~repro.simulation.system.MemcachedSystemSimulator` with numpy
+scans instead of events, preserving every structural property of the
+event-driven run:
+
+1. End-user requests arrive Poisson; each forks ``N`` keys multinomially
+   over the ``M`` servers by shares ``{p_j}``.
+2. Keys of one request bound for one server arrive *together* (constant
+   network delay preserves order), so each server sees a compound batch
+   stream — its FIFO waits come from the shared Lindley recursion
+   :func:`~repro.simulation.fastpath.lindley_waits` over batch service
+   totals, and per-key sojourns add the within-batch service prefix.
+3. Misses (Bernoulli ``r``) are relayed to the database at their
+   server-completion instant. The database is a single FIFO M/M/1 queue
+   simulated with its *own* Lindley recursion over the merged,
+   time-sorted miss stream of all servers — not the lightly-loaded
+   exponential shortcut the pool sampler uses — so database contention
+   between concurrent requests is exact.
+4. Every key pays the constant network delay out and back; the request
+   completes when its last key returns: ``T(N) = 2d + max_i(s_i + d_i)``
+   with the stage maxima ``TS(N) = max_i s_i``/``TD(N) = max_i d_i``
+   recorded separately, exactly as the engine's recorders do.
+5. The *sampling protocol* matches too: the engine keeps spawning
+   requests until ``warmup + n`` of them have **completed**, resets its
+   recorders at the ``warmup``-th completion, and reports completions
+   ``warmup+1 .. warmup+n``. With order-preserving FIFO stages, an
+   arrival after the last recorded completion cannot influence any
+   earlier completion, so this run simulates generously many arrivals
+   and selects the same completion-ranked window. That censoring is
+   irrelevant in stationary regimes but decisive when the database is
+   overloaded (the paper's §5.1 point!), where latencies grow with
+   simulated time and the two protocols would otherwise diverge.
+
+What it does *not* model: per-key tracing spans, pluggable cache
+backends, and non-Poisson request processes — those remain event-engine
+territory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError, StabilityError, ValidationError
+from .fastpath import lindley_waits
+
+__all__ = ["SystemSample", "simulate_system_requests"]
+
+#: Doubling attempts for arrival coverage before giving up. 2**10 spawn
+#: growth covers database overloads beyond 100x; anything needing more
+#: is a configuration error, not a workload.
+_MAX_GROWTH_ROUNDS = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemSample:
+    """Per-request latency arrays from one whole-system fast-path run.
+
+    Mirrors the recorders of
+    :class:`~repro.simulation.system.SystemResults`: ``total`` is
+    ``T(N)``, ``server_max``/``database_max`` are the fork-join stage
+    maxima ``TS(N)``/``TD(N)`` (zero when a request had no miss), and
+    ``network`` is the constant round trip ``2d`` every key pays.
+    """
+
+    total: np.ndarray
+    server_max: np.ndarray
+    database_max: np.ndarray
+    network: float
+    measured_miss_ratio: float
+    server_utilizations: tuple
+
+    @property
+    def n_requests(self) -> int:
+        return int(self.total.size)
+
+
+@dataclasses.dataclass
+class _PassResult:
+    """One full pipeline pass over ``n_spawn`` spawned requests."""
+
+    arrivals: np.ndarray
+    server_max: np.ndarray
+    database_max: np.ndarray
+    combo_max: np.ndarray
+    miss_fraction: float
+    # Per-server key service/completion arrays for utilization windows.
+    server_services: list
+    server_completions: list
+
+
+def _simulate_pass(
+    n_spawn: int,
+    *,
+    shares_arr: np.ndarray,
+    service_rate: float,
+    n_keys: int,
+    request_rate: float,
+    network_delay: float,
+    miss_ratio: float,
+    database_rate: Optional[float],
+    rng: np.random.Generator,
+) -> _PassResult:
+    """Push ``n_spawn`` requests through servers and database."""
+    n_servers = shares_arr.size
+    arrivals = np.cumsum(rng.exponential(1.0 / request_rate, size=n_spawn))
+    counts = rng.multinomial(n_keys, shares_arr, size=n_spawn)
+
+    server_max = np.zeros(n_spawn)
+    # max_i (server sojourn + database sojourn): the request's critical
+    # key, before the constant network round trip is added.
+    combo_max = np.zeros(n_spawn)
+    database_max = np.zeros(n_spawn)
+    miss_request: list = []
+    miss_arrival: list = []
+    miss_server_sojourn: list = []
+    server_services: list = []
+    server_completions: list = []
+    n_misses = 0
+
+    for j in range(n_servers):
+        batch_sizes_all = counts[:, j]
+        nonzero = np.nonzero(batch_sizes_all)[0]
+        if nonzero.size == 0:
+            server_services.append(np.empty(0))
+            server_completions.append(np.empty(0))
+            continue
+        sizes = batch_sizes_all[nonzero]
+        total_keys = int(sizes.sum())
+        services = rng.exponential(1.0 / service_rate, size=total_keys)
+
+        starts = np.zeros(nonzero.size, dtype=np.int64)
+        np.cumsum(sizes[:-1], out=starts[1:])
+        batch_service = np.add.reduceat(services, starts)
+        batch_arrival = arrivals[nonzero] + network_delay
+        waits = lindley_waits(batch_service, np.diff(batch_arrival))
+
+        # Per-key sojourn: batch wait + within-batch inclusive prefix.
+        cumulative = np.cumsum(services)
+        before_batch = cumulative[starts] - services[starts]
+        within = cumulative - np.repeat(before_batch, sizes)
+        sojourn = np.repeat(waits, sizes) + within
+
+        request_of_key = np.repeat(nonzero, sizes)
+        np.maximum.at(server_max, request_of_key, sojourn)
+        completion = np.repeat(batch_arrival, sizes) + sojourn
+        server_services.append(services)
+        server_completions.append(completion)
+
+        if miss_ratio > 0.0:
+            missed = rng.random(total_keys) < miss_ratio
+            if missed.any():
+                n_misses += int(missed.sum())
+                miss_request.append(request_of_key[missed])
+                miss_arrival.append(completion[missed])
+                miss_server_sojourn.append(sojourn[missed])
+            # Hits resolve at the server; misses get their database
+            # sojourn added below. Taking the server-only max here is
+            # safe — the miss contribution can only be larger.
+        np.maximum.at(combo_max, request_of_key, sojourn)
+
+    if miss_request:
+        request_of_miss = np.concatenate(miss_request)
+        db_arrival = np.concatenate(miss_arrival)
+        server_part = np.concatenate(miss_server_sojourn)
+        # Merged miss stream across servers, in database-arrival order:
+        # the FIFO M/M/1 database serves them with its own Lindley pass.
+        order = np.argsort(db_arrival, kind="stable")
+        request_of_miss = request_of_miss[order]
+        db_arrival = db_arrival[order]
+        server_part = server_part[order]
+        db_service = rng.exponential(
+            1.0 / float(database_rate), size=db_arrival.size
+        )
+        db_sojourn = lindley_waits(db_service, np.diff(db_arrival)) + db_service
+        np.maximum.at(database_max, request_of_miss, db_sojourn)
+        np.maximum.at(combo_max, request_of_miss, server_part + db_sojourn)
+
+    return _PassResult(
+        arrivals=arrivals,
+        server_max=server_max,
+        database_max=database_max,
+        combo_max=combo_max,
+        miss_fraction=n_misses / float(n_spawn * n_keys),
+        server_services=server_services,
+        server_completions=server_completions,
+    )
+
+
+def simulate_system_requests(
+    shares: Sequence[float],
+    service_rate: float,
+    *,
+    n_keys: int,
+    request_rate: float,
+    n_requests: int,
+    rng: np.random.Generator,
+    warmup_requests: int = 0,
+    network_delay: float = 0.0,
+    miss_ratio: float = 0.0,
+    database_rate: Optional[float] = None,
+) -> SystemSample:
+    """Simulate the system until ``warmup + n`` requests complete.
+
+    Parameters mirror :class:`MemcachedSystemSimulator`: ``request_rate``
+    is the Poisson end-user rate (the induced per-server key rate is
+    ``request_rate * N * p_j``), ``service_rate`` is ``muS`` per server,
+    and misses feed one shared FIFO ``Exp(database_rate)`` database.
+    Following the engine's protocol, the first ``warmup_requests``
+    *completions* shape the queues but are dropped from the returned
+    arrays, and the run ends at the ``warmup + n``-th completion.
+    """
+    shares_arr = np.asarray(shares, dtype=float)
+    if shares_arr.ndim != 1 or shares_arr.size < 1:
+        raise ValidationError("shares must be a non-empty 1-D sequence")
+    if not np.isclose(float(shares_arr.sum()), 1.0, rtol=1e-9, atol=1e-12):
+        raise ValidationError("shares must sum to 1")
+    if n_keys < 1:
+        raise ValidationError(f"n_keys must be >= 1, got {n_keys}")
+    if n_requests < 1:
+        raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
+    if warmup_requests < 0:
+        raise ValidationError(
+            f"warmup_requests must be >= 0, got {warmup_requests}"
+        )
+    if request_rate <= 0:
+        raise ValidationError(f"request_rate must be > 0, got {request_rate}")
+    if service_rate <= 0:
+        raise ValidationError(f"service_rate must be > 0, got {service_rate}")
+    if network_delay < 0:
+        raise ValidationError(
+            f"network_delay must be >= 0, got {network_delay}"
+        )
+    if not 0.0 <= miss_ratio <= 1.0:
+        raise ValidationError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
+    if miss_ratio > 0.0 and database_rate is None:
+        raise ValidationError("database_rate is required when miss_ratio > 0")
+
+    key_rate = request_rate * n_keys
+    rho = float(np.max(shares_arr)) * key_rate / service_rate
+    if rho >= 1.0:
+        raise StabilityError(rho)
+    # No database stability guard: the event engine runs an overloaded
+    # database as a growing finite-horizon transient (the paper's §5.1
+    # point is exactly such a case) and the machinery below reproduces
+    # that transient faithfully. Only the Memcached tier — where
+    # stationarity is the modeling claim — rejects rho >= 1.
+
+    n_total = warmup_requests + n_requests
+    kwargs = dict(
+        shares_arr=shares_arr,
+        service_rate=float(service_rate),
+        n_keys=n_keys,
+        request_rate=float(request_rate),
+        network_delay=float(network_delay),
+        miss_ratio=float(miss_ratio),
+        database_rate=database_rate,
+        rng=rng,
+    )
+
+    # The engine spawns requests until the (warmup + n)-th COMPLETION;
+    # arrivals after that instant never exist. An arrival after time t
+    # can only delay keys arriving after t at every FIFO stage, so it
+    # cannot influence completions before t: simulating extra arrivals
+    # and windowing on completion rank reproduces the engine's run law
+    # exactly — provided arrivals cover the whole recorded window.
+    # Overshoot, check coverage against the cutoff, and double until it
+    # holds (stable systems succeed immediately; overloaded databases,
+    # whose cutoff drifts far past the nominal arrival span, need a few
+    # rounds).
+    n_spawn = n_total + 64 + n_total // 8
+    for _ in range(_MAX_GROWTH_ROUNDS):
+        result = _simulate_pass(n_spawn, **kwargs)
+        completion = (
+            result.arrivals + result.combo_max + 2.0 * network_delay
+        )
+        cutoff = float(np.partition(completion, n_total - 1)[n_total - 1])
+        if result.arrivals[-1] >= cutoff:
+            break
+        n_spawn *= 2
+    else:
+        raise SimulationError(
+            "could not cover the completion window after "
+            f"{_MAX_GROWTH_ROUNDS} growth rounds (database overload too "
+            "extreme for a finite run?)"
+        )
+
+    order = np.argsort(completion, kind="stable")
+    keep = order[warmup_requests:n_total]
+    round_trip = 2.0 * network_delay
+    utilizations = []
+    for services, completions in zip(
+        result.server_services, result.server_completions
+    ):
+        done = completions <= cutoff
+        utilizations.append(float(services[done].sum()) / cutoff)
+    return SystemSample(
+        total=result.combo_max[keep] + round_trip,
+        server_max=result.server_max[keep],
+        database_max=result.database_max[keep],
+        network=round_trip,
+        measured_miss_ratio=result.miss_fraction,
+        server_utilizations=tuple(utilizations),
+    )

@@ -195,6 +195,17 @@ class SimulationResult:
             network=constant_network,
         )
 
+    @classmethod
+    def from_system_sample(cls, sample, *, n_keys: int) -> "SimulationResult":
+        """Wrap a whole-system fast-path
+        :class:`~repro.simulation.fastpath_system.SystemSample`."""
+        base = cls.from_sample(sample, n_keys=n_keys)
+        return dataclasses.replace(
+            base,
+            measured_miss_ratio=float(sample.measured_miss_ratio),
+            server_utilizations=tuple(sample.server_utilizations),
+        )
+
     # -- Persistence ----------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:

@@ -142,7 +142,23 @@ class TestDispatch:
         assert a == b
 
     def test_backends_constant_lists_all(self):
-        assert BACKENDS == ("estimate", "simulate", "fastpath")
+        assert BACKENDS == ("estimate", "simulate", "fastpath", "fastpath-system")
+
+    def test_fastpath_system_backend_returns_typed_result(self):
+        result = small_scenario().run("fastpath-system")
+        assert isinstance(result, SimulationResult)
+        assert result.total.count == 300
+        assert result.network.mean == pytest.approx(2 * usec(20))
+        assert len(result.server_utilizations) == small_scenario().n_servers
+
+    def test_fastpath_system_rejects_options(self):
+        with pytest.raises(ConfigError):
+            small_scenario().run("fastpath-system", pool_size=100)
+
+    def test_fastpath_system_deterministic_in_seed(self):
+        a = small_scenario().run("fastpath-system")
+        b = small_scenario().run("fastpath-system")
+        assert a == b
 
 
 class TestCellMetrics:

@@ -1,0 +1,197 @@
+"""Cross-backend agreement: event engine vs whole-system fast path.
+
+The ``fastpath-system`` backend claims to be the event engine's
+statistical twin — same Poisson requests, multinomial routing, batch
+FIFO servers, shared FIFO database, fork-join joins, and even the same
+completion-ranked sampling window. These tests hold it to that claim on
+a fig-11-style miss-ratio grid (including an overloaded-database point,
+where the sampling protocol is decisive) and at a near-saturation
+utilization where the analytic bound must bracket both simulators.
+
+Engine means at these run lengths carry heavy autocorrelation (the
+recorder's iid CI understates the spread several-fold), so comparisons
+average a couple of seeds and use tolerances in line with the measured
+seed scatter, not the nominal CI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.experiments import Scenario
+from repro.units import kps, msec, usec
+
+
+def agreement_scenario(**overrides):
+    """Downscaled §5.1-style point both backends evaluate in seconds."""
+    base = dict(
+        key_rate=kps(40),
+        n_servers=2,
+        service_rate=kps(80),
+        n_keys=20,
+        network_delay=usec(20),
+        miss_ratio=0.005,
+        database_rate=1 / msec(1),
+        n_requests=1500,
+        warmup_requests=150,
+        seed=0,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+def averaged(scenario, backend, seeds):
+    stats = {"total": [], "server": [], "database": [], "miss": []}
+    for seed in seeds:
+        result = scenario.replace(seed=seed).run(backend)
+        stats["total"].append(result.total.mean)
+        stats["server"].append(result.server.mean)
+        stats["database"].append(result.database.mean)
+        stats["miss"].append(result.measured_miss_ratio)
+    return {key: float(np.mean(vals)) for key, vals in stats.items()}
+
+
+class TestMissRatioGridAgreement:
+    @pytest.mark.parametrize(
+        "miss_ratio,db_overloaded",
+        [
+            (0.0, False),
+            (0.005, False),  # rho_D = 0.4: stationary database
+            (0.02, True),  # rho_D = 1.6: growing transient
+        ],
+    )
+    def test_engine_and_fastpath_system_agree(self, miss_ratio, db_overloaded):
+        scenario = agreement_scenario(
+            miss_ratio=miss_ratio,
+            database_rate=None if miss_ratio == 0.0 else 1 / msec(1),
+        )
+        # A 1500-request run holds only ~150 nonzero TD samples at the
+        # stable miss point, and their conditional law is a heavy-tailed
+        # queue sojourn — per-seed TD means scatter by +/-40%, so the
+        # stable point averages more seeds than the others.
+        seeds = (1, 2, 3, 4) if miss_ratio == 0.005 else (1, 2)
+        engine = averaged(scenario, "simulate", seeds)
+        fast = averaged(scenario, "fastpath-system", seeds)
+
+        assert fast["server"] == pytest.approx(engine["server"], rel=0.2)
+        assert fast["total"] == pytest.approx(engine["total"], rel=0.25)
+        if miss_ratio == 0.0:
+            assert fast["database"] == 0.0 == engine["database"]
+        else:
+            # The overloaded point only agrees because the fast path
+            # replicates the engine's completion-ranked window; its mean
+            # is transient-growth-dominated, hence the tighter rel.
+            rel = 0.35 if db_overloaded else 0.45
+            assert fast["database"] == pytest.approx(engine["database"], rel=rel)
+            assert fast["miss"] == pytest.approx(miss_ratio, rel=0.35)
+            assert engine["miss"] == pytest.approx(miss_ratio, rel=0.35)
+
+    def test_stage_breakdowns_consistent(self):
+        scenario = agreement_scenario(seed=5)
+        for backend in ("simulate", "fastpath-system"):
+            result = scenario.run(backend)
+            assert set(result.breakdown()) == {"network", "servers", "database"}
+            assert result.network.mean == pytest.approx(2 * usec(20))
+            # Fork-join ordering: T >= max stage, T <= sum of stages.
+            stages = result.breakdown()
+            assert result.mean >= max(stages.values()) - 1e-12
+            assert result.mean <= sum(stages.values()) + 1e-12
+
+    def test_estimate_backend_same_order_of_magnitude(self):
+        # The analytic bound models geometric batches (matched to the
+        # induced mean E[X] = N p / (1 - (1-p)^N) ~ 10, q = 1 - 1/E[X])
+        # where the system produces Binomial(20, 0.5) batches, and a
+        # lightly loaded database where the system queues misses — so it
+        # is a documented over-approximation here. All three backends
+        # must still tell one story within that envelope.
+        scenario = agreement_scenario(miss_ratio=0.005, concurrency_q=0.9)
+        estimate = scenario.run("estimate")
+        fast = averaged(scenario, "fastpath-system", (1, 2))
+        assert estimate.total_lower * 0.25 < fast["total"] < estimate.total_upper * 3.0
+
+
+class TestStabilityLimit:
+    def test_near_saturation_agreement_and_bracketing(self):
+        """rho = 0.9375, N = 1: the regime where backends drift apart.
+
+        Single-key requests make the per-server stream exactly Poisson,
+        so the true model is plain M/M/1 with E[T] = 1/(mu - lam) — no
+        batch-matching approximation. Near saturation both simulators
+        must recover that exact mean (within finite-run slack: the
+        relaxation time at rho = 0.9375 is milliseconds, and the runs
+        cover many of them, but autocorrelated means still wobble ~5%),
+        and the Theorem 1 bound must bracket them up to its quantile-
+        rule envelope.
+        """
+        scenario = agreement_scenario(
+            key_rate=kps(75),  # rho = 75/80
+            n_servers=1,
+            n_keys=1,
+            miss_ratio=0.0,
+            database_rate=None,
+            network_delay=0.0,
+            n_requests=20_000,
+            warmup_requests=2_000,
+            concurrency_q=0.0,
+            burst_xi=0.0,
+        )
+        engine = averaged(scenario, "simulate", (1, 2, 3))
+        fast = averaged(
+            scenario.replace(n_requests=200_000, warmup_requests=20_000),
+            "fastpath-system",
+            (1, 2, 3),
+        )
+        assert fast["server"] == pytest.approx(engine["server"], rel=0.25)
+
+        exact = 1.0 / (kps(80) - kps(75))
+        assert engine["server"] == pytest.approx(exact, rel=0.1)
+        assert fast["server"] == pytest.approx(exact, rel=0.1)
+
+        # The quantile rule brackets a median-of-max proxy; at N = 1
+        # that is the plain median, a factor ln 2 below the exponential
+        # sojourn's mean — the rule's documented worst case. The
+        # simulators must land inside the bound stretched by exactly
+        # that envelope.
+        bounds = scenario.run("estimate").server
+        for measured in (fast["server"], engine["server"]):
+            assert bounds.lower * 0.8 < measured < bounds.upper * 1.6
+
+
+class TestExperimentCliSweep:
+    def test_fig11_style_sweep_via_experiment_cli(self, capsys):
+        """``repro experiment --backend fastpath-system`` over the miss
+        ratio runs end to end and agrees with the engine backend."""
+        argv = [
+            "experiment",
+            "--rate", "40", "--servers", "2", "--n-keys", "20",
+            "--requests", "800",
+            "--factor", "r=0.002,0.005",
+            "--json",
+        ]
+        assert main(argv + ["--backend", "fastpath-system"]) == 0
+        fast = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--backend", "simulate"]) == 0
+        engine = json.loads(capsys.readouterr().out)
+
+        fast_cells = {
+            cell["coords"]["miss_ratio"]: cell["metrics"]
+            for cell in fast["cells"]
+        }
+        engine_cells = {
+            cell["coords"]["miss_ratio"]: cell["metrics"]
+            for cell in engine["cells"]
+        }
+        assert set(fast_cells) == set(engine_cells)
+        for coord, fast_metrics in fast_cells.items():
+            engine_metrics = engine_cells[coord]
+            assert fast_metrics["mean"] == pytest.approx(
+                engine_metrics["mean"], rel=0.35
+            )
+            assert fast_metrics["server_mean"] == pytest.approx(
+                engine_metrics["server_mean"], rel=0.35
+            )
+            assert fast_metrics["database_mean"] == pytest.approx(
+                engine_metrics["database_mean"], rel=0.5
+            )

@@ -6,7 +6,13 @@ import pytest
 
 from repro.distributions import Erlang, Exponential, GeneralizedPareto
 from repro.errors import StabilityError, ValidationError
-from repro.queueing import fixed_point_iterate, solve_gim1_root
+from repro.queueing import (
+    fixed_point_iterate,
+    gim1_root_cache_clear,
+    gim1_root_cache_info,
+    solve_gim1_root,
+    solve_gim1_root_cached,
+)
 
 
 class TestPoissonClosedForm:
@@ -78,3 +84,72 @@ class TestPicardCrossCheck:
         gpd = GeneralizedPareto(0.6, 0.3)
         sigma = solve_gim1_root(gpd.laplace, 1.0, arrival_rate=0.6)
         assert gpd.laplace((1.0 - sigma) * 1.0) == pytest.approx(sigma, abs=1e-9)
+
+
+class TestRootCache:
+    def setup_method(self):
+        gim1_root_cache_clear()
+
+    def test_cache_hit_returns_identical_root(self):
+        gpd = GeneralizedPareto(0.7, 0.15)
+        first = solve_gim1_root_cached(
+            gpd.cache_token(), gpd.laplace, 1.0, arrival_rate=0.7
+        )
+        second = solve_gim1_root_cached(
+            gpd.cache_token(), gpd.laplace, 1.0, arrival_rate=0.7
+        )
+        assert first == second
+        info = gim1_root_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size"] == 1
+
+    def test_distinct_tokens_do_not_collide(self):
+        a = GeneralizedPareto(0.7, 0.15)
+        b = GeneralizedPareto(0.7, 0.4)
+        ra = solve_gim1_root_cached(a.cache_token(), a.laplace, 1.0, arrival_rate=0.7)
+        rb = solve_gim1_root_cached(b.cache_token(), b.laplace, 1.0, arrival_rate=0.7)
+        assert ra != rb
+        assert gim1_root_cache_info()["misses"] == 2
+
+    def test_service_rate_part_of_key(self):
+        exp = Exponential(0.5)
+        r1 = solve_gim1_root_cached(exp.cache_token(), exp.laplace, 1.0, arrival_rate=0.5)
+        r2 = solve_gim1_root_cached(exp.cache_token(), exp.laplace, 2.0, arrival_rate=0.5)
+        assert r1 != r2
+        assert gim1_root_cache_info()["misses"] == 2
+
+    def test_cached_matches_uncached(self):
+        gpd = GeneralizedPareto(0.6, 0.3)
+        cached = solve_gim1_root_cached(
+            gpd.cache_token(), gpd.laplace, 1.0, arrival_rate=0.6
+        )
+        assert cached == solve_gim1_root(gpd.laplace, 1.0, arrival_rate=0.6)
+
+    def test_gim1_queue_uses_cache(self):
+        from repro.queueing import GIM1Queue
+
+        GIM1Queue(Exponential(0.5), 1.0)
+        before = gim1_root_cache_info()["hits"]
+        GIM1Queue(Exponential(0.5), 1.0)
+        assert gim1_root_cache_info()["hits"] == before + 1
+
+    def test_none_token_distributions_bypass_cache(self):
+        from repro.distributions import Empirical
+        from repro.queueing import GIM1Queue
+        import numpy as np
+
+        data = np.random.default_rng(0).exponential(2.0, 4000)
+        queue = GIM1Queue(Empirical(data), 1.0)
+        assert 0.0 < queue.sigma < 1.0
+        assert gim1_root_cache_info()["size"] == 0
+
+    def test_eviction_bounds_size(self):
+        from repro.queueing.rootfind import _ROOT_CACHE_MAX
+
+        for i in range(_ROOT_CACHE_MAX + 10):
+            exp = Exponential(0.1 + i * 1e-4)
+            solve_gim1_root_cached(
+                exp.cache_token(), exp.laplace, 1.0, arrival_rate=exp.rate
+            )
+        assert gim1_root_cache_info()["size"] == _ROOT_CACHE_MAX

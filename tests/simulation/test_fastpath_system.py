@@ -1,0 +1,197 @@
+"""Whole-system vectorized backend: structure, law, and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StabilityError, ValidationError
+from repro.simulation import SystemSample, simulate_system_requests
+from repro.simulation.fastpath import lindley_waits
+
+
+def run_small(**overrides):
+    params = dict(
+        shares=[0.5, 0.5],
+        service_rate=80_000.0,
+        n_keys=10,
+        request_rate=2_000.0,
+        n_requests=400,
+        warmup_requests=40,
+        rng=np.random.default_rng(11),
+        network_delay=20e-6,
+        miss_ratio=0.02,
+        database_rate=50_000.0,
+    )
+    params.update(overrides)
+    return simulate_system_requests(
+        params.pop("shares"), params.pop("service_rate"), **params
+    )
+
+
+class TestValidation:
+    def test_shares_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            run_small(shares=[0.5, 0.2])
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValidationError):
+            run_small(n_keys=0)
+        with pytest.raises(ValidationError):
+            run_small(n_requests=0)
+        with pytest.raises(ValidationError):
+            run_small(warmup_requests=-1)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValidationError):
+            run_small(request_rate=0.0)
+        with pytest.raises(ValidationError):
+            run_small(service_rate=0.0)
+        with pytest.raises(ValidationError):
+            run_small(network_delay=-1e-6)
+
+    def test_miss_needs_database_rate(self):
+        with pytest.raises(ValidationError):
+            run_small(miss_ratio=0.1, database_rate=None)
+
+    def test_unstable_server_raises(self):
+        # Hot share pushes that server's key rate past muS.
+        with pytest.raises(StabilityError):
+            run_small(shares=[0.9, 0.1], request_rate=10_000.0)
+
+
+class TestStructure:
+    def test_shapes_and_network_constant(self):
+        sample = run_small()
+        assert isinstance(sample, SystemSample)
+        assert sample.n_requests == 400
+        assert sample.total.shape == (400,)
+        assert sample.network == pytest.approx(40e-6)
+        assert len(sample.server_utilizations) == 2
+
+    def test_total_decomposition_bounds(self):
+        # T = 2d + max_i(s_i + d_i) >= 2d + max(TS, TD) and
+        # T <= 2d + TS + TD for every request.
+        sample = run_small()
+        lower = sample.network + np.maximum(
+            sample.server_max, sample.database_max
+        )
+        upper = sample.network + sample.server_max + sample.database_max
+        assert np.all(sample.total >= lower - 1e-12)
+        assert np.all(sample.total <= upper + 1e-12)
+
+    def test_no_misses_means_zero_database_stage(self):
+        sample = run_small(miss_ratio=0.0, database_rate=None)
+        assert np.all(sample.database_max == 0.0)
+        assert sample.measured_miss_ratio == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = run_small(rng=np.random.default_rng(5))
+        b = run_small(rng=np.random.default_rng(5))
+        assert np.array_equal(a.total, b.total)
+        assert np.array_equal(a.database_max, b.database_max)
+
+    def test_utilization_tracks_load(self):
+        light = run_small(request_rate=500.0, rng=np.random.default_rng(2))
+        heavy = run_small(request_rate=7_000.0, rng=np.random.default_rng(2))
+        assert max(heavy.server_utilizations) > max(light.server_utilizations)
+        assert all(0.0 <= u <= 1.0 for u in heavy.server_utilizations)
+
+    def test_single_server_share_vector(self):
+        sample = run_small(shares=[1.0])
+        assert len(sample.server_utilizations) == 1
+        assert sample.n_requests == 400
+
+
+class TestLaw:
+    def test_mm1_sojourn_matches_theory(self):
+        # N=1 key on one server with no misses is a plain M/M/1:
+        # E[T] = 1/(mu - lambda).
+        mu, lam = 50_000.0, 35_000.0
+        sample = simulate_system_requests(
+            [1.0],
+            mu,
+            n_keys=1,
+            request_rate=lam,
+            n_requests=120_000,
+            warmup_requests=12_000,
+            rng=np.random.default_rng(3),
+        )
+        assert sample.server_max.mean() == pytest.approx(
+            1.0 / (mu - lam), rel=0.05
+        )
+
+    def test_batch_queue_matches_pollaczek_khinchine(self):
+        # Fixed batches of k keys at one server: batch waits follow
+        # M/G/1 with Erlang(k) service, and TS = W + full batch service,
+        # so E[TS] = lam_b k(k+1)/mu^2 / (2(1-rho)) + k/mu.
+        mu, k, lam_b = 80_000.0, 25, 2_000.0
+        rho = lam_b * k / mu
+        expected_wait = lam_b * k * (k + 1) / mu**2 / (2.0 * (1.0 - rho))
+        sample = simulate_system_requests(
+            [1.0],
+            mu,
+            n_keys=k,
+            request_rate=lam_b,
+            n_requests=150_000,
+            warmup_requests=15_000,
+            rng=np.random.default_rng(4),
+        )
+        assert sample.server_max.mean() == pytest.approx(
+            expected_wait + k / mu, rel=0.05
+        )
+
+    def test_overloaded_database_transient_grows_with_run_length(self):
+        # rho_D > 1: the database queue (and TD with it) grows with the
+        # simulated horizon instead of reaching stationarity — the
+        # regime the event engine exhibits on the paper's 5.1 point.
+        kwargs = dict(
+            shares=[1.0],
+            service_rate=80_000.0,
+            n_keys=10,
+            request_rate=2_000.0,
+            miss_ratio=0.2,
+            database_rate=2_000.0,  # 4000 misses/s offered
+            network_delay=0.0,
+        )
+        short = simulate_system_requests(
+            n_requests=300,
+            warmup_requests=0,
+            rng=np.random.default_rng(6),
+            **kwargs,
+        )
+        long = simulate_system_requests(
+            n_requests=3_000,
+            warmup_requests=0,
+            rng=np.random.default_rng(6),
+            **kwargs,
+        )
+        assert long.database_max.mean() > 2.0 * short.database_max.mean()
+
+    def test_fork_join_grows_with_n_keys(self):
+        means = []
+        for n_keys in (1, 8, 32):
+            sample = run_small(
+                n_keys=n_keys,
+                request_rate=20_000.0 / n_keys,
+                rng=np.random.default_rng(8),
+            )
+            means.append(sample.server_max.mean())
+        assert means[0] < means[1] < means[2]
+
+
+class TestLindleyHelper:
+    def test_matches_sequential_recursion(self):
+        rng = np.random.default_rng(9)
+        service = rng.exponential(1.0, 500)
+        gaps = rng.exponential(1.2, 499)
+        waits = lindley_waits(service, gaps)
+        w, expected = 0.0, []
+        for i in range(500):
+            expected.append(w)
+            if i < 499:
+                w = max(0.0, w + service[i] - gaps[i])
+        assert np.allclose(waits, expected)
+
+    def test_single_arrival_waits_zero(self):
+        assert lindley_waits(np.array([1.0]), np.array([])) == pytest.approx(
+            [0.0]
+        )
