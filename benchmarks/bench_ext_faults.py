@@ -1,0 +1,237 @@
+"""Extension — fault injection & request policies (mitigation study).
+
+The paper models the fault-free steady state; this bench measures what
+its system does when that assumption breaks, and what client-side
+policies buy back. Three acts on a two-server §5.1-flavored point:
+
+1. **Mitigation** — an asymmetric in-window slowdown (server 0 at
+   0.35x rate) wrecks the no-policy tail; hedged requests (fire a
+   duplicate at a healthy server after a fixed delay) and
+   timeout-with-retry each repair it. The headline contract, asserted
+   in quick mode and CI: hedged p99 <= no-policy p99.
+2. **Transient** — a database-overload window reproduces the §5.1
+   overloaded-database story along the completion-time axis: the
+   database stage climbs inside the window and recovers after it
+   closes (before/during/after means via ``window_effect``).
+3. **Analytic anchor** — hedging at delay zero with losers kept is
+   static 2-way replication; the simulated mean server stage is
+   compared against ``RedundancyModel.request_mean_upper`` (the
+   measured ratio is ~0.78 — the quantile rule's documented
+   over-estimate of the empirical fork-join max).
+
+Run modes:
+
+* ``python benchmarks/bench_ext_faults.py`` — full measurement
+  (4000 requests per cell).
+* ``python benchmarks/bench_ext_faults.py --quick`` — CI smoke
+  (1500 requests) asserting the hedged-p99 contract.
+* ``pytest benchmarks/bench_ext_faults.py`` — the house
+  pytest-benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional, Sequence
+
+from repro.core.redundancy import RedundancyModel
+from repro.experiments import Scenario
+from repro.faults import DatabaseOverload, FaultSchedule, ServerSlowdown, window_effect
+from repro.policies import RequestPolicy
+from repro.units import kps, usec
+
+from helpers import SEED, print_series, series_info
+
+#: Stable two-server point (per-server utilization 0.3125) small enough
+#: for the event engine — policies need per-event control flow, so
+#: everything here runs on the ``simulate`` backend.
+N_KEYS = 20
+SERVICE_RATE = kps(80)
+KEY_RATE = kps(25)
+N_SERVERS = 2
+
+#: Mitigation policies under test.
+HEDGE_DELAY = usec(300)
+RETRY_TIMEOUT = usec(1000)
+
+
+def base_scenario(n_requests: int) -> Scenario:
+    return Scenario(
+        key_rate=KEY_RATE,
+        n_servers=N_SERVERS,
+        service_rate=SERVICE_RATE,
+        n_keys=N_KEYS,
+        network_delay=usec(20),
+        miss_ratio=0.01,
+        database_rate=2_000.0,
+        seed=SEED,
+        n_requests=n_requests,
+        warmup_requests=n_requests // 10,
+    )
+
+
+def run_seconds(scenario: Scenario) -> float:
+    """Approximate simulated horizon of the run."""
+    request_rate = scenario.key_rate * scenario.n_servers / scenario.n_keys
+    return scenario.n_requests / request_rate
+
+
+def slowdown_schedule(scenario: Scenario) -> FaultSchedule:
+    horizon = run_seconds(scenario)
+    return FaultSchedule.single(
+        ServerSlowdown(
+            start=0.15 * horizon,
+            duration=0.6 * horizon,
+            factor=0.35,
+            server=0,
+        )
+    )
+
+
+def overload_window(scenario: Scenario) -> DatabaseOverload:
+    horizon = run_seconds(scenario)
+    return DatabaseOverload(
+        start=0.25 * horizon, duration=0.15 * horizon, factor=0.25
+    )
+
+
+def mitigation_rows(n_requests: int) -> Dict[str, Dict[str, float]]:
+    """p99/mean per policy under the asymmetric slowdown window."""
+    scenario = base_scenario(n_requests)
+    faults = slowdown_schedule(scenario)
+    policies = {
+        "none": None,
+        "hedge@300us": RequestPolicy.hedged(HEDGE_DELAY),
+        "timeout1ms-r2": RequestPolicy.timeout_retry(
+            RETRY_TIMEOUT, max_retries=2
+        ),
+    }
+    rows = {}
+    for name, policy in policies.items():
+        result = scenario.replace(faults=faults, policy=policy).run("simulate")
+        rows[name] = {
+            "mean": result.total.mean,
+            "p99": result.p99,
+        }
+    return rows
+
+
+def transient_phases(n_requests: int) -> Dict[str, float]:
+    """Database-stage mean before/during/after the overload window."""
+    scenario = base_scenario(n_requests)
+    window = overload_window(scenario)
+    system = scenario.replace(
+        faults=FaultSchedule.single(window)
+    ).simulator(keep_request_log=True)
+    results = system.run(
+        n_requests=scenario.n_requests,
+        warmup_requests=scenario.warmup_requests,
+    )
+    return window_effect(
+        results.request_log,
+        window_start=window.start,
+        window_end=window.end,
+        stage="database",
+        settle=0.08 * run_seconds(scenario),
+    )
+
+
+def analytic_anchor(n_requests: int) -> Dict[str, float]:
+    """Hedge(0, keep losers) vs the d=2 redundancy upper bound."""
+    scenario = base_scenario(n_requests).replace(
+        miss_ratio=0.0,
+        database_rate=None,
+        network_delay=0.0,
+        policy=RequestPolicy.hedged(0.0, cancel_on_winner=False),
+    )
+    system = scenario.simulator()
+    results = system.run(
+        n_requests=scenario.n_requests,
+        warmup_requests=scenario.warmup_requests,
+    )
+    upper = RedundancyModel(
+        system.induced_server_workload(0), SERVICE_RATE, 2
+    ).request_mean_upper(N_KEYS)
+    return {
+        "simulated": results.server_stage.mean,
+        "analytic_upper": upper,
+        "ratio": results.server_stage.mean / upper,
+    }
+
+
+def compute_all(n_requests: int):
+    return (
+        mitigation_rows(n_requests),
+        transient_phases(n_requests),
+        analytic_anchor(n_requests),
+    )
+
+
+def report(mitigation, phases, anchor) -> None:
+    print_series(
+        "Extension: policies under an asymmetric slowdown window",
+        ["policy", "mean (us)", "p99 (us)"],
+        [
+            [name, f"{row['mean'] * 1e6:.0f}", f"{row['p99'] * 1e6:.0f}"]
+            for name, row in mitigation.items()
+        ],
+    )
+    print_series(
+        "Extension: database-overload transient (E[TD] by phase)",
+        ["phase", "mean TD (us)"],
+        [[phase, f"{value * 1e6:.0f}"] for phase, value in phases.items()],
+    )
+    print(
+        "  hedging-vs-analytic anchor: simulated "
+        f"{anchor['simulated'] * 1e6:.0f}us vs d=2 upper "
+        f"{anchor['analytic_upper'] * 1e6:.0f}us "
+        f"(ratio {anchor['ratio']:.2f})"
+    )
+
+
+def check_contracts(mitigation, phases, anchor) -> None:
+    # The CI headline: hedging must not worsen the faulted tail.
+    assert mitigation["hedge@300us"]["p99"] <= mitigation["none"]["p99"]
+    # Retry also helps (weaker: it pays the timeout before reacting).
+    assert mitigation["timeout1ms-r2"]["p99"] <= mitigation["none"]["p99"]
+    # §5.1 transient: climbs inside the window, recovers after it.
+    assert phases["during"] > 2.0 * phases["before"]
+    assert phases["after"] < 1.5 * phases["before"]
+    # The simulation sits below the analytic upper bound, within the
+    # calibrated looseness band.
+    assert 0.55 <= anchor["ratio"] <= 1.0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: 1500 requests"
+    )
+    args = parser.parse_args(argv)
+    n_requests = 1_500 if args.quick else 4_000
+    mitigation, phases, anchor = compute_all(n_requests)
+    report(mitigation, phases, anchor)
+    check_contracts(mitigation, phases, anchor)
+    print("ok: hedged p99 <= no-policy p99 under the slowdown window")
+    return 0
+
+
+def test_ext_faults(benchmark):
+    mitigation, phases, anchor = benchmark(compute_all, 1_500)
+    report(mitigation, phases, anchor)
+    benchmark.extra_info["policies"] = list(mitigation)
+    benchmark.extra_info.update(
+        series_info(
+            ["p99_us"],
+            [[row["p99"] * 1e6 for row in mitigation.values()]],
+        )
+    )
+    benchmark.extra_info["transient_during_over_before"] = (
+        phases["during"] / phases["before"]
+    )
+    benchmark.extra_info["hedge_analytic_ratio"] = anchor["ratio"]
+    check_contracts(mitigation, phases, anchor)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

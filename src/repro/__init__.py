@@ -31,6 +31,7 @@ Quickstart::
 """
 
 from ._version import __version__
+from .config import ExperimentConfig
 from .core import (
     AdvisorReport,
     ClusterModel,
@@ -56,6 +57,25 @@ from .errors import (
     StabilityError,
     ValidationError,
 )
+from .distributions import (
+    Deterministic,
+    Distribution,
+    Exponential,
+    GeneralizedPareto,
+    Zipf,
+)
+from .faults import (
+    DatabaseOverload,
+    FaultSchedule,
+    FaultWindow,
+    RequestRecord,
+    ServerPause,
+    ServerSlowdown,
+    ShareShift,
+    TrajectoryPoint,
+    trajectory,
+    window_effect,
+)
 from .observability import (
     Histogram,
     MetricsRegistry,
@@ -63,6 +83,7 @@ from .observability import (
     RunReport,
     Tracer,
 )
+from .policies import RequestPolicy, hedge_delay_from_quantile
 from .experiments import (
     ExperimentRunner,
     Grid,
@@ -94,10 +115,18 @@ __all__ = [
     "ClusterModel",
     "ConfigError",
     "ConvergenceError",
+    "DatabaseOverload",
     "DatabaseStage",
+    "Deterministic",
+    "Distribution",
+    "ExperimentConfig",
     "ExperimentRunner",
+    "Exponential",
+    "FaultSchedule",
+    "FaultWindow",
     "GIM1Queue",
     "GIXM1Queue",
+    "GeneralizedPareto",
     "Grid",
     "Histogram",
     "LatencyEstimate",
@@ -108,15 +137,19 @@ __all__ = [
     "MetricsRegistry",
     "NetworkStage",
     "Observability",
-    "RunReport",
-    "Tracer",
     "ProtocolError",
     "Recommendation",
     "ReproError",
+    "RequestPolicy",
+    "RequestRecord",
+    "RunReport",
     "Scenario",
+    "ServerPause",
+    "ServerSlowdown",
     "ServerStage",
     "ServerStageEstimate",
     "Severity",
+    "ShareShift",
     "SimulationError",
     "SimulationResult",
     "Simulator",
@@ -124,12 +157,18 @@ __all__ = [
     "StageStats",
     "Suite",
     "SuiteResult",
+    "Tracer",
+    "TrajectoryPoint",
     "ValidationError",
     "WorkloadPattern",
+    "Zipf",
     "__version__",
     "advise",
     "cliff_utilization",
     "delta_for_utilization",
+    "hedge_delay_from_quantile",
     "run_suite",
     "sweep_suite",
+    "trajectory",
+    "window_effect",
 ]

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import warnings
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,12 +37,13 @@ import numpy as np
 from .core import (
     ClusterModel,
     DatabaseStage,
-    LatencyModel,
     WorkloadPattern,
     advise,
 )
 from .core.stages import ServerStage
 from .errors import ConfigError, ReproError
+from .faults import FaultSchedule
+from .policies import RequestPolicy, hedge_delay_from_quantile
 from .experiments import (
     BACKENDS,
     DEFAULT_POOL_SIZE,
@@ -128,6 +128,60 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_policy_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-injection and request-policy flags (simulation backends)."""
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fault schedule: inline JSON object ('{\"windows\": [...]}') "
+            "or a path to a JSON file"
+        ),
+    )
+    parser.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="US",
+        help="hedge slow key fetches after this delay in us",
+    )
+    parser.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=None,
+        metavar="Q",
+        help=(
+            "set the hedge delay at this per-key latency quantile "
+            "(e.g. 0.95; mutually exclusive with --hedge-delay)"
+        ),
+    )
+    parser.add_argument(
+        "--key-timeout",
+        type=float,
+        default=None,
+        metavar="US",
+        help="per-key timeout in us before abandoning and retrying",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="retry budget used with --key-timeout (default 1)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=2.0,
+        help="timeout multiplier applied per retry (default 2.0)",
+    )
+    parser.add_argument(
+        "--no-cancel-on-winner",
+        action="store_true",
+        help="let losing hedged attempts run to completion",
+    )
+
+
 def _add_json_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--json",
@@ -140,6 +194,53 @@ def _wants_json(args: argparse.Namespace) -> bool:
     """``--json`` before or after the subcommand both count."""
     return bool(getattr(args, "json", False)) or bool(
         getattr(args, "json_global", False)
+    )
+
+
+def _faults_from_args(args: argparse.Namespace) -> Optional[FaultSchedule]:
+    """Parse ``--faults`` (inline JSON object or a JSON file path)."""
+    spec = getattr(args, "faults", None)
+    if spec is None:
+        return None
+    text = spec.strip()
+    if text.startswith("{"):
+        return FaultSchedule.from_json(text)
+    try:
+        return FaultSchedule.load(text)
+    except OSError as exc:
+        raise ConfigError(f"cannot read fault schedule {text!r}: {exc}") from exc
+
+
+def _policy_from_args(args: argparse.Namespace) -> Optional[RequestPolicy]:
+    """Build the request policy from ``--hedge-*``/``--key-timeout`` flags."""
+    hedge_delay = getattr(args, "hedge_delay", None)
+    hedge_quantile = getattr(args, "hedge_quantile", None)
+    timeout = getattr(args, "key_timeout", None)
+    if hedge_delay is not None and hedge_quantile is not None:
+        raise ConfigError(
+            "--hedge-delay and --hedge-quantile are mutually exclusive"
+        )
+    if hedge_quantile is not None:
+        workload = WorkloadPattern(
+            rate=kps(args.rate), xi=args.xi, q=args.concurrency
+        )
+        hedge: Optional[float] = hedge_delay_from_quantile(
+            workload, kps(args.service_rate), hedge_quantile
+        )
+    elif hedge_delay is not None:
+        hedge = usec(hedge_delay)
+    else:
+        hedge = None
+    if hedge is None and timeout is None:
+        return None
+    return RequestPolicy(
+        timeout=usec(timeout) if timeout is not None else None,
+        max_retries=(
+            int(getattr(args, "max_retries", 1)) if timeout is not None else 0
+        ),
+        backoff=float(getattr(args, "retry_backoff", 2.0)),
+        hedge_delay=hedge,
+        cancel_on_winner=not getattr(args, "no_cancel_on_winner", False),
     )
 
 
@@ -164,29 +265,9 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         seed=int(getattr(args, "seed", 0)),
         n_requests=requests,
         warmup_requests=requests // 10,
+        faults=_faults_from_args(args),
+        policy=_policy_from_args(args),
     )
-
-
-def _workload_from(args: argparse.Namespace) -> WorkloadPattern:
-    """Deprecated: build a Scenario and use ``Scenario.workload()``."""
-    warnings.warn(
-        "_workload_from is deprecated; build a Scenario with "
-        "_scenario_from_args(args) and call Scenario.workload()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _scenario_from_args(args).workload()
-
-
-def _model_from(args: argparse.Namespace) -> LatencyModel:
-    """Deprecated: build a Scenario and use ``Scenario.latency_model()``."""
-    warnings.warn(
-        "_model_from is deprecated; build a Scenario with "
-        "_scenario_from_args(args) and call Scenario.latency_model()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _scenario_from_args(args).latency_model()
 
 
 def _print_rows(header: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
@@ -365,7 +446,7 @@ def _execute_suite(args: argparse.Namespace, suite: Suite) -> SuiteResult:
 
 #: Metrics shown (in us) per backend by ``sweep``/``experiment`` tables.
 _DISPLAY_METRICS = {
-    "estimate": ("mean", "total_lower", "total_upper"),
+    "estimate": ("mean", "ci_low", "ci_high"),
     "simulate": ("mean", "p95", "p99"),
     "fastpath": ("mean", "p95", "p99"),
     "fastpath-system": ("mean", "p95", "p99"),
@@ -745,6 +826,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="closed-loop system simulation")
     _add_workload_args(p_sim)
+    _add_fault_policy_args(p_sim)
     _add_json_flag(p_sim)
     p_sim.add_argument(
         "--backend",
@@ -786,6 +868,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="one-factor sweeps (factor registry + runner)"
     )
     _add_workload_args(p_sweep)
+    _add_fault_policy_args(p_sweep)
     _add_json_flag(p_sweep)
     p_sweep.add_argument("factor", choices=list(factor_names()))
     p_sweep.add_argument("--start", type=float, required=True)
@@ -798,6 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", help="multi-factor experiment grids (parallel runner)"
     )
     _add_workload_args(p_exp)
+    _add_fault_policy_args(p_exp)
     _add_json_flag(p_exp)
     p_exp.add_argument(
         "--factor",

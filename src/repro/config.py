@@ -12,12 +12,14 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from .core import ClusterModel, LatencyModel, WorkloadPattern
 from .core.stages import DatabaseStage, NetworkStage, ServerStage
 from .core.tail import TailLatencyModel
 from .errors import ConfigError
+from .faults import FaultSchedule
+from .policies import RequestPolicy
 from .simulation import MemcachedSystemSimulator
 
 
@@ -47,10 +49,30 @@ class ExperimentConfig:
     seed: int = 0
     n_requests: int = 2000
     warmup_requests: int = 200
+    # Fault schedule / request policy, stored as their JSON payloads so
+    # config files stay plain data. ``None`` (the default for every
+    # pre-fault config) is the fault-free, policy-free system.
+    faults: Optional[Dict[str, object]] = None
+    policy: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        # Validate eagerly so a bad JSON file fails at load, not at use.
+        if self.faults is not None:
+            FaultSchedule.from_dict(self.faults)
+        if self.policy is not None:
+            RequestPolicy.from_dict(self.policy)
 
     # ------------------------------------------------------------------
     # Derived builders.
     # ------------------------------------------------------------------
+
+    def fault_schedule(self) -> Optional[FaultSchedule]:
+        """The parsed fault schedule (None when fault-free)."""
+        return FaultSchedule.from_dict(self.faults) if self.faults else None
+
+    def request_policy(self) -> Optional[RequestPolicy]:
+        """The parsed request policy (None when policy-free)."""
+        return RequestPolicy.from_dict(self.policy) if self.policy else None
 
     def workload(self) -> WorkloadPattern:
         """The per-server workload pattern."""
@@ -111,13 +133,16 @@ class ExperimentConfig:
             database_stage=database,
         )
 
-    def simulator(self, observability=None) -> MemcachedSystemSimulator:
+    def simulator(
+        self, observability=None, *, keep_request_log: bool = False
+    ) -> MemcachedSystemSimulator:
         """Closed-loop simulator for this configuration.
 
         The request rate is chosen so the induced per-server key rate
         equals ``key_rate``. Pass an
         :class:`~repro.observability.Observability` bundle to collect
-        traces/metrics/profiles for the run.
+        traces/metrics/profiles for the run; ``keep_request_log=True``
+        records per-request completions for transient analysis.
         """
         request_rate = self.total_key_rate() / self.n_keys
         return MemcachedSystemSimulator(
@@ -129,6 +154,9 @@ class ExperimentConfig:
             database_rate=self.database_rate,
             seed=self.seed,
             observability=observability,
+            faults=self.fault_schedule(),
+            policy=self.request_policy(),
+            keep_request_log=keep_request_log,
         )
 
     # ------------------------------------------------------------------

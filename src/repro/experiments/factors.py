@@ -18,6 +18,7 @@ import dataclasses
 from typing import Callable, Dict, Tuple
 
 from ..errors import ConfigError, ValidationError
+from ..policies import RequestPolicy
 from ..units import kps, usec
 from .scenario import Scenario
 
@@ -34,7 +35,7 @@ class Factor:
     name: str
     label: str
     apply: Callable[[Scenario, float], Scenario]
-    sweep_metrics: Tuple[str, str] = ("total_lower", "total_upper")
+    sweep_metrics: Tuple[str, str] = ("ci_low", "ci_high")
     description: str = ""
 
 
@@ -78,7 +79,7 @@ register_factor(
         "q",
         "q",
         lambda s, v: s.replace(concurrency_q=float(v)),
-        sweep_metrics=("server_lower", "server_upper"),
+        sweep_metrics=("server_ci_low", "server_ci_high"),
         description="concurrency probability (Fig. 5)",
     )
 )
@@ -87,7 +88,7 @@ register_factor(
         "xi",
         "xi",
         lambda s, v: s.replace(burst_xi=float(v)),
-        sweep_metrics=("server_lower", "server_upper"),
+        sweep_metrics=("server_ci_low", "server_ci_high"),
         description="burst degree (Fig. 6)",
     )
 )
@@ -96,7 +97,7 @@ register_factor(
         "rate",
         "rate_kps",
         lambda s, v: s.replace(key_rate=kps(float(v))),
-        sweep_metrics=("server_lower", "server_upper"),
+        sweep_metrics=("server_ci_low", "server_ci_high"),
         description="per-server key rate in Kps (Fig. 7)",
     )
 )
@@ -105,7 +106,7 @@ register_factor(
         "mu",
         "mu_kps",
         lambda s, v: s.replace(service_rate=kps(float(v))),
-        sweep_metrics=("server_lower", "server_upper"),
+        sweep_metrics=("server_ci_low", "server_ci_high"),
         description="server service rate in Kps (Fig. 9)",
     )
 )
@@ -114,7 +115,7 @@ register_factor(
         "r",
         "miss_ratio",
         lambda s, v: s.replace(miss_ratio=float(v)),
-        sweep_metrics=("database", "database"),
+        sweep_metrics=("database_mean", "database_mean"),
         description="cache miss ratio (Fig. 11)",
     )
 )
@@ -131,7 +132,7 @@ register_factor(
         "p1",
         "p1",
         _apply_p1,
-        sweep_metrics=("server_lower", "server_upper"),
+        sweep_metrics=("server_ci_low", "server_ci_high"),
         description="hottest server share (Fig. 10)",
     )
 )
@@ -157,5 +158,16 @@ register_factor(
         "db_us",
         lambda s, v: s.replace(database_rate=1.0 / usec(float(v))),
         description="mean database service time in us",
+    )
+)
+register_factor(
+    Factor(
+        "hedge",
+        "hedge_us",
+        lambda s, v: s.replace(policy=RequestPolicy.hedged(usec(float(v)))),
+        description=(
+            "hedge delay in us (attaches a hedging policy; "
+            "simulate backend only)"
+        ),
     )
 )

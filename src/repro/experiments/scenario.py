@@ -30,6 +30,8 @@ from typing import Dict, Optional, Tuple
 from ..config import ExperimentConfig
 from ..distributions import make_rng
 from ..errors import ConfigError, ValidationError
+from ..faults import FaultSchedule
+from ..policies import RequestPolicy
 from ..simulation.fastpath import (
     expected_max_from_pool,
     expected_max_from_pools,
@@ -74,18 +76,42 @@ class Scenario:
     seed: int = 0
     n_requests: int = 2000
     warmup_requests: int = 200
+    # Fault injection & request policy (simulation backends only).
+    faults: Optional[FaultSchedule] = None
+    policy: Optional[RequestPolicy] = None
 
     def __post_init__(self) -> None:
         if self.shares is not None and not isinstance(self.shares, tuple):
             object.__setattr__(self, "shares", tuple(self.shares))
+        # Accept the JSON-payload form (checkpoints, configs) and
+        # canonicalize to the typed objects so scenarios stay hashable.
+        if isinstance(self.faults, dict):
+            object.__setattr__(self, "faults", FaultSchedule.from_dict(self.faults))
+        if isinstance(self.policy, dict):
+            object.__setattr__(self, "policy", RequestPolicy.from_dict(self.policy))
         if self.n_keys < 1:
             raise ValidationError(f"n_keys must be >= 1, got {self.n_keys}")
         if self.n_servers < 1:
             raise ValidationError(f"n_servers must be >= 1, got {self.n_servers}")
+        if self.faults is not None and self.faults.is_empty:
+            object.__setattr__(self, "faults", None)
 
     # ------------------------------------------------------------------
     # Config round trip.
     # ------------------------------------------------------------------
+
+    def _payload(self) -> Dict[str, object]:
+        """Plain-data form: faults/policy as their kind-tagged payloads.
+
+        ``dataclasses.asdict`` alone would recurse into the fault
+        windows and drop their ``kind`` discriminators.
+        """
+        payload = dataclasses.asdict(self)
+        if payload.get("shares") is not None:
+            payload["shares"] = list(payload["shares"])
+        payload["faults"] = self.faults.to_dict() if self.faults else None
+        payload["policy"] = self.policy.to_dict() if self.policy else None
+        return payload
 
     @classmethod
     def from_config(cls, config: ExperimentConfig) -> "Scenario":
@@ -97,16 +123,10 @@ class Scenario:
 
     def to_config(self) -> ExperimentConfig:
         """Lossless conversion to an :class:`ExperimentConfig`."""
-        payload = dataclasses.asdict(self)
-        if payload.get("shares") is not None:
-            payload["shares"] = list(payload["shares"])
-        return ExperimentConfig(**payload)
+        return ExperimentConfig(**self._payload())
 
     def to_dict(self) -> Dict[str, object]:
-        payload = dataclasses.asdict(self)
-        if payload.get("shares") is not None:
-            payload["shares"] = list(payload["shares"])
-        return payload
+        return self._payload()
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "Scenario":
@@ -147,15 +167,32 @@ class Scenario:
     def tail_model(self):
         return self.to_config().tail_model()
 
-    def simulator(self, observability=None):
-        return self.to_config().simulator(observability=observability)
+    def simulator(self, observability=None, *, keep_request_log: bool = False):
+        return self.to_config().simulator(
+            observability=observability, keep_request_log=keep_request_log
+        )
 
     # ------------------------------------------------------------------
     # Backend dispatch.
     # ------------------------------------------------------------------
 
+    def _reject_faulted(self, backend: str) -> None:
+        """Analytic/pool backends model the fault-free, policy-free system."""
+        if self.faults is not None:
+            raise ConfigError(
+                f"the {backend} backend models the fault-free steady state; "
+                "run fault schedules on the simulate or fastpath-system "
+                "backend"
+            )
+        if self.policy is not None:
+            raise ConfigError(
+                f"the {backend} backend has no request-policy semantics; "
+                "run policies on the simulate backend"
+            )
+
     def estimate(self):
         """Theorem 1 bounds (:class:`~repro.core.LatencyEstimate`)."""
+        self._reject_faulted("estimate")
         return self.latency_model().estimate(self.n_keys)
 
     def simulate(self, observability=None) -> SimulationResult:
@@ -173,6 +210,7 @@ class Scenario:
         server is statistically identical); unbalanced clusters get one
         pool per share, each at its share of the total key stream.
         """
+        self._reject_faulted("fastpath")
         rng = make_rng(self.seed)
         workload = self.workload()
         cluster = self.cluster()
@@ -221,6 +259,11 @@ class Scenario:
         Lindley scans instead of events, so it sustains millions of
         simulated keys per second.
         """
+        if self.policy is not None:
+            raise ConfigError(
+                "the fastpath-system backend has no request-policy "
+                "semantics; run policies on the simulate backend"
+            )
         cluster = self.cluster()
         sample = simulate_system_requests(
             cluster.shares,
@@ -233,6 +276,7 @@ class Scenario:
             network_delay=self.network_delay,
             miss_ratio=self.miss_ratio,
             database_rate=self.database_rate,
+            faults=self.faults,
         )
         return SimulationResult.from_system_sample(sample, n_keys=self.n_keys)
 
@@ -266,10 +310,13 @@ class Scenario:
 
 
 def cell_metrics(outcome) -> Dict[str, float]:
-    """Flatten a backend outcome into a scalar metric dict.
+    """Flatten a backend outcome into one StageStats-shaped metric dict.
 
-    Both backends expose ``mean`` so estimate-vs-simulate grids compare
-    directly; the remaining keys are backend-specific.
+    Every backend reports the same vocabulary: per-stage ``mean`` plus
+    an uncertainty interval ``ci_low``/``ci_high`` (the 95% confidence
+    interval for simulation backends, the Theorem 1 lower/upper bounds
+    for the analytic estimate). Percentile and count keys exist only
+    where a backend actually measures them.
     """
     if isinstance(outcome, SimulationResult):
         if outcome.server_expected_max is not None:
@@ -279,24 +326,31 @@ def cell_metrics(outcome) -> Dict[str, float]:
         return {
             **extra,
             "mean": outcome.total.mean,
+            "ci_low": outcome.total.ci_low,
+            "ci_high": outcome.total.ci_high,
             "p50": outcome.total.p50,
             "p95": outcome.total.p95,
             "p99": outcome.total.p99,
             "std": outcome.total.std,
             "count": float(outcome.total.count),
             "server_mean": outcome.server.mean,
+            "server_ci_low": outcome.server.ci_low,
+            "server_ci_high": outcome.server.ci_high,
             "server_p99": outcome.server.p99,
             "database_mean": outcome.database.mean,
             "network_mean": outcome.network.mean,
             "measured_miss_ratio": outcome.measured_miss_ratio,
         }
-    # LatencyEstimate (duck-typed to avoid importing core here).
+    # LatencyEstimate (duck-typed to avoid importing core here). The
+    # Theorem 1 bounds play the interval role: mean is the midpoint,
+    # ci_low/ci_high are the analytic lower/upper bounds.
     return {
         "mean": outcome.total_midpoint,
-        "total_lower": outcome.total_lower,
-        "total_upper": outcome.total_upper,
-        "network": outcome.network,
-        "server_lower": outcome.server.lower,
-        "server_upper": outcome.server.upper,
-        "database": outcome.database,
+        "ci_low": outcome.total_lower,
+        "ci_high": outcome.total_upper,
+        "server_mean": 0.5 * (outcome.server.lower + outcome.server.upper),
+        "server_ci_low": outcome.server.lower,
+        "server_ci_high": outcome.server.upper,
+        "database_mean": outcome.database,
+        "network_mean": outcome.network,
     }

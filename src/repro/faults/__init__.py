@@ -1,0 +1,32 @@
+"""Declarative fault injection for the simulators.
+
+:class:`FaultSchedule` describes *when* the system degrades (server
+slowdowns, GC-style pauses, database overloads, routing-share shifts);
+:mod:`repro.faults.transient` analyzes *how* latency responds along the
+simulated-time axis. Schedules are pure data: the same object drives the
+event engine and the vectorized fast path, and round-trips through
+experiment configs and JSON checkpoints.
+"""
+
+from .schedule import (
+    DatabaseOverload,
+    FaultSchedule,
+    FaultWindow,
+    ServerPause,
+    ServerSlowdown,
+    ShareShift,
+)
+from .transient import RequestRecord, TrajectoryPoint, trajectory, window_effect
+
+__all__ = [
+    "DatabaseOverload",
+    "FaultSchedule",
+    "FaultWindow",
+    "RequestRecord",
+    "ServerPause",
+    "ServerSlowdown",
+    "ShareShift",
+    "TrajectoryPoint",
+    "trajectory",
+    "window_effect",
+]

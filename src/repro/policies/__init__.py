@@ -1,0 +1,10 @@
+"""Client-side request policies (hedging, timeout/retry).
+
+:class:`RequestPolicy` declares how the simulated client mitigates slow
+keys; :func:`hedge_delay_from_quantile` picks the standard
+hedge-at-a-quantile trigger from the no-fault latency distribution.
+"""
+
+from .policy import RequestPolicy, hedge_delay_from_quantile
+
+__all__ = ["RequestPolicy", "hedge_delay_from_quantile"]

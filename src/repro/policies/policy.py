@@ -1,0 +1,152 @@
+"""Per-request mitigation policies: timeouts, retries, hedged requests.
+
+The paper's model sends each key once and waits. Production clients do
+not: they hedge (fire a duplicate of a slow key after a delay and take
+the first answer — Dean & Barroso's "tail at scale" trick, the dynamic
+cousin of the static redundancy analyzed in
+:mod:`repro.core.redundancy`), or they time out and retry with backoff.
+:class:`RequestPolicy` is the declarative description of one such
+client-side policy; the event-engine simulator interprets it per key.
+
+The two mechanisms compose: a policy may hedge *and* time out. Both are
+no-ops on the analytic backends, which model the policy-free system —
+the simulators are where policies earn (or lose) their keep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..errors import ConfigError, ValidationError
+
+__all__ = ["RequestPolicy", "hedge_delay_from_quantile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestPolicy:
+    """Client-side per-key mitigation policy.
+
+    Parameters
+    ----------
+    timeout:
+        Per-attempt deadline in seconds. When it expires before the key
+        resolves, outstanding attempts are abandoned and (while retries
+        remain) the key is re-sent.
+    max_retries:
+        Re-sends allowed after the first attempt. Once exhausted, the
+        outstanding attempts race to completion untimed — a key always
+        resolves eventually.
+    backoff:
+        Timeout multiplier applied on each retry (>= 1).
+    hedge_delay:
+        Seconds after dispatch at which a duplicate attempt is fired at
+        a *different* server (the same server when the cluster has only
+        one). ``0.0`` duplicates immediately — static 2-way redundancy,
+        the regime :class:`~repro.core.redundancy.RedundancyModel`
+        predicts analytically.
+    cancel_on_winner:
+        Abandon the losing attempts the moment the first one resolves.
+        Queued losers are dropped without consuming service capacity;
+        in-service losers run out (the server cannot un-serve them).
+    """
+
+    timeout: Optional[float] = None
+    max_retries: int = 0
+    backoff: float = 2.0
+    hedge_delay: Optional[float] = None
+    cancel_on_winner: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout is None and self.hedge_delay is None:
+            raise ValidationError(
+                "a policy must set timeout and/or hedge_delay "
+                "(use policy=None for the policy-free system)"
+            )
+        if self.timeout is not None and self.timeout <= 0.0:
+            raise ValidationError(f"timeout must be > 0, got {self.timeout}")
+        if int(self.max_retries) != self.max_retries or self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be a non-negative integer, got {self.max_retries}"
+            )
+        if self.max_retries > 0 and self.timeout is None:
+            raise ValidationError("max_retries > 0 requires a timeout")
+        if self.backoff < 1.0:
+            raise ValidationError(f"backoff must be >= 1, got {self.backoff}")
+        if self.hedge_delay is not None and self.hedge_delay < 0.0:
+            raise ValidationError(
+                f"hedge_delay must be >= 0, got {self.hedge_delay}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def hedges(self) -> bool:
+        return self.hedge_delay is not None
+
+    @property
+    def times_out(self) -> bool:
+        return self.timeout is not None
+
+    @classmethod
+    def hedged(
+        cls, hedge_delay: float, *, cancel_on_winner: bool = True
+    ) -> "RequestPolicy":
+        """Pure hedging: duplicate each key after ``hedge_delay`` seconds."""
+        return cls(hedge_delay=hedge_delay, cancel_on_winner=cancel_on_winner)
+
+    @classmethod
+    def timeout_retry(
+        cls, timeout: float, *, max_retries: int = 1, backoff: float = 2.0
+    ) -> "RequestPolicy":
+        """Pure timeout/retry: re-send after ``timeout``, up to ``max_retries``."""
+        return cls(timeout=timeout, max_retries=max_retries, backoff=backoff)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RequestPolicy":
+        if not isinstance(payload, dict):
+            raise ConfigError("policy payload must be an object")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(f"unknown policy keys: {sorted(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigError(f"incomplete policy: {exc}") from exc
+
+
+def hedge_delay_from_quantile(
+    workload,
+    service_rate: float,
+    quantile: float,
+    *,
+    pool_size: int = 50_000,
+    seed: int = 0,
+):
+    """Pick a hedge delay at a quantile of the no-fault key latency.
+
+    The standard hedging recipe ("hedge at the p95") fires the duplicate
+    only for keys already slower than the bulk, bounding the extra load
+    at ``1 - quantile`` of the key rate. The quantile comes from the
+    vectorized single-server GI^X/M/1 latency pool for ``workload`` at
+    ``service_rate`` — the same machinery the ``fastpath`` backend uses.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ValidationError(f"quantile must be in (0, 1), got {quantile}")
+    # Local import: repro.simulation imports repro.policies (the system
+    # simulator interprets policies), so the reverse edge must be lazy.
+    import numpy as np
+
+    from ..distributions import make_rng
+    from ..simulation.fastpath import simulate_key_latencies
+
+    pool = simulate_key_latencies(
+        workload, service_rate, n_keys=pool_size, rng=make_rng(seed)
+    )
+    return float(np.quantile(pool, quantile))

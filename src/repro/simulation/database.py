@@ -34,6 +34,7 @@ class DatabaseSim(ServerSim):
         *,
         on_complete: Optional[Callable[[KeyJob], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        rate_factor: Optional[Callable[[float], float]] = None,
     ) -> None:
         super().__init__(
             sim,
@@ -42,6 +43,7 @@ class DatabaseSim(ServerSim):
             name="database",
             on_complete=on_complete,
             metrics=metrics,
+            rate_factor=rate_factor,
         )
 
     @classmethod

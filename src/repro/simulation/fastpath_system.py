@@ -50,6 +50,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..errors import SimulationError, StabilityError, ValidationError
+from ..faults import FaultSchedule
 from .fastpath import lindley_waits
 
 __all__ = ["SystemSample", "simulate_system_requests"]
@@ -108,6 +109,7 @@ def _simulate_pass(
     miss_ratio: float,
     database_rate: Optional[float],
     rng: np.random.Generator,
+    faults: Optional[FaultSchedule] = None,
 ) -> _PassResult:
     """Push ``n_spawn`` requests through servers and database."""
     n_servers = shares_arr.size
@@ -136,11 +138,20 @@ def _simulate_pass(
         sizes = batch_sizes_all[nonzero]
         total_keys = int(sizes.sum())
         services = rng.exponential(1.0 / service_rate, size=total_keys)
+        batch_arrival = arrivals[nonzero] + network_delay
+        if faults is not None:
+            # Slowdown windows scale the service rate; the factor is
+            # evaluated at the key's batch-arrival instant (the engine
+            # evaluates at service *start* — the protocols agree except
+            # for keys whose wait straddles a window edge).
+            factors = faults.server_rate_factors(
+                j, np.repeat(batch_arrival, sizes)
+            )
+            services = services / factors
 
         starts = np.zeros(nonzero.size, dtype=np.int64)
         np.cumsum(sizes[:-1], out=starts[1:])
         batch_service = np.add.reduceat(services, starts)
-        batch_arrival = arrivals[nonzero] + network_delay
         waits = lindley_waits(batch_service, np.diff(batch_arrival))
 
         # Per-key sojourn: batch wait + within-batch inclusive prefix.
@@ -180,6 +191,8 @@ def _simulate_pass(
         db_service = rng.exponential(
             1.0 / float(database_rate), size=db_arrival.size
         )
+        if faults is not None:
+            db_service = db_service / faults.database_rate_factors(db_arrival)
         db_sojourn = lindley_waits(db_service, np.diff(db_arrival)) + db_service
         np.maximum.at(database_max, request_of_miss, db_sojourn)
         np.maximum.at(combo_max, request_of_miss, server_part + db_sojourn)
@@ -207,6 +220,7 @@ def simulate_system_requests(
     network_delay: float = 0.0,
     miss_ratio: float = 0.0,
     database_rate: Optional[float] = None,
+    faults: Optional[FaultSchedule] = None,
 ) -> SystemSample:
     """Simulate the system until ``warmup + n`` requests complete.
 
@@ -217,6 +231,11 @@ def simulate_system_requests(
     Following the engine's protocol, the first ``warmup_requests``
     *completions* shape the queues but are dropped from the returned
     arrays, and the run ends at the ``warmup + n``-th completion.
+
+    ``faults`` accepts the *vectorizable* subset of a
+    :class:`~repro.faults.FaultSchedule` — rate-scaling windows (server
+    slowdowns, database overloads). Pauses and share shifts need the
+    event engine's per-event control flow and are rejected here.
     """
     shares_arr = np.asarray(shares, dtype=float)
     if shares_arr.ndim != 1 or shares_arr.size < 1:
@@ -243,6 +262,16 @@ def simulate_system_requests(
         raise ValidationError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
     if miss_ratio > 0.0 and database_rate is None:
         raise ValidationError("database_rate is required when miss_ratio > 0")
+    if faults is not None and faults.is_empty:
+        faults = None
+    if faults is not None:
+        if not faults.is_vectorizable:
+            raise ValidationError(
+                "fastpath-system supports only rate-scaling fault windows "
+                "(server slowdowns, database overloads); pauses and share "
+                "shifts need the event-engine backend"
+            )
+        faults.validate_for(shares_arr.size)
 
     key_rate = request_rate * n_keys
     rho = float(np.max(shares_arr)) * key_rate / service_rate
@@ -264,6 +293,7 @@ def simulate_system_requests(
         miss_ratio=float(miss_ratio),
         database_rate=database_rate,
         rng=rng,
+        faults=faults,
     )
 
     # The engine spawns requests until the (warmup + n)-th COMPLETION;

@@ -24,7 +24,14 @@ from .metrics import UtilizationMeter
 
 @dataclasses.dataclass
 class KeyJob:
-    """One key's passage through a server queue."""
+    """One key's passage through a server queue.
+
+    ``abandoned`` marks a job cancelled by a client-side policy (timeout
+    or cancel-on-winner): a queued abandoned job is dropped when it
+    reaches the head without consuming service capacity; one already in
+    service runs out (the server cannot un-serve it) but is reported
+    with the flag set so sinks can ignore it.
+    """
 
     key_id: int
     arrival_time: float
@@ -33,6 +40,7 @@ class KeyJob:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     context: object = None
+    abandoned: bool = False
 
     @property
     def wait(self) -> float:
@@ -50,6 +58,10 @@ class KeyJob:
 #: Completion callback: receives the finished job.
 CompletionSink = Callable[[KeyJob], None]
 
+#: Fault hooks: time -> service-rate multiplier / pause-end instant.
+RateFactor = Callable[[float], float]
+PauseUntil = Callable[[float], float]
+
 
 class ServerSim:
     """FIFO single-server queue living on the event engine."""
@@ -63,12 +75,22 @@ class ServerSim:
         name: str = "server",
         on_complete: Optional[CompletionSink] = None,
         metrics: Optional[MetricsRegistry] = None,
+        rate_factor: Optional[RateFactor] = None,
+        pause_until: Optional[PauseUntil] = None,
     ) -> None:
         self._sim = sim
         self._service = service
         self._rng = rng
         self.name = name
         self._on_complete = on_complete
+        # Fault hooks. ``rate_factor(t)`` scales the service *rate* for
+        # jobs starting at t (a sampled service time is divided by it);
+        # ``pause_until(t)`` returns when a pause covering t lifts (t
+        # itself when unpaused) — paused servers start no new service,
+        # in-flight service finishes (the GC-pause model).
+        self._rate_factor = rate_factor
+        self._pause_until = pause_until
+        self._pause_pending = False
         self._queue: Deque[KeyJob] = collections.deque()
         self._busy = False
         self._next_key_id = 0
@@ -153,14 +175,36 @@ class ServerSim:
     def _start_next(self) -> None:
         if self._busy:
             raise SimulationError(f"{self.name}: server already busy")
+        # Abandoned jobs are dropped at the head: a cancelled key that
+        # never reached service consumes no capacity.
+        while self._queue and self._queue[0].abandoned:
+            self._queue.popleft()
         if not self._queue:
             return
+        if self._pause_until is not None:
+            resume = self._pause_until(self._sim.now)
+            if resume > self._sim.now:
+                if not self._pause_pending:
+                    self._pause_pending = True
+                    self._sim.schedule(
+                        resume - self._sim.now, self._resume_from_pause
+                    )
+                return
         job = self._queue.popleft()
         self._busy = True
         self.utilization_meter.server_started(self._sim.now)
         job.start_time = self._sim.now
         service_time = float(self._service.sample(self._rng))
+        if self._rate_factor is not None:
+            factor = self._rate_factor(self._sim.now)
+            if factor != 1.0:
+                service_time /= factor
         self._sim.schedule(service_time, lambda: self._finish(job))
+
+    def _resume_from_pause(self) -> None:
+        self._pause_pending = False
+        if not self._busy:
+            self._start_next()
 
     def _finish(self, job: KeyJob) -> None:
         job.finish_time = self._sim.now

@@ -17,21 +17,28 @@ Models the paper's Fig. 1 end to end on the event engine:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Protocol
+from typing import List, Optional, Protocol, Tuple
 
 import numpy as np
 
-from ..distributions import make_rng, split_rng
+from ..distributions import make_rng, split_rng, spawn_child
 from ..core.cluster import ClusterModel
 from ..core.workload import WorkloadPattern
 
 from ..errors import SimulationError, ValidationError
+from ..faults import FaultSchedule, RequestRecord
 from ..observability import Observability, Span
+from ..policies import RequestPolicy
 from .database import DatabaseSim
-from .engine import Simulator
+from .engine import EventHandle, Simulator
 from .metrics import LatencyRecorder
 from .network import NetworkSim
 from .server import KeyJob, ServerSim
+
+#: spawn_child tag for the policy decision stream (hedge/retry server
+#: picks). A tagged child never collides with the split_rng children
+#: above it, so policy-free runs remain bit-identical.
+_POLICY_RNG_TAG = 101
 
 
 class CacheBackend(Protocol):
@@ -66,12 +73,36 @@ class _RequestState:
 
 
 @dataclasses.dataclass
+class _KeyState:
+    """Policy bookkeeping for one *logical* key.
+
+    A policy can spawn several attempts (hedges, retries) for the same
+    key; the key resolves when its first surviving attempt returns.
+    """
+
+    request: _RequestState
+    key_name: str
+    attempts: List["_KeyContext"] = dataclasses.field(default_factory=list)
+    done: bool = False
+    retries_used: int = 0
+    current_timeout: float = 0.0
+    hedge_timer: Optional[EventHandle] = None
+    timeout_timer: Optional[EventHandle] = None
+
+
+@dataclasses.dataclass
 class _KeyContext:
     request: _RequestState
     key_name: str
     server_index: int
     network_so_far: float = 0.0
     span: Optional[Span] = None
+    # Policy-path fields (inert when no policy is attached).
+    state: Optional[_KeyState] = None
+    abandoned: bool = False
+    server_sojourn: float = 0.0
+    database_sojourn: float = 0.0
+    job: Optional[KeyJob] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -88,6 +119,7 @@ class SystemResults:
     misses: int
     server_utilizations: List[float]
     observability: Optional["Observability"] = None
+    request_log: Optional[Tuple[RequestRecord, ...]] = None
 
     @property
     def measured_miss_ratio(self) -> float:
@@ -124,6 +156,19 @@ class MemcachedSystemSimulator:
         When present, per-request span trees, per-stage/per-server
         histograms, and an event-loop profile are collected; when
         absent the hot path is identical to the uninstrumented one.
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` of time-windowed
+        degradations (server slowdowns/pauses, database overloads,
+        share shifts). ``None`` or an empty schedule is the fault-free
+        system, bit-identical to earlier releases for a given seed.
+    policy:
+        Optional :class:`~repro.policies.RequestPolicy`: per-key
+        hedging and/or timeout-retry with cancel-on-first-winner.
+        Policy decisions draw from their own tagged RNG stream, so
+        ``policy=None`` runs are unaffected.
+    keep_request_log:
+        Record one :class:`~repro.faults.RequestRecord` per completed
+        request (post-warmup) for transient trajectory analysis.
     """
 
     def __init__(
@@ -138,6 +183,9 @@ class MemcachedSystemSimulator:
         cache_backend: Optional[CacheBackend] = None,
         seed: Optional[int] = None,
         observability: Optional[Observability] = None,
+        faults: Optional[FaultSchedule] = None,
+        policy: Optional[RequestPolicy] = None,
+        keep_request_log: bool = False,
     ) -> None:
         if n_keys_per_request < 1:
             raise ValidationError(
@@ -147,6 +195,12 @@ class MemcachedSystemSimulator:
             raise ValidationError(f"request_rate must be > 0, got {request_rate}")
         if miss_ratio > 0.0 and database_rate is None and cache_backend is None:
             raise ValidationError("database_rate is required when miss_ratio > 0")
+        if faults is not None and faults.is_empty:
+            faults = None  # an empty schedule is the fault-free system
+        if faults is not None:
+            faults.validate_for(cluster.n_servers)
+        self._faults = faults
+        self._policy = policy
         self._cluster = cluster
         self._n_keys = int(n_keys_per_request)
         self._request_rate = float(request_rate)
@@ -170,6 +224,22 @@ class MemcachedSystemSimulator:
             *server_rngs,
         ) = split_rng(master, 5 + cluster.n_servers)
 
+        # Policy decisions (hedge/retry server picks) draw from a tagged
+        # child stream so attaching a policy never perturbs the five
+        # split streams above — policy-free runs stay bit-identical.
+        self._rng_policy = (
+            spawn_child(master, tag=_POLICY_RNG_TAG) if policy is not None else None
+        )
+
+        def fault_hooks(j: int) -> dict:
+            """Per-server fault callbacks, only when the schedule needs them."""
+            hooks: dict = {}
+            if faults is not None and faults.has_server_slowdowns:
+                hooks["rate_factor"] = lambda t, j=j: faults.server_rate_factor(j, t)
+            if faults is not None and faults.has_server_pauses:
+                hooks["pause_until"] = lambda t, j=j: faults.server_pause_end(j, t)
+            return hooks
+
         self._network = NetworkSim.constant(self.sim, self._network_delay)
         self._servers = [
             ServerSim.exponential(
@@ -179,6 +249,7 @@ class MemcachedSystemSimulator:
                 name=f"server-{j}",
                 on_complete=self._on_server_complete,
                 metrics=registry,
+                **fault_hooks(j),
             )
             for j in range(cluster.n_servers)
         ]
@@ -192,6 +263,11 @@ class MemcachedSystemSimulator:
                 rng_db,
                 on_complete=self._on_database_complete,
                 metrics=registry,
+                rate_factor=(
+                    faults.database_rate_factor
+                    if faults is not None and faults.has_database_overloads
+                    else None
+                ),
             )
             if needs_db
             else None
@@ -214,6 +290,9 @@ class MemcachedSystemSimulator:
         self._database_stage = LatencyRecorder()
         self._network_stage = LatencyRecorder()
         self._per_key_server = LatencyRecorder(max_samples=500_000)
+        self._request_log: Optional[List[RequestRecord]] = (
+            [] if keep_request_log else None
+        )
 
         # Registry views of the same stages: cheap log-bucketed
         # histograms that serialize into RunReport (the exact-moment
@@ -266,6 +345,14 @@ class MemcachedSystemSimulator:
             self._launch_request()
             self._schedule_next_request()
 
+    def _effective_shares(self, now: float) -> np.ndarray:
+        """Routing shares at ``now`` (fault share shifts override)."""
+        if self._faults is not None and self._faults.has_share_shifts:
+            shifted = self._faults.shares_at(now)
+            if shifted is not None:
+                return np.asarray(shifted, dtype=float)
+        return self._shares
+
     def _launch_request(self) -> None:
         request = _RequestState(
             request_id=self._next_request_id,
@@ -280,20 +367,130 @@ class MemcachedSystemSimulator:
                 request_id=request.request_id,
                 n_keys=self._n_keys,
             )
-        counts = self._rng_routing.multinomial(self._n_keys, self._shares)
+        counts = self._rng_routing.multinomial(
+            self._n_keys, self._effective_shares(self.sim.now)
+        )
+        if self._policy is None:
+            for server_index, count in enumerate(counts):
+                if count == 0:
+                    continue
+                contexts = [
+                    _KeyContext(
+                        request=request,
+                        key_name=f"r{request.request_id}k{self._generated_keys + i}",
+                        server_index=server_index,
+                    )
+                    for i in range(int(count))
+                ]
+                self._generated_keys += int(count)
+                self._dispatch_batch(server_index, contexts)
+            return
+        # Policy path: each key gets its own state machine; keys bound
+        # for the same server still travel as one batch (identical
+        # arrival structure to the policy-free system).
+        armed: List[_KeyState] = []
         for server_index, count in enumerate(counts):
             if count == 0:
                 continue
-            contexts = [
-                _KeyContext(
+            contexts = []
+            for i in range(int(count)):
+                state = _KeyState(
                     request=request,
                     key_name=f"r{request.request_id}k{self._generated_keys + i}",
-                    server_index=server_index,
                 )
-                for i in range(int(count))
-            ]
+                context = _KeyContext(
+                    request=request,
+                    key_name=state.key_name,
+                    server_index=server_index,
+                    state=state,
+                )
+                state.attempts.append(context)
+                contexts.append(context)
+                armed.append(state)
             self._generated_keys += int(count)
             self._dispatch_batch(server_index, contexts)
+        for state in armed:
+            self._arm_timers(state)
+
+    # ------------------------------------------------------------------
+    # Policy machinery (hedging, timeout/retry, cancellation).
+    # ------------------------------------------------------------------
+
+    def _arm_timers(self, state: _KeyState) -> None:
+        policy = self._policy
+        if policy.hedge_delay is not None and state.hedge_timer is None:
+            state.hedge_timer = self.sim.schedule(
+                policy.hedge_delay, lambda: self._fire_hedge(state)
+            )
+        if policy.timeout is not None and state.timeout_timer is None:
+            state.current_timeout = policy.timeout
+            state.timeout_timer = self.sim.schedule(
+                policy.timeout, lambda: self._fire_timeout(state)
+            )
+
+    def _cancel_timers(self, state: _KeyState) -> None:
+        if state.hedge_timer is not None:
+            state.hedge_timer.cancel()
+            state.hedge_timer = None
+        if state.timeout_timer is not None:
+            state.timeout_timer.cancel()
+            state.timeout_timer = None
+
+    def _pick_server(self, exclude: Optional[int] = None) -> int:
+        """Draw a server from the routing shares (policy stream).
+
+        ``exclude`` removes the primary attempt's server for hedges — a
+        duplicate on the same queue would wait behind its own original.
+        """
+        shares = np.array(self._effective_shares(self.sim.now), dtype=float)
+        if exclude is not None and shares.size > 1:
+            shares[exclude] = 0.0
+        total = shares.sum()
+        if total <= 0.0 or shares.size == 1:
+            return exclude if exclude is not None else 0
+        return int(self._rng_policy.choice(shares.size, p=shares / total))
+
+    def _launch_attempt(self, state: _KeyState, server_index: int) -> None:
+        context = _KeyContext(
+            request=state.request,
+            key_name=f"{state.key_name}a{len(state.attempts)}",
+            server_index=server_index,
+            state=state,
+        )
+        state.attempts.append(context)
+        self._dispatch_batch(server_index, [context])
+
+    def _fire_hedge(self, state: _KeyState) -> None:
+        state.hedge_timer = None
+        if state.done:
+            return
+        primary = state.attempts[0].server_index
+        self._launch_attempt(state, self._pick_server(exclude=primary))
+
+    def _fire_timeout(self, state: _KeyState) -> None:
+        state.timeout_timer = None
+        if state.done:
+            return
+        if state.retries_used >= self._policy.max_retries:
+            # Retries exhausted: the outstanding attempts race untimed,
+            # so the key (and its request) always completes.
+            return
+        for attempt in state.attempts:
+            self._abandon_attempt(attempt)
+        state.retries_used += 1
+        state.current_timeout *= self._policy.backoff
+        self._launch_attempt(state, self._pick_server())
+        state.timeout_timer = self.sim.schedule(
+            state.current_timeout, lambda: self._fire_timeout(state)
+        )
+
+    def _abandon_attempt(self, context: _KeyContext) -> None:
+        if context.abandoned:
+            return
+        context.abandoned = True
+        job = context.job
+        if job is not None and job.finish_time is None:
+            job.abandoned = True
 
     def _dispatch_batch(self, server_index: int, contexts: List[_KeyContext]) -> None:
         # One network traversal per key; all keys of the batch arrive
@@ -310,7 +507,10 @@ class MemcachedSystemSimulator:
                     context.span.attributes["queue_depth_at_enqueue"] = (
                         base_depth + position
                     )
-            server.offer_batch(now, len(contexts), contexts=contexts)
+            jobs = server.offer_batch(now, len(contexts), contexts=contexts)
+            if self._policy is not None:
+                for context, job in zip(contexts, jobs):
+                    context.job = job
 
         delay = self._network.send(deliver)
         now = self.sim.now
@@ -333,9 +533,16 @@ class MemcachedSystemSimulator:
     def _on_server_complete(self, job: KeyJob) -> None:
         context = job.context
         assert isinstance(context, _KeyContext)
+        if context.abandoned:
+            # A cancelled attempt that was already in service: the
+            # capacity is spent, but it contributes nothing further.
+            return
         request = context.request
         sojourn = job.sojourn
-        request.max_server = max(request.max_server, sojourn)
+        if context.state is None:
+            request.max_server = max(request.max_server, sojourn)
+        else:
+            context.server_sojourn = sojourn
         self._per_key_server.record(sojourn)
         if self._hist_key_sojourn is not None:
             self._hist_key_sojourn.record(sojourn)
@@ -357,14 +564,21 @@ class MemcachedSystemSimulator:
             self._misses += 1
             if self._ctr_misses is not None:
                 self._ctr_misses.inc()
-            self._database.offer_key(self.sim.now, context=context)
+            db_job = self._database.offer_key(self.sim.now, context=context)
+            if self._policy is not None:
+                context.job = db_job
 
     def _on_database_complete(self, job: KeyJob) -> None:
         context = job.context
         assert isinstance(context, _KeyContext)
-        context.request.max_database = max(
-            context.request.max_database, job.sojourn
-        )
+        if context.abandoned:
+            return
+        if context.state is None:
+            context.request.max_database = max(
+                context.request.max_database, job.sojourn
+            )
+        else:
+            context.database_sojourn = job.sojourn
         if context.span is not None:
             context.span.child(
                 "database",
@@ -382,12 +596,34 @@ class MemcachedSystemSimulator:
 
         delay = self._network.send(delivered)
         context.network_so_far += delay
-        request.max_network = max(request.max_network, context.network_so_far)
+        if context.state is None:
+            request.max_network = max(request.max_network, context.network_so_far)
         if context.span is not None:
             context.span.child("network.in", self.sim.now, end=self.sim.now + delay)
 
     def _key_done(self, context: _KeyContext) -> None:
         request = context.request
+        state = context.state
+        if state is not None:
+            if context.abandoned or state.done:
+                # A losing attempt arriving after the key resolved (or
+                # after its timeout): spent load, nothing to record.
+                if context.span is not None:
+                    context.span.finish(self.sim.now)
+                return
+            state.done = True
+            self._cancel_timers(state)
+            if self._policy.cancel_on_winner:
+                for attempt in state.attempts:
+                    if attempt is not context:
+                        self._abandon_attempt(attempt)
+            # Only the winning attempt's stage times shape the request's
+            # fork-join maxima — exactly what the client observed.
+            request.max_server = max(request.max_server, context.server_sojourn)
+            request.max_database = max(
+                request.max_database, context.database_sojourn
+            )
+            request.max_network = max(request.max_network, context.network_so_far)
         request.pending -= 1
         if request.pending < 0:  # pragma: no cover - defensive
             raise SimulationError("request completed more keys than it has")
@@ -399,6 +635,17 @@ class MemcachedSystemSimulator:
             self._server_stage.record(request.max_server)
             self._database_stage.record(request.max_database)
             self._network_stage.record(request.max_network)
+            if self._request_log is not None:
+                self._request_log.append(
+                    RequestRecord(
+                        born=request.born,
+                        completed=self.sim.now,
+                        total=total,
+                        server=request.max_server,
+                        database=request.max_database,
+                        network=request.max_network,
+                    )
+                )
             if self._hist_total is not None:
                 self._hist_total.record(total)
                 self._hist_server_max.record(request.max_server)
@@ -455,6 +702,9 @@ class MemcachedSystemSimulator:
                 for server in self._servers
             ],
             observability=self.observability,
+            request_log=(
+                tuple(self._request_log) if self._request_log is not None else None
+            ),
         )
 
     def _reset_recorders(self) -> None:
@@ -463,6 +713,8 @@ class MemcachedSystemSimulator:
         self._database_stage = LatencyRecorder()
         self._network_stage = LatencyRecorder()
         self._per_key_server = LatencyRecorder(max_samples=500_000)
+        if self._request_log is not None:
+            self._request_log = []
         # Observability resets in place: the histogram/counter objects
         # held by servers and the database stay valid.
         if self.observability is not None:

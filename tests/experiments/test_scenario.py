@@ -10,8 +10,57 @@ from repro.config import ExperimentConfig
 from repro.core import LatencyEstimate
 from repro.errors import ConfigError, ValidationError
 from repro.experiments import BACKENDS, Scenario, cell_metrics
+from repro.faults import (
+    DatabaseOverload,
+    FaultSchedule,
+    ServerPause,
+    ServerSlowdown,
+    ShareShift,
+)
+from repro.policies import RequestPolicy
 from repro.simulation import SimulationResult
 from repro.units import kps, msec, usec
+
+#: Hypothesis strategies for the optional fault/policy fields, covering
+#: the absent (None) default alongside every window/policy shape that is
+#: valid independent of the cluster size.
+_fault_windows = st.one_of(
+    st.builds(
+        ServerSlowdown,
+        start=st.floats(0.0, 1.0),
+        duration=st.floats(1e-3, 1.0),
+        factor=st.floats(0.05, 1.0),
+    ),
+    st.builds(
+        ServerPause,
+        start=st.floats(0.0, 1.0),
+        duration=st.floats(1e-3, 1.0),
+    ),
+    st.builds(
+        DatabaseOverload,
+        start=st.floats(0.0, 1.0),
+        duration=st.floats(1e-3, 1.0),
+        factor=st.floats(0.05, 1.0),
+    ),
+)
+_fault_schedules = st.one_of(
+    st.none(),
+    st.builds(
+        FaultSchedule,
+        st.lists(_fault_windows, min_size=1, max_size=3).map(tuple),
+    ),
+)
+_policies = st.one_of(
+    st.none(),
+    st.builds(RequestPolicy.hedged, st.floats(1e-6, 1e-2)),
+    st.builds(
+        lambda timeout, retries: RequestPolicy.timeout_retry(
+            timeout, max_retries=retries
+        ),
+        st.floats(1e-6, 1e-2),
+        st.integers(1, 3),
+    ),
+)
 
 
 def small_scenario(**overrides):
@@ -62,6 +111,8 @@ class TestRoundTrips:
         miss_ratio=st.floats(0.0, 1.0),
         database_rate=st.one_of(st.none(), st.floats(1.0, 1e5)),
         seed=st.integers(0, 2**63 - 1),
+        faults=_fault_schedules,
+        policy=_policies,
     )
     def test_config_round_trip_property(self, **fields):
         scenario = Scenario(**fields)
@@ -74,6 +125,40 @@ class TestRoundTrips:
         ExperimentConfig.paper_section_5_1().save(path)
         loaded = Scenario.from_config(ExperimentConfig.load(path))
         assert loaded == Scenario.paper_section_5_1()
+
+    def test_fault_policy_json_round_trip(self, tmp_path):
+        scenario = small_scenario(
+            n_servers=2,
+            faults=FaultSchedule(
+                (
+                    ServerSlowdown(
+                        start=0.01, duration=0.05, factor=0.5, server=1
+                    ),
+                    ShareShift(start=0.02, duration=0.03, shares=(0.8, 0.2)),
+                )
+            ),
+            policy=RequestPolicy.hedged(usec(300)),
+        )
+        path = tmp_path / "config.json"
+        scenario.to_config().save(path)
+        loaded = Scenario.from_config(ExperimentConfig.load(path))
+        assert loaded == scenario
+        assert loaded.faults.windows[1].shares == (0.8, 0.2)
+        assert loaded.policy.hedge_delay == pytest.approx(usec(300))
+
+    def test_payload_dicts_coerced_to_typed_fields(self):
+        scenario = small_scenario(
+            faults={"windows": [{"kind": "server-pause", "start": 0.0,
+                                 "duration": 0.01}]},
+            policy={"timeout": 0.001, "max_retries": 2},
+        )
+        assert isinstance(scenario.faults, FaultSchedule)
+        assert isinstance(scenario.faults.windows[0], ServerPause)
+        assert isinstance(scenario.policy, RequestPolicy)
+
+    def test_empty_schedule_normalizes_to_none(self):
+        assert small_scenario(faults=FaultSchedule(())).faults is None
+        assert small_scenario(faults=FaultSchedule(())) == small_scenario()
 
 
 class TestValidation:
@@ -161,15 +246,88 @@ class TestDispatch:
         assert a == b
 
 
+class TestFaultPolicyDispatch:
+    def test_estimate_rejects_faults(self):
+        scenario = small_scenario(
+            faults=FaultSchedule.single(ServerSlowdown(start=0.0, duration=0.1))
+        )
+        with pytest.raises(ConfigError):
+            scenario.run("estimate")
+
+    def test_estimate_rejects_policy(self):
+        with pytest.raises(ConfigError):
+            small_scenario(policy=RequestPolicy.hedged(usec(200))).run(
+                "estimate"
+            )
+
+    def test_fastpath_rejects_faults(self):
+        scenario = small_scenario(
+            faults=FaultSchedule.single(ServerPause(start=0.0, duration=0.1))
+        )
+        with pytest.raises(ConfigError):
+            scenario.run("fastpath", pool_size=1_000)
+
+    def test_fastpath_system_rejects_policy(self):
+        with pytest.raises(ConfigError):
+            small_scenario(policy=RequestPolicy.hedged(usec(200))).run(
+                "fastpath-system"
+            )
+
+    def test_fastpath_system_rejects_non_vectorizable_faults(self):
+        scenario = small_scenario(
+            faults=FaultSchedule.single(ServerPause(start=0.0, duration=0.1))
+        )
+        with pytest.raises(ValidationError):
+            scenario.run("fastpath-system")
+
+    def test_simulate_accepts_faults_and_policy(self):
+        scenario = small_scenario(
+            faults=FaultSchedule.single(
+                DatabaseOverload(start=0.0, duration=0.05, factor=0.5)
+            ),
+            policy=RequestPolicy.hedged(usec(500)),
+        )
+        result = scenario.run("simulate")
+        assert isinstance(result, SimulationResult)
+        assert result.total.count > 0
+
+
 class TestCellMetrics:
     def test_estimate_metrics(self):
         metrics = cell_metrics(small_scenario().estimate())
-        assert {"mean", "total_lower", "total_upper", "server_lower"} <= set(
-            metrics
-        )
-        assert metrics["total_lower"] <= metrics["mean"] <= metrics["total_upper"]
+        assert {
+            "mean",
+            "ci_low",
+            "ci_high",
+            "server_mean",
+            "server_ci_low",
+            "server_ci_high",
+            "database_mean",
+            "network_mean",
+        } <= set(metrics)
+        assert metrics["ci_low"] <= metrics["mean"] <= metrics["ci_high"]
+        assert "total_lower" not in metrics  # estimate-only aliases are gone
 
     def test_simulation_metrics(self):
         metrics = cell_metrics(small_scenario().run("fastpath", pool_size=5_000))
         assert {"mean", "p95", "p99", "server_mean"} <= set(metrics)
         assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_shared_vocabulary_across_backends(self):
+        """Both result kinds expose one StageStats-shaped summary."""
+        shared = {
+            "mean",
+            "ci_low",
+            "ci_high",
+            "server_mean",
+            "server_ci_low",
+            "server_ci_high",
+            "database_mean",
+            "network_mean",
+        }
+        estimate = cell_metrics(small_scenario().estimate())
+        simulated = cell_metrics(
+            small_scenario().run("fastpath", pool_size=5_000)
+        )
+        assert shared <= set(estimate)
+        assert shared <= set(simulated)

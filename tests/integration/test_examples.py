@@ -40,6 +40,7 @@ def test_example_inventory():
         "cache_sizing.py",
         "tail_latency_and_redundancy.py",
         "failure_recovery.py",
+        "failure_mitigation.py",
         "diurnal_provisioning.py",
     }
     assert expected <= set(ALL_EXAMPLES)
@@ -90,3 +91,9 @@ class TestHeavyExamples:
         out = run_example("diurnal_provisioning.py", capsys)
         assert "Per-phase" in out
         assert "required muS" in out
+
+    def test_failure_mitigation(self, capsys):
+        out = run_example("failure_mitigation.py", capsys)
+        assert "slowdown window" in out
+        assert "overloaded-database transient" in out
+        assert "<- window" in out

@@ -140,24 +140,6 @@ class TestExperiment:
         assert "error" in capsys.readouterr().err
 
 
-class TestDeprecatedHelpers:
-    def test_workload_from_warns(self):
-        from repro.cli import _workload_from
-
-        args = build_parser().parse_args(["estimate"])
-        with pytest.warns(DeprecationWarning, match="Scenario"):
-            workload = _workload_from(args)
-        assert workload.rate == pytest.approx(62_500.0)
-
-    def test_model_from_warns(self):
-        from repro.cli import _model_from
-
-        args = build_parser().parse_args(["estimate"])
-        with pytest.warns(DeprecationWarning, match="Scenario"):
-            model = _model_from(args)
-        assert model.estimate(10).total_lower > 0
-
-
 class TestCliffTable:
     def test_lists_all_xis(self, capsys):
         assert main(["cliff-table"]) == 0
@@ -190,6 +172,67 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "T(N)" in out
         assert "miss ratio" in out
+
+
+class TestFaultPolicyFlags:
+    _BASE = ["simulate", "--requests", "100", "--n-keys", "10", "--rate", "20"]
+
+    def test_inline_fault_json(self, capsys):
+        spec = (
+            '{"windows": [{"kind": "server-slowdown", "start": 0.001,'
+            ' "duration": 0.01, "factor": 0.5}]}'
+        )
+        assert main(self._BASE + ["--faults", spec]) == 0
+        assert "T(N)" in capsys.readouterr().out
+
+    def test_fault_file(self, tmp_path, capsys):
+        from repro.faults import DatabaseOverload, FaultSchedule
+
+        path = tmp_path / "faults.json"
+        FaultSchedule.single(
+            DatabaseOverload(start=0.001, duration=0.01, factor=0.5)
+        ).save(path)
+        assert main(self._BASE + ["--faults", str(path)]) == 0
+        assert "T(N)" in capsys.readouterr().out
+
+    def test_missing_fault_file_errors(self, capsys):
+        assert main(self._BASE + ["--faults", "no/such/file.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_hedge_delay(self, capsys):
+        assert main(self._BASE + ["--hedge-delay", "300"]) == 0
+        assert "T(N)" in capsys.readouterr().out
+
+    def test_hedge_delay_and_quantile_conflict(self, capsys):
+        code = main(
+            self._BASE
+            + ["--hedge-delay", "300", "--hedge-quantile", "0.95"]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_key_timeout_retry(self, capsys):
+        code = main(
+            self._BASE
+            + ["--key-timeout", "500", "--max-retries", "2",
+               "--retry-backoff", "1.5"]
+        )
+        assert code == 0
+        assert "T(N)" in capsys.readouterr().out
+
+    def test_fastpath_system_rejects_policy(self, capsys):
+        code = main(
+            self._BASE
+            + ["--backend", "fastpath-system", "--hedge-delay", "300"]
+        )
+        assert code == 1
+        assert "policy" in capsys.readouterr().err
+
+    def test_deprecated_helpers_are_gone(self):
+        import repro.cli as cli
+
+        assert not hasattr(cli, "_workload_from")
+        assert not hasattr(cli, "_model_from")
 
 
 class TestConfigWorkflow:

@@ -1,0 +1,284 @@
+"""Unit tests for the declarative fault-schedule subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ValidationError
+from repro.faults import (
+    DatabaseOverload,
+    FaultSchedule,
+    FaultWindow,
+    RequestRecord,
+    ServerPause,
+    ServerSlowdown,
+    ShareShift,
+    trajectory,
+    window_effect,
+)
+
+
+class TestWindows:
+    def test_active_half_open(self):
+        window = FaultWindow(start=1.0, duration=2.0)
+        assert not window.active(0.999)
+        assert window.active(1.0)
+        assert window.active(2.999)
+        assert not window.active(3.0)
+        assert window.end == pytest.approx(3.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValidationError):
+            FaultWindow(start=-0.1, duration=1.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValidationError):
+            FaultWindow(start=0.0, duration=0.0)
+
+    def test_slowdown_factor_range(self):
+        with pytest.raises(ValidationError):
+            ServerSlowdown(start=0.0, duration=1.0, factor=0.0)
+        with pytest.raises(ValidationError):
+            ServerSlowdown(start=0.0, duration=1.0, factor=1.5)
+        ServerSlowdown(start=0.0, duration=1.0, factor=1.0)  # boundary ok
+
+    def test_overload_factor_range(self):
+        with pytest.raises(ValidationError):
+            DatabaseOverload(start=0.0, duration=1.0, factor=-0.5)
+
+    def test_share_shift_must_sum_to_one(self):
+        with pytest.raises(ValidationError):
+            ShareShift(start=0.0, duration=1.0, shares=(0.5, 0.4))
+        shift = ShareShift(start=0.0, duration=1.0, shares=[0.5, 0.5])
+        assert shift.shares == (0.5, 0.5)  # coerced to tuple
+
+    def test_negative_server_index_rejected(self):
+        with pytest.raises(ValidationError):
+            ServerPause(start=0.0, duration=1.0, server=-1)
+
+
+class TestScheduleQueries:
+    def test_empty_schedule_is_identity(self):
+        schedule = FaultSchedule()
+        assert schedule.is_empty
+        assert schedule.horizon == 0.0
+        assert schedule.server_rate_factor(0, 1.0) == 1.0
+        assert schedule.database_rate_factor(1.0) == 1.0
+        assert schedule.server_pause_end(0, 1.0) == 1.0
+        assert schedule.shares_at(1.0) is None
+        assert schedule.is_vectorizable
+
+    def test_overlapping_slowdowns_multiply(self):
+        schedule = FaultSchedule(
+            (
+                ServerSlowdown(start=0.0, duration=2.0, factor=0.5),
+                ServerSlowdown(start=1.0, duration=2.0, factor=0.5, server=0),
+            )
+        )
+        assert schedule.server_rate_factor(0, 0.5) == pytest.approx(0.5)
+        assert schedule.server_rate_factor(0, 1.5) == pytest.approx(0.25)
+        assert schedule.server_rate_factor(1, 1.5) == pytest.approx(0.5)
+        assert schedule.server_rate_factor(1, 2.5) == pytest.approx(1.0)
+
+    def test_chained_pauses_union(self):
+        schedule = FaultSchedule(
+            (
+                ServerPause(start=1.0, duration=1.0),
+                ServerPause(start=1.5, duration=1.0, server=0),
+            )
+        )
+        # At t=1.2 the first pause runs to 2.0, where the second is
+        # still active and extends the stall to 2.5.
+        assert schedule.server_pause_end(0, 1.2) == pytest.approx(2.5)
+        assert schedule.server_pause_end(1, 1.2) == pytest.approx(2.0)
+        assert schedule.server_pause_end(0, 3.0) == pytest.approx(3.0)
+
+    def test_latest_starting_share_shift_wins(self):
+        schedule = FaultSchedule(
+            (
+                ShareShift(start=0.0, duration=3.0, shares=(0.9, 0.1)),
+                ShareShift(start=1.0, duration=1.0, shares=(0.2, 0.8)),
+            )
+        )
+        assert schedule.shares_at(0.5) == (0.9, 0.1)
+        assert schedule.shares_at(1.5) == (0.2, 0.8)
+        assert schedule.shares_at(2.5) == (0.9, 0.1)
+        assert schedule.shares_at(4.0) is None
+
+    def test_vectorized_factors_match_point_queries(self):
+        schedule = FaultSchedule(
+            (
+                ServerSlowdown(start=0.5, duration=1.0, factor=0.5, server=1),
+                DatabaseOverload(start=1.0, duration=1.0, factor=0.25),
+            )
+        )
+        times = np.linspace(0.0, 3.0, 61)
+        for j in (0, 1):
+            vectorized = schedule.server_rate_factors(j, times)
+            points = [schedule.server_rate_factor(j, t) for t in times]
+            assert vectorized.tolist() == pytest.approx(points)
+        assert schedule.database_rate_factors(times).tolist() == pytest.approx(
+            [schedule.database_rate_factor(t) for t in times]
+        )
+
+    def test_vectorizable_flag(self):
+        rate_only = FaultSchedule(
+            (
+                ServerSlowdown(start=0.0, duration=1.0),
+                DatabaseOverload(start=0.0, duration=1.0),
+            )
+        )
+        assert rate_only.is_vectorizable
+        assert not rate_only.extended(
+            ServerPause(start=0.0, duration=1.0)
+        ).is_vectorizable
+
+    def test_validate_for_rejects_out_of_range_server(self):
+        schedule = FaultSchedule.single(
+            ServerSlowdown(start=0.0, duration=1.0, server=4)
+        )
+        schedule.validate_for(5)
+        with pytest.raises(ValidationError):
+            schedule.validate_for(4)
+
+    def test_validate_for_rejects_wrong_share_length(self):
+        schedule = FaultSchedule.single(
+            ShareShift(start=0.0, duration=1.0, shares=(0.5, 0.5))
+        )
+        schedule.validate_for(2)
+        with pytest.raises(ValidationError):
+            schedule.validate_for(3)
+
+    def test_horizon(self):
+        schedule = FaultSchedule(
+            (
+                ServerPause(start=0.0, duration=1.0),
+                DatabaseOverload(start=2.0, duration=3.0),
+            )
+        )
+        assert schedule.horizon == pytest.approx(5.0)
+
+
+class TestSerialization:
+    def _full_schedule(self):
+        return FaultSchedule(
+            (
+                ServerSlowdown(start=0.0, duration=1.0, factor=0.5, server=1),
+                ServerPause(start=1.0, duration=0.5),
+                DatabaseOverload(start=2.0, duration=1.0, factor=0.25),
+                ShareShift(start=3.0, duration=1.0, shares=(0.7, 0.3)),
+            )
+        )
+
+    def test_dict_round_trip_all_kinds(self):
+        schedule = self._full_schedule()
+        assert FaultSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_json_round_trip(self):
+        schedule = self._full_schedule()
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_file_round_trip(self, tmp_path):
+        schedule = self._full_schedule()
+        path = tmp_path / "faults.json"
+        schedule.save(path)
+        assert FaultSchedule.load(path) == schedule
+
+    def test_kind_discriminators_present(self):
+        kinds = [w["kind"] for w in self._full_schedule().to_dict()["windows"]]
+        assert kinds == [
+            "server-slowdown",
+            "server-pause",
+            "database-overload",
+            "share-shift",
+        ]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_dict(
+                {"windows": [{"kind": "meteor-strike", "start": 0, "duration": 1}]}
+            )
+
+    def test_unknown_window_key_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_dict(
+                {
+                    "windows": [
+                        {
+                            "kind": "server-pause",
+                            "start": 0,
+                            "duration": 1,
+                            "bogus": 2,
+                        }
+                    ]
+                }
+            )
+
+    def test_unknown_schedule_key_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.from_dict({"windows": [], "bogus": 1})
+
+
+def _record(completed, database=0.0, total=1e-3):
+    return RequestRecord(
+        born=completed - total,
+        completed=completed,
+        total=total,
+        server=total / 2,
+        database=database,
+        network=0.0,
+    )
+
+
+class TestTrajectory:
+    def test_buckets_cover_completions(self):
+        log = [_record(0.1 * i, total=1e-3 * (i + 1)) for i in range(50)]
+        points = trajectory(log, n_buckets=5)
+        assert sum(p.count for p in points) == 50
+        assert all(p.start < p.end for p in points)
+        # Totals grow with completion time, so bucket means must too.
+        means = [p.mean_total for p in points]
+        assert means == sorted(means)
+
+    def test_empty_log(self):
+        assert trajectory([]) == []
+
+    def test_empty_buckets_dropped(self):
+        log = [_record(0.0), _record(10.0)]
+        points = trajectory(log, n_buckets=10)
+        assert len(points) == 2
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(ValidationError):
+            trajectory([_record(0.0)], n_buckets=0)
+
+
+class TestWindowEffect:
+    def test_phases_split_on_completion_time(self):
+        log = (
+            [_record(t, database=1e-4) for t in np.linspace(0.0, 0.9, 10)]
+            + [_record(t, database=5e-3) for t in np.linspace(1.0, 1.9, 10)]
+            + [_record(t, database=1e-4) for t in np.linspace(2.0, 2.9, 10)]
+        )
+        effect = window_effect(log, window_start=1.0, window_end=2.0)
+        assert effect["during"] > 10 * effect["before"]
+        assert effect["after"] == pytest.approx(effect["before"])
+
+    def test_settle_excludes_drain(self):
+        log = [_record(2.1, database=9e-3), _record(3.0, database=1e-4)]
+        effect = window_effect(
+            log, window_start=1.0, window_end=2.0, settle=0.5
+        )
+        assert effect["after"] == pytest.approx(1e-4)
+
+    def test_empty_phase_is_nan(self):
+        effect = window_effect(
+            [_record(0.5)], window_start=1.0, window_end=2.0
+        )
+        assert np.isnan(effect["during"])
+        assert np.isnan(effect["after"])
+
+    def test_rejects_bad_window_or_stage(self):
+        with pytest.raises(ValidationError):
+            window_effect([], window_start=2.0, window_end=1.0)
+        with pytest.raises(ValidationError):
+            window_effect([], window_start=0.0, window_end=1.0, stage="gpu")

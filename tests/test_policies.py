@@ -1,0 +1,95 @@
+"""Unit tests for client-side request policies."""
+
+import pytest
+
+from repro.core import WorkloadPattern
+from repro.errors import ConfigError, ValidationError
+from repro.policies import RequestPolicy, hedge_delay_from_quantile
+from repro.units import kps, usec
+
+
+class TestValidation:
+    def test_requires_some_mechanism(self):
+        with pytest.raises(ValidationError):
+            RequestPolicy()
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValidationError):
+            RequestPolicy(timeout=0.0)
+
+    def test_retries_require_timeout(self):
+        with pytest.raises(ValidationError):
+            RequestPolicy(hedge_delay=1e-4, max_retries=1)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValidationError):
+            RequestPolicy(timeout=1e-3, max_retries=-1)
+
+    def test_rejects_sub_unit_backoff(self):
+        with pytest.raises(ValidationError):
+            RequestPolicy(timeout=1e-3, backoff=0.5)
+
+    def test_rejects_negative_hedge_delay(self):
+        with pytest.raises(ValidationError):
+            RequestPolicy(hedge_delay=-1e-6)
+
+    def test_zero_hedge_delay_is_static_redundancy(self):
+        policy = RequestPolicy.hedged(0.0, cancel_on_winner=False)
+        assert policy.hedges
+        assert not policy.times_out
+
+    def test_constructors(self):
+        hedge = RequestPolicy.hedged(usec(300))
+        assert hedge.hedge_delay == pytest.approx(usec(300))
+        assert hedge.cancel_on_winner
+        retry = RequestPolicy.timeout_retry(usec(500), max_retries=2, backoff=1.5)
+        assert retry.timeout == pytest.approx(usec(500))
+        assert retry.max_retries == 2
+        assert retry.backoff == 1.5
+
+    def test_mechanisms_compose(self):
+        both = RequestPolicy(timeout=1e-3, max_retries=1, hedge_delay=2e-4)
+        assert both.hedges and both.times_out
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        policy = RequestPolicy(
+            timeout=1e-3,
+            max_retries=2,
+            backoff=1.5,
+            hedge_delay=2e-4,
+            cancel_on_winner=False,
+        )
+        assert RequestPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            RequestPolicy.from_dict({"timeout": 1e-3, "bogus": 1})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConfigError):
+            RequestPolicy.from_dict([1, 2, 3])
+
+
+class TestHedgeDelayFromQuantile:
+    def test_monotone_in_quantile(self):
+        workload = WorkloadPattern(rate=kps(62.5), xi=0.15, q=0.1)
+        p50 = hedge_delay_from_quantile(
+            workload, kps(80), 0.5, pool_size=20_000
+        )
+        p95 = hedge_delay_from_quantile(
+            workload, kps(80), 0.95, pool_size=20_000
+        )
+        assert 0.0 < p50 < p95
+
+    def test_deterministic_in_seed(self):
+        workload = WorkloadPattern(rate=kps(62.5), xi=0.15, q=0.1)
+        a = hedge_delay_from_quantile(workload, kps(80), 0.9, pool_size=5_000)
+        b = hedge_delay_from_quantile(workload, kps(80), 0.9, pool_size=5_000)
+        assert a == b
+
+    def test_rejects_bad_quantile(self):
+        workload = WorkloadPattern(rate=kps(62.5), xi=0.15, q=0.1)
+        with pytest.raises(ValidationError):
+            hedge_delay_from_quantile(workload, kps(80), 1.0)
