@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.core import WorkloadPattern
 from repro.experiments import Scenario, SuiteResult, run_suite, sweep_suite
-from repro.observability import to_jsonable
+from repro.observability import provenance, to_jsonable
 from repro.units import kps, msec, usec
 
 #: §5.1 testbed constants.
@@ -126,7 +126,11 @@ def emit_artifact(title: str, payload: Dict[str, object]) -> Optional[Path]:
     directory.mkdir(parents=True, exist_ok=True)
     slug = re.sub(r"[^a-z0-9]+", "-", title.lower()).strip("-") or "series"
     path = directory / f"{slug}.json"
-    document = {"kind": "repro-bench-artifact", "title": title}
+    document = {
+        "kind": "repro-bench-artifact",
+        "title": title,
+        "provenance": provenance(),
+    }
     document.update(to_jsonable(payload))
     path.write_text(json.dumps(document, indent=2, sort_keys=True))
     return path

@@ -77,11 +77,17 @@ from .faults import (
     window_effect,
 )
 from .observability import (
+    AlertWindow,
+    BurnRateRule,
     Histogram,
     MetricsRegistry,
     Observability,
     RunReport,
+    SLOMonitor,
+    SLORule,
+    Timeline,
     Tracer,
+    detection_scores,
 )
 from .policies import RequestPolicy, hedge_delay_from_quantile
 from .experiments import (
@@ -110,6 +116,8 @@ from .simulation import (
 
 __all__ = [
     "AdvisorReport",
+    "AlertWindow",
+    "BurnRateRule",
     "CacheCapacityError",
     "CacheError",
     "ClusterModel",
@@ -143,6 +151,8 @@ __all__ = [
     "RequestPolicy",
     "RequestRecord",
     "RunReport",
+    "SLOMonitor",
+    "SLORule",
     "Scenario",
     "ServerPause",
     "ServerSlowdown",
@@ -157,6 +167,7 @@ __all__ = [
     "StageStats",
     "Suite",
     "SuiteResult",
+    "Timeline",
     "Tracer",
     "TrajectoryPoint",
     "ValidationError",
@@ -166,6 +177,7 @@ __all__ = [
     "advise",
     "cliff_utilization",
     "delta_for_utilization",
+    "detection_scores",
     "hedge_delay_from_quantile",
     "run_suite",
     "sweep_suite",

@@ -4,6 +4,7 @@ Subcommands map to the paper's workflows::
 
     repro estimate     Theorem 1 bounds for one configuration
     repro simulate     closed-loop system simulation
+    repro monitor      windowed telemetry + SLO dashboard for one run
     repro sweep        one-factor sweeps through the factor registry
     repro experiment   multi-factor grids on the parallel runner
     repro cliff-table  reproduce Table 4
@@ -14,8 +15,8 @@ Subcommands map to the paper's workflows::
 
 All rates are entered in Kps (thousand keys per second) and times in
 microseconds, matching the paper's units; output is aligned text.
-``estimate``, ``simulate``, ``validate``, ``sweep``, and ``experiment``
-accept a ``--json`` flag (before or after the subcommand) for
+``estimate``, ``simulate``, ``monitor``, ``validate``, ``sweep``, and
+``experiment`` accept a ``--json`` flag (before or after the subcommand) for
 machine-readable output through the shared run-report serializer.
 
 Parameter parsing funnels through one object:
@@ -29,7 +30,9 @@ process-parallel, resumable) :class:`~repro.experiments.ExperimentRunner`.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -56,9 +59,19 @@ from .experiments import (
     run_suite,
     sweep_suite,
 )
-from .observability import Observability, RunReport, Span, json_dumps
+from .observability import (
+    BurnRateRule,
+    Observability,
+    RunReport,
+    SLOMonitor,
+    SLORule,
+    Span,
+    Timeline,
+    json_dumps,
+    provenance,
+)
 from .queueing import PAPER_TABLE_4, cliff_table
-from .units import kps, to_usec, usec
+from .units import kps, to_kps, to_msec, to_usec, usec
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -125,6 +138,27 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=DEFAULT_POOL_SIZE,
         help="fastpath per-server latency pool size",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one progress line per completed cell to stderr",
+    )
+
+
+def _add_timeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeline",
+        default=None,
+        metavar="PATH",
+        help="record windowed telemetry and write the Timeline JSON here",
+    )
+    parser.add_argument(
+        "--timeline-windows",
+        type=int,
+        default=60,
+        metavar="K",
+        help="windows the run is sliced into (default 60)",
     )
 
 
@@ -321,6 +355,13 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_timeline(args: argparse.Namespace, timeline) -> None:
+    """Write ``--timeline PATH`` (the JSON carries its own provenance)."""
+    timeline.save(args.timeline)
+    if not _wants_json(args):
+        print(f"timeline written: {args.timeline}")
+
+
 def _simulate_fastpath_system(args: argparse.Namespace, scenario) -> int:
     """``repro simulate --backend fastpath-system``: vectorized run."""
     if args.trace or args.profile or args.report is not None:
@@ -328,7 +369,11 @@ def _simulate_fastpath_system(args: argparse.Namespace, scenario) -> int:
             "--trace/--profile/--report need per-event instrumentation; "
             "use the default event-engine backend"
         )
-    result = scenario.fastpath_system()
+    result = scenario.fastpath_system(
+        timeline=args.timeline_windows if args.timeline is not None else None
+    )
+    if args.timeline is not None:
+        _save_timeline(args, result.timeline)
     if _wants_json(args):
         print(json_dumps(result.to_dict()))
         return 0
@@ -361,12 +406,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         return _simulate_fastpath_system(args, scenario)
     want_json = _wants_json(args)
     want_report = args.report is not None
+    want_timeline = args.timeline is not None
     observability = None
-    if args.trace or args.profile or want_report:
+    if args.trace or args.profile or want_report or want_timeline:
         observability = Observability(
             trace=args.trace,
             metrics=True,
             profile=args.profile or want_report,
+            timeline=args.timeline_windows if want_timeline else None,
             slowest_k=args.slowest,
         )
     system = scenario.simulator(observability=observability)
@@ -374,6 +421,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         n_requests=scenario.n_requests,
         warmup_requests=scenario.warmup_requests,
     )
+    if want_timeline:
+        _save_timeline(args, results.timeline)
     report = None
     if want_report or want_json:
         report = RunReport.from_simulation(
@@ -427,11 +476,192 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Monitor: sparkline dashboard + SLO evaluation over one run's timeline.
+# ----------------------------------------------------------------------
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values: Sequence[float]) -> str:
+    """Eight-level terminal sparkline; undefined (NaN) windows show '·'."""
+    data = np.asarray(values, dtype=float)
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        return "·" * data.size
+    low = float(finite.min())
+    span = float(finite.max()) - low
+    chars = []
+    for value in data:
+        if not np.isfinite(value):
+            chars.append("·")
+        elif span <= 0.0:
+            chars.append(_SPARK_LEVELS[3])
+        else:
+            level = (float(value) - low) / span * (len(_SPARK_LEVELS) - 1)
+            chars.append(_SPARK_LEVELS[int(round(level))])
+    return "".join(chars)
+
+
+def _print_dashboard(timeline: Timeline) -> None:
+    """The ``repro monitor`` terminal view of one run's windowed series."""
+    print(
+        f"timeline: {timeline.n_windows} windows x "
+        f"{to_msec(timeline.window):.2f} ms, "
+        f"{int(round(float(timeline.completions.sum())))} completions"
+    )
+    series: List[Tuple[str, np.ndarray, str]] = [
+        ("arrival rate (Kps)", to_kps(timeline.arrival_rate()), "{:.1f}"),
+        ("occupancy (reqs)", timeline.occupancy(), "{:.1f}"),
+        ("p50 (us)", to_usec(timeline.quantile_series(0.50)), "{:.0f}"),
+        ("p99 (us)", to_usec(timeline.quantile_series(0.99)), "{:.0f}"),
+    ]
+    for name in timeline.stage_names:
+        series.append((f"util {name}", timeline.utilization(name), "{:.2f}"))
+    rows = []
+    for label, values, fmt in series:
+        finite = values[np.isfinite(values)]
+        span = (
+            f"{fmt.format(float(finite.min()))} .. "
+            f"{fmt.format(float(finite.max()))}"
+            if finite.size
+            else "-"
+        )
+        rows.append([label, _sparkline(values), span])
+    _print_rows(["series", "per-window", "min .. max"], rows)
+
+
+def _monitor_rules(args: argparse.Namespace, timeline: Timeline) -> List[object]:
+    """SLO rules from the ``--slo-*``/``--burn-*`` flags.
+
+    With no flags at all, a default rule alerts when a window's p99
+    exceeds 5x the whole-run median — a scale-free "this window is an
+    outage relative to this run" detector.
+    """
+    rules: List[object] = []
+    if args.slo_p99 is not None:
+        rules.append(
+            SLORule(
+                name="p99-threshold",
+                metric="p99",
+                threshold=usec(args.slo_p99),
+                min_count=args.min_count,
+            )
+        )
+    if args.slo_util is not None:
+        if not timeline.stage_names:
+            raise ConfigError(
+                "--slo-util needs per-stage telemetry, which this "
+                "backend's timeline does not carry"
+            )
+        for name in timeline.stage_names:
+            rules.append(
+                SLORule(
+                    name=f"util-{name}",
+                    metric=f"utilization:{name}",
+                    threshold=args.slo_util,
+                )
+            )
+    if args.burn_threshold is not None:
+        rules.append(
+            BurnRateRule(
+                name="burn-rate",
+                latency_threshold=usec(args.burn_threshold),
+                objective=args.burn_objective,
+                factor=args.burn_factor,
+                min_count=args.min_count,
+            )
+        )
+    if not rules:
+        overall = timeline.overall_latency()
+        if not overall.count:
+            raise ConfigError("the run completed no requests to monitor")
+        rules.append(
+            SLORule(
+                name="p99-auto",
+                metric="p99",
+                threshold=5.0 * overall.quantile(0.50),
+                min_count=args.min_count,
+            )
+        )
+    return rules
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    backend = "simulate" if args.backend == "engine" else args.backend
+    timeline = scenario.timeline(backend, n_windows=args.windows)
+    rules = _monitor_rules(args, timeline)
+    report = SLOMonitor(rules).evaluate(timeline)
+    latency_rules = {
+        rule.name
+        for rule in rules
+        if isinstance(rule, SLORule) and rule.metric in ("p50", "p95", "p99", "mean")
+    }
+    if args.csv is not None:
+        timeline.to_csv(args.csv)
+    failed = bool(args.fail_on_alert and report.alerts)
+    payload = None
+    if args.out is not None or _wants_json(args):
+        payload = {
+            "kind": "repro-monitor",
+            "backend": backend,
+            "timeline": timeline.to_dict(),
+            "slo": report.to_dict(),
+            "provenance": provenance(),
+        }
+    if args.out is not None:
+        Path(args.out).write_text(json_dumps(payload))
+    if _wants_json(args):
+        print(json_dumps(payload))
+        return 1 if failed else 0
+    _print_dashboard(timeline)
+    for name in sorted(report.attainment):
+        value = report.attainment[name]
+        shown = f"{value:.1%}" if math.isfinite(value) else "-"
+        print(f"attainment {name}: {shown}")
+    if report.alerts:
+        print("alerts:")
+        for alert in report.alerts:
+            peak = (
+                f"{to_usec(alert.peak):.1f}us"
+                if alert.rule in latency_rules
+                else f"{alert.peak:.3g}"
+            )
+            print(
+                f"  {alert.rule}  {alert.start:.3f}s..{alert.end:.3f}s  "
+                f"peak {peak}  ({alert.n_windows} windows)"
+            )
+    else:
+        print("alerts: none")
+    law = report.littles_law
+    max_err = float(law["max_relative_error"])
+    if math.isfinite(max_err):
+        print(
+            f"littles law: max rel err {max_err:.2%} "
+            f"over {law['n_valid']} windows"
+        )
+    else:
+        print("littles law: too few samples per window to check")
+    if args.csv is not None:
+        print(f"csv written: {args.csv}")
+    if args.out is not None:
+        print(f"monitor report written: {args.out}")
+    return 1 if failed else 0
+
+
 def _backend_options(args: argparse.Namespace) -> dict:
     """Per-backend runner options from CLI flags."""
     if getattr(args, "backend", "estimate") == "fastpath":
         return {"pool_size": args.pool_size}
     return {}
+
+
+def _progress_printer(result, done: int, total: int) -> None:
+    """``--progress`` line per completed cell (stderr, parent process)."""
+    status = "ok" if result.ok else "FAILED"
+    detail = "resumed" if result.resumed else f"{result.elapsed:.2f}s"
+    print(f"[{done}/{total}] cell {result.index} {status} ({detail})", file=sys.stderr)
 
 
 def _execute_suite(args: argparse.Namespace, suite: Suite) -> SuiteResult:
@@ -441,6 +671,9 @@ def _execute_suite(args: argparse.Namespace, suite: Suite) -> SuiteResult:
         workers=getattr(args, "parallel", None),
         checkpoint_dir=getattr(args, "out", None),
         resume=bool(getattr(args, "resume", False)),
+        on_progress=(
+            _progress_printer if getattr(args, "progress", False) else None
+        ),
     )
 
 
@@ -717,6 +950,23 @@ def cmd_report(args: argparse.Namespace) -> int:
     for key in ("requests_completed", "keys_processed", "measured_miss_ratio"):
         if key in report.meta:
             print(f"{key}: {report.meta[key]}")
+    if report.timeline is not None:
+        timeline = Timeline.from_dict(report.timeline)
+        print(
+            f"timeline: {timeline.n_windows} windows x "
+            f"{to_msec(timeline.window):.2f} ms"
+        )
+        print(
+            f"  p99 (us)     {_sparkline(to_usec(timeline.quantile_series(0.99)))}"
+        )
+        print(f"  arrival rate {_sparkline(timeline.arrival_rate())}")
+        law = timeline.littles_law()
+        max_err = float(law["max_relative_error"])
+        if math.isfinite(max_err):
+            print(
+                f"  littles law: max rel err {max_err:.2%} "
+                f"over {law['n_valid']} windows"
+            )
     if report.profile:
         profile = report.profile
         print(
@@ -862,7 +1112,88 @@ def build_parser() -> argparse.ArgumentParser:
         default=10,
         help="how many slowest-request traces to retain (default 10)",
     )
+    _add_timeline_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_mon = sub.add_parser(
+        "monitor", help="windowed telemetry + SLO dashboard for one run"
+    )
+    _add_workload_args(p_mon)
+    _add_fault_policy_args(p_mon)
+    _add_json_flag(p_mon)
+    p_mon.add_argument(
+        "--backend",
+        choices=["engine", "fastpath-system"],
+        default="engine",
+        help="which simulation backend records the timeline",
+    )
+    p_mon.add_argument("--servers", type=int, default=4)
+    p_mon.add_argument("--requests", type=int, default=4000)
+    p_mon.add_argument("--seed", type=int, default=1)
+    p_mon.add_argument(
+        "--windows",
+        type=int,
+        default=48,
+        help="windows the run is sliced into (default 48)",
+    )
+    p_mon.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        metavar="US",
+        help="alert when a window's p99 exceeds this latency in us "
+        "(default: 5x the whole-run median, if no other rule is given)",
+    )
+    p_mon.add_argument(
+        "--slo-util",
+        type=float,
+        default=None,
+        metavar="RHO",
+        help="alert when any stage's utilization exceeds this fraction",
+    )
+    p_mon.add_argument(
+        "--burn-threshold",
+        type=float,
+        default=None,
+        metavar="US",
+        help="error-budget rule: a request is 'bad' above this latency (us)",
+    )
+    p_mon.add_argument(
+        "--burn-objective",
+        type=float,
+        default=0.99,
+        help="fraction of requests that must meet --burn-threshold",
+    )
+    p_mon.add_argument(
+        "--burn-factor",
+        type=float,
+        default=1.0,
+        help="burn-rate multiple that fires the alert (default 1.0)",
+    )
+    p_mon.add_argument(
+        "--min-count",
+        type=int,
+        default=5,
+        help="latency rules skip windows with fewer completions (default 5)",
+    )
+    p_mon.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the monitor report (timeline + SLO evaluation) as JSON",
+    )
+    p_mon.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="export the per-window series as CSV",
+    )
+    p_mon.add_argument(
+        "--fail-on-alert",
+        action="store_true",
+        help="exit 1 when any SLO alert fires",
+    )
+    p_mon.set_defaults(func=cmd_monitor)
 
     p_sweep = sub.add_parser(
         "sweep", help="one-factor sweeps (factor registry + runner)"

@@ -25,7 +25,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigError, ReproError, SimulationError
-from ..observability import json_dumps
+from ..observability import json_dumps, provenance
+from ..observability.timeline import Timeline
 from .grid import Cell, Suite
 from .scenario import Scenario, cell_metrics
 
@@ -51,6 +52,10 @@ class CellResult:
     error: Optional[str] = None
     elapsed: float = dataclasses.field(default=0.0, compare=False)
     resumed: bool = dataclasses.field(default=False, compare=False)
+    #: Windowed telemetry (a Timeline) when the cell's backend recorded
+    #: one. Excluded from equality like ``elapsed``: worker-count
+    #: invariance is about the scalar metrics.
+    timeline: Optional[object] = dataclasses.field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -67,6 +72,10 @@ class CellResult:
             "metrics": dict(self.metrics),
             "error": self.error,
             "elapsed": self.elapsed,
+            "timeline": (
+                self.timeline.to_dict() if self.timeline is not None else None
+            ),
+            "provenance": provenance(),
         }
 
     @classmethod
@@ -82,6 +91,11 @@ class CellResult:
             metrics={str(k): float(v) for k, v in payload["metrics"].items()},
             error=payload.get("error"),
             elapsed=float(payload.get("elapsed", 0.0)),
+            timeline=(
+                Timeline.from_dict(payload["timeline"])
+                if payload.get("timeline") is not None
+                else None
+            ),
         )
 
 
@@ -142,6 +156,7 @@ class SuiteResult:
             "executed": self.executed,
             "resumed": self.resumed,
             "elapsed": self.elapsed,
+            "provenance": provenance(),
         }
 
     def save(self, path: Union[str, Path]) -> None:
@@ -179,9 +194,11 @@ def _execute_cell(cell: Cell) -> CellResult:
     started = time.perf_counter()
     error: Optional[str] = None
     metrics: Dict[str, float] = {}
+    timeline = None
     try:
         outcome = cell.scenario.run(cell.backend, **cell.option_dict)
         metrics = cell_metrics(outcome)
+        timeline = getattr(outcome, "timeline", None)
     except ReproError as exc:
         error = f"{type(exc).__name__}: {exc}"
     return CellResult(
@@ -193,6 +210,7 @@ def _execute_cell(cell: Cell) -> CellResult:
         metrics=metrics,
         error=error,
         elapsed=time.perf_counter() - started,
+        timeline=timeline,
     )
 
 
@@ -217,6 +235,11 @@ class ExperimentRunner:
         ``"raise"`` (default) raises a :class:`SimulationError` naming
         the first failed cell; ``"keep"`` returns failed cells in the
         :class:`SuiteResult` with their ``error`` set.
+    on_progress:
+        Optional callback ``(result, done_count, total)`` invoked in the
+        *parent* process as each cell completes (including resumed
+        cells, in completion order) — live progress for CLIs and
+        dashboards. Exceptions it raises propagate and abort the run.
     """
 
     def __init__(
@@ -226,6 +249,7 @@ class ExperimentRunner:
         checkpoint_dir: Optional[Union[str, Path]] = None,
         resume: bool = False,
         on_error: str = "raise",
+        on_progress=None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -233,10 +257,14 @@ class ExperimentRunner:
             raise ConfigError(f"on_error must be 'raise' or 'keep', got {on_error!r}")
         if resume and checkpoint_dir is None:
             raise ConfigError("resume requires a checkpoint_dir")
+        if on_progress is not None and not callable(on_progress):
+            raise ConfigError("on_progress must be callable")
         self.workers = workers
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.resume = resume
         self.on_error = on_error
+        self.on_progress = on_progress
+        self._total_cells = 0
 
     # ------------------------------------------------------------------
 
@@ -272,12 +300,14 @@ class ExperimentRunner:
         """Execute (or resume) every cell; aggregate in grid order."""
         started = time.perf_counter()
         cells = suite.cells()
+        self._total_cells = len(cells)
         done: Dict[int, CellResult] = {}
         if self.resume:
             for cell in cells:
                 loaded = self._load_checkpoint(cell)
                 if loaded is not None:
                     done[cell.index] = loaded
+                    self._emit_progress(loaded, len(done))
         pending = [cell for cell in cells if cell.index not in done]
         resumed = len(done)
 
@@ -303,11 +333,16 @@ class ExperimentRunner:
             elapsed=time.perf_counter() - started,
         )
 
+    def _emit_progress(self, result: CellResult, done_count: int) -> None:
+        if self.on_progress is not None:
+            self.on_progress(result, done_count, self._total_cells)
+
     def _run_serial(self, pending: Sequence[Cell], done: Dict[int, CellResult]) -> int:
         for cell in pending:
             result = _execute_cell(cell)
             self._save_checkpoint(result)
             done[cell.index] = result
+            self._emit_progress(result, len(done))
         return len(pending)
 
     def _run_parallel(
@@ -322,6 +357,7 @@ class ExperimentRunner:
                     result = future.result()  # worker crashes propagate here
                     self._save_checkpoint(result)
                     done[result.index] = result
+                    self._emit_progress(result, len(done))
         return len(pending)
 
 
@@ -332,6 +368,7 @@ def run_suite(
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     on_error: str = "raise",
+    on_progress=None,
 ) -> SuiteResult:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     return ExperimentRunner(
@@ -339,4 +376,5 @@ def run_suite(
         checkpoint_dir=checkpoint_dir,
         resume=resume,
         on_error=on_error,
+        on_progress=on_progress,
     ).run(suite)

@@ -31,11 +31,13 @@ from ..config import ExperimentConfig
 from ..distributions import make_rng
 from ..errors import ConfigError, ValidationError
 from ..faults import FaultSchedule
+from ..observability.timeline import Timeline, TimelineSpec, _resolve_windows
 from ..policies import RequestPolicy
 from ..simulation.fastpath import (
     expected_max_from_pool,
     expected_max_from_pools,
     sample_request_latencies,
+    sample_timeline,
     simulate_key_latencies,
 )
 from ..simulation.fastpath_system import simulate_system_requests
@@ -195,15 +197,37 @@ class Scenario:
         self._reject_faulted("estimate")
         return self.latency_model().estimate(self.n_keys)
 
-    def simulate(self, observability=None) -> SimulationResult:
-        """Closed-loop discrete-event simulation of this scenario."""
+    def simulate(self, observability=None, *, timeline: object = None) -> SimulationResult:
+        """Closed-loop discrete-event simulation of this scenario.
+
+        ``timeline`` (anything :meth:`TimelineSpec.coerce` accepts)
+        turns on windowed telemetry; when no ``observability`` bundle is
+        supplied a minimal timeline-only bundle is created so the hot
+        path stays uninstrumented otherwise.
+        """
+        if timeline is not None and TimelineSpec.coerce(timeline) is not None:
+            from ..observability import Observability, TimelineBuilder
+
+            if observability is None:
+                observability = Observability(
+                    trace=False, metrics=False, timeline=timeline
+                )
+            elif observability.timeline is None:
+                observability.timeline = TimelineBuilder(
+                    TimelineSpec.coerce(timeline)
+                )
         system = self.simulator(observability=observability)
         results = system.run(
             n_requests=self.n_requests, warmup_requests=self.warmup_requests
         )
         return SimulationResult.from_system(results, n_keys=self.n_keys)
 
-    def fastpath(self, *, pool_size: int = DEFAULT_POOL_SIZE) -> SimulationResult:
+    def fastpath(
+        self,
+        *,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        timeline: object = None,
+    ) -> SimulationResult:
         """Vectorized Lindley + fork-join Monte-Carlo simulation.
 
         Balanced clusters share one per-server latency pool (every
@@ -248,9 +272,19 @@ class Scenario:
         else:
             exact_server = expected_max_from_pools(pools, shares, self.n_keys)
         result = SimulationResult.from_sample(sample, n_keys=self.n_keys)
+        if timeline is not None and TimelineSpec.coerce(timeline) is not None:
+            result = dataclasses.replace(
+                result,
+                timeline=sample_timeline(
+                    sample,
+                    request_rate=self.total_key_rate() / self.n_keys,
+                    rng=rng,
+                    timeline=timeline,
+                ),
+            )
         return dataclasses.replace(result, server_expected_max=exact_server)
 
-    def fastpath_system(self) -> SimulationResult:
+    def fastpath_system(self, *, timeline: object = None) -> SimulationResult:
         """Whole-system vectorized simulation of this scenario.
 
         Statistically equivalent to :meth:`simulate` — same Poisson
@@ -277,6 +311,7 @@ class Scenario:
             miss_ratio=self.miss_ratio,
             database_rate=self.database_rate,
             faults=self.faults,
+            timeline=timeline,
         )
         return SimulationResult.from_system_sample(sample, n_keys=self.n_keys)
 
@@ -293,13 +328,94 @@ class Scenario:
         if backend == "fastpath":
             return self.fastpath(**options)
         if backend == "fastpath-system":
+            unknown = set(options) - {"timeline"}
+            if unknown:
+                raise ConfigError(
+                    "fastpath-system backend options are limited to "
+                    f"'timeline', got {sorted(unknown)}"
+                )
+            return self.fastpath_system(**options)
+        raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")
+
+    # ------------------------------------------------------------------
+    # Windowed telemetry: one call, any backend, one schema.
+    # ------------------------------------------------------------------
+
+    def timeline(
+        self,
+        backend: str = "simulate",
+        *,
+        window: Optional[float] = None,
+        n_windows: Optional[int] = None,
+        **options: object,
+    ) -> Timeline:
+        """Windowed telemetry for this scenario on any backend.
+
+        ``simulate``/``fastpath-system`` record it natively;
+        ``fastpath`` lays its stationary sample on synthetic Poisson
+        arrivals; ``estimate`` returns the model's constant-rate
+        prediction (utilizations and occupancy from Theorem 1 /
+        Little's law — no latency histograms, since the analytic
+        backend has no samples).
+        """
+        spec: object
+        if window is not None or n_windows is not None:
+            spec = TimelineSpec(window=window, n_windows=n_windows)
+        else:
+            spec = True
+        if backend == "estimate":
             if options:
                 raise ConfigError(
-                    f"fastpath-system backend takes no options, "
-                    f"got {sorted(options)}"
+                    f"estimate backend takes no options, got {sorted(options)}"
                 )
-            return self.fastpath_system()
-        raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")
+            return self._analytic_timeline(TimelineSpec.coerce(spec))
+        if backend not in BACKENDS:
+            raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")
+        result = self.run(backend, timeline=spec, **options)
+        if result.timeline is None:  # pragma: no cover - defensive
+            raise ConfigError(f"backend {backend!r} produced no timeline")
+        return result.timeline
+
+    def _analytic_timeline(self, spec: Optional[TimelineSpec]) -> Timeline:
+        """Constant-rate Timeline predicted by the analytic model.
+
+        The stationary model has no transient: every window carries the
+        same arrival/completion rate (the configured request rate), the
+        same occupancy ``L = lambda * E[T(N)]`` (Little's law on the
+        Theorem 1 midpoint), per-server utilization ``rho_j``, and
+        M/M/1-approximate queue depths. This is the reference trace the
+        simulated timelines should fluctuate around.
+        """
+        self._reject_faulted("estimate")
+        estimate = self.estimate()
+        request_rate = self.total_key_rate() / self.n_keys
+        duration = self.n_requests / request_rate
+        start, width, count = _resolve_windows(0.0, duration, spec)
+        timeline = Timeline.empty(start, width, count)
+        requests_per_window = request_rate * width
+        timeline.arrivals += requests_per_window
+        timeline.completions += requests_per_window
+        timeline.inflight_time += (
+            request_rate * estimate.total_midpoint * width
+        )
+        cluster = self.cluster()
+        total_rate = self.total_key_rate()
+        for j, share in enumerate(cluster.shares):
+            timeline.stages[f"server.{j}"] = _analytic_stage_series(
+                count,
+                width,
+                arrival_rate=total_rate * float(share),
+                service_rate=self.service_rate,
+            )
+        if self.miss_ratio > 0.0 and self.database_rate is not None:
+            timeline.stages["database"] = _analytic_stage_series(
+                count,
+                width,
+                arrival_rate=total_rate * self.miss_ratio,
+                service_rate=self.database_rate,
+            )
+        timeline.meta.update({"backend": "estimate", "analytic": True})
+        return timeline
 
     # ------------------------------------------------------------------
 
@@ -307,6 +423,30 @@ class Scenario:
     def paper_section_5_1(cls) -> "Scenario":
         """The paper's §5.1 testbed configuration."""
         return cls.from_config(ExperimentConfig.paper_section_5_1())
+
+
+def _analytic_stage_series(
+    count: int, width: float, *, arrival_rate: float, service_rate: float
+):
+    """Constant-rate :class:`StageSeries` for one M/M/1-approximate stage.
+
+    ``busy_time`` encodes ``rho = lambda / mu`` per window and
+    ``wait_time`` the M/M/1 mean queue length ``Lq = rho^2 / (1 - rho)``
+    (NaN when the stage is overloaded — the stationary model has no
+    finite prediction there).
+    """
+    import math as _math
+
+    from ..observability.timeline import StageSeries
+
+    series = StageSeries.zeros(count)
+    rho = arrival_rate / service_rate
+    series.arrivals += arrival_rate * width
+    series.completions += arrival_rate * width
+    series.busy_time += min(rho, 1.0) * width
+    queued = rho * rho / (1.0 - rho) if rho < 1.0 else _math.nan
+    series.wait_time += queued * width
+    return series
 
 
 def cell_metrics(outcome) -> Dict[str, float]:

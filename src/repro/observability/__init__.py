@@ -29,11 +29,29 @@ from typing import Optional
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import EngineProfiler, callback_category
 from .report import (
+    GIT_SHA_ENV,
     STAGE_QUANTILES,
     RunReport,
+    git_sha,
     json_dumps,
+    provenance,
     recorder_summary,
     to_jsonable,
+)
+from .slo import (
+    AlertWindow,
+    BurnRateRule,
+    SLOMonitor,
+    SLOReport,
+    SLORule,
+    detection_scores,
+)
+from .timeline import (
+    StageSeries,
+    Timeline,
+    TimelineBuilder,
+    TimelineSpec,
+    time_in_windows,
 )
 from .tracing import Span, Tracer
 
@@ -53,6 +71,7 @@ class Observability:
         trace: bool = True,
         metrics: bool = True,
         profile: bool = False,
+        timeline: object = None,
         trace_capacity: int = 1024,
         slowest_k: int = 10,
     ) -> None:
@@ -65,12 +84,21 @@ class Observability:
         self.profiler: Optional[EngineProfiler] = (
             EngineProfiler() if profile else None
         )
+        spec = TimelineSpec.coerce(timeline)
+        self.timeline: Optional[TimelineBuilder] = (
+            TimelineBuilder(spec) if spec is not None else None
+        )
 
     @property
     def enabled(self) -> bool:
         return any(
             collector is not None
-            for collector in (self.tracer, self.registry, self.profiler)
+            for collector in (
+                self.tracer,
+                self.registry,
+                self.profiler,
+                self.timeline,
+            )
         )
 
     def reset(self) -> None:
@@ -81,21 +109,37 @@ class Observability:
             self.registry.reset_all()
         if self.profiler is not None:
             self.profiler.reset()
+        if self.timeline is not None:
+            self.timeline.reset()
 
 
 __all__ = [
+    "AlertWindow",
+    "BurnRateRule",
     "Counter",
     "EngineProfiler",
+    "GIT_SHA_ENV",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "RunReport",
     "STAGE_QUANTILES",
+    "SLOMonitor",
+    "SLOReport",
+    "SLORule",
     "Span",
+    "StageSeries",
+    "Timeline",
+    "TimelineBuilder",
+    "TimelineSpec",
     "Tracer",
     "callback_category",
+    "detection_scores",
+    "git_sha",
     "json_dumps",
+    "provenance",
     "recorder_summary",
+    "time_in_windows",
     "to_jsonable",
 ]

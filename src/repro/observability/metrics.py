@@ -76,9 +76,51 @@ class Histogram:
         self._counts[index] = self._counts.get(index, 0) + 1
 
     def record_many(self, values: Sequence[float]) -> None:
-        """Add a batch of observations."""
-        for value in values:
-            self.record(float(value))
+        """Add a batch of observations (vectorized).
+
+        Produces bit-identical state to calling :meth:`record` per value
+        — the numpy bucket computation reproduces the scalar boundary
+        nudge — but runs as array operations, so windowed telemetry can
+        bulk-load thousands of latencies without a per-event Python
+        loop.
+        """
+        import numpy as np
+
+        array = np.asarray(values, dtype=float).ravel()
+        if array.size == 0:
+            return
+        if not np.isfinite(array).all():
+            bad = array[~np.isfinite(array)][0]
+            raise ValidationError(f"observation must be finite, got {bad}")
+        if (array < 0).any():
+            bad = array[array < 0][0]
+            raise ValidationError(f"observation must be >= 0, got {bad}")
+        self._count += int(array.size)
+        self._sum += float(array.sum())
+        self._sumsq += float(np.square(array).sum())
+        self._min = min(self._min, float(array.min()))
+        self._max = max(self._max, float(array.max()))
+        positive = array[array > 0.0]
+        self._zero += int(array.size - positive.size)
+        if positive.size == 0:
+            return
+        clamped = positive <= self._min_value
+        index = np.zeros(positive.size, dtype=np.int64)
+        free = ~clamped
+        if free.any():
+            vals = positive[free]
+            idx = np.floor((np.log10(vals) - self._log_min) * self._bpd).astype(
+                np.int64
+            )
+            # Same float-boundary nudge as the scalar bucket_index.
+            lower = 10.0 ** (self._log_min + idx / self._bpd)
+            upper = 10.0 ** (self._log_min + (idx + 1) / self._bpd)
+            down = vals < lower
+            up = (~down) & (vals >= upper)
+            index[free] = idx - down.astype(np.int64) + up.astype(np.int64)
+        uniques, counts = np.unique(index, return_counts=True)
+        for bucket, count in zip(uniques.tolist(), counts.tolist()):
+            self._counts[bucket] = self._counts.get(bucket, 0) + count
 
     # ------------------------------------------------------------------
     # Bucket geometry.
@@ -168,6 +210,27 @@ class Histogram:
 
     def quantiles(self, ks: Sequence[float]) -> List[float]:
         return [self.quantile(float(k)) for k in ks]
+
+    def count_above(self, threshold: float) -> float:
+        """Observations exceeding ``threshold``, at bucket resolution.
+
+        The bucket straddling the threshold contributes a linearly
+        interpolated fraction, mirroring :meth:`quantile`; the result is
+        therefore a float. This powers burn-rate SLO rules (fraction of
+        requests over the latency objective) without storing samples.
+        """
+        threshold = float(threshold)
+        if not math.isfinite(threshold):
+            raise ValidationError(f"threshold must be finite, got {threshold}")
+        total = 0.0
+        for lower, upper, count in self.buckets():
+            if upper <= threshold:
+                continue
+            if lower >= threshold:
+                total += count
+            else:
+                total += count * (upper - threshold) / (upper - lower)
+        return total
 
     def summary(self) -> Dict[str, float]:
         """JSON-ready summary (count, moments, standard percentiles)."""
@@ -264,6 +327,10 @@ class Counter:
     def reset(self) -> None:
         self._value = 0
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter into this one (sum of totals)."""
+        self._value += other._value
+
     def to_dict(self) -> Dict[str, object]:
         return {"type": "counter", "value": self._value}
 
@@ -312,6 +379,19 @@ class Gauge:
 
     def reset(self) -> None:
         self.__init__()
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge's sample history into this one.
+
+        The point-in-time ``value`` keeps the other gauge's last set
+        when it has samples (merge order models observation order).
+        """
+        if other._count:
+            self._value = other._value
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
 
     def to_dict(self) -> Dict[str, object]:
         if self._count == 0:
@@ -378,6 +458,34 @@ class MetricsRegistry:
         """Reset every metric in place (references stay valid)."""
         for metric in self._metrics.values():
             metric.reset()
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, metric by metric.
+
+        Names absent here are created with the other metric's geometry;
+        names present in both must have the same kind (and, for
+        histograms, the same bucket layout). This is the per-worker
+        aggregation path: N workers record into private registries and
+        the parent merges them exactly.
+        """
+        for name in other.names():
+            theirs = other._metrics[name]
+            mine = self._metrics.get(name)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = Histogram(
+                        min_value=theirs._min_value,
+                        buckets_per_decade=theirs._bpd,
+                    )
+                else:
+                    mine = type(theirs)()
+                self._metrics[name] = mine
+            elif type(mine) is not type(theirs):
+                raise ValidationError(
+                    f"cannot merge metric {name!r}: "
+                    f"{type(mine).__name__} vs {type(theirs).__name__}"
+                )
+            mine.merge(theirs)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Serializable view: histograms as summaries, plus raw state."""

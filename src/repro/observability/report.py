@@ -16,14 +16,63 @@ import csv
 import dataclasses
 import json
 import math
+import os
+import subprocess
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from .._version import __version__
 from ..errors import ConfigError, ValidationError
 from .tracing import Span
 
 #: Quantile levels reported for every stage.
 STAGE_QUANTILES = (0.50, 0.90, 0.95, 0.99)
+
+#: Environment override for the artifact git SHA (CI containers often
+#: build from an export without a .git directory).
+GIT_SHA_ENV = "REPRO_GIT_SHA"
+
+_git_sha_cache: Dict[str, Optional[str]] = {}
+
+
+def git_sha() -> Optional[str]:
+    """The repository HEAD SHA, or ``None`` outside a git checkout.
+
+    Checks :data:`GIT_SHA_ENV` first (uncached), then asks git once per
+    process from the package directory.
+    """
+    override = os.environ.get(GIT_SHA_ENV)
+    if override:
+        return override.strip()
+    if "sha" not in _git_sha_cache:
+        _git_sha_cache["sha"] = _read_git_sha()
+    return _git_sha_cache["sha"]
+
+
+def _read_git_sha() -> Optional[str]:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def provenance() -> Dict[str, object]:
+    """Version stamp written into every JSON artifact.
+
+    Run reports, experiment checkpoints, timeline exports and benchmark
+    artifacts all carry this block, so a perf or telemetry number can
+    always be traced to the exact code that produced it.
+    """
+    return {"repro_version": __version__, "git_sha": git_sha()}
 
 
 def to_jsonable(obj: object) -> object:
@@ -90,6 +139,9 @@ class RunReport:
     profile: Optional[Dict[str, object]] = None
     slowest: List[Dict[str, object]] = dataclasses.field(default_factory=list)
     meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+    #: Windowed telemetry payload (a serialized Timeline), when the run
+    #: recorded one.
+    timeline: Optional[Dict[str, object]] = None
 
     KIND = "repro-run-report"
     VERSION = 1
@@ -136,6 +188,7 @@ class RunReport:
             if observability.tracer is not None:
                 slowest = [span.to_dict() for span in observability.tracer.slowest()]
                 meta["traces_finished"] = observability.tracer.finished
+        run_timeline = getattr(results, "timeline", None)
         return cls(
             config=dict(config or {}),
             stages=stages,
@@ -143,6 +196,9 @@ class RunReport:
             profile=profile,
             slowest=slowest,
             meta=meta,
+            timeline=(
+                run_timeline.to_dict() if run_timeline is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -197,6 +253,8 @@ class RunReport:
             "profile": to_jsonable(self.profile),
             "slowest": to_jsonable(self.slowest),
             "meta": to_jsonable(self.meta),
+            "timeline": to_jsonable(self.timeline),
+            "provenance": provenance(),
         }
 
     def to_json(self) -> str:
@@ -220,6 +278,7 @@ class RunReport:
             profile=payload.get("profile"),
             slowest=list(payload.get("slowest") or []),
             meta=dict(payload.get("meta") or {}),
+            timeline=payload.get("timeline"),
         )
 
     @classmethod

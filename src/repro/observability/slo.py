@@ -1,0 +1,415 @@
+"""SLO monitoring over windowed telemetry: rules, alerts, validation.
+
+An :class:`SLOMonitor` evaluates a set of rules against a
+:class:`~repro.observability.timeline.Timeline` and coalesces the
+violating windows into :class:`AlertWindow` spans — the time-resolved
+"the p99 objective was burning from t=1.2s to t=1.8s" statement the
+cumulative recorders cannot make. Two rule families:
+
+* :class:`SLORule` — threshold rules on any derived series (windowed
+  quantiles, mean, rates, occupancy, per-stage utilization and queue
+  depth);
+* :class:`BurnRateRule` — error-budget rules: a request is *bad* when
+  slower than ``latency_threshold``; the window burns at
+  ``bad_fraction / (1 - objective)`` and alerts at ``factor`` or above,
+  the multiwindow-burn-rate construction from SRE practice, computed
+  here from the histogram's :meth:`count_above` without storing samples.
+
+Validation is built in: :func:`detection_scores` matches alert windows
+against injected :class:`~repro.faults.FaultSchedule` windows and
+reports precision/recall (the tests assert both >= 0.8 on the §5.1-style
+scenarios), and :meth:`SLOReport.littles_law` carries the per-window
+``L = lambda * W`` residuals as a telemetry self-check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ValidationError
+from .timeline import Timeline
+
+__all__ = [
+    "AlertWindow",
+    "BurnRateRule",
+    "SLOMonitor",
+    "SLOReport",
+    "SLORule",
+    "detection_scores",
+]
+
+#: Threshold-rule metrics that need no stage qualifier.
+_SCALAR_METRICS = (
+    "p50",
+    "p95",
+    "p99",
+    "mean",
+    "arrival_rate",
+    "completion_rate",
+    "occupancy",
+)
+#: Stage-qualified metrics, written ``utilization:server.0``.
+_STAGE_METRICS = ("utilization", "queue_depth")
+
+
+@dataclasses.dataclass(frozen=True)
+class SLORule:
+    """Threshold rule: fire when a windowed series crosses a level.
+
+    ``metric`` is one of the latency series (``p50``/``p95``/``p99``/
+    ``mean``, in seconds), the request series (``arrival_rate``/
+    ``completion_rate`` per second, ``occupancy`` in requests), or a
+    stage series ``utilization:<stage>`` / ``queue_depth:<stage>``.
+    Windows with fewer than ``min_count`` completions never fire a
+    latency rule (a two-request window's p99 is noise, not an outage).
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    comparison: str = ">"
+    min_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.comparison not in (">", "<"):
+            raise ValidationError(
+                f"comparison must be '>' or '<', got {self.comparison!r}"
+            )
+        if self.min_count < 1:
+            raise ValidationError(
+                f"min_count must be >= 1, got {self.min_count}"
+            )
+        base, _, stage = self.metric.partition(":")
+        if stage:
+            if base not in _STAGE_METRICS:
+                raise ValidationError(
+                    f"unknown stage metric {base!r} "
+                    f"(have {list(_STAGE_METRICS)})"
+                )
+        elif base not in _SCALAR_METRICS:
+            raise ValidationError(
+                f"unknown metric {base!r} (have {list(_SCALAR_METRICS)} "
+                f"or '<stage-metric>:<stage>')"
+            )
+
+    @property
+    def _latency_based(self) -> bool:
+        return self.metric in ("p50", "p95", "p99", "mean")
+
+    def series(self, timeline: Timeline) -> np.ndarray:
+        """The windowed series this rule evaluates."""
+        base, _, stage = self.metric.partition(":")
+        if stage:
+            if base == "utilization":
+                return timeline.utilization(stage)
+            return timeline.queue_depth(stage)
+        if base == "mean":
+            return timeline.mean_latency()
+        if base.startswith("p"):
+            return timeline.quantile_series(float(base[1:]) / 100.0)
+        if base == "arrival_rate":
+            return timeline.arrival_rate()
+        if base == "completion_rate":
+            return timeline.completion_rate()
+        return timeline.occupancy()
+
+    def violations(self, timeline: Timeline) -> np.ndarray:
+        """Boolean mask of violating windows (NaN never violates)."""
+        values = self.series(timeline)
+        with np.errstate(invalid="ignore"):
+            if self.comparison == ">":
+                mask = values > self.threshold
+            else:
+                mask = values < self.threshold
+        mask &= np.isfinite(values)
+        if self._latency_based and self.min_count > 1:
+            mask &= timeline.completions >= self.min_count
+        return mask
+
+
+@dataclasses.dataclass(frozen=True)
+class BurnRateRule:
+    """Error-budget burn rule on the windowed latency histograms.
+
+    The SLO is "a fraction ``objective`` of requests completes within
+    ``latency_threshold``"; a window's burn rate is its bad fraction
+    divided by the budget ``1 - objective``. ``factor`` 1.0 alerts on
+    any budget overrun in the window; higher factors demand faster
+    burns (the classic 14.4x/6x paging tiers).
+    """
+
+    name: str
+    latency_threshold: float
+    objective: float = 0.99
+    factor: float = 1.0
+    min_count: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValidationError(
+                f"objective must be in (0, 1), got {self.objective}"
+            )
+        if self.latency_threshold <= 0:
+            raise ValidationError(
+                f"latency_threshold must be > 0, got {self.latency_threshold}"
+            )
+        if self.factor <= 0:
+            raise ValidationError(f"factor must be > 0, got {self.factor}")
+        if self.min_count < 1:
+            raise ValidationError(
+                f"min_count must be >= 1, got {self.min_count}"
+            )
+
+    def series(self, timeline: Timeline) -> np.ndarray:
+        """Burn rate per window (NaN where the window saw no requests)."""
+        return timeline.bad_fraction(self.latency_threshold) / (
+            1.0 - self.objective
+        )
+
+    def violations(self, timeline: Timeline) -> np.ndarray:
+        values = self.series(timeline)
+        with np.errstate(invalid="ignore"):
+            mask = values >= self.factor
+        mask &= np.isfinite(values)
+        if self.min_count > 1:
+            mask &= timeline.completions >= self.min_count
+        return mask
+
+
+@dataclasses.dataclass(frozen=True)
+class AlertWindow:
+    """A maximal run of consecutive violating windows for one rule."""
+
+    rule: str
+    start: float
+    end: float
+    peak: float
+    n_windows: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, start: float, end: float) -> bool:
+        """Open-interval overlap with ``[start, end]``."""
+        return self.start < end and start < self.end
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "AlertWindow":
+        try:
+            return cls(
+                rule=str(payload["rule"]),
+                start=float(payload["start"]),
+                end=float(payload["end"]),
+                peak=float(payload["peak"]),
+                n_windows=int(payload["n_windows"]),
+            )
+        except KeyError as exc:
+            raise ConfigError(f"alert window missing key: {exc}") from exc
+
+
+@dataclasses.dataclass
+class SLOReport:
+    """One monitor evaluation: alerts, per-rule attainment, consistency."""
+
+    alerts: List[AlertWindow]
+    attainment: Dict[str, float]
+    series: Dict[str, np.ndarray]
+    violations: Dict[str, np.ndarray]
+    littles_law: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        return not self.alerts
+
+    def alerts_for(self, rule: str) -> List[AlertWindow]:
+        return [alert for alert in self.alerts if alert.rule == rule]
+
+    def to_dict(self) -> Dict[str, object]:
+        def clean(values: np.ndarray) -> List[Optional[float]]:
+            return [
+                float(v) if math.isfinite(float(v)) else None for v in values
+            ]
+
+        law = self.littles_law
+        max_err = float(law["max_relative_error"])
+        return {
+            "kind": "repro-slo-report",
+            "alerts": [alert.to_dict() for alert in self.alerts],
+            "attainment": {k: float(v) for k, v in self.attainment.items()},
+            "series": {name: clean(vals) for name, vals in self.series.items()},
+            "violations": {
+                name: [bool(v) for v in vals]
+                for name, vals in self.violations.items()
+            },
+            "littles_law": {
+                "n_valid": int(law["n_valid"]),
+                "max_relative_error": (
+                    max_err if math.isfinite(max_err) else None
+                ),
+                "mean_relative_error": (
+                    float(law["mean_relative_error"])
+                    if math.isfinite(float(law["mean_relative_error"]))
+                    else None
+                ),
+            },
+        }
+
+
+class SLOMonitor:
+    """Evaluate threshold + burn-rate rules against a timeline."""
+
+    def __init__(
+        self, rules: Sequence[object], *, littles_law_min_count: int = 10
+    ) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate rule names: {sorted(names)}")
+        if not rules:
+            raise ValidationError("SLOMonitor needs at least one rule")
+        self.rules = list(rules)
+        self._law_min_count = int(littles_law_min_count)
+
+    @classmethod
+    def latency_slo(
+        cls,
+        *,
+        p99: Optional[float] = None,
+        burn_threshold: Optional[float] = None,
+        objective: float = 0.99,
+        factor: float = 1.0,
+        min_count: int = 1,
+    ) -> "SLOMonitor":
+        """Convenience monitor: a p99 threshold and/or a burn-rate rule."""
+        rules: List[object] = []
+        if p99 is not None:
+            rules.append(
+                SLORule(
+                    name="p99-threshold",
+                    metric="p99",
+                    threshold=float(p99),
+                    min_count=min_count,
+                )
+            )
+        if burn_threshold is not None:
+            rules.append(
+                BurnRateRule(
+                    name="burn-rate",
+                    latency_threshold=float(burn_threshold),
+                    objective=objective,
+                    factor=factor,
+                    min_count=min_count,
+                )
+            )
+        return cls(rules)
+
+    def evaluate(self, timeline: Timeline) -> SLOReport:
+        """Run every rule; coalesce violations into alert windows."""
+        edges = timeline.edges
+        alerts: List[AlertWindow] = []
+        attainment: Dict[str, float] = {}
+        series: Dict[str, np.ndarray] = {}
+        violations: Dict[str, np.ndarray] = {}
+        for rule in self.rules:
+            values = rule.series(timeline)
+            mask = rule.violations(timeline)
+            series[rule.name] = values
+            violations[rule.name] = mask
+            evaluated = np.isfinite(values)
+            n_eval = int(evaluated.sum())
+            attainment[rule.name] = (
+                1.0 - int(mask.sum()) / n_eval if n_eval else math.nan
+            )
+            alerts.extend(self._coalesce(rule.name, mask, values, edges))
+        alerts.sort(key=lambda alert: (alert.start, alert.rule))
+        return SLOReport(
+            alerts=alerts,
+            attainment=attainment,
+            series=series,
+            violations=violations,
+            littles_law=timeline.littles_law(min_count=self._law_min_count),
+        )
+
+    @staticmethod
+    def _coalesce(
+        rule: str, mask: np.ndarray, values: np.ndarray, edges: np.ndarray
+    ) -> List[AlertWindow]:
+        alerts: List[AlertWindow] = []
+        run_start: Optional[int] = None
+        for k in range(mask.size + 1):
+            firing = k < mask.size and bool(mask[k])
+            if firing and run_start is None:
+                run_start = k
+            elif not firing and run_start is not None:
+                span = values[run_start:k]
+                finite = span[np.isfinite(span)]
+                alerts.append(
+                    AlertWindow(
+                        rule=rule,
+                        start=float(edges[run_start]),
+                        end=float(edges[k]),
+                        peak=float(finite.max()) if finite.size else math.nan,
+                        n_windows=k - run_start,
+                    )
+                )
+                run_start = None
+        return alerts
+
+
+def _fault_spans(faults: object) -> List[Tuple[float, float]]:
+    """(start, end) spans from a FaultSchedule, window list, or tuples."""
+    windows = getattr(faults, "windows", faults)
+    spans: List[Tuple[float, float]] = []
+    for window in windows:
+        if isinstance(window, (tuple, list)) and len(window) == 2:
+            spans.append((float(window[0]), float(window[1])))
+        else:
+            spans.append((float(window.start), float(window.end)))
+    return spans
+
+
+def detection_scores(
+    alerts: Sequence[AlertWindow],
+    faults: object,
+    *,
+    slack: float = 0.0,
+) -> Dict[str, float]:
+    """Precision/recall of alert windows against injected fault windows.
+
+    An alert is a true positive when it overlaps any fault window padded
+    by ``slack`` on the right (queues drain *after* a fault lifts, so a
+    trailing alert tail is correct detection, not a false positive); a
+    fault is recalled when at least one alert overlaps it. ``faults``
+    may be a :class:`~repro.faults.FaultSchedule`, its window list, or
+    plain ``(start, end)`` pairs.
+    """
+    if slack < 0:
+        raise ValidationError(f"slack must be >= 0, got {slack}")
+    spans = _fault_spans(faults)
+    true_positives = sum(
+        1
+        for alert in alerts
+        if any(alert.overlaps(start, end + slack) for start, end in spans)
+    )
+    recalled = sum(
+        1
+        for start, end in spans
+        if any(alert.overlaps(start, end + slack) for alert in alerts)
+    )
+    precision = true_positives / len(alerts) if alerts else math.nan
+    recall = recalled / len(spans) if spans else math.nan
+    return {
+        "precision": precision,
+        "recall": recall,
+        "alerts": float(len(alerts)),
+        "faults": float(len(spans)),
+        "true_positive_alerts": float(true_positives),
+        "recalled_faults": float(recalled),
+    }

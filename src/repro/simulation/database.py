@@ -35,6 +35,7 @@ class DatabaseSim(ServerSim):
         on_complete: Optional[Callable[[KeyJob], None]] = None,
         metrics: Optional[MetricsRegistry] = None,
         rate_factor: Optional[Callable[[float], float]] = None,
+        trace: Optional[list] = None,
     ) -> None:
         super().__init__(
             sim,
@@ -44,6 +45,7 @@ class DatabaseSim(ServerSim):
             on_complete=on_complete,
             metrics=metrics,
             rate_factor=rate_factor,
+            trace=trace,
         )
 
     @classmethod

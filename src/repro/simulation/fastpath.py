@@ -213,6 +213,46 @@ def sample_request_latencies(
     )
 
 
+def sample_timeline(
+    sample: "RequestSample",
+    *,
+    request_rate: float,
+    rng: np.random.Generator,
+    timeline: object = True,
+) -> "Timeline":
+    """Windowed telemetry for a stationary pool-sampled request batch.
+
+    The pool sampler draws request latencies without a timeline of its
+    own (samples are exchangeable, not time-ordered), so this lays them
+    on a synthetic Poisson arrival process at ``request_rate`` — valid
+    precisely because the sample *is* stationary — and buckets the
+    resulting (born, completed) pairs into the shared
+    :class:`~repro.observability.timeline.Timeline` schema. No per-stage
+    series: the pool sampler does not track queue occupancy.
+    """
+    from ..observability.timeline import Timeline, TimelineSpec
+
+    if request_rate <= 0:
+        raise ValidationError(f"request_rate must be > 0, got {request_rate}")
+    spec = TimelineSpec.coerce(timeline)
+    if spec is None:
+        spec = TimelineSpec.coerce(True)
+    totals = np.asarray(sample.total, dtype=float)
+    born = np.cumsum(rng.exponential(1.0 / request_rate, size=totals.size))
+    completed = born + totals
+    end = float(completed.max()) if completed.size else 1.0
+    return Timeline.from_events(
+        start=0.0,
+        end=end,
+        request_born=born,
+        request_completed=completed,
+        request_total=totals,
+        stages={},
+        spec=spec,
+        meta={"backend": "fastpath", "synthetic_arrivals": True},
+    )
+
+
 def expected_max_from_pool(pool: np.ndarray, n: float) -> float:
     """Exact ``E[max of n iid draws]`` from an empirical sample.
 

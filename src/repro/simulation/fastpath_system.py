@@ -51,6 +51,7 @@ import numpy as np
 
 from ..errors import SimulationError, StabilityError, ValidationError
 from ..faults import FaultSchedule
+from ..observability.timeline import Timeline, TimelineSpec
 from .fastpath import lindley_waits
 
 __all__ = ["SystemSample", "simulate_system_requests"]
@@ -78,6 +79,9 @@ class SystemSample:
     network: float
     measured_miss_ratio: float
     server_utilizations: tuple
+    #: Windowed telemetry over the recorded completion window, when the
+    #: caller asked for one (same schema as the event engine's).
+    timeline: Optional[Timeline] = None
 
     @property
     def n_requests(self) -> int:
@@ -96,6 +100,13 @@ class _PassResult:
     # Per-server key service/completion arrays for utilization windows.
     server_services: list
     server_completions: list
+    # Per-server key arrival instants (batch arrival repeated per key);
+    # service starts are ``completion - service``. Feeds the timeline.
+    server_arrivals: list
+    # Merged database stream, in arrival order (empty without misses).
+    db_arrival: np.ndarray
+    db_service: np.ndarray
+    db_completion: np.ndarray
 
 
 def _simulate_pass(
@@ -126,6 +137,7 @@ def _simulate_pass(
     miss_server_sojourn: list = []
     server_services: list = []
     server_completions: list = []
+    server_arrivals: list = []
     n_misses = 0
 
     for j in range(n_servers):
@@ -134,6 +146,7 @@ def _simulate_pass(
         if nonzero.size == 0:
             server_services.append(np.empty(0))
             server_completions.append(np.empty(0))
+            server_arrivals.append(np.empty(0))
             continue
         sizes = batch_sizes_all[nonzero]
         total_keys = int(sizes.sum())
@@ -162,9 +175,11 @@ def _simulate_pass(
 
         request_of_key = np.repeat(nonzero, sizes)
         np.maximum.at(server_max, request_of_key, sojourn)
-        completion = np.repeat(batch_arrival, sizes) + sojourn
+        key_arrival = np.repeat(batch_arrival, sizes)
+        completion = key_arrival + sojourn
         server_services.append(services)
         server_completions.append(completion)
+        server_arrivals.append(key_arrival)
 
         if miss_ratio > 0.0:
             missed = rng.random(total_keys) < miss_ratio
@@ -194,8 +209,11 @@ def _simulate_pass(
         if faults is not None:
             db_service = db_service / faults.database_rate_factors(db_arrival)
         db_sojourn = lindley_waits(db_service, np.diff(db_arrival)) + db_service
+        db_completion = db_arrival + db_sojourn
         np.maximum.at(database_max, request_of_miss, db_sojourn)
         np.maximum.at(combo_max, request_of_miss, server_part + db_sojourn)
+    else:
+        db_arrival = db_service = db_completion = np.empty(0)
 
     return _PassResult(
         arrivals=arrivals,
@@ -205,6 +223,10 @@ def _simulate_pass(
         miss_fraction=n_misses / float(n_spawn * n_keys),
         server_services=server_services,
         server_completions=server_completions,
+        server_arrivals=server_arrivals,
+        db_arrival=db_arrival,
+        db_service=db_service,
+        db_completion=db_completion,
     )
 
 
@@ -221,6 +243,7 @@ def simulate_system_requests(
     miss_ratio: float = 0.0,
     database_rate: Optional[float] = None,
     faults: Optional[FaultSchedule] = None,
+    timeline: object = None,
 ) -> SystemSample:
     """Simulate the system until ``warmup + n`` requests complete.
 
@@ -236,6 +259,11 @@ def simulate_system_requests(
     :class:`~repro.faults.FaultSchedule` — rate-scaling windows (server
     slowdowns, database overloads). Pauses and share shifts need the
     event engine's per-event control flow and are rejected here.
+
+    ``timeline`` (anything :meth:`TimelineSpec.coerce` accepts — ``True``,
+    a window count, a window width, or a spec) attaches windowed
+    telemetry over the recorded completion window, bucketed in one
+    vectorized pass and schema-identical to the event engine's.
     """
     shares_arr = np.asarray(shares, dtype=float)
     if shares_arr.ndim != 1 or shares_arr.size < 1:
@@ -262,6 +290,7 @@ def simulate_system_requests(
         raise ValidationError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
     if miss_ratio > 0.0 and database_rate is None:
         raise ValidationError("database_rate is required when miss_ratio > 0")
+    spec = TimelineSpec.coerce(timeline)
     if faults is not None and faults.is_empty:
         faults = None
     if faults is not None:
@@ -332,6 +361,43 @@ def simulate_system_requests(
     ):
         done = completions <= cutoff
         utilizations.append(float(services[done].sum()) / cutoff)
+    run_timeline = None
+    if spec is not None:
+        # Same window law as the engine: recorders (and windows) start
+        # at the warmup-th completion and end at the cutoff instant.
+        t0 = (
+            float(completion[order[warmup_requests - 1]])
+            if warmup_requests
+            else 0.0
+        )
+        stages = {}
+        for j in range(shares_arr.size):
+            arr = result.server_arrivals[j]
+            fin = result.server_completions[j]
+            svc = result.server_services[j]
+            in_window = (fin > t0) & (fin <= cutoff)
+            stages[f"server.{j}"] = (
+                arr[in_window],
+                fin[in_window] - svc[in_window],
+                fin[in_window],
+            )
+        if miss_ratio > 0.0 and database_rate is not None:
+            fin = result.db_completion
+            in_window = (fin > t0) & (fin <= cutoff)
+            stages["database"] = (
+                result.db_arrival[in_window],
+                fin[in_window] - result.db_service[in_window],
+                fin[in_window],
+            )
+        run_timeline = Timeline.from_events(
+            start=t0,
+            end=cutoff,
+            request_born=result.arrivals[keep],
+            request_completed=completion[keep],
+            stages=stages,
+            spec=spec,
+            meta={"backend": "fastpath-system"},
+        )
     return SystemSample(
         total=result.combo_max[keep] + round_trip,
         server_max=result.server_max[keep],
@@ -339,4 +405,5 @@ def simulate_system_requests(
         network=round_trip,
         measured_miss_ratio=result.miss_fraction,
         server_utilizations=tuple(utilizations),
+        timeline=run_timeline,
     )

@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigError
+from ..observability.timeline import Timeline
 from .metrics import LatencyRecorder
 
 __all__ = ["StageStats", "SimulationResult"]
@@ -114,6 +115,10 @@ class SimulationResult:
     #: Exact E[TS(N)] over the empirical latency pools (fast-path runs
     #: only) — the Monte-Carlo-noise-free statistic the figures plot.
     server_expected_max: Optional[float] = None
+    #: Windowed telemetry (a Timeline) when the run recorded one.
+    #: Excluded from equality: two runs are "the same result" when their
+    #: summary statistics agree.
+    timeline: Optional[object] = dataclasses.field(default=None, compare=False)
 
     # -- LatencyEstimate-compatible accessors --------------------------
 
@@ -167,6 +172,7 @@ class SimulationResult:
             network=StageStats.from_recorder(results.network_stage),
             measured_miss_ratio=float(results.measured_miss_ratio),
             server_utilizations=tuple(results.server_utilizations),
+            timeline=getattr(results, "timeline", None),
         )
 
     @classmethod
@@ -193,6 +199,7 @@ class SimulationResult:
             server=StageStats.from_samples(sample.server_max),
             database=StageStats.from_samples(sample.database_max),
             network=constant_network,
+            timeline=getattr(sample, "timeline", None),
         )
 
     @classmethod
@@ -219,6 +226,9 @@ class SimulationResult:
             "measured_miss_ratio": self.measured_miss_ratio,
             "server_utilizations": list(self.server_utilizations),
             "server_expected_max": self.server_expected_max,
+            "timeline": (
+                self.timeline.to_dict() if self.timeline is not None else None
+            ),
         }
 
     @classmethod
@@ -238,6 +248,11 @@ class SimulationResult:
                     payload.get("server_utilizations") or ()
                 ),
                 server_expected_max=payload.get("server_expected_max"),
+                timeline=(
+                    Timeline.from_dict(payload["timeline"])
+                    if payload.get("timeline") is not None
+                    else None
+                ),
             )
         except KeyError as exc:
             raise ConfigError(f"simulation result missing key: {exc}") from exc

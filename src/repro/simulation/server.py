@@ -77,12 +77,19 @@ class ServerSim:
         metrics: Optional[MetricsRegistry] = None,
         rate_factor: Optional[RateFactor] = None,
         pause_until: Optional[PauseUntil] = None,
+        trace: Optional[list] = None,
     ) -> None:
         self._sim = sim
         self._service = service
         self._rng = rng
         self.name = name
         self._on_complete = on_complete
+        # Timeline sink: ``(arrival, service_start, finish)`` per served
+        # job, consumed by TimelineBuilder.stage_sink. Abandoned jobs
+        # that reached service are included — they consumed capacity.
+        # The bound append keeps the per-job cost to one call.
+        self._trace = trace
+        self._trace_append = trace.append if trace is not None else None
         # Fault hooks. ``rate_factor(t)`` scales the service *rate* for
         # jobs starting at t (a sampled service time is divided by it);
         # ``pause_until(t)`` returns when a pause covering t lifts (t
@@ -214,6 +221,10 @@ class ServerSim:
         if self._hist_wait is not None:
             self._hist_wait.record(job.wait)
             self._hist_service.record(job.finish_time - job.start_time)
+        if self._trace_append is not None:
+            self._trace_append(
+                (job.arrival_time, job.start_time, job.finish_time)
+            )
         if self._on_complete is not None:
             self._on_complete(job)
         self._start_next()

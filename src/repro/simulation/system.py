@@ -120,6 +120,8 @@ class SystemResults:
     server_utilizations: List[float]
     observability: Optional["Observability"] = None
     request_log: Optional[Tuple[RequestRecord, ...]] = None
+    #: Windowed telemetry (a Timeline) when the run recorded one.
+    timeline: Optional[object] = None
 
     @property
     def measured_miss_ratio(self) -> float:
@@ -210,6 +212,17 @@ class MemcachedSystemSimulator:
         self._tracer = observability.tracer if observability is not None else None
         registry = observability.registry if observability is not None else None
         self._registry = registry
+        # Windowed telemetry: the builder hands out plain-list sinks the
+        # queues append into natively; everything is bucketed at the end
+        # of the run in one vectorized pass.
+        self._timeline = (
+            observability.timeline if observability is not None else None
+        )
+        self._timeline_requests = (
+            self._timeline.request_sink().append
+            if self._timeline is not None
+            else None
+        )
 
         self.sim = Simulator(
             profiler=observability.profiler if observability is not None else None
@@ -249,6 +262,11 @@ class MemcachedSystemSimulator:
                 name=f"server-{j}",
                 on_complete=self._on_server_complete,
                 metrics=registry,
+                trace=(
+                    self._timeline.stage_sink(f"server.{j}")
+                    if self._timeline is not None
+                    else None
+                ),
                 **fault_hooks(j),
             )
             for j in range(cluster.n_servers)
@@ -266,6 +284,11 @@ class MemcachedSystemSimulator:
                 rate_factor=(
                     faults.database_rate_factor
                     if faults is not None and faults.has_database_overloads
+                    else None
+                ),
+                trace=(
+                    self._timeline.stage_sink("database")
+                    if self._timeline is not None
                     else None
                 ),
             )
@@ -631,6 +654,8 @@ class MemcachedSystemSimulator:
             context.span.finish(self.sim.now)
         if request.pending == 0:
             total = self.sim.now - request.born
+            if self._timeline_requests is not None:
+                self._timeline_requests((request.born, self.sim.now))
             self._total.record(total)
             self._server_stage.record(request.max_server)
             self._database_stage.record(request.max_database)
@@ -687,6 +712,11 @@ class MemcachedSystemSimulator:
                 self._reset_recorders()
                 warmup_done = True
         self._accepting = False
+        timeline = (
+            self._timeline.build(end=self.sim.now, meta={"backend": "simulate"})
+            if self._timeline is not None
+            else None
+        )
         return SystemResults(
             total=self._total,
             server_stage=self._server_stage,
@@ -705,6 +735,7 @@ class MemcachedSystemSimulator:
             request_log=(
                 tuple(self._request_log) if self._request_log is not None else None
             ),
+            timeline=timeline,
         )
 
     def _reset_recorders(self) -> None:
@@ -716,6 +747,10 @@ class MemcachedSystemSimulator:
         if self._request_log is not None:
             self._request_log = []
         # Observability resets in place: the histogram/counter objects
-        # held by servers and the database stay valid.
+        # held by servers and the database stay valid (the timeline
+        # builder clears its sink lists without replacing them).
         if self.observability is not None:
             self.observability.reset()
+        if self._timeline is not None:
+            # Post-warmup windows start at the warmup boundary, not t=0.
+            self._timeline.origin = self.sim.now

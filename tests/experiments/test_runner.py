@@ -70,6 +70,113 @@ class TestExecution:
         assert len(rows) == 8
 
 
+class TestProgressAndTimelines:
+    def test_on_progress_fires_once_per_cell_serial(self):
+        events = []
+        run_suite(
+            fast_suite(),
+            on_progress=lambda cell, done, total: events.append(
+                (cell.index, done, total)
+            ),
+        )
+        assert [(done, total) for _, done, total in events] == [
+            (1, 4),
+            (2, 4),
+            (3, 4),
+            (4, 4),
+        ]
+        assert sorted(index for index, _, _ in events) == [0, 1, 2, 3]
+
+    def test_on_progress_fires_in_parent_for_parallel_and_resumed(
+        self, tmp_path
+    ):
+        suite = fast_suite()
+        run_suite(suite, checkpoint_dir=tmp_path)
+        events = []
+        result = ExperimentRunner(
+            workers=2,
+            checkpoint_dir=tmp_path,
+            resume=True,
+            on_progress=lambda cell, done, total: events.append(
+                (cell.resumed, done)
+            ),
+        ).run(suite)
+        assert result.resumed == 4
+        assert len(events) == 4
+        assert all(resumed for resumed, _ in events)
+        assert [done for _, done in events] == [1, 2, 3, 4]
+
+    def test_on_progress_must_be_callable(self):
+        with pytest.raises(ConfigError):
+            ExperimentRunner(on_progress="print")
+
+    def timeline_suite(self, **runner_fields):
+        base = Scenario(
+            key_rate=kps(40),
+            service_rate=kps(80),
+            n_keys=10,
+            seed=42,
+            n_requests=200,
+        )
+        return Suite(
+            "timeline",
+            Grid(base, {"q": [0.0, 0.2]}),
+            backend="fastpath-system",
+            options={"timeline": 6},
+        )
+
+    def test_cells_carry_timelines_when_requested(self):
+        result = run_suite(self.timeline_suite())
+        for cell in result.cells:
+            assert cell.timeline is not None
+            assert cell.timeline.n_windows == 6
+            assert float(cell.timeline.completions.sum()) == 200.0
+
+    def test_cell_timeline_survives_checkpoint_round_trip(self, tmp_path):
+        run_suite(self.timeline_suite(), checkpoint_dir=tmp_path)
+        resumed = run_suite(
+            self.timeline_suite(), checkpoint_dir=tmp_path, resume=True
+        )
+        assert resumed.resumed == 2
+        for cell in resumed.cells:
+            assert cell.resumed
+            assert cell.timeline is not None
+            assert cell.timeline.n_windows == 6
+
+    def test_timelines_identical_across_worker_counts(self):
+        serial = ExperimentRunner(workers=1).run(self.timeline_suite())
+        parallel = ExperimentRunner(workers=2).run(self.timeline_suite())
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.timeline.to_dict() == b.timeline.to_dict()
+
+    def test_cells_without_timeline_stay_lean(self):
+        result = run_suite(fast_suite())
+        assert all(cell.timeline is None for cell in result.cells)
+
+
+class TestProvenanceStamps:
+    def test_cell_dict_is_stamped(self):
+        cell = run_suite(fast_suite()).cells[0]
+        payload = cell.to_dict()
+        assert "repro_version" in payload["provenance"]
+        assert "git_sha" in payload["provenance"]
+
+    def test_suite_dict_is_stamped(self, tmp_path):
+        result = run_suite(fast_suite())
+        payload = result.to_dict()
+        assert "repro_version" in payload["provenance"]
+        path = tmp_path / "suite.json"
+        result.save(path)
+        assert "provenance" in json.loads(path.read_text())
+
+    def test_git_sha_env_override(self, monkeypatch):
+        from repro.observability import GIT_SHA_ENV
+
+        monkeypatch.setenv(GIT_SHA_ENV, "deadbeef")
+        cell = run_suite(fast_suite()).cells[0]
+        assert cell.to_dict()["provenance"]["git_sha"] == "deadbeef"
+
+
 class TestCheckpointsAndResume:
     def test_checkpoints_written(self, tmp_path):
         run_suite(fast_suite(), checkpoint_dir=tmp_path)

@@ -331,3 +331,50 @@ class TestCellMetrics:
         )
         assert shared <= set(estimate)
         assert shared <= set(simulated)
+
+
+class TestTimelineAcrossBackends:
+    """``Scenario.timeline`` emits one schema from all four backends."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_same_schema_every_backend(self, backend):
+        scenario = small_scenario(burst_xi=0.0, concurrency_q=0.0)
+        timeline = scenario.timeline(backend, n_windows=8)
+        assert timeline.n_windows == 8
+        payload = timeline.to_dict()
+        assert payload["kind"] == "repro-timeline"
+        assert len(payload["arrivals"]) == 8
+        assert payload["meta"]["backend"] == backend
+        # Simulation backends model the same stages; the pool sampler
+        # has no system-level stage trace, the analytic backend has no
+        # latency samples (its histograms are empty).
+        if backend == "fastpath":
+            assert timeline.stage_names == []
+        else:
+            assert "database" in timeline.stage_names
+            assert "server.0" in timeline.stage_names
+        if backend == "estimate":
+            assert sum(h.count for h in timeline.latency) == 0
+        else:
+            assert float(timeline.completions.sum()) == scenario.n_requests
+
+    def test_window_width_spec(self):
+        scenario = small_scenario()
+        timeline = scenario.timeline("fastpath-system", window=0.01)
+        assert timeline.window == pytest.approx(0.01)
+        assert timeline.n_windows >= 1
+
+    def test_run_with_timeline_option_attaches_result_timeline(self):
+        scenario = small_scenario()
+        result = scenario.run("simulate", timeline=4)
+        assert result.timeline is not None
+        assert result.timeline.n_windows == 4
+        assert scenario.run("simulate").timeline is None
+
+    def test_estimate_timeline_rejects_backend_options(self):
+        with pytest.raises(ConfigError):
+            small_scenario().timeline("estimate", pool_size=10)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            small_scenario().timeline("warp-drive")

@@ -21,6 +21,7 @@ import pytest
 
 from repro.cli import main
 from repro.experiments import Scenario
+from repro.observability import SLOMonitor, detection_scores
 from repro.units import kps, msec, usec
 
 
@@ -157,6 +158,114 @@ class TestStabilityLimit:
         bounds = scenario.run("estimate").server
         for measured in (fast["server"], engine["server"]):
             assert bounds.lower * 0.8 < measured < bounds.upper * 1.6
+
+
+class TestTimelineAgreement:
+    """The two native-telemetry backends must emit the same story.
+
+    Windowed series are far noisier than run-level means (a window holds
+    ~750 completions here), so the comparisons average each series over
+    the run and use tolerances matched to the measured seed scatter:
+    rates and medians are tight, occupancy and utilization carry queue
+    autocorrelation, and windowed p95 is tail-dominated enough that only
+    the run-level recorders are held to it (elsewhere).
+    """
+
+    def test_engine_and_fastpath_system_series_agree_when_stationary(self):
+        scenario = agreement_scenario(n_requests=6000, warmup_requests=600)
+        engine = scenario.timeline("simulate", n_windows=8)
+        fast = scenario.timeline("fastpath-system", n_windows=8)
+
+        assert engine.stage_names == fast.stage_names
+        assert engine.n_windows == fast.n_windows == 8
+
+        def series_mean(timeline, series):
+            return float(np.nanmean(np.asarray(series, dtype=float)))
+
+        for get, rel in (
+            (lambda t: t.arrival_rate(), 0.05),
+            (lambda t: t.completion_rate(), 0.05),
+            (lambda t: t.quantile_series(0.5), 0.1),
+            (lambda t: t.utilization("server.0"), 0.15),
+            (lambda t: t.utilization("server.1"), 0.15),
+            (lambda t: t.occupancy(), 0.35),
+        ):
+            assert series_mean(fast, get(fast)) == pytest.approx(
+                series_mean(engine, get(engine)), rel=rel
+            )
+
+        # Both self-consistent under Little's law, window by window.
+        for timeline in (engine, fast):
+            law = timeline.littles_law()
+            assert bool(np.all(law["valid"]))
+            assert law["n_valid"] == 8
+            assert law["max_relative_error"] < 0.25
+
+    def test_analytic_timeline_is_the_constant_reference(self):
+        scenario = agreement_scenario()
+        timeline = scenario.timeline("estimate", n_windows=6)
+        request_rate = scenario.total_key_rate() / scenario.n_keys
+        np.testing.assert_allclose(timeline.arrival_rate(), request_rate)
+        np.testing.assert_allclose(
+            timeline.utilization("server.0"),
+            scenario.key_rate / scenario.service_rate,
+        )
+        # Stationary by construction: every window identical.
+        assert float(np.ptp(timeline.occupancy())) == 0.0
+
+    def test_both_backends_localize_a_database_overload(self):
+        """Satellite: an injected fault window is recovered as an SLO
+        alert window by engine AND fastpath-system telemetry, with
+        precision and recall >= 0.8 against the schedule."""
+        fault_start, fault_duration = 0.3, 0.3
+        scenario = agreement_scenario(
+            n_requests=4000,
+            warmup_requests=400,
+            faults={
+                "windows": [
+                    {
+                        "kind": "database-overload",
+                        "start": fault_start,
+                        "duration": fault_duration,
+                        "factor": 0.125,  # 8x database slowdown
+                    }
+                ]
+            },
+        )
+        # Bad = slower than 20 ms: only fault-window database sojourns
+        # reach that (healthy p99 is ~3 ms), so the burn rule fires on
+        # the overload and nowhere else.
+        monitor = SLOMonitor.latency_slo(
+            burn_threshold=0.020, objective=0.998, min_count=20
+        )
+        for backend in ("simulate", "fastpath-system"):
+            timeline = scenario.timeline(backend, n_windows=12)
+            report = monitor.evaluate(timeline)
+            assert not report.ok, f"{backend}: fault raised no alert"
+            scores = detection_scores(
+                report.alerts,
+                scenario.faults,
+                # Queues drain after the fault lifts; trailing alert
+                # windows are detection, not false positives.
+                slack=0.6,
+            )
+            assert scores["precision"] >= 0.8, (backend, scores)
+            assert scores["recall"] >= 0.8, (backend, scores)
+            # And the alert actually overlaps the injected span.
+            fault_end = fault_start + fault_duration
+            assert any(
+                alert.overlaps(fault_start, fault_end)
+                for alert in report.alerts
+            ), (backend, report.alerts)
+
+    def test_fault_free_run_raises_no_alert(self):
+        scenario = agreement_scenario(n_requests=3000, warmup_requests=300)
+        monitor = SLOMonitor.latency_slo(
+            burn_threshold=0.020, objective=0.998, min_count=20
+        )
+        for backend in ("simulate", "fastpath-system"):
+            report = monitor.evaluate(scenario.timeline(backend, n_windows=12))
+            assert report.ok, (backend, report.alerts)
 
 
 class TestExperimentCliSweep:

@@ -4,6 +4,8 @@ import math
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ValidationError
 from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
@@ -146,6 +148,84 @@ class TestHistogramStats:
         assert clone.summary() == hist.summary()
         assert clone.buckets() == hist.buckets()
 
+    def test_record_many_matches_scalar_path(self):
+        rng = np.random.default_rng(17)
+        data = rng.exponential(1e-3, 2000)
+        vectorized, scalar = Histogram(), Histogram()
+        vectorized.record_many(data)
+        for value in data:
+            scalar.record(float(value))
+        assert vectorized.buckets() == scalar.buckets()
+        assert vectorized.count == scalar.count
+        assert vectorized.mean == pytest.approx(scalar.mean, rel=1e-12)
+        assert vectorized.std == pytest.approx(scalar.std, rel=1e-9)
+        assert vectorized.minimum == scalar.minimum
+        assert vectorized.maximum == scalar.maximum
+
+    def test_count_above_exact_at_bucket_boundary(self):
+        hist = Histogram(min_value=1.0, buckets_per_decade=1)
+        hist.record_many([0.5, 2.0, 20.0, 200.0])  # buckets 0, 0, 1, 2
+        lower, _ = hist.bucket_bounds(1)  # 10.0
+        assert hist.count_above(lower) == 2
+        assert hist.count_above(0.0) == 4
+        assert hist.count_above(1e9) == 0
+
+    def test_count_above_interpolates_straddling_bucket(self):
+        hist = Histogram(min_value=1.0, buckets_per_decade=1)
+        for _ in range(10):
+            hist.record(2.0)  # all in the [1, 10) bucket
+        # Halfway through the bucket: about half the mass is above.
+        assert hist.count_above(5.5) == pytest.approx(5.0, abs=1.0)
+        total = hist.count_above(1.0)
+        assert 0 <= hist.count_above(5.5) <= total
+
+    def test_count_above_monotone_nonincreasing(self):
+        hist = Histogram()
+        rng = np.random.default_rng(23)
+        hist.record_many(rng.exponential(1e-3, 500))
+        thresholds = np.logspace(-5, -1, 30)
+        counts = [hist.count_above(t) for t in thresholds]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_merged_quantiles_match_joint_recording(self):
+        rng = np.random.default_rng(29)
+        data = rng.exponential(1e-3, 4000)
+        joint, a, b = Histogram(), Histogram(), Histogram()
+        joint.record_many(data)
+        a.record_many(data[:1500])
+        b.record_many(data[1500:])
+        a.merge(b)
+        assert a.buckets() == joint.buckets()
+        assert a.mean == pytest.approx(joint.mean, rel=1e-12)
+        for k in (0.5, 0.95, 0.99):
+            assert a.quantile(k) == joint.quantile(k)
+
+
+class TestHistogramQuantileProperty:
+    """Hypothesis: every quantile within one bucket of numpy's answer."""
+
+    @given(
+        data=st.lists(
+            st.floats(min_value=1e-7, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        level=st.floats(min_value=0.0, max_value=1.0),
+        bpd=st.sampled_from([5, 20, 50]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_within_one_bucket_of_numpy(self, data, level, bpd):
+        hist = Histogram(min_value=1e-9, buckets_per_decade=bpd)
+        hist.record_many(data)
+        growth = 10.0 ** (1.0 / bpd)
+        # Any defensible empirical quantile lies between the 'lower' and
+        # 'higher' order statistics; the histogram may additionally be
+        # off by one bucket's relative width in either direction.
+        low = float(np.quantile(data, level, method="lower"))
+        high = float(np.quantile(data, level, method="higher"))
+        estimate = hist.quantile(level)
+        assert low / growth - 1e-12 <= estimate <= high * growth + 1e-12
+
 
 class TestCounter:
     def test_increments(self):
@@ -163,6 +243,13 @@ class TestCounter:
         counter.inc(3)
         counter.reset()
         assert counter.value == 0
+
+    def test_merge_sums(self):
+        a, b = Counter(), Counter()
+        a.inc(2)
+        b.inc(5)
+        a.merge(b)
+        assert a.value == 7
 
 
 class TestGauge:
@@ -182,6 +269,24 @@ class TestGauge:
     def test_empty_gauge_errors(self):
         with pytest.raises(ValidationError):
             _ = Gauge().mean
+
+    def test_merge_folds_extrema_and_keeps_latest(self):
+        a, b = Gauge(), Gauge()
+        a.set(1.0)
+        a.set(4.0)
+        b.set(0.5)
+        a.merge(b)
+        assert a.value == 0.5  # other's last observation wins
+        assert a.minimum == 0.5
+        assert a.maximum == 4.0
+        assert a.mean == pytest.approx((1.0 + 4.0 + 0.5) / 3)
+
+    def test_merge_with_empty_keeps_value(self):
+        a = Gauge()
+        a.set(2.0)
+        a.merge(Gauge())
+        assert a.value == 2.0
+        assert a.mean == pytest.approx(2.0)
 
 
 class TestMetricsRegistry:
@@ -227,3 +332,34 @@ class TestMetricsRegistry:
         assert snap["h"]["summary"]["count"] == 1
         assert snap["c"] == {"type": "counter", "value": 2}
         assert snap["g"]["samples"] == 1
+
+    def test_merge_folds_matching_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").record(1.0)
+        b.histogram("h").record(3.0)
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.gauge("g").set(0.5)
+        a.merge(b)
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").mean == pytest.approx(2.0)
+        assert a.counter("c").value == 3
+        # Metric only in `b` is created in `a` with b's state.
+        assert a.gauge("g").value == 0.5
+        # Merge does not mutate the source registry.
+        assert b.histogram("h").count == 1
+
+    def test_merge_adopts_other_geometry_for_new_names(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h", min_value=1e-3, buckets_per_decade=7).record(1.0)
+        a.merge(b)
+        geometry = a.histogram("h").to_dict()
+        assert geometry["min_value"] == pytest.approx(1e-3)
+        assert geometry["buckets_per_decade"] == 7
+
+    def test_merge_rejects_kind_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("x")
+        b.counter("x")
+        with pytest.raises(ValidationError):
+            a.merge(b)

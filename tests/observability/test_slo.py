@@ -1,0 +1,231 @@
+"""Tests for SLO rules, alert coalescing, and fault-detection scoring."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.observability import (
+    AlertWindow,
+    BurnRateRule,
+    SLOMonitor,
+    SLORule,
+    Timeline,
+    detection_scores,
+)
+from repro.observability.timeline import TimelineSpec
+
+
+def stepped_timeline(slow_windows=(4, 5, 6), n_windows=10, per_window=50):
+    """10 x 1s windows; ``slow_windows`` get 100 ms latency, others 1 ms."""
+    born, completed = [], []
+    for k in range(n_windows):
+        latency = 0.1 if k in slow_windows else 0.001
+        for j in range(per_window):
+            t = k + (j + 0.5) / (per_window + 1)
+            born.append(t - latency)
+            completed.append(t)
+    return Timeline.from_events(
+        start=0.0,
+        end=float(n_windows),
+        request_born=np.array(born),
+        request_completed=np.array(completed),
+        spec=TimelineSpec(n_windows=n_windows),
+    )
+
+
+class TestSLORule:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SLORule("r", "p99", 1.0, comparison=">=")
+        with pytest.raises(ValidationError):
+            SLORule("r", "p99", 1.0, min_count=0)
+        with pytest.raises(ValidationError):
+            SLORule("r", "nope", 1.0)
+        with pytest.raises(ValidationError):
+            SLORule("r", "nope:server.0", 1.0)
+        # Stage-qualified metrics parse.
+        SLORule("r", "utilization:server.0", 0.9)
+        SLORule("r", "queue_depth:server.0", 5.0)
+
+    def test_violations_flag_slow_windows_only(self):
+        timeline = stepped_timeline()
+        rule = SLORule("p99-high", "p99", 0.01)
+        mask = rule.violations(timeline)
+        assert list(np.nonzero(mask)[0]) == [4, 5, 6]
+
+    def test_nan_windows_never_violate(self):
+        timeline = Timeline.from_events(
+            start=0.0,
+            end=2.0,
+            request_born=np.array([0.1]),
+            request_completed=np.array([0.2]),
+            spec=TimelineSpec(n_windows=2),
+        )
+        mask = SLORule("r", "p99", 1e-9).violations(timeline)
+        assert mask[0] and not mask[1]
+
+    def test_min_count_gates_latency_rules(self):
+        timeline = stepped_timeline(per_window=5)
+        assert not SLORule("r", "p99", 0.01, min_count=6).violations(
+            timeline
+        ).any()
+        assert SLORule("r", "p99", 0.01, min_count=5).violations(
+            timeline
+        ).any()
+
+    def test_less_than_comparison(self):
+        timeline = stepped_timeline()
+        rule = SLORule("starved", "completion_rate", 10.0, comparison="<")
+        assert not rule.violations(timeline).any()
+
+
+class TestBurnRateRule:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BurnRateRule("b", 0.01, objective=1.0)
+        with pytest.raises(ValidationError):
+            BurnRateRule("b", 0.0)
+        with pytest.raises(ValidationError):
+            BurnRateRule("b", 0.01, factor=0.0)
+
+    def test_burn_rate_math(self):
+        timeline = stepped_timeline()
+        rule = BurnRateRule("b", latency_threshold=0.01, objective=0.9)
+        burn = rule.series(timeline)
+        # Slow windows: every request bad -> burn = 1 / 0.1 = 10.
+        assert burn[5] == pytest.approx(10.0, rel=0.05)
+        assert burn[0] == pytest.approx(0.0, abs=0.2)
+        mask = rule.violations(timeline)
+        assert list(np.nonzero(mask)[0]) == [4, 5, 6]
+
+    def test_factor_raises_the_bar(self):
+        timeline = stepped_timeline()
+        lazy = BurnRateRule("b", 0.01, objective=0.9, factor=20.0)
+        assert not lazy.violations(timeline).any()
+
+
+class TestAlertWindow:
+    def test_duration_and_overlap(self):
+        alert = AlertWindow("r", start=2.0, end=4.0, peak=1.0, n_windows=2)
+        assert alert.duration == 2.0
+        assert alert.overlaps(3.5, 5.0)
+        assert not alert.overlaps(4.0, 5.0)  # open interval: touching is not overlap
+        assert not alert.overlaps(0.0, 2.0)
+
+    def test_round_trip(self):
+        alert = AlertWindow("r", 1.0, 2.0, 3.0, 1)
+        assert AlertWindow.from_dict(alert.to_dict()) == alert
+
+
+class TestSLOMonitor:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValidationError):
+            SLOMonitor([])
+        with pytest.raises(ValidationError):
+            SLOMonitor([SLORule("r", "p99", 1.0), SLORule("r", "mean", 1.0)])
+
+    def test_latency_slo_builder(self):
+        monitor = SLOMonitor.latency_slo(p99=0.01, burn_threshold=0.01)
+        assert [rule.name for rule in monitor.rules] == [
+            "p99-threshold",
+            "burn-rate",
+        ]
+
+    def test_evaluate_coalesces_consecutive_windows(self):
+        timeline = stepped_timeline()
+        report = SLOMonitor.latency_slo(p99=0.01).evaluate(timeline)
+        assert not report.ok
+        assert len(report.alerts) == 1
+        alert = report.alerts[0]
+        assert alert.start == pytest.approx(4.0)
+        assert alert.end == pytest.approx(7.0)
+        assert alert.n_windows == 3
+        assert alert.peak == pytest.approx(0.1, rel=0.05)
+        assert report.attainment["p99-threshold"] == pytest.approx(0.7)
+
+    def test_disjoint_runs_make_separate_alerts(self):
+        timeline = stepped_timeline(slow_windows=(1, 2, 7))
+        report = SLOMonitor.latency_slo(p99=0.01).evaluate(timeline)
+        assert len(report.alerts) == 2
+        assert report.alerts[0].n_windows == 2
+        assert report.alerts[1].n_windows == 1
+
+    def test_healthy_timeline_is_ok(self):
+        timeline = stepped_timeline(slow_windows=())
+        report = SLOMonitor.latency_slo(p99=0.01).evaluate(timeline)
+        assert report.ok
+        assert report.attainment["p99-threshold"] == pytest.approx(1.0)
+
+    def test_report_dict_is_jsonable(self):
+        import json
+
+        timeline = stepped_timeline()
+        report = SLOMonitor.latency_slo(p99=0.01, burn_threshold=0.01).evaluate(
+            timeline
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["kind"] == "repro-slo-report"
+        assert payload["alerts"]
+        assert set(payload["series"]) == {"p99-threshold", "burn-rate"}
+        assert len(payload["violations"]["p99-threshold"]) == 10
+
+    def test_alerts_for_filters_by_rule(self):
+        timeline = stepped_timeline()
+        report = SLOMonitor.latency_slo(p99=0.01, burn_threshold=0.01).evaluate(
+            timeline
+        )
+        assert all(
+            alert.rule == "burn-rate"
+            for alert in report.alerts_for("burn-rate")
+        )
+        assert report.alerts_for("no-such-rule") == []
+
+
+class TestDetectionScores:
+    def test_perfect_detection(self):
+        alerts = [AlertWindow("r", 4.0, 7.0, 1.0, 3)]
+        scores = detection_scores(alerts, [(4.0, 6.5)])
+        assert scores["precision"] == 1.0
+        assert scores["recall"] == 1.0
+        assert scores["true_positive_alerts"] == 1.0
+
+    def test_false_positive_lowers_precision(self):
+        alerts = [
+            AlertWindow("r", 4.0, 7.0, 1.0, 3),
+            AlertWindow("r", 20.0, 21.0, 1.0, 1),
+        ]
+        scores = detection_scores(alerts, [(4.0, 6.5)])
+        assert scores["precision"] == 0.5
+        assert scores["recall"] == 1.0
+
+    def test_missed_fault_lowers_recall(self):
+        alerts = [AlertWindow("r", 4.0, 7.0, 1.0, 3)]
+        scores = detection_scores(alerts, [(4.0, 6.5), (30.0, 31.0)])
+        assert scores["recall"] == 0.5
+
+    def test_slack_absorbs_drain_tail(self):
+        # Alert fires only after the fault lifted (queue drain).
+        alerts = [AlertWindow("r", 6.6, 7.5, 1.0, 1)]
+        scores = detection_scores(alerts, [(4.0, 6.5)])
+        assert scores["precision"] == 0.0
+        scores = detection_scores(alerts, [(4.0, 6.5)], slack=1.0)
+        assert scores["precision"] == 1.0 and scores["recall"] == 1.0
+
+    def test_fault_schedule_like_objects(self):
+        class Window:
+            start, end = 4.0, 6.5
+
+        class Schedule:
+            windows = [Window()]
+
+        alerts = [AlertWindow("r", 4.0, 7.0, 1.0, 3)]
+        assert detection_scores(alerts, Schedule())["recall"] == 1.0
+
+    def test_empty_inputs_are_nan(self):
+        scores = detection_scores([], [])
+        assert math.isnan(scores["precision"])
+        assert math.isnan(scores["recall"])
+        with pytest.raises(ValidationError):
+            detection_scores([], [], slack=-1.0)

@@ -1,0 +1,393 @@
+"""Tests for the windowed time-series telemetry layer."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ValidationError
+from repro.observability import Timeline
+from repro.observability.timeline import (
+    DEFAULT_WINDOWS,
+    StageSeries,
+    TimelineBuilder,
+    TimelineSpec,
+    time_in_windows,
+)
+
+
+class TestTimelineSpec:
+    def test_coerce_off(self):
+        assert TimelineSpec.coerce(None) is None
+        assert TimelineSpec.coerce(False) is None
+
+    def test_coerce_defaults(self):
+        spec = TimelineSpec.coerce(True)
+        assert spec == TimelineSpec()
+        assert spec.window is None and spec.n_windows is None
+
+    def test_coerce_int_is_count_float_is_width(self):
+        assert TimelineSpec.coerce(12).n_windows == 12
+        assert TimelineSpec.coerce(0.5).window == 0.5
+
+    def test_coerce_passthrough_and_rejects(self):
+        spec = TimelineSpec(n_windows=7)
+        assert TimelineSpec.coerce(spec) is spec
+        with pytest.raises(ValidationError):
+            TimelineSpec.coerce("60")
+
+    def test_rejects_both_and_invalid(self):
+        with pytest.raises(ValidationError):
+            TimelineSpec(window=1.0, n_windows=5)
+        with pytest.raises(ValidationError):
+            TimelineSpec(window=0.0)
+        with pytest.raises(ValidationError):
+            TimelineSpec(n_windows=0)
+
+
+class TestTimeInWindows:
+    def test_exact_overlap_accounting(self):
+        # One interval [1, 3) over windows [0,2), [2,4): one second each.
+        edges = np.array([0.0, 2.0, 4.0])
+        overlap = time_in_windows(np.array([1.0]), np.array([3.0]), edges)
+        assert overlap == pytest.approx([1.0, 1.0])
+
+    def test_matches_bruteforce_on_random_intervals(self):
+        rng = np.random.default_rng(5)
+        starts = rng.uniform(0.0, 10.0, 200)
+        ends = starts + rng.exponential(1.0, 200)
+        edges = np.linspace(0.0, 12.0, 9)
+        fast = time_in_windows(starts, ends, edges)
+        brute = np.array(
+            [
+                np.sum(
+                    np.maximum(
+                        np.minimum(ends, edges[k + 1])
+                        - np.maximum(starts, edges[k]),
+                        0.0,
+                    )
+                )
+                for k in range(edges.size - 1)
+            ]
+        )
+        np.testing.assert_allclose(fast, brute, rtol=1e-10)
+
+    def test_total_time_is_conserved_inside_span(self):
+        rng = np.random.default_rng(6)
+        starts = rng.uniform(2.0, 8.0, 100)
+        ends = starts + rng.uniform(0.0, 1.0, 100)
+        edges = np.linspace(0.0, 10.0, 21)
+        total = time_in_windows(starts, ends, edges).sum()
+        assert total == pytest.approx(float(np.sum(ends - starts)))
+
+
+def toy_timeline(n=400, seed=3, spec=None):
+    rng = np.random.default_rng(seed)
+    born = np.sort(rng.uniform(0.0, 10.0, n))
+    completed = born + rng.exponential(0.05, n)
+    return Timeline.from_events(
+        start=0.0,
+        end=10.0,
+        request_born=born,
+        request_completed=completed,
+        stages={"server.0": (born, born, completed)},
+        spec=spec or TimelineSpec(n_windows=10),
+        meta={"backend": "test"},
+    )
+
+
+class TestFromEvents:
+    def test_counts_and_geometry(self):
+        timeline = toy_timeline()
+        assert timeline.n_windows == 10
+        assert timeline.window == pytest.approx(1.0)
+        assert float(timeline.arrivals.sum()) == 400
+        assert len(timeline.latency) == 10
+        assert timeline.stage_names == ["server.0"]
+        assert timeline.meta["backend"] == "test"
+
+    def test_default_window_count(self):
+        timeline = toy_timeline(spec=TimelineSpec())
+        assert timeline.n_windows == DEFAULT_WINDOWS
+
+    def test_width_spec_covers_span(self):
+        timeline = toy_timeline(spec=TimelineSpec(window=3.0))
+        assert timeline.n_windows == 4  # ceil(10 / 3)
+        assert timeline.edges[-1] >= 10.0
+
+    def test_latency_histograms_match_windowed_data(self):
+        rng = np.random.default_rng(9)
+        born = np.sort(rng.uniform(0.0, 10.0, 600))
+        totals = rng.exponential(0.01, 600)
+        timeline = Timeline.from_events(
+            start=0.0,
+            end=10.0,
+            request_born=born,
+            request_completed=born + totals,
+            spec=TimelineSpec(n_windows=5),
+        )
+        completed = born + totals
+        for k in range(5):
+            in_window = (completed > k * 2.0) & (completed <= (k + 1) * 2.0)
+            if k == 0:
+                in_window |= completed == 0.0
+            expected = int(in_window.sum())
+            assert timeline.latency[k].count == expected
+            if expected:
+                assert timeline.latency[k].mean == pytest.approx(
+                    float(totals[in_window].mean()), rel=1e-9
+                )
+
+    def test_completions_outside_span_dropped(self):
+        timeline = Timeline.from_events(
+            start=0.0,
+            end=1.0,
+            request_born=np.array([0.5, 0.6]),
+            request_completed=np.array([0.9, 5.0]),
+            spec=TimelineSpec(n_windows=2),
+        )
+        assert float(timeline.completions.sum()) == 1.0
+        assert sum(h.count for h in timeline.latency) == 1
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValidationError):
+            Timeline.from_events(
+                start=0.0,
+                end=1.0,
+                request_born=np.zeros(3),
+                request_completed=np.zeros(2),
+            )
+
+
+class TestDerivedSeries:
+    def test_rates_and_occupancy(self):
+        timeline = toy_timeline()
+        np.testing.assert_allclose(
+            timeline.arrival_rate(), timeline.arrivals / timeline.window
+        )
+        # Total inflight time equals the sum of in-span latencies.
+        assert float(timeline.inflight_time.sum()) > 0.0
+
+    def test_quantiles_and_bad_fraction_nan_on_empty_window(self):
+        timeline = Timeline.from_events(
+            start=0.0,
+            end=2.0,
+            request_born=np.array([0.1]),
+            request_completed=np.array([0.2]),
+            spec=TimelineSpec(n_windows=2),
+        )
+        p99 = timeline.quantile_series(0.99)
+        assert math.isfinite(p99[0]) and math.isnan(p99[1])
+        bad = timeline.bad_fraction(1e-9)
+        assert bad[0] == pytest.approx(1.0) and math.isnan(bad[1])
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ConfigError):
+            toy_timeline().utilization("database")
+
+    def test_utilization_is_busy_fraction(self):
+        # One job busy for the whole first of two 1s windows.
+        timeline = Timeline.from_events(
+            start=0.0,
+            end=2.0,
+            request_born=np.array([0.0]),
+            request_completed=np.array([1.0]),
+            stages={"s": (np.array([0.0]), np.array([0.0]), np.array([1.0]))},
+            spec=TimelineSpec(n_windows=2),
+        )
+        np.testing.assert_allclose(
+            timeline.utilization("s"), [1.0, 0.0], atol=1e-9
+        )
+
+
+class TestLittlesLaw:
+    def test_stationary_poisson_consistency(self):
+        rng = np.random.default_rng(12)
+        born = np.sort(rng.uniform(0.0, 50.0, 20_000))
+        completed = born + rng.exponential(0.02, 20_000)
+        timeline = Timeline.from_events(
+            start=0.0,
+            end=50.0,
+            request_born=born,
+            request_completed=completed,
+            spec=TimelineSpec(n_windows=10),
+        )
+        law = timeline.littles_law()
+        assert law["n_valid"] == 10
+        assert law["max_relative_error"] < 0.05
+
+    def test_small_windows_excluded(self):
+        timeline = Timeline.from_events(
+            start=0.0,
+            end=1.0,
+            request_born=np.array([0.1, 0.6]),
+            request_completed=np.array([0.2, 0.7]),
+            spec=TimelineSpec(n_windows=2),
+        )
+        law = timeline.littles_law(min_count=10)
+        assert law["n_valid"] == 0
+        assert math.isnan(law["max_relative_error"])
+
+
+class TestMerge:
+    def test_merge_is_exact_aggregation(self):
+        rng = np.random.default_rng(21)
+        born = np.sort(rng.uniform(0.0, 10.0, 800))
+        completed = born + rng.exponential(0.03, 800)
+        spec = TimelineSpec(n_windows=8)
+
+        def build(lo, hi):
+            return Timeline.from_events(
+                start=0.0,
+                end=10.0,
+                request_born=born[lo:hi],
+                request_completed=completed[lo:hi],
+                stages={
+                    "server.0": (born[lo:hi], born[lo:hi], completed[lo:hi])
+                },
+                spec=spec,
+            )
+
+        whole = build(0, 800)
+        half_a, half_b = build(0, 400), build(400, 800)
+        half_a.merge(half_b)
+        np.testing.assert_allclose(half_a.arrivals, whole.arrivals)
+        np.testing.assert_allclose(half_a.completions, whole.completions)
+        np.testing.assert_allclose(
+            half_a.inflight_time, whole.inflight_time, rtol=1e-10
+        )
+        for merged, direct in zip(half_a.latency, whole.latency):
+            assert merged.count == direct.count
+            if direct.count:
+                assert merged.mean == pytest.approx(direct.mean, rel=1e-12)
+        np.testing.assert_allclose(
+            half_a.stages["server.0"].busy_time,
+            whole.stages["server.0"].busy_time,
+            rtol=1e-10,
+        )
+        assert half_a.shards == 2
+
+    def test_shard_normalized_utilization(self):
+        jobs = (np.array([0.0]), np.array([0.0]), np.array([1.0]))
+        spec = TimelineSpec(n_windows=1)
+
+        def one():
+            return Timeline.from_events(
+                start=0.0,
+                end=1.0,
+                request_born=np.array([0.0]),
+                request_completed=np.array([1.0]),
+                stages={"s": jobs},
+                spec=spec,
+            )
+
+        merged = one()
+        merged.merge(one())
+        # Two fully-busy replicas: per-replica utilization stays 1.0.
+        assert merged.utilization("s")[0] == pytest.approx(1.0)
+        # But occupancy (requests in flight) adds up.
+        assert merged.occupancy()[0] == pytest.approx(2.0)
+
+    def test_merge_rejects_mismatched_geometry(self):
+        with pytest.raises(ValidationError):
+            toy_timeline().merge(toy_timeline(spec=TimelineSpec(n_windows=5)))
+
+
+class TestPersistence:
+    def test_dict_round_trip(self):
+        timeline = toy_timeline()
+        clone = Timeline.from_dict(timeline.to_dict())
+        np.testing.assert_allclose(clone.arrivals, timeline.arrivals)
+        np.testing.assert_allclose(clone.completions, timeline.completions)
+        np.testing.assert_allclose(clone.inflight_time, timeline.inflight_time)
+        assert clone.stage_names == timeline.stage_names
+        assert clone.meta == timeline.meta
+        for a, b in zip(clone.latency, timeline.latency):
+            assert a.to_dict() == b.to_dict()
+
+    def test_payload_is_provenance_stamped(self):
+        payload = toy_timeline().to_dict()
+        assert payload["kind"] == "repro-timeline"
+        assert "repro_version" in payload["provenance"]
+        assert "git_sha" in payload["provenance"]
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "timeline.json"
+        timeline = toy_timeline()
+        timeline.save(path)
+        clone = Timeline.load(path)
+        assert clone.summary() == timeline.summary()
+
+    def test_from_dict_rejects_wrong_kind(self):
+        with pytest.raises(ConfigError):
+            Timeline.from_dict({"kind": "something-else"})
+
+    def test_csv_export(self, tmp_path):
+        path = tmp_path / "timeline.csv"
+        toy_timeline().to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 11  # header + 10 windows
+        assert lines[0].startswith("window,t_start,t_end,arrivals")
+        assert "util:server.0" in lines[0]
+
+
+class TestBuilder:
+    def test_builds_from_sinks(self):
+        builder = TimelineBuilder(TimelineSpec(n_windows=4))
+        requests = builder.request_sink()
+        server = builder.stage_sink("server.0")
+        for k in range(40):
+            born = k * 0.1
+            requests.append((born, born + 0.05))
+            server.append((born, born + 0.01, born + 0.05))
+        timeline = builder.build(end=4.0, meta={"backend": "simulate"})
+        assert timeline.n_windows == 4
+        assert float(timeline.completions.sum()) == 40.0
+        assert timeline.stage_names == ["server.0"]
+        assert timeline.meta["backend"] == "simulate"
+
+    def test_reset_keeps_sink_references(self):
+        builder = TimelineBuilder(TimelineSpec(n_windows=2))
+        requests = builder.request_sink()
+        requests.append((0.0, 0.5))
+        builder.origin = 3.0
+        builder.reset()
+        assert builder.origin == 0.0
+        requests.append((0.2, 0.4))  # old reference still records
+        timeline = builder.build(end=1.0)
+        assert float(timeline.completions.sum()) == 1.0
+
+    def test_origin_shifts_window_start(self):
+        builder = TimelineBuilder(TimelineSpec(n_windows=2))
+        builder.origin = 5.0
+        builder.request_sink().append((5.5, 6.0))
+        timeline = builder.build(end=7.0)
+        assert timeline.start == 5.0
+        assert timeline.edges[-1] == pytest.approx(7.0)
+
+    def test_empty_run_builds_empty_timeline(self):
+        builder = TimelineBuilder(TimelineSpec(n_windows=3))
+        builder.stage_sink("server.0")
+        timeline = builder.build(end=1.0)
+        assert float(timeline.arrivals.sum()) == 0.0
+        assert timeline.stage_names == ["server.0"]
+
+
+class TestStageSeries:
+    def test_zeros_and_merge(self):
+        series = StageSeries.zeros(3)
+        other = StageSeries(
+            arrivals=np.ones(3),
+            completions=np.ones(3),
+            busy_time=np.full(3, 0.5),
+            wait_time=np.full(3, 0.25),
+        )
+        series.merge(other)
+        np.testing.assert_allclose(series.busy_time, 0.5)
+        clone = StageSeries.from_dict(series.to_dict())
+        np.testing.assert_allclose(clone.wait_time, series.wait_time)
+
+    def test_from_dict_missing_key(self):
+        with pytest.raises(ConfigError):
+            StageSeries.from_dict({"arrivals": [1.0]})

@@ -453,3 +453,136 @@ class TestRecommend:
         ) == 0
         out = capsys.readouterr().out
         assert "load-balancing" in out
+
+
+class TestSimulateTimeline:
+    ARGS = [
+        "simulate",
+        "--requests", "200",
+        "--n-keys", "10",
+        "--rate", "20",
+    ]
+
+    def test_writes_timeline_artifact(self, tmp_path, capsys):
+        path = tmp_path / "timeline.json"
+        code = main(
+            self.ARGS
+            + ["--timeline", str(path), "--timeline-windows", "9"]
+        )
+        assert code == 0
+        assert "timeline written:" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "repro-timeline"
+        assert len(payload["arrivals"]) == 9
+        assert payload["provenance"]["repro_version"]
+
+    def test_fastpath_system_backend_supports_timeline(self, tmp_path):
+        path = tmp_path / "timeline.json"
+        code = main(
+            self.ARGS
+            + [
+                "--backend", "fastpath-system",
+                "--timeline", str(path),
+                "--timeline-windows", "5",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert len(payload["arrivals"]) == 5
+
+    def test_report_includes_timeline_section(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        timeline_path = tmp_path / "timeline.json"
+        main(
+            self.ARGS
+            + ["--report", str(report_path), "--timeline", str(timeline_path)]
+        )
+        capsys.readouterr()
+        assert main(["report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "p99" in out
+
+
+class TestMonitor:
+    ARGS = [
+        "monitor",
+        "--requests", "300",
+        "--n-keys", "10",
+        "--rate", "20",
+        "--windows", "8",
+    ]
+
+    def test_dashboard_and_attainment(self, capsys):
+        code = main(self.ARGS + ["--slo-p99", "1000000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "arrival rate" in out
+        assert "attainment p99-threshold:" in out
+        assert "alerts: none" in out
+
+    def test_json_payload(self, capsys):
+        code = main(self.ARGS + ["--json", "--slo-p99", "1000000"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-monitor"
+        assert payload["slo"]["kind"] == "repro-slo-report"
+        assert len(payload["timeline"]["arrivals"]) == 8
+        assert payload["provenance"]["repro_version"]
+
+    def test_fail_on_alert_exit_code(self, capsys):
+        # A 1 ns p99 objective is violated by every window.
+        code = main(self.ARGS + ["--slo-p99", "0.001", "--fail-on-alert"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "alerts:" in out
+        assert "p99-threshold" in out
+
+    def test_artifact_exports(self, tmp_path, capsys):
+        out_path = tmp_path / "monitor.json"
+        csv_path = tmp_path / "monitor.csv"
+        code = main(
+            self.ARGS
+            + [
+                "--slo-p99", "1000000",
+                "--out", str(out_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(out_path.read_text())["kind"] == "repro-monitor"
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("window,t_start")
+
+    def test_default_rules_need_no_flags(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "attainment p99-auto:" in capsys.readouterr().out
+
+    def test_fastpath_system_backend(self, capsys):
+        code = main(
+            self.ARGS + ["--backend", "fastpath-system", "--slo-p99", "1000000"]
+        )
+        assert code == 0
+        assert "timeline:" in capsys.readouterr().out
+
+
+class TestSweepProgress:
+    def test_progress_lines_on_stderr(self, capsys):
+        code = main(
+            [
+                "sweep", "q",
+                "--start", "0", "--stop", "0.2", "--points", "2",
+                "--backend", "fastpath",
+                "--pool-size", "5000",
+                "--requests", "200",
+                "--n-keys", "10",
+                "--rate", "40",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[1/2]" in captured.err
+        assert "[2/2]" in captured.err
+        assert "ok" in captured.err

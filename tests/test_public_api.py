@@ -24,6 +24,8 @@ README = Path(__file__).resolve().parent.parent / "README.md"
 #: The stable surface. Keep sorted; keep in sync with the README table.
 EXPECTED = (
     "AdvisorReport",
+    "AlertWindow",
+    "BurnRateRule",
     "CacheCapacityError",
     "CacheError",
     "ClusterModel",
@@ -57,6 +59,8 @@ EXPECTED = (
     "RequestPolicy",
     "RequestRecord",
     "RunReport",
+    "SLOMonitor",
+    "SLORule",
     "Scenario",
     "ServerPause",
     "ServerSlowdown",
@@ -71,6 +75,7 @@ EXPECTED = (
     "StageStats",
     "Suite",
     "SuiteResult",
+    "Timeline",
     "Tracer",
     "TrajectoryPoint",
     "ValidationError",
@@ -80,6 +85,7 @@ EXPECTED = (
     "advise",
     "cliff_utilization",
     "delta_for_utilization",
+    "detection_scores",
     "hedge_delay_from_quantile",
     "run_suite",
     "sweep_suite",
