@@ -2,24 +2,30 @@
 
 Times the three simulation backends (``simulate`` — the event engine,
 ``fastpath`` — the stationary pool sampler, ``fastpath-system`` — the
-whole-system vectorized twin) on one stable fig-11-style point and
-writes ``BENCH_speed.json`` at the repo root:
+whole-system vectorized twin) on one stable fig-11-style point, plus the
+*raw* event engine (batched dispatch, no queueing model) on a pure
+dispatch microbench, and writes ``BENCH_speed.json`` at the repo root:
 
-    {"<backend>": {"keys_per_sec": ..., "wall_s": ..., "n_keys": ...}}
+    {"<backend>": {"keys_per_sec": ..., "wall_s": ..., "n_keys": ...},
+     "engine-events": {"events_per_sec": ..., "scheduler": ...}, ...}
 
 ``n_keys`` is the total number of key lookups the run pushed through the
 pipeline (requests x N); ``keys_per_sec`` is the throughput the paper's
-experiments actually care about when choosing a backend. The committed
-JSON is the perf trajectory: re-run the bench after engine or fast-path
-changes and diff it.
+experiments actually care about when choosing a backend. The
+``engine-events`` rows isolate the engine's event dispatch rate —
+scheduler pop + clock advance + callback — with and without a
+timeline-style sink recording every event; both carry CI-enforced
+floors. The committed JSON is the perf trajectory: re-run the bench
+after engine or fast-path changes and diff it.
 
 Run modes:
 
 * ``python benchmarks/bench_speed_backends.py`` — full measurement
-  (best of 3, 4000 requests).
+  (best of 3, 4000 requests / 1M events).
 * ``python benchmarks/bench_speed_backends.py --quick`` — CI smoke
-  (single repeat, 600 requests) writing to ``--out``; still asserts the
-  fast path's >= 10x speedup over the engine.
+  (single repeat, 600 requests / 300k events) writing to ``--out``;
+  still asserts the fast path's >= 10x speedup over the engine and the
+  engine dispatch-rate floors.
 * ``pytest benchmarks/bench_speed_backends.py`` — same measurement via
   the house pytest-benchmark harness.
 """
@@ -32,7 +38,11 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from repro.experiments import Scenario
+from repro.simulation import Simulator
+from repro.simulation.scheduler import resolve_scheduler_name
 from repro.units import kps, msec, usec
 
 from helpers import print_series
@@ -51,6 +61,18 @@ MIN_SPEEDUP = 10.0
 #: least this fraction of the telemetry-off throughput (hot-path cost is
 #: one tuple append per job; all window math is deferred to run end).
 MIN_TIMELINE_RATIO = 0.9
+
+#: Raw engine dispatch-rate floors (events/sec, default scheduler).
+#: Batched dispatch drains homogeneous event runs without per-event
+#: scheduler traffic, so the bare engine must clear 1M events/s; with a
+#: per-event timeline-style sink appending ``(now, index)`` the floor
+#: relaxes but stays within ~1.5x of the bare rate.
+MIN_ENGINE_EVENTS_PER_SEC = 1_000_000.0
+MIN_ENGINE_SINK_EVENTS_PER_SEC = 700_000.0
+
+#: Raw-engine dispatch variants: bare counting callback vs a
+#: timeline-style sink recording every (time, index) pair.
+ENGINE_VARIANTS = ("engine-events", "engine-events+sink")
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
 
@@ -126,6 +148,77 @@ def measure(
     return results
 
 
+def _engine_run(n_events: int, *, sink: bool) -> Dict[str, float]:
+    """One raw-engine dispatch run: a pre-drawn sorted event batch.
+
+    The batch models the windowed-arrivals fast path (one scheduler
+    entry re-armed as it drains); a sprinkling of single events (0.1% of
+    the batch) keeps the scheduler peek/push interleaving honest.
+    """
+    rng = np.random.default_rng(20170327)
+    times = np.cumsum(rng.exponential(1.0, n_events)).tolist()
+    sim = Simulator()
+    if sink:
+        out = []
+
+        def callback(index: int) -> None:
+            out.append((sim.now, index))
+
+    else:
+        fired = [0]
+
+        def callback(index: int) -> None:
+            fired[0] += 1
+
+    sim.schedule_batch(times, callback)
+    noop = lambda: None  # noqa: E731 — category marker for singles
+    singles = np.sort(rng.uniform(0.0, times[-1], max(1, n_events // 1000)))
+    for t in singles.tolist():
+        sim.schedule_at(t, noop)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return {"wall_s": wall, "n_events": sim.events_processed}
+
+
+def measure_engine(
+    n_events: int, repeats: int
+) -> Dict[str, Dict[str, float]]:
+    """Best-of-``repeats`` raw dispatch rate, with and without a sink."""
+    scheduler = resolve_scheduler_name(None)
+    results = {}
+    for name in ENGINE_VARIANTS:
+        runs = [
+            _engine_run(n_events, sink=name.endswith("+sink"))
+            for _ in range(repeats)
+        ]
+        best = min(runs, key=lambda run: run["wall_s"])
+        results[name] = {
+            "events_per_sec": best["n_events"] / best["wall_s"],
+            "wall_s": best["wall_s"],
+            "n_events": best["n_events"],
+            "scheduler": scheduler,
+        }
+    return results
+
+
+def check_engine_floors(engine: Dict[str, Dict[str, float]]) -> Optional[str]:
+    """The failed floor description, or ``None`` when both hold."""
+    bare = engine["engine-events"]["events_per_sec"]
+    sunk = engine["engine-events+sink"]["events_per_sec"]
+    if bare < MIN_ENGINE_EVENTS_PER_SEC:
+        return (
+            f"engine dispatch {bare:,.0f} events/s below the "
+            f"{MIN_ENGINE_EVENTS_PER_SEC:,.0f} floor"
+        )
+    if sunk < MIN_ENGINE_SINK_EVENTS_PER_SEC:
+        return (
+            f"engine dispatch with sink {sunk:,.0f} events/s below the "
+            f"{MIN_ENGINE_SINK_EVENTS_PER_SEC:,.0f} floor"
+        )
+    return None
+
+
 def speedup(results: Dict[str, Dict[str, float]]) -> float:
     return (
         results["fastpath-system"]["keys_per_sec"]
@@ -141,7 +234,11 @@ def timeline_ratio(results: Dict[str, Dict[str, float]]) -> float:
     )
 
 
-def report(results: Dict[str, Dict[str, float]], out: Path) -> None:
+def report(
+    results: Dict[str, Dict[str, float]],
+    out: Path,
+    engine: Optional[Dict[str, Dict[str, float]]] = None,
+) -> None:
     print_series(
         "Backend speed (keys/sec, higher is better)",
         ["backend", "keys_per_sec", "wall_s", "n_keys"],
@@ -156,7 +253,24 @@ def report(results: Dict[str, Dict[str, float]], out: Path) -> None:
             "engine throughput retained with timeline on: "
             f"{timeline_ratio(results):.1%}"
         )
-    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    payload: Dict[str, Dict[str, float]] = dict(results)
+    if engine:
+        print_series(
+            "Raw engine dispatch (events/sec, higher is better)",
+            ["variant", "events_per_sec", "wall_s", "n_events", "scheduler"],
+            [
+                [
+                    name,
+                    row["events_per_sec"],
+                    row["wall_s"],
+                    row["n_events"],
+                    row["scheduler"],
+                ]
+                for name, row in engine.items()
+            ],
+        )
+        payload.update(engine)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
 
 
@@ -171,8 +285,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     n_requests, repeats = (600, 1) if args.quick else (4_000, 3)
+    n_events = 300_000 if args.quick else 1_000_000
     results = measure(n_requests, repeats)
-    report(results, args.out)
+    engine = measure_engine(n_events, max(repeats, 2))
+    report(results, args.out, engine)
     if speedup(results) < MIN_SPEEDUP:
         print(f"FAIL: speedup below the {MIN_SPEEDUP:.0f}x contract")
         return 1
@@ -181,6 +297,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "FAIL: timeline telemetry costs more than "
             f"{1 - MIN_TIMELINE_RATIO:.0%} of engine throughput"
         )
+        return 1
+    failed_floor = check_engine_floors(engine)
+    if failed_floor is not None:
+        print(f"FAIL: {failed_floor}")
         return 1
     return 0
 
@@ -207,12 +327,17 @@ def test_backend_speed(benchmark, tmp_path):
         "wall_s": wall,
         "n_keys": 600 * scenario.n_keys,
     }
-    report(results, tmp_path / "BENCH_speed.json")
+    engine = measure_engine(300_000, repeats=2)
+    report(results, tmp_path / "BENCH_speed.json", engine)
     benchmark.extra_info.update(
         {name: row["keys_per_sec"] for name, row in results.items()}
     )
+    benchmark.extra_info.update(
+        {name: row["events_per_sec"] for name, row in engine.items()}
+    )
     assert speedup(results) >= MIN_SPEEDUP
     assert timeline_ratio(results) >= MIN_TIMELINE_RATIO
+    assert check_engine_floors(engine) is None
 
 
 if __name__ == "__main__":

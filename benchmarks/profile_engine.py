@@ -1,0 +1,109 @@
+"""Profile the event engine: where a closed-loop run spends real time.
+
+Runs the standard speed scenario (the fig-11-style point from
+``bench_speed_backends``) on the ``simulate`` backend twice:
+
+1. with the house :class:`~repro.observability.EngineProfiler` attached,
+   printing the per-callback-category breakdown (event counts, wall
+   seconds, mean microseconds per event) — the view that attributes
+   engine time to *scheduling sites* (arrivals, service completions,
+   network hops, database callbacks);
+2. under :mod:`cProfile`, printing the hottest functions by cumulative
+   time — the view that catches interpreter-level overheads (scheduler
+   pushes, RNG refills) the category profile folds into its callers.
+
+A third section times the raw dispatch microbench from
+``bench_speed_backends`` under cProfile, isolating the engine's batched
+hot loop from the queueing model on top of it.
+
+Run modes:
+
+* ``python benchmarks/profile_engine.py`` — full profile (4000
+  requests, 1M raw events).
+* ``python benchmarks/profile_engine.py --quick`` — CI smoke (600
+  requests, 200k raw events).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+from typing import Optional, Sequence
+
+from repro.observability import Observability
+
+from bench_speed_backends import _engine_run, speed_scenario
+from helpers import print_series
+
+#: Functions shown per cProfile section.
+TOP_N = 15
+
+
+def profile_categories(n_requests: int) -> None:
+    """Per-callback-category engine profile on the speed scenario."""
+    scenario = speed_scenario(n_requests)
+    observability = Observability(trace=False, metrics=False, profile=True)
+    scenario.run("simulate", observability=observability)
+    stats = observability.profiler.stats()
+    print_series(
+        "Engine profile by callback category",
+        ["category", "count", "wall_s", "mean_usec"],
+        [
+            [name, row["count"], row["wall_seconds"], row["mean_usec"]]
+            for name, row in stats["categories"].items()
+        ],
+    )
+    print(
+        f"{stats['events']} events, {stats['wall_seconds']:.3f}s in "
+        f"callbacks, {stats['events_per_second']:,.0f} events/s, "
+        f"pending mean {stats['pending_mean']:.1f} / "
+        f"max {stats['pending_max']}"
+    )
+
+
+def _print_cprofile(profiler: cProfile.Profile, title: str) -> None:
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(TOP_N)
+    print(f"\n== {title} ==")
+    # Skip pstats' preamble ordering chatter; keep the table.
+    lines = stream.getvalue().splitlines()
+    for line in lines:
+        if line.strip():
+            print(line)
+
+
+def profile_cprofile(n_requests: int, n_events: int) -> None:
+    """cProfile the closed-loop run and the raw dispatch microbench."""
+    scenario = speed_scenario(n_requests)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario.run("simulate")
+    profiler.disable()
+    _print_cprofile(profiler, f"cProfile: closed loop ({n_requests} requests)")
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _engine_run(n_events, sink=False)
+    profiler.disable()
+    _print_cprofile(profiler, f"cProfile: raw dispatch ({n_events} events)")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 600 requests, 200k raw events",
+    )
+    args = parser.parse_args(argv)
+    n_requests, n_events = (600, 200_000) if args.quick else (4_000, 1_000_000)
+    profile_categories(n_requests)
+    profile_cprofile(n_requests, n_events)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

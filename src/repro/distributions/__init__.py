@@ -29,10 +29,20 @@ from .generalized_pareto import GeneralizedPareto
 from .heavy_tail import Lognormal, Pareto, Weibull
 from .laplace import laplace_derivative, laplace_from_survival
 from .phase_type import Erlang, Gamma, Hyperexponential, Uniform
-from .rng import RngLike, make_rng, rng_stream, seed_sequence, spawn_child, split_rng
+from .rng import (
+    DEFAULT_RNG_WINDOW,
+    RandomWindow,
+    RngLike,
+    make_rng,
+    rng_stream,
+    seed_sequence,
+    spawn_child,
+    split_rng,
+)
 
 __all__ = [
     "CONCURRENCY_WINDOW_SECONDS",
+    "DEFAULT_RNG_WINDOW",
     "Deterministic",
     "DiscreteDistribution",
     "Distribution",
@@ -47,6 +57,7 @@ __all__ = [
     "Lognormal",
     "Mixture",
     "Pareto",
+    "RandomWindow",
     "RngLike",
     "Shifted",
     "TruncatedBinomial",

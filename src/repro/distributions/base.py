@@ -48,6 +48,23 @@ class Distribution(abc.ABC):
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         """Draw one sample (``size=None``) or an ndarray of samples."""
 
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` samples, bit-identical to ``size`` scalar :meth:`sample` calls.
+
+        This is the contract the simulator's pre-drawn RNG windows rely
+        on: a windowed stream must vend exactly the values the scalar
+        hot path drew before, so seeded runs stay reproducible for any
+        window size. The default draws scalars in a loop — always
+        correct, never faster. Subclasses whose vectorized ``sample``
+        matches the scalar path bit-for-bit (numpy fills vectorized
+        output sequentially from the same bit stream for ``random``,
+        ``exponential``, ``geometric``, ...) override this with the
+        vectorized draw; subclasses that post-process with libm calls
+        (``math.expm1`` vs ``np.expm1`` differ in the last ulp) must
+        keep the scalar transform — see ``GeneralizedPareto``.
+        """
+        return np.asarray([self.sample(rng) for _ in range(int(size))], dtype=float)
+
     # ------------------------------------------------------------------
     # Derived quantities with sensible defaults.
     # ------------------------------------------------------------------
@@ -170,6 +187,10 @@ class DiscreteDistribution(abc.ABC):
     @abc.abstractmethod
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         """Draw one sample or an ndarray of samples."""
+
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` samples, bit-identical to scalar calls (see Distribution)."""
+        return np.asarray([self.sample(rng) for _ in range(int(size))])
 
     def cdf(self, n: int) -> float:
         """``P(X <= n)``; default sums the pmf."""

@@ -68,6 +68,11 @@ class Geometric(DiscreteDistribution):
             return np.ones(size, dtype=np.int64)
         return rng.geometric(1.0 - self._q, size=size)
 
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # rng.geometric fills vectorized output from the same bit stream
+        # as repeated scalar draws, so the vectorized path is exact.
+        return np.asarray(self.sample(rng, int(size)))
+
 
 class FixedCount(DiscreteDistribution):
     """Always exactly ``n`` — degenerate batch/key-count distribution."""
@@ -102,6 +107,9 @@ class FixedCount(DiscreteDistribution):
         if size is None:
             return self._n
         return np.full(size, self._n, dtype=np.int64)
+
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(int(size), self._n, dtype=np.int64)
 
 
 class TruncatedBinomial(DiscreteDistribution):
@@ -185,6 +193,10 @@ class TruncatedBinomial(DiscreteDistribution):
             return int(idx)
         return idx.astype(np.int64)
 
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # Same uniform stream + deterministic searchsorted: exact.
+        return np.asarray(self.sample(rng, int(size)))
+
 
 def _log_factorial(values) -> np.ndarray:
     from scipy import special
@@ -264,3 +276,7 @@ class Zipf(DiscreteDistribution):
         if size is None:
             return int(idx)
         return idx.astype(np.int64)
+
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # Same uniform stream + deterministic searchsorted: exact.
+        return np.asarray(self.sample(rng, int(size)))

@@ -71,6 +71,11 @@ class Exponential(Distribution):
     def sample(self, rng: np.random.Generator, size: Optional[int] = None):
         return rng.exponential(1.0 / self._rate, size=size)
 
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # rng.exponential fills vectorized output sequentially from the
+        # same bit stream as scalar draws: the vectorized path is exact.
+        return rng.exponential(1.0 / self._rate, size=int(size))
+
 
 class Deterministic(Distribution):
     """A degenerate distribution: always exactly ``value``.
@@ -117,3 +122,6 @@ class Deterministic(Distribution):
         if size is None:
             return self._value
         return np.full(size, self._value)
+
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(int(size), self._value)

@@ -163,6 +163,23 @@ class GeneralizedPareto(Distribution):
             return self._scale / xi * math.expm1(-xi * math.log1p(-float(u)))
         return self._scale / xi * np.expm1(-xi * np.log1p(-u))
 
+    def sample_window(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # The uniforms come from one vectorized draw (same bit stream as
+        # scalar calls), but the inverse-CDF transform must stay on the
+        # libm scalar path: np.expm1/np.log1p differ from math.expm1/
+        # math.log1p in the last ulp for ~9% of inputs, which would break
+        # the bit-identical windowing contract. The loop only runs once
+        # per window refill.
+        u = rng.random(int(size))
+        xi = self._xi
+        if xi == 0.0:
+            scale = self._scale
+            return np.asarray([-scale * math.log1p(-x) for x in u.tolist()])
+        scale_over_xi = self._scale / xi
+        return np.asarray(
+            [scale_over_xi * math.expm1(-xi * math.log1p(-x)) for x in u.tolist()]
+        )
+
     def with_rate(self, rate: float) -> "GeneralizedPareto":
         """Return a copy with the same burst degree and a new rate."""
         return GeneralizedPareto(rate, self._xi)

@@ -169,9 +169,19 @@ class Scenario:
     def tail_model(self):
         return self.to_config().tail_model()
 
-    def simulator(self, observability=None, *, keep_request_log: bool = False):
+    def simulator(
+        self,
+        observability=None,
+        *,
+        keep_request_log: bool = False,
+        scheduler: Optional[str] = None,
+        rng_window: Optional[int] = None,
+    ):
         return self.to_config().simulator(
-            observability=observability, keep_request_log=keep_request_log
+            observability=observability,
+            keep_request_log=keep_request_log,
+            scheduler=scheduler,
+            rng_window=rng_window,
         )
 
     # ------------------------------------------------------------------
@@ -197,13 +207,23 @@ class Scenario:
         self._reject_faulted("estimate")
         return self.latency_model().estimate(self.n_keys)
 
-    def simulate(self, observability=None, *, timeline: object = None) -> SimulationResult:
+    def simulate(
+        self,
+        observability=None,
+        *,
+        timeline: object = None,
+        scheduler: Optional[str] = None,
+        rng_window: Optional[int] = None,
+    ) -> SimulationResult:
         """Closed-loop discrete-event simulation of this scenario.
 
         ``timeline`` (anything :meth:`TimelineSpec.coerce` accepts)
         turns on windowed telemetry; when no ``observability`` bundle is
         supplied a minimal timeline-only bundle is created so the hot
-        path stays uninstrumented otherwise.
+        path stays uninstrumented otherwise. ``scheduler`` selects the
+        engine's scheduler backend and ``rng_window`` the pre-draw
+        window size — both are perf knobs that leave seeded results
+        bit-identical.
         """
         if timeline is not None and TimelineSpec.coerce(timeline) is not None:
             from ..observability import Observability, TimelineBuilder
@@ -216,7 +236,11 @@ class Scenario:
                 observability.timeline = TimelineBuilder(
                     TimelineSpec.coerce(timeline)
                 )
-        system = self.simulator(observability=observability)
+        system = self.simulator(
+            observability=observability,
+            scheduler=scheduler,
+            rng_window=rng_window,
+        )
         results = system.run(
             n_requests=self.n_requests, warmup_requests=self.warmup_requests
         )

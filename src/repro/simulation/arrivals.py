@@ -14,9 +14,16 @@ from typing import Callable, Iterator, Optional, Sequence
 import numpy as np
 
 from ..core.workload import WorkloadPattern
-from ..distributions import DiscreteDistribution, Distribution, Exponential, FixedCount
+from ..distributions import (
+    DiscreteDistribution,
+    Distribution,
+    Exponential,
+    FixedCount,
+    RandomWindow,
+    split_rng,
+)
 from ..errors import ValidationError
-from .engine import Simulator
+from .engine import BatchHandle, Simulator
 
 #: Called with (arrival_time, batch_size) for each batch.
 BatchSink = Callable[[float, int], None]
@@ -37,6 +44,16 @@ class BatchArrivalProcess:
     and delivers the batch to ``sink``. Attach to a simulator with
     :meth:`start`; the process reschedules itself until ``stop`` is
     called or the simulation ends.
+
+    ``window`` opts into the batched fast path: gaps and sizes are
+    pre-drawn a window at a time and the arrivals ride one engine event
+    batch (:meth:`Simulator.schedule_batch`) instead of one scheduled
+    event each. Windowed mode draws gap and size values from two
+    *split child streams* of ``rng`` (interleaving them on one stream
+    would make the values depend on the window size), so its seeded
+    output differs from the default per-event mode — pick one mode per
+    experiment. Within windowed mode, results are invariant to the
+    window size.
     """
 
     def __init__(
@@ -44,6 +61,8 @@ class BatchArrivalProcess:
         gap: Distribution,
         batch_size: DiscreteDistribution,
         rng: np.random.Generator,
+        *,
+        window: Optional[int] = None,
     ) -> None:
         self._gap = gap
         self._batch_size = batch_size
@@ -51,6 +70,21 @@ class BatchArrivalProcess:
         self._sink: Optional[BatchSink] = None
         self._sim: Optional[Simulator] = None
         self._running = False
+        if window is not None:
+            if window < 1:
+                raise ValidationError(f"window must be >= 1, got {window}")
+            gap_rng, size_rng = split_rng(rng, 2)
+            self._gap_window: Optional[RandomWindow] = (
+                RandomWindow.from_distribution(gap, gap_rng, size=window)
+            )
+            self._size_window: Optional[RandomWindow] = (
+                RandomWindow.from_distribution(batch_size, size_rng, size=window)
+            )
+        else:
+            self._gap_window = None
+            self._size_window = None
+        self._window = window
+        self._batch_handle: Optional[BatchHandle] = None
 
     @classmethod
     def from_workload(
@@ -75,9 +109,15 @@ class BatchArrivalProcess:
     def stop(self) -> None:
         """Stop after the currently scheduled arrival (if any)."""
         self._running = False
+        if self._batch_handle is not None:
+            self._batch_handle.cancel()
+            self._batch_handle = None
 
     def _schedule_next(self) -> None:
         assert self._sim is not None
+        if self._gap_window is not None:
+            self._schedule_window()
+            return
         gap = float(self._gap.sample(self._rng))
         self._sim.schedule(gap, self._fire)
 
@@ -88,6 +128,25 @@ class BatchArrivalProcess:
         size = int(self._batch_size.sample(self._rng))
         self._sink(self._sim.now, size)
         self._schedule_next()
+
+    # Windowed fast path: one engine batch per pre-drawn gap window. ---
+
+    def _schedule_window(self) -> None:
+        sim = self._sim
+        count = self._window
+        t = sim.now
+        times = []
+        for gap in self._gap_window.take(count).tolist():
+            t = t + gap
+            times.append(t)
+        self._batch_handle = sim.schedule_batch(times, self._fire_windowed)
+
+    def _fire_windowed(self, index: int) -> None:
+        if not self._running:
+            return
+        self._sink(self._sim.now, int(self._size_window.get()))
+        if index + 1 == self._window:
+            self._schedule_window()
 
 
 class PoissonProcess(BatchArrivalProcess):
@@ -211,12 +270,20 @@ class TraceReplay:
             raise ValidationError("batch sizes must be >= 1")
 
     def start(self, sim: Simulator, sink: BatchSink) -> None:
-        """Schedule every trace record on the simulator."""
-        for batch in self._batches:
-            sim.schedule_at(
-                batch.time,
-                lambda b=batch: sink(b.time, b.size),
-            )
+        """Schedule the whole trace as one event batch.
+
+        The records are already sorted, so the trace rides a single
+        scheduler entry (:meth:`Simulator.schedule_batch`) instead of
+        one event object per record — replaying a million-record trace
+        allocates O(1) scheduler state.
+        """
+        batches = self._batches
+        if not batches:
+            return
+        sim.schedule_batch(
+            [batch.time for batch in batches],
+            lambda i: sink(batches[i].time, batches[i].size),
+        )
 
     def __len__(self) -> int:
         return len(self._batches)

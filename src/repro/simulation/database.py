@@ -36,6 +36,7 @@ class DatabaseSim(ServerSim):
         metrics: Optional[MetricsRegistry] = None,
         rate_factor: Optional[Callable[[float], float]] = None,
         trace: Optional[list] = None,
+        rng_window: Optional[int] = None,
     ) -> None:
         super().__init__(
             sim,
@@ -46,6 +47,7 @@ class DatabaseSim(ServerSim):
             metrics=metrics,
             rate_factor=rate_factor,
             trace=trace,
+            rng_window=rng_window,
         )
 
     @classmethod

@@ -1,36 +1,50 @@
 """Discrete-event simulation engine.
 
 A deliberately small, dependency-free core: a monotonic clock and a
-binary-heap event queue. Components (arrival processes, servers, the
-database) schedule callbacks; the engine guarantees deterministic
-ordering — events at equal times fire in scheduling order — so seeded
-runs are exactly reproducible.
+pluggable event scheduler (binary heap, slotted calendar queue, or a
+compiled calendar queue — see :mod:`repro.simulation.scheduler`).
+Components (arrival processes, servers, the database) schedule
+callbacks; the engine guarantees deterministic ordering — events at
+equal times fire in scheduling order — so seeded runs are exactly
+reproducible, *independent of the scheduler backend*: every backend
+pops in the same ``(time, seq)`` total order.
 
-The heap holds plain ``(time, seq, event)`` tuples: tuple comparison
-resolves on the float/int prefix without ever reaching the event
-object, which is markedly cheaper per push/pop than a dataclass
-``__lt__`` (generated ``order=True`` comparisons dominated the
-per-event cost in profiles).
+Two scheduling shapes exist:
+
+* :meth:`Simulator.schedule` — one callback at one time, returning an
+  :class:`EventHandle` for cancellation. Cancelled events are either
+  removed eagerly (calendar backends) or compacted in bulk once they
+  outnumber live entries (heap backend), so cancel-heavy policies
+  (hedging with cancel-on-winner) keep the queue bounded.
+* :meth:`Simulator.schedule_batch` — a *homogeneous batch*: one
+  callback fired once per pre-computed time, in order. The batch holds
+  a single scheduler entry that is re-armed as it drains, so a window
+  of (say) pre-drawn arrival times costs one event record and — inside
+  :meth:`run` — consecutive batch events whose times precede every
+  other scheduled event fire back-to-back without touching the
+  scheduler at all.
 
 An optional :class:`~repro.observability.EngineProfiler` can be
 attached to attribute wall-clock time to callback categories; when no
 profiler is attached the event loop pays one ``is None`` check per
-event.
+event (batch drains included — each drained event is individually
+profiled when a profiler is present).
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from ..errors import SimulationError, ValidationError
+from .scheduler import make_scheduler
 
 Callback = Callable[[], None]
+BatchCallback = Callable[[int], None]
 
 
 class _Event:
-    """Mutable event record; ordering lives in the heap tuple, not here."""
+    """Mutable event record; ordering lives in the scheduler entry, not here."""
 
     __slots__ = ("time", "seq", "callback", "cancelled", "fired")
 
@@ -40,6 +54,27 @@ class _Event:
         self.callback = callback
         self.cancelled = False
         self.fired = False
+
+
+class _Batch:
+    """A homogeneous event batch: one callback over a window of times.
+
+    The batch keeps a single scheduler entry alive at a time —
+    ``(times[index], seq)`` — re-armed after each firing, so ``seq``
+    (assigned once, at scheduling) breaks time ties exactly like an
+    ordinary event scheduled at the same moment would.
+    """
+
+    __slots__ = ("times", "index", "seq", "callback", "cancelled", "time", "queued")
+
+    def __init__(self, times: list, seq: int, callback: BatchCallback) -> None:
+        self.times = times
+        self.index = 0
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.time = times[0]  # currently scheduled fire time
+        self.queued = False
 
 
 class EventHandle:
@@ -57,7 +92,9 @@ class EventHandle:
         if event.cancelled or event.fired:
             return
         event.cancelled = True
-        self._sim._live -= 1
+        sim = self._sim
+        sim._live -= 1
+        sim._scheduler.discard(event.time, event.seq, event)
 
     @property
     def time(self) -> float:
@@ -68,18 +105,60 @@ class EventHandle:
         return self._event.cancelled
 
 
+class BatchHandle:
+    """Handle returned by :meth:`Simulator.schedule_batch`."""
+
+    __slots__ = ("_batch", "_sim")
+
+    def __init__(self, batch: _Batch, sim: "Simulator") -> None:
+        self._batch = batch
+        self._sim = sim
+
+    def cancel(self) -> None:
+        """Prevent all not-yet-fired batch events from firing."""
+        batch = self._batch
+        if batch.cancelled:
+            return
+        remaining = len(batch.times) - batch.index
+        if remaining <= 0:
+            return
+        batch.cancelled = True
+        sim = self._sim
+        sim._live -= remaining
+        if batch.queued:
+            batch.queued = False
+            sim._scheduler.discard(batch.time, batch.seq, batch)
+
+    @property
+    def remaining(self) -> int:
+        """Batch events still scheduled to fire."""
+        if self._batch.cancelled:
+            return 0
+        return len(self._batch.times) - self._batch.index
+
+    @property
+    def cancelled(self) -> bool:
+        return self._batch.cancelled
+
+
 class Simulator:
     """Event loop: schedule callbacks on the simulated clock and run."""
 
-    def __init__(self, *, profiler: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        *,
+        profiler: Optional[object] = None,
+        scheduler: Optional[str] = None,
+    ) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, _Event]] = []
+        self._scheduler = make_scheduler(scheduler)
         self._counter = itertools.count()
         self._processed = 0
         # Live (scheduled, not yet fired or cancelled) event count,
         # maintained on schedule/cancel/fire so introspection is O(1).
         self._live = 0
         self._profiler = profiler
+        self._stop = False
 
     @property
     def now(self) -> float:
@@ -96,12 +175,35 @@ class Simulator:
         return self._live
 
     @property
+    def scheduler_backend(self) -> str:
+        """Resolved scheduler backend name (``heap``/``calendar``/``compiled``)."""
+        return self._scheduler.name
+
+    @property
+    def scheduler_entries(self) -> int:
+        """Entries held by the scheduler, *including* dead (cancelled)
+        entries the heap backend has not collected yet — the quantity
+        the compaction contract bounds."""
+        return self._scheduler.entries
+
+    @property
     def profiler(self) -> Optional[object]:
         return self._profiler
 
     def set_profiler(self, profiler: Optional[object]) -> None:
         """Attach (or detach with ``None``) an event-loop profiler."""
         self._profiler = profiler
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current
+        callback.
+
+        This is how completion-driven simulations (stop after N
+        requests) ride the batched hot loop instead of stepping one
+        event at a time. The flag is cleared on :meth:`run` entry, so a
+        stop requested outside a run is discarded.
+        """
+        self._stop = True
 
     def schedule(self, delay: float, callback: Callback) -> EventHandle:
         """Run ``callback`` ``delay`` seconds from now."""
@@ -116,38 +218,90 @@ class Simulator:
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
         event = _Event(float(time), next(self._counter), callback)
-        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self._scheduler.push(event.time, event.seq, event)
         self._live += 1
         return EventHandle(event, self)
 
-    def step(self) -> bool:
-        """Process one event; returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)[2]
-            if event.cancelled:
-                continue
-            if event.time < self._now:  # pragma: no cover - heap invariant
-                raise SimulationError(
-                    f"time went backwards: {event.time} < {self._now}"
-                )
-            event.fired = True
+    def schedule_batch(
+        self, times: Sequence[float], callback: BatchCallback
+    ) -> BatchHandle:
+        """Fire ``callback(i)`` at each ``times[i]`` (ascending, absolute).
+
+        The whole window shares one event record and one scheduler
+        entry, so scheduling a thousand pre-drawn arrivals costs O(1)
+        allocations — the batched-dispatch primitive components use to
+        avoid per-event Python object churn. The callback receives the
+        index into ``times``; ``sim.now`` equals ``times[i]`` during
+        the call. Ties against other events resolve by scheduling
+        order, exactly as for :meth:`schedule`.
+        """
+        times = [float(t) for t in times]
+        if not times:
+            raise ValidationError("schedule_batch needs at least one time")
+        if times[0] < self._now:
+            raise ValidationError(
+                f"cannot schedule in the past: {times[0]} < now {self._now}"
+            )
+        if any(a > b for a, b in zip(times, times[1:])):
+            raise ValidationError("batch times must be non-decreasing")
+        batch = _Batch(times, next(self._counter), callback)
+        self._scheduler.push(batch.time, batch.seq, batch)
+        batch.queued = True
+        self._live += len(times)
+        return BatchHandle(batch, self)
+
+    # ------------------------------------------------------------------
+
+    def _fire(self, obj) -> None:
+        """Dispatch one popped entry (clock already advanced)."""
+        profiler = self._profiler
+        if type(obj) is _Event:
+            obj.fired = True
             self._live -= 1
-            self._now = event.time
-            profiler = self._profiler
             if profiler is None:
-                event.callback()
+                obj.callback()
             else:
                 started = profiler.clock()
-                event.callback()
+                obj.callback()
                 profiler.record(
-                    event.callback,
+                    obj.callback,
                     profiler.clock() - started,
                     started_at=started,
                     pending=self._live,
                 )
-            self._processed += 1
-            return True
-        return False
+        else:  # _Batch
+            index = obj.index
+            obj.index = index + 1
+            obj.queued = False
+            self._live -= 1
+            if profiler is None:
+                obj.callback(index)
+            else:
+                started = profiler.clock()
+                obj.callback(index)
+                profiler.record(
+                    obj.callback,
+                    profiler.clock() - started,
+                    started_at=started,
+                    pending=self._live,
+                )
+            if not obj.cancelled and obj.index < len(obj.times):
+                obj.time = obj.times[obj.index]
+                self._scheduler.push(obj.time, obj.seq, obj)
+                obj.queued = True
+        self._processed += 1
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        entry = self._scheduler.pop()
+        if entry is None:
+            return False
+        time = entry[0]
+        if time < self._now:  # pragma: no cover - scheduler invariant
+            raise SimulationError(f"time went backwards: {time} < {self._now}")
+        self._now = time
+        self._fire(entry[2])
+        return True
 
     def run_until(self, end_time: float, *, max_events: Optional[int] = None) -> None:
         """Process events with time <= ``end_time`` (clock stops there)."""
@@ -156,12 +310,10 @@ class Simulator:
                 f"end_time {end_time} is before now {self._now}"
             )
         budget = max_events
-        while self._heap:
-            head_time, _, head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if head_time > end_time:
+        scheduler = self._scheduler
+        while True:
+            head = scheduler.peek()
+            if head is None or head[0] > end_time:
                 break
             if budget is not None:
                 if budget <= 0:
@@ -173,12 +325,104 @@ class Simulator:
         self._now = float(end_time)
 
     def run(self, *, max_events: Optional[int] = None) -> None:
-        """Process all events until the queue drains."""
+        """Process all events until the queue drains.
+
+        This is the engine's hot loop: a popped batch entry drains
+        inline — while the batch's next event beats everything else in
+        the scheduler in ``(time, seq)`` order it fires back-to-back
+        with no scheduler traffic and no per-event allocations. The
+        batch stays *out* of the scheduler while draining and is only
+        re-pushed when another event wins the race, so the scheduler
+        never holds a stale key for it.
+        """
         budget = max_events
-        while self.step():
-            if budget is not None:
-                budget -= 1
-                if budget <= 0 and self._heap:
-                    raise SimulationError(
-                        f"event budget exhausted at t={self._now}"
+        scheduler = self._scheduler
+        self._stop = False
+        while True:
+            if self._stop:
+                return
+            entry = scheduler.pop()
+            if entry is None:
+                return
+            profiler = self._profiler
+            time, seq, obj = entry
+            if time < self._now:  # pragma: no cover - scheduler invariant
+                raise SimulationError(
+                    f"time went backwards: {time} < {self._now}"
+                )
+            if budget is not None and budget <= 0:
+                raise SimulationError(
+                    f"event budget exhausted at t={self._now}"
+                )
+            if type(obj) is _Event:
+                self._now = time
+                obj.fired = True
+                self._live -= 1
+                if profiler is None:
+                    obj.callback()
+                else:
+                    started = profiler.clock()
+                    obj.callback()
+                    profiler.record(
+                        obj.callback,
+                        profiler.clock() - started,
+                        started_at=started,
+                        pending=self._live,
                     )
+                self._processed += 1
+                if budget is not None:
+                    budget -= 1
+                continue
+            # Batch entry: fire elements inline. The first one always
+            # fires (we just popped the queue minimum); later ones fire
+            # as long as they still beat the new head. Callbacks may
+            # re-read profiler state mid-drain, so keep it fresh.
+            obj.queued = False
+            times = obj.times
+            n = len(times)
+            callback = obj.callback
+            while True:
+                index = obj.index
+                t_next = times[index]
+                head = scheduler.peek()
+                if head is not None and (
+                    head[0] < t_next or (head[0] == t_next and head[1] < seq)
+                ):
+                    # Another event fires first: park the batch back in
+                    # the scheduler at its next time and return to the
+                    # outer loop.
+                    obj.time = t_next
+                    scheduler.push(t_next, seq, obj)
+                    obj.queued = True
+                    break
+                if budget is not None:
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"event budget exhausted at t={self._now}"
+                        )
+                    budget -= 1
+                self._now = t_next
+                obj.index = index + 1
+                self._live -= 1
+                if profiler is None:
+                    callback(index)
+                else:
+                    started = profiler.clock()
+                    callback(index)
+                    profiler.record(
+                        callback,
+                        profiler.clock() - started,
+                        started_at=started,
+                        pending=self._live,
+                    )
+                self._processed += 1
+                if obj.cancelled or obj.index >= n:
+                    break  # exhausted or cancelled mid-drain; not queued
+                if self._stop:
+                    # Park the rest of the batch so scheduler state stays
+                    # consistent across the pause, then let the outer
+                    # loop return.
+                    obj.time = times[obj.index]
+                    scheduler.push(obj.time, seq, obj)
+                    obj.queued = True
+                    break

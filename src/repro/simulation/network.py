@@ -11,7 +11,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..distributions import Deterministic, Distribution
+from ..distributions import Deterministic, Distribution, RandomWindow
 from ..errors import ValidationError
 from .engine import Simulator
 
@@ -24,10 +24,24 @@ class NetworkSim:
         sim: Simulator,
         delay: Distribution,
         rng: Optional[np.random.Generator] = None,
+        *,
+        rng_window: Optional[int] = None,
     ) -> None:
         self._sim = sim
         self._delay = delay
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        # The paper's network is a constant delay: skip the distribution
+        # machinery entirely on that path (no RNG is consumed either
+        # way — Deterministic.sample ignores its generator). Random
+        # delays go through a pre-drawn window like every other stream.
+        if isinstance(delay, Deterministic):
+            self._constant: Optional[float] = float(delay.mean)
+            self._window: Optional[RandomWindow] = None
+        else:
+            self._constant = None
+            self._window = RandomWindow.from_distribution(
+                delay, self._rng, size=rng_window
+            )
         self._delivered = 0
 
     @classmethod
@@ -50,7 +64,8 @@ class NetworkSim:
 
         Returns the sampled delay so callers can account it per key.
         """
-        delay = float(self._delay.sample(self._rng))
+        constant = self._constant
+        delay = constant if constant is not None else self._window.get()
         self._delivered += 1
         self._sim.schedule(delay, deliver)
         return delay

@@ -21,7 +21,13 @@ from typing import List, Optional, Protocol, Tuple
 
 import numpy as np
 
-from ..distributions import make_rng, split_rng, spawn_child
+from ..distributions import (
+    DEFAULT_RNG_WINDOW,
+    RandomWindow,
+    make_rng,
+    split_rng,
+    spawn_child,
+)
 from ..core.cluster import ClusterModel
 from ..core.workload import WorkloadPattern
 
@@ -49,16 +55,29 @@ class CacheBackend(Protocol):
 
 
 class BernoulliMissModel:
-    """The paper's miss model: independent misses with probability r."""
+    """The paper's miss model: independent misses with probability r.
 
-    def __init__(self, miss_ratio: float, rng: np.random.Generator) -> None:
+    Uniform draws come from a pre-drawn :class:`RandomWindow` — the
+    value sequence is bit-identical to per-lookup ``rng.random()``
+    calls (vectorized uniforms fill from the same bit stream), it just
+    amortizes the Generator call overhead across the window.
+    """
+
+    def __init__(
+        self,
+        miss_ratio: float,
+        rng: np.random.Generator,
+        *,
+        rng_window: Optional[int] = None,
+    ) -> None:
         if not 0.0 <= miss_ratio <= 1.0:
             raise ValidationError(f"miss_ratio must be in [0, 1], got {miss_ratio}")
         self._r = miss_ratio
         self._rng = rng
+        self._window = RandomWindow.uniform(rng, size=rng_window)
 
     def lookup(self, server_index: int, key: str) -> bool:
-        return bool(self._rng.random() >= self._r)
+        return self._window.get() >= self._r
 
 
 @dataclasses.dataclass
@@ -171,6 +190,16 @@ class MemcachedSystemSimulator:
     keep_request_log:
         Record one :class:`~repro.faults.RequestRecord` per completed
         request (post-warmup) for transient trajectory analysis.
+    scheduler:
+        Event-scheduler backend (``heap``/``calendar``/``compiled`` or
+        ``auto``; see :mod:`repro.simulation.scheduler`). Purely a perf
+        knob — every backend pops events in the same deterministic
+        order, so seeded results are scheduler-invariant.
+    rng_window:
+        Values pre-drawn per RNG window refill (default
+        :data:`repro.distributions.DEFAULT_RNG_WINDOW`). Also purely a
+        perf knob: every windowed stream has a dedicated generator, so
+        results are invariant to the window size.
     """
 
     def __init__(
@@ -188,6 +217,8 @@ class MemcachedSystemSimulator:
         faults: Optional[FaultSchedule] = None,
         policy: Optional[RequestPolicy] = None,
         keep_request_log: bool = False,
+        scheduler: Optional[str] = None,
+        rng_window: Optional[int] = None,
     ) -> None:
         if n_keys_per_request < 1:
             raise ValidationError(
@@ -224,8 +255,12 @@ class MemcachedSystemSimulator:
             else None
         )
 
+        if rng_window is not None and rng_window < 1:
+            raise ValidationError(f"rng_window must be >= 1, got {rng_window}")
+        self._rng_window = rng_window
         self.sim = Simulator(
-            profiler=observability.profiler if observability is not None else None
+            profiler=observability.profiler if observability is not None else None,
+            scheduler=scheduler,
         )
         master = make_rng(seed)
         (
@@ -267,6 +302,7 @@ class MemcachedSystemSimulator:
                     if self._timeline is not None
                     else None
                 ),
+                rng_window=rng_window,
                 **fault_hooks(j),
             )
             for j in range(cluster.n_servers)
@@ -291,6 +327,7 @@ class MemcachedSystemSimulator:
                     if self._timeline is not None
                     else None
                 ),
+                rng_window=rng_window,
             )
             if needs_db
             else None
@@ -298,15 +335,37 @@ class MemcachedSystemSimulator:
         self._cache: CacheBackend = (
             cache_backend
             if cache_backend is not None
-            else BernoulliMissModel(miss_ratio, rng_miss)
+            else BernoulliMissModel(miss_ratio, rng_miss, rng_window=rng_window)
         )
         self._shares = np.asarray(cluster.shares, dtype=float)
+        # Routing draws are windowed when the shares are constant over
+        # the run; share-shift faults need the per-instant shares, so
+        # they keep the scalar multinomial call (same stream either way).
+        if faults is None or not faults.has_share_shifts:
+            self._routing_window: Optional[RandomWindow] = RandomWindow.multinomial(
+                self._rng_routing, self._n_keys, self._shares, size=rng_window
+            )
+        else:
+            self._routing_window = None
+        # Request arrivals are pre-drawn a window of exponential gaps at
+        # a time and scheduled as one event *batch* (one scheduler entry
+        # for the whole window). The gap values consume the same stream
+        # as the per-event scalar draws they replaced, and ties against
+        # other events are measure-zero, so seeded runs are unchanged.
+        self._arrival_window = (
+            rng_window if rng_window is not None else DEFAULT_RNG_WINDOW
+        )
         self._next_request_id = 0
         self._generated_keys = 0
         self._misses = 0
         self._keys_processed = 0
         self._completed_requests = 0
         self._accepting = True
+        # Completion targets for the batched run loop: when set,
+        # _key_done reset recorders at the warmup boundary and requests
+        # an engine stop at the run target (see run()).
+        self._run_target: Optional[int] = None
+        self._warmup_target: Optional[int] = None
 
         self._total = LatencyRecorder()
         self._server_stage = LatencyRecorder()
@@ -359,14 +418,31 @@ class MemcachedSystemSimulator:
         rate = self._request_rate * self._n_keys * share
         return WorkloadPattern(rate=rate, xi=0.0, q=q)
 
-    def _schedule_next_request(self) -> None:
-        gap = float(self._rng_requests.exponential(1.0 / self._request_rate))
-        self.sim.schedule(gap, self._spawn_request)
+    def _schedule_request_window(self) -> None:
+        """Pre-draw a window of arrival gaps and schedule them as a batch.
 
-    def _spawn_request(self) -> None:
+        The vectorized exponential draw consumes the request stream
+        exactly like the per-event scalar draws it replaced, and the
+        arrival times accumulate with the same float additions
+        (``t += gap``), so the arrival sequence is bit-identical. The
+        whole window costs one scheduler entry; the last arrival's
+        callback draws the next window.
+        """
+        gaps = self._rng_requests.exponential(
+            1.0 / self._request_rate, self._arrival_window
+        ).tolist()
+        t = self.sim.now
+        times = []
+        for gap in gaps:
+            t = t + gap
+            times.append(t)
+        self.sim.schedule_batch(times, self._spawn_request)
+
+    def _spawn_request(self, index: int) -> None:
         if self._accepting:
             self._launch_request()
-            self._schedule_next_request()
+            if index + 1 == self._arrival_window:
+                self._schedule_request_window()
 
     def _effective_shares(self, now: float) -> np.ndarray:
         """Routing shares at ``now`` (fault share shifts override)."""
@@ -390,9 +466,13 @@ class MemcachedSystemSimulator:
                 request_id=request.request_id,
                 n_keys=self._n_keys,
             )
-        counts = self._rng_routing.multinomial(
-            self._n_keys, self._effective_shares(self.sim.now)
-        )
+        routing_window = self._routing_window
+        if routing_window is not None:
+            counts = routing_window.get()
+        else:
+            counts = self._rng_routing.multinomial(
+                self._n_keys, self._effective_shares(self.sim.now)
+            )
         if self._policy is None:
             for server_index, count in enumerate(counts):
                 if count == 0:
@@ -680,6 +760,12 @@ class MemcachedSystemSimulator:
             if request.span is not None:
                 self._tracer.finish_request(request.span, self.sim.now)
             self._completed_requests += 1
+            if self._run_target is not None:
+                if self._completed_requests == self._warmup_target:
+                    self._reset_recorders()
+                if self._completed_requests >= self._run_target:
+                    self._accepting = False
+                    self.sim.stop()
 
     # ------------------------------------------------------------------
 
@@ -698,19 +784,38 @@ class MemcachedSystemSimulator:
         if n_requests < 1:
             raise ValidationError(f"n_requests must be >= 1, got {n_requests}")
         target = n_requests + warmup_requests
-        self._schedule_next_request()
-        warmup_done = warmup_requests == 0
-        budget = max_events
-        while self._completed_requests < target:
-            if not self.sim.step():
+        self._schedule_request_window()
+        if max_events is None:
+            # Default path: let the engine's batched hot loop drain
+            # events back-to-back; _key_done resets recorders at the
+            # warmup boundary and stops the engine at the target.
+            self._warmup_target = warmup_requests if warmup_requests else None
+            self._run_target = target
+            try:
+                self.sim.run()
+            finally:
+                self._run_target = None
+                self._warmup_target = None
+            if self._completed_requests < target:
                 raise SimulationError("event queue drained before completion")
-            if budget is not None:
+        else:
+            # Budgeted path: step one event at a time so the budget is
+            # charged with the historical per-event semantics.
+            warmup_done = warmup_requests == 0
+            budget = max_events
+            while self._completed_requests < target:
+                if not self.sim.step():
+                    raise SimulationError(
+                        "event queue drained before completion"
+                    )
                 budget -= 1
                 if budget <= 0:
                     raise SimulationError("event budget exhausted")
-            if not warmup_done and self._completed_requests >= warmup_requests:
-                self._reset_recorders()
-                warmup_done = True
+                if not warmup_done and (
+                    self._completed_requests >= warmup_requests
+                ):
+                    self._reset_recorders()
+                    warmup_done = True
         self._accepting = False
         timeline = (
             self._timeline.build(end=self.sim.now, meta={"backend": "simulate"})

@@ -173,3 +173,24 @@ class TestRunReportRoundTrip:
         names = [row[0] for row in body]
         assert "stage.total" in names
         assert any(row[1] == "histogram" for row in body)
+
+
+class TestProvenance:
+    def test_stamps_engine_speed_knobs(self, monkeypatch):
+        from repro.distributions import DEFAULT_RNG_WINDOW
+        from repro.observability.report import provenance
+
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        stamp = provenance()
+        assert stamp["repro_version"]
+        assert stamp["scheduler_backend"] == "heap"
+        assert stamp["scheduler_kind"] == "python"
+        assert stamp["rng_window"] == DEFAULT_RNG_WINDOW
+
+    def test_tracks_scheduler_env(self, monkeypatch):
+        from repro.observability.report import provenance
+
+        monkeypatch.setenv("REPRO_SCHEDULER", "calendar")
+        stamp = provenance()
+        assert stamp["scheduler_backend"] == "calendar"
+        assert stamp["scheduler_kind"] == "python"

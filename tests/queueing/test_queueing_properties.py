@@ -39,8 +39,12 @@ class TestFixedPointProperties:
     @given(rho=rhos, xi=xis)
     @settings(max_examples=40, deadline=None)
     def test_delta_at_least_poisson(self, rho, xi):
-        # GPD arrivals are burstier than Poisson: delta >= rho.
-        assert delta_for_utilization(xi, rho) >= rho - 1e-9
+        # GPD arrivals are burstier than Poisson: delta >= rho. The
+        # fixed-point solver only converges to ~1e-7 (see the tolerance
+        # in test_delta_satisfies_fixed_point), so allow that slack —
+        # near the Poisson limit (xi -> 0) delta - rho is genuinely ~0
+        # and the solver can land a few ulps on either side.
+        assert delta_for_utilization(xi, rho) >= rho - 1e-7
 
     @given(rho=rhos)
     @settings(max_examples=40, deadline=None)

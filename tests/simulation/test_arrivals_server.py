@@ -68,6 +68,64 @@ class TestBatchArrivalProcess:
         assert all(size == 1 for size in sizes)
 
 
+class TestWindowedBatchArrivals:
+    """Opt-in windowed mode: pre-drawn gaps/sizes riding one event batch."""
+
+    def make_process(self, seed, window):
+        return BatchArrivalProcess(
+            Exponential(100.0),
+            Geometric(0.2),
+            np.random.default_rng(seed),
+            window=window,
+        )
+
+    def run_windowed(self, seed, window, until=1.0):
+        sim = Simulator()
+        received = []
+        process = self.make_process(seed, window)
+        process.start(sim, lambda t, size: received.append((t, size)))
+        sim.run_until(until)
+        return received
+
+    def test_delivers_batches(self):
+        received = self.run_windowed(42, window=16)
+        assert len(received) > 50
+        assert all(size >= 1 for _, size in received)
+        times = [t for t, _ in received]
+        assert times == sorted(times)
+
+    def test_invariant_to_window_size(self):
+        # The whole point of split gap/size streams: the seeded output
+        # must not depend on how many values are pre-drawn per refill.
+        a = self.run_windowed(7, window=1)
+        b = self.run_windowed(7, window=13)
+        c = self.run_windowed(7, window=4096)
+        assert a == b == c
+
+    def test_uses_one_scheduler_entry_per_window(self):
+        sim = Simulator()
+        process = self.make_process(3, window=64)
+        process.start(sim, lambda t, size: None)
+        assert sim.scheduler_entries == 1
+        assert sim.pending_events == 64
+
+    def test_stop_cancels_pending_window(self):
+        sim = Simulator()
+        received = []
+        process = self.make_process(5, window=32)
+        process.start(sim, lambda t, size: received.append(t))
+        sim.run_until(0.05)
+        process.stop()
+        count = len(received)
+        sim.run()
+        assert len(received) == count
+        assert sim.pending_events == 0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            self.make_process(1, window=0)
+
+
 class TestGenerateBatches:
     def test_offline_generation(self, rng):
         batches = list(
@@ -99,6 +157,23 @@ class TestTraceReplay:
     def test_rejects_bad_sizes(self):
         with pytest.raises(ValidationError):
             TraceReplay([Batch(time=0.1, size=0)])
+
+    def test_whole_trace_rides_one_scheduler_entry(self):
+        sim = Simulator()
+        trace = TraceReplay(
+            [Batch(time=0.1 * (k + 1), size=1) for k in range(500)]
+        )
+        trace.start(sim, lambda t, size: None)
+        assert sim.scheduler_entries == 1
+        assert sim.pending_events == 500
+        sim.run()
+        assert sim.events_processed == 500
+
+    def test_empty_trace_is_noop(self):
+        sim = Simulator()
+        TraceReplay([]).start(sim, lambda t, size: None)
+        sim.run()
+        assert sim.events_processed == 0
 
 
 class TestServerSim:

@@ -1,0 +1,166 @@
+"""Determinism contract for the engine-speed knobs.
+
+The batched event engine ships three perf levers — the scheduler
+backend (heap / calendar / compiled), the RNG pre-draw window size, and
+batched arrival dispatch — and all of them promise to leave seeded
+results *bit-identical*. These tests pin that promise with golden
+fingerprints: a sha256 over the raw latency samples of every stage
+recorder, captured on the pre-batching engine. Any scheduler backend or
+window size that shifts a single float by one ulp changes the hash.
+
+The goldens cover the representative hard cases: warmup resets, the
+full fault schedule (including a share shift, which disables routing
+windows), hedging with cancel-on-winner (cancellation storms), and
+timeout/retry policies (timer churn).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import ClusterModel
+from repro.faults import (
+    DatabaseOverload,
+    FaultSchedule,
+    ServerPause,
+    ServerSlowdown,
+    ShareShift,
+)
+from repro.policies import RequestPolicy
+from repro.simulation import MemcachedSystemSimulator
+from repro.simulation.scheduler import compiled_scheduler_available
+from repro.units import kps, msec, usec
+
+SCHEDULERS = ["heap", "calendar"] + (
+    ["compiled"] if compiled_scheduler_available() else []
+)
+
+#: Windows bracketing the default 4096: degenerate (scalar draws), odd
+#: (refills never align with request windows), and the default.
+WINDOWS = [1, 7, 4096]
+
+
+def fingerprint(**overrides):
+    """Hash every stage recorder's raw samples for one seeded run."""
+    kwargs = dict(
+        n_keys_per_request=10,
+        request_rate=200.0,
+        network_delay=usec(20),
+        miss_ratio=0.02,
+        database_rate=1.0 / msec(1),
+        seed=99,
+    )
+    kwargs.update(overrides)
+    cluster = kwargs.pop("cluster", ClusterModel.balanced(2, kps(80)))
+    n_requests = kwargs.pop("n_requests", 200)
+    warmup = kwargs.pop("warmup_requests", 0)
+    system = MemcachedSystemSimulator(cluster, **kwargs)
+    results = system.run(n_requests=n_requests, warmup_requests=warmup)
+    digest = hashlib.sha256()
+    for recorder in (
+        results.total,
+        results.server_stage,
+        results.database_stage,
+        results.network_stage,
+        results.per_key_server,
+    ):
+        digest.update(recorder.samples().tobytes())
+    return (
+        digest.hexdigest()[:16],
+        results.keys_processed,
+        results.misses,
+    )
+
+
+def fault_schedule():
+    return FaultSchedule(
+        [
+            ServerSlowdown(start=0.1, duration=0.5, factor=0.4, server=0),
+            ServerPause(start=0.3, duration=0.05, server=1),
+            DatabaseOverload(start=0.2, duration=0.3, factor=0.5),
+            ShareShift(start=0.4, duration=0.4, shares=(0.8, 0.2)),
+        ]
+    )
+
+
+#: Golden fingerprints captured on the pre-batching engine (per-event
+#: heap scheduler, scalar RNG draws). The batched engine must reproduce
+#: them bit-for-bit under every scheduler backend and window size.
+GOLDENS = {
+    "plain": ("9296fbe15c890815", 2010, 30),
+    "bigger": ("c59488e2c5630964", 11000, 222),
+    "faults": ("a7e44b2bb3f907d6", 4000, 94),
+    "hedge": ("ae9f33841d4a24b6", 4012, 82),
+    "retry": ("7dc5d0346ec7c786", 4010, 79),
+}
+
+CASES = {
+    "plain": {},
+    "bigger": dict(
+        n_requests=500, n_keys_per_request=20, seed=20170327, warmup_requests=50
+    ),
+    "faults": dict(faults=fault_schedule(), n_requests=400, seed=7),
+    "hedge": dict(
+        policy=RequestPolicy(hedge_delay=msec(2), cancel_on_winner=True),
+        n_requests=400,
+        seed=11,
+    ),
+    "retry": dict(
+        policy=RequestPolicy(timeout=msec(3), max_retries=2, backoff=1.5),
+        n_requests=400,
+        seed=13,
+    ),
+}
+
+
+class TestGoldenFingerprints:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_default_path_matches_golden(self, case):
+        assert fingerprint(**CASES[case]) == GOLDENS[case]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("case", ["plain", "hedge"])
+    def test_scheduler_invariant(self, case, scheduler):
+        assert fingerprint(scheduler=scheduler, **CASES[case]) == GOLDENS[case]
+
+    @pytest.mark.parametrize("window", WINDOWS)
+    @pytest.mark.parametrize("case", ["plain", "faults"])
+    def test_window_invariant(self, case, window):
+        assert fingerprint(rng_window=window, **CASES[case]) == GOLDENS[case]
+
+    def test_all_knobs_together(self):
+        assert (
+            fingerprint(
+                scheduler=SCHEDULERS[-1], rng_window=17, **CASES["bigger"]
+            )
+            == GOLDENS["bigger"]
+        )
+
+
+class TestHedgeHeavyBoundedScheduler:
+    def test_cancel_storm_keeps_scheduler_bounded(self):
+        """Hedge-every-key with cancel-on-winner used to leak one dead
+        heap entry per cancelled hedge; the scheduler must stay bounded
+        by the live event population instead of total cancellations."""
+        cluster = ClusterModel.balanced(2, kps(80))
+        system = MemcachedSystemSimulator(
+            cluster,
+            n_keys_per_request=20,
+            request_rate=400.0,
+            network_delay=usec(20),
+            seed=3,
+            policy=RequestPolicy(hedge_delay=usec(1), cancel_on_winner=True),
+        )
+        peak = 0
+        orig_step = system.sim.step
+
+        def stepped():
+            nonlocal peak
+            peak = max(peak, system.sim.scheduler_entries)
+            return orig_step()
+
+        system.sim.step = stepped
+        system.run(n_requests=400, max_events=200_000)
+        # ~16k hedges are cancelled over this run; a leaking heap peaks
+        # >16k entries, a compacting one stays near the live population.
+        assert peak < 2_000
