@@ -13,10 +13,12 @@ dispatch microbench, and writes ``BENCH_speed.json`` at the repo root:
 pipeline (requests x N); ``keys_per_sec`` is the throughput the paper's
 experiments actually care about when choosing a backend. The
 ``engine-events`` rows isolate the engine's event dispatch rate —
-scheduler pop + clock advance + callback — with and without a
-timeline-style sink recording every event; both carry CI-enforced
-floors. The committed JSON is the perf trajectory: re-run the bench
-after engine or fast-path changes and diff it.
+scheduler pop + clock advance + callback — bare, with a timeline-style
+sink recording every event, and with an attribution sink fed a full
+ROW_FIELDS provenance row per event; all three carry CI-enforced
+floors (absolute rates plus the attr/sink overhead ratio). The
+committed JSON is the perf trajectory: re-run the bench after engine
+or fast-path changes and diff it.
 
 Run modes:
 
@@ -41,6 +43,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.experiments import Scenario
+from repro.observability.attribution import AttributionSink
 from repro.simulation import Simulator
 from repro.simulation.scheduler import resolve_scheduler_name
 from repro.units import kps, msec, usec
@@ -70,9 +73,27 @@ MIN_TIMELINE_RATIO = 0.9
 MIN_ENGINE_EVENTS_PER_SEC = 1_000_000.0
 MIN_ENGINE_SINK_EVENTS_PER_SEC = 700_000.0
 
-#: Raw-engine dispatch variants: bare counting callback vs a
-#: timeline-style sink recording every (time, index) pair.
-ENGINE_VARIANTS = ("engine-events", "engine-events+sink")
+#: Attribution budget: the provenance hot path is one ROW_FIELDS tuple
+#: append into a bound ``AttributionSink.append`` plus a length check
+#: (``maybe_flush``) — it must retain at least this fraction of the
+#: plain-sink dispatch rate. All reservoir/conservation math is
+#: deferred to chunked flushes.
+MIN_ATTR_SINK_RATIO = 0.85
+
+#: Raw-engine dispatch variants: bare counting callback, a
+#: timeline-style sink recording every (time, index) pair, and the
+#: same sink plus per-request attribution rows on top.
+ENGINE_VARIANTS = ("engine-events", "engine-events+sink", "engine-events+attr")
+
+#: Key events per completed request in the attribution variant. The
+#: engine emits one ROW_FIELDS row + one ``maybe_flush`` check per
+#: *request*; a request in the speed scenario fans out to ``n_keys ==
+#: 20`` key completions. The microbench rounds down to a power of two
+#: — slightly harsher (more rows per event) and it keeps the per-event
+#: completion test a single bitwise AND instead of a modulo, which at
+#: 3M events/s is the difference between measuring the attribution
+#: layer and measuring the detector.
+ATTR_REQUEST_EVENTS = 16
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
 
@@ -148,21 +169,54 @@ def measure(
     return results
 
 
-def _engine_run(n_events: int, *, sink: bool) -> Dict[str, float]:
+def _engine_run(n_events: int, *, variant: str) -> Dict[str, float]:
     """One raw-engine dispatch run: a pre-drawn sorted event batch.
 
     The batch models the windowed-arrivals fast path (one scheduler
     entry re-armed as it drains); a sprinkling of single events (0.1% of
-    the batch) keeps the scheduler peek/push interleaving honest.
+    the batch) keeps the scheduler peek/push interleaving honest. The
+    ``+attr`` variant is the ``+sink`` run plus the engine's provenance
+    hot path on top: every :data:`ATTR_REQUEST_EVENTS`-th event also
+    emits a ten-field ROW_FIELDS tuple through a bound
+    ``AttributionSink.append`` and a ``maybe_flush()`` check — the real
+    once-per-request cadence — so the attr/sink events/sec ratio prices
+    exactly what the attribution layer adds to a sinked engine run.
     """
     rng = np.random.default_rng(20170327)
     times = np.cumsum(rng.exponential(1.0, n_events)).tolist()
     sim = Simulator()
-    if sink:
+    if variant == "engine-events+sink":
         out = []
 
         def callback(index: int) -> None:
             out.append((sim.now, index))
+
+    elif variant == "engine-events+attr":
+        out = []
+        attr_sink = AttributionSink()
+        append = attr_sink.append
+        maybe_flush = attr_sink.maybe_flush
+        mask = ATTR_REQUEST_EVENTS - 1
+
+        def callback(index: int) -> None:
+            now = sim.now
+            out.append((now, index))
+            if not index & mask:  # this key completed its request
+                append(
+                    (
+                        float(index),  # request_id
+                        now - 6.2e-5,  # born
+                        now,  # finished
+                        6.2e-5,  # total
+                        4.0e-5,  # network
+                        1.0e-5,  # server queue wait
+                        1.2e-5,  # server service
+                        0.0,  # db queue wait
+                        0.0,  # db service
+                        0.0,  # policy overhead
+                    )
+                )
+                maybe_flush()
 
     else:
         fired = [0]
@@ -184,26 +238,57 @@ def _engine_run(n_events: int, *, sink: bool) -> Dict[str, float]:
 def measure_engine(
     n_events: int, repeats: int
 ) -> Dict[str, Dict[str, float]]:
-    """Best-of-``repeats`` raw dispatch rate, with and without a sink."""
+    """Best-of-``repeats`` raw dispatch rate per sink variant.
+
+    The variants are timed *interleaved* (bare, sink, attr, bare, ...)
+    with at least three rounds, and the enforced attr/sink ratio is the
+    best of the *per-round paired* ratios: adjacent runs in a round
+    share CPU frequency and cache state, so the pairing cancels machine
+    drift that independent best-of walls would not (a sink run catching
+    one fast frequency window must not fail the attribution budget).
+    """
     scheduler = resolve_scheduler_name(None)
+    rounds: Dict[str, list] = {name: [] for name in ENGINE_VARIANTS}
+    for _ in range(max(repeats, 3)):
+        for name in ENGINE_VARIANTS:
+            rounds[name].append(_engine_run(n_events, variant=name))
     results = {}
     for name in ENGINE_VARIANTS:
-        runs = [
-            _engine_run(n_events, sink=name.endswith("+sink"))
-            for _ in range(repeats)
-        ]
-        best = min(runs, key=lambda run: run["wall_s"])
+        best = min(rounds[name], key=lambda run: run["wall_s"])
         results[name] = {
             "events_per_sec": best["n_events"] / best["wall_s"],
             "wall_s": best["wall_s"],
             "n_events": best["n_events"],
             "scheduler": scheduler,
         }
+    results["engine-events+attr"]["attr_sink_ratio"] = max(
+        (sunk["wall_s"] / attr["wall_s"])
+        * (attr["n_events"] / sunk["n_events"])
+        for sunk, attr in zip(
+            rounds["engine-events+sink"], rounds["engine-events+attr"]
+        )
+    )
     return results
 
 
+def attr_sink_ratio(engine: Dict[str, Dict[str, float]]) -> float:
+    """Dispatch rate retained when attribution rows ride along.
+
+    Prefers the paired per-round ratio :func:`measure_engine` stored
+    (drift-cancelled); falls back to the best-of rates for payloads
+    that predate it.
+    """
+    row = engine["engine-events+attr"]
+    if "attr_sink_ratio" in row:
+        return row["attr_sink_ratio"]
+    return (
+        row["events_per_sec"]
+        / engine["engine-events+sink"]["events_per_sec"]
+    )
+
+
 def check_engine_floors(engine: Dict[str, Dict[str, float]]) -> Optional[str]:
-    """The failed floor description, or ``None`` when both hold."""
+    """The failed floor description, or ``None`` when all three hold."""
     bare = engine["engine-events"]["events_per_sec"]
     sunk = engine["engine-events+sink"]["events_per_sec"]
     if bare < MIN_ENGINE_EVENTS_PER_SEC:
@@ -215,6 +300,12 @@ def check_engine_floors(engine: Dict[str, Dict[str, float]]) -> Optional[str]:
         return (
             f"engine dispatch with sink {sunk:,.0f} events/s below the "
             f"{MIN_ENGINE_SINK_EVENTS_PER_SEC:,.0f} floor"
+        )
+    ratio = attr_sink_ratio(engine)
+    if ratio < MIN_ATTR_SINK_RATIO:
+        return (
+            f"attribution sink keeps only {ratio:.1%} of plain-sink "
+            f"dispatch, below the {MIN_ATTR_SINK_RATIO:.0%} floor"
         )
     return None
 
@@ -268,6 +359,10 @@ def report(
                 ]
                 for name, row in engine.items()
             ],
+        )
+        print(
+            "engine dispatch retained with attribution rows: "
+            f"{attr_sink_ratio(engine):.1%}"
         )
         payload.update(engine)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

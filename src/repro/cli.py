@@ -60,6 +60,8 @@ from .experiments import (
     sweep_suite,
 )
 from .observability import (
+    GROUPS,
+    STAGES,
     BurnRateRule,
     Observability,
     RunReport,
@@ -69,6 +71,7 @@ from .observability import (
     Timeline,
     json_dumps,
     provenance,
+    provenance_comment,
 )
 from .queueing import PAPER_TABLE_4, cliff_table
 from .units import kps, to_kps, to_msec, to_usec, usec
@@ -650,6 +653,129 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _explain_csv(path: str, attr, tail) -> None:
+    """Stage table as CSV with the provenance comment header."""
+    import csv
+
+    means = attr.means()
+    shares = attr.mean_shares()
+    with open(path, "w", newline="") as handle:
+        handle.write(provenance_comment() + "\r\n")
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["stage", "mean_seconds", "mean_share", f"tail_share_q{tail.quantile:g}"]
+        )
+        for stage in STAGES:
+            writer.writerow(
+                [stage, means[stage], shares[stage], tail.shares[stage]]
+            )
+
+
+def _print_waterfall(record, rank: int) -> None:
+    """One slowest-request critical-path bar chart."""
+    print(
+        f"slowest #{rank}  request {int(record.request_id)}  "
+        f"total {to_usec(record.total):.1f}us  (born {record.born:.4f}s)"
+    )
+    for stage, value in record.waterfall():
+        width = int(round(32 * max(value, 0.0) / record.total)) if record.total else 0
+        print(
+            f"  {stage:<14} {to_usec(value):>9.1f}us  |{'#' * width}"
+        )
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    backend = "simulate" if args.backend == "engine" else args.backend
+    # The analytic reference is part of every explain output and it
+    # rejects untenable (unstable fault-free) scenarios — compute it
+    # before paying for the simulation so bad configs fail fast.
+    reference = scenario.attribution_reference()
+    result = scenario.run(backend, attribution=True)
+    attr = result.attribution
+    if attr is None or attr.count == 0:
+        print("no requests completed; nothing to attribute")
+        return 1
+    tail = attr.tail(args.quantile)
+    ref_shares = {
+        group: reference[group] / reference["total"] for group in GROUPS
+    }
+    sim_group_shares = attr.group_shares()
+
+    if args.csv is not None:
+        _explain_csv(args.csv, attr, tail)
+    payload = None
+    if args.out is not None or _wants_json(args):
+        payload = {
+            "kind": "repro-explain",
+            "backend": backend,
+            "scenario": scenario.to_dict(),
+            "attribution": attr.to_dict(),
+            "tail": tail.to_dict(),
+            "reference": reference,
+            "reference_shares": ref_shares,
+            "provenance": provenance(),
+        }
+    if args.out is not None:
+        Path(args.out).write_text(json_dumps(payload))
+    if _wants_json(args):
+        print(json_dumps(payload))
+        return 0
+
+    means = attr.means()
+    shares = attr.mean_shares()
+    print(
+        f"latency provenance — {backend} backend, "
+        f"{attr.count} requests attributed"
+    )
+    print(
+        f"mean total {to_usec(attr.mean_total()):.1f}us   "
+        f"tail threshold {to_usec(tail.threshold):.1f}us "
+        f"(q={tail.quantile:g}, {tail.n_tail} requests)"
+    )
+    print()
+    ranked = sorted(STAGES, key=lambda stage: -abs(shares[stage]))
+    _print_rows(
+        ["stage", "mean (us)", "mean share", f"q{tail.quantile:g} share"],
+        [
+            [
+                stage,
+                f"{to_usec(means[stage]):.2f}",
+                f"{shares[stage]:+.1%}",
+                f"{tail.shares[stage]:+.1%}",
+            ]
+            for stage in ranked
+        ],
+    )
+    print()
+    print(
+        f"dominant tail stage: {tail.dominant} "
+        f"({tail.shares[tail.dominant]:.1%} of q{tail.quantile:g} latency)"
+    )
+    print()
+    for rank, record in enumerate(attr.slowest[: args.top], 1):
+        _print_waterfall(record, rank)
+        print()
+    print("group shares vs fault-free analytic reference:")
+    _print_rows(
+        ["group", "simulated", "analytic", "diff"],
+        [
+            [
+                group,
+                f"{sim_group_shares[group]:+.1%}",
+                f"{ref_shares[group]:+.1%}",
+                f"{(sim_group_shares[group] - ref_shares[group]) * 100:+.1f}pp",
+            ]
+            for group in GROUPS
+        ],
+    )
+    if args.csv is not None:
+        print(f"csv written: {args.csv}")
+    if args.out is not None:
+        print(f"explain report written: {args.out}")
+    return 0
+
+
 def _backend_options(args: argparse.Namespace) -> dict:
     """Per-backend runner options from CLI flags."""
     if getattr(args, "backend", "estimate") == "fastpath":
@@ -1194,6 +1320,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any SLO alert fires",
     )
     p_mon.set_defaults(func=cmd_monitor)
+
+    p_expl = sub.add_parser(
+        "explain",
+        help="per-request latency provenance: stage shares + root cause",
+    )
+    _add_workload_args(p_expl)
+    _add_fault_policy_args(p_expl)
+    _add_json_flag(p_expl)
+    p_expl.add_argument(
+        "--backend",
+        choices=["engine", "fastpath-system"],
+        default="engine",
+        help="which simulation backend records the attribution",
+    )
+    p_expl.add_argument("--servers", type=int, default=4)
+    p_expl.add_argument("--requests", type=int, default=2000)
+    p_expl.add_argument("--seed", type=int, default=1)
+    p_expl.add_argument(
+        "--quantile",
+        type=float,
+        default=0.99,
+        help="tail quantile the stage shares are conditioned on (default 0.99)",
+    )
+    p_expl.add_argument(
+        "--top",
+        type=int,
+        default=3,
+        help="slowest-request waterfalls to print (default 3)",
+    )
+    p_expl.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the explain report (attribution + reference) as JSON",
+    )
+    p_expl.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="export the ranked stage table as CSV",
+    )
+    p_expl.set_defaults(func=cmd_explain)
 
     p_sweep = sub.add_parser(
         "sweep", help="one-factor sweeps (factor registry + runner)"

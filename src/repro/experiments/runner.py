@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigError, ReproError, SimulationError
 from ..observability import json_dumps, provenance
+from ..observability.attribution import AttributionSet
 from ..observability.timeline import Timeline
 from .grid import Cell, Suite
 from .scenario import Scenario, cell_metrics
@@ -56,6 +57,11 @@ class CellResult:
     #: one. Excluded from equality like ``elapsed``: worker-count
     #: invariance is about the scalar metrics.
     timeline: Optional[object] = dataclasses.field(default=None, compare=False)
+    #: Per-request stage attribution (an AttributionSet) when the cell's
+    #: backend recorded one. Excluded from equality like ``timeline``.
+    attribution: Optional[object] = dataclasses.field(
+        default=None, compare=False
+    )
 
     @property
     def ok(self) -> bool:
@@ -74,6 +80,11 @@ class CellResult:
             "elapsed": self.elapsed,
             "timeline": (
                 self.timeline.to_dict() if self.timeline is not None else None
+            ),
+            "attribution": (
+                self.attribution.to_dict()
+                if self.attribution is not None
+                else None
             ),
             "provenance": provenance(),
         }
@@ -94,6 +105,11 @@ class CellResult:
             timeline=(
                 Timeline.from_dict(payload["timeline"])
                 if payload.get("timeline") is not None
+                else None
+            ),
+            attribution=(
+                AttributionSet.from_dict(payload["attribution"])
+                if payload.get("attribution") is not None
                 else None
             ),
         )
@@ -195,10 +211,12 @@ def _execute_cell(cell: Cell) -> CellResult:
     error: Optional[str] = None
     metrics: Dict[str, float] = {}
     timeline = None
+    attribution = None
     try:
         outcome = cell.scenario.run(cell.backend, **cell.option_dict)
         metrics = cell_metrics(outcome)
         timeline = getattr(outcome, "timeline", None)
+        attribution = getattr(outcome, "attribution", None)
     except ReproError as exc:
         error = f"{type(exc).__name__}: {exc}"
     return CellResult(
@@ -211,6 +229,7 @@ def _execute_cell(cell: Cell) -> CellResult:
         error=error,
         elapsed=time.perf_counter() - started,
         timeline=timeline,
+        attribution=attribution,
     )
 
 

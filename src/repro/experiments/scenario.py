@@ -27,6 +27,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from ..config import ExperimentConfig
 from ..distributions import make_rng
 from ..errors import ConfigError, ValidationError
@@ -212,30 +214,55 @@ class Scenario:
         observability=None,
         *,
         timeline: object = None,
+        attribution: object = None,
         scheduler: Optional[str] = None,
         rng_window: Optional[int] = None,
     ) -> SimulationResult:
         """Closed-loop discrete-event simulation of this scenario.
 
         ``timeline`` (anything :meth:`TimelineSpec.coerce` accepts)
-        turns on windowed telemetry; when no ``observability`` bundle is
-        supplied a minimal timeline-only bundle is created so the hot
-        path stays uninstrumented otherwise. ``scheduler`` selects the
-        engine's scheduler backend and ``rng_window`` the pre-draw
-        window size — both are perf knobs that leave seeded results
-        bit-identical.
+        turns on windowed telemetry; ``attribution`` (``True``, a
+        reservoir capacity, or an ``AttributionSink``) turns on
+        per-request stage attribution. When no ``observability`` bundle
+        is supplied a minimal bundle carrying just the requested
+        collectors is created so the hot path stays uninstrumented
+        otherwise. ``scheduler`` selects the engine's scheduler backend
+        and ``rng_window`` the pre-draw window size — both are perf
+        knobs that leave seeded results bit-identical.
         """
-        if timeline is not None and TimelineSpec.coerce(timeline) is not None:
-            from ..observability import Observability, TimelineBuilder
+        wants_timeline = (
+            timeline is not None and TimelineSpec.coerce(timeline) is not None
+        )
+        if wants_timeline or attribution:
+            from ..observability import (
+                AttributionSink,
+                Observability,
+                TimelineBuilder,
+            )
 
             if observability is None:
                 observability = Observability(
-                    trace=False, metrics=False, timeline=timeline
+                    trace=False,
+                    metrics=False,
+                    timeline=timeline if wants_timeline else None,
+                    attribution=attribution,
                 )
-            elif observability.timeline is None:
-                observability.timeline = TimelineBuilder(
-                    TimelineSpec.coerce(timeline)
-                )
+            else:
+                if wants_timeline and observability.timeline is None:
+                    observability.timeline = TimelineBuilder(
+                        TimelineSpec.coerce(timeline)
+                    )
+                if attribution and observability.attribution is None:
+                    observability.attribution = (
+                        attribution
+                        if isinstance(attribution, AttributionSink)
+                        else AttributionSink(
+                            max_records=attribution
+                            if isinstance(attribution, int)
+                            and not isinstance(attribution, bool)
+                            else 100_000
+                        )
+                    )
         system = self.simulator(
             observability=observability,
             scheduler=scheduler,
@@ -308,7 +335,9 @@ class Scenario:
             )
         return dataclasses.replace(result, server_expected_max=exact_server)
 
-    def fastpath_system(self, *, timeline: object = None) -> SimulationResult:
+    def fastpath_system(
+        self, *, timeline: object = None, attribution: object = None
+    ) -> SimulationResult:
         """Whole-system vectorized simulation of this scenario.
 
         Statistically equivalent to :meth:`simulate` — same Poisson
@@ -336,8 +365,98 @@ class Scenario:
             database_rate=self.database_rate,
             faults=self.faults,
             timeline=timeline,
+            attribution=attribution,
         )
         return SimulationResult.from_system_sample(sample, n_keys=self.n_keys)
+
+    def attribution_reference(self) -> Dict[str, float]:
+        """Analytic per-group latency expectation, system-matched.
+
+        The reference column ``repro explain`` diffs simulated stage
+        shares against: Theorem 1 evaluated for the closed loop the
+        simulation backends actually run — the *induced* per-server
+        workload (Poisson requests forking compound batches, matched to
+        geometric concurrency exactly like
+        :meth:`MemcachedSystemSimulator.induced_server_workload`), the
+        round-trip network convention (every key pays ``2d``), and the
+        database M/M/1 sojourn at its induced utilization (eq. (19)
+        with ``rho > 0``). Faults and policies are stripped: the
+        reference is always the fault-free expectation, so the diff
+        *shows* what a fault moved.
+
+        Unlike :meth:`estimate` (median-flavoured quantile-rule bounds,
+        eq. (14)), every column here is a *mean*: the per-key server law
+        is ``Exp(a)`` with ``a`` the induced decay rate — exact in
+        expectation (see ``GIXM1Queue.mean_key_latency``) — so one
+        coherent max-statistics model yields ``E[TS(N)] = H_N / a``, the
+        database and total expectations by tail integration, and a
+        fork-join slack that vanishes exactly at ``n_keys == 1``.
+
+        The matched-geometric batch model is an approximation the paper
+        leans on: exact at ``n_keys == 1``, within ~30% on the server
+        stage for moderate fan-out, and loose for very large batches.
+        """
+        base = self.replace(faults=None, policy=None)
+        n = int(base.n_keys)
+        share = max(base.cluster().shares)
+        p_any = 1.0 - (1.0 - share) ** n
+        mean_batch = n * share / p_any
+        q_induced = max(0.0, 1.0 - 1.0 / mean_batch)
+        model = base.replace(
+            burst_xi=0.0, concurrency_q=q_induced
+        ).latency_model()
+        stage = model.server_stage
+        # Every key pays the round trip (the simulators' convention);
+        # the analytic TN = d is one way.
+        network = 2.0 * model.network_stage.mean_latency(n)
+        # E[max of N iid Exp(a)] = H_N / a — the per-key upper law is
+        # exact in expectation, so this is the mean-based E[TS(N)].
+        a = stage.queue.decay_rate
+        server = stage.mean_latency_upper_exact(n)
+        # Missed keys see an M/M/1 database at its induced load: sojourn
+        # ~ Exp((1 - rho) muD) (eq. (19) with rho > 0).
+        rho_db = 0.0
+        if base.miss_ratio > 0.0 and base.database_rate:
+            rho_db = min(
+                base.total_key_rate() * base.miss_ratio / base.database_rate,
+                0.999,
+            )
+        b = base.database_rate * (1.0 - rho_db)
+        r = base.miss_ratio
+        if r > 0.0 and b > 0.0:
+            # One key's DB contribution D = Exp(b) w.p. r else 0, so
+            # P(max D <= t) = (1 - r exp(-bt))^N; integrate the tail.
+            horizon = (np.log(n) + 50.0) * (1.0 / a + 1.0 / b)
+            grid = np.linspace(0.0, horizon, 4001)
+            database = float(
+                np.trapezoid(1.0 - (1.0 - r * np.exp(-b * grid)) ** n, grid)
+            )
+            # Per-key chain X = S + D; E[T(N)] = 2d + E[max X] under the
+            # same independence approximation.
+            if abs(a - b) < 1e-9 * a:
+                b = a * (1.0 + 1e-6)
+            chain_cdf = (
+                1.0
+                - np.exp(-a * grid)
+                - r
+                * a
+                / (a - b)
+                * (np.exp(-b * grid) - np.exp(-a * grid))
+            )
+            chain_max = float(np.trapezoid(1.0 - chain_cdf**n, grid))
+        else:
+            database = 0.0
+            chain_max = server
+        total = network + chain_max
+        serial = network + server + database
+        return {
+            "network": network,
+            "server": server,
+            "database": database,
+            "policy": 0.0,
+            "join_slack": total - serial,
+            "total": total,
+        }
 
     def run(self, backend: str = "estimate", **options: object):
         """Dispatch to ``estimate``/``simulate``/``fastpath``/``fastpath-system``."""
@@ -352,11 +471,11 @@ class Scenario:
         if backend == "fastpath":
             return self.fastpath(**options)
         if backend == "fastpath-system":
-            unknown = set(options) - {"timeline"}
+            unknown = set(options) - {"timeline", "attribution"}
             if unknown:
                 raise ConfigError(
                     "fastpath-system backend options are limited to "
-                    f"'timeline', got {sorted(unknown)}"
+                    f"'timeline' and 'attribution', got {sorted(unknown)}"
                 )
             return self.fastpath_system(**options)
         raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")

@@ -26,6 +26,16 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .attribution import (
+    GROUPS,
+    STAGES,
+    AttributionRecord,
+    AttributionSet,
+    AttributionSink,
+    TailAttribution,
+    analytic_reference,
+    residual_slack,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import EngineProfiler, callback_category
 from .report import (
@@ -35,6 +45,7 @@ from .report import (
     git_sha,
     json_dumps,
     provenance,
+    provenance_comment,
     recorder_summary,
     to_jsonable,
 )
@@ -72,6 +83,7 @@ class Observability:
         metrics: bool = True,
         profile: bool = False,
         timeline: object = None,
+        attribution: object = None,
         trace_capacity: int = 1024,
         slowest_k: int = 10,
     ) -> None:
@@ -88,6 +100,23 @@ class Observability:
         self.timeline: Optional[TimelineBuilder] = (
             TimelineBuilder(spec) if spec is not None else None
         )
+        # Per-request latency provenance: True -> default sink, an int
+        # -> reservoir capacity, or a pre-built AttributionSink.
+        if isinstance(attribution, AttributionSink):
+            self.attribution: Optional[AttributionSink] = attribution
+        elif isinstance(attribution, bool) or attribution is None:
+            self.attribution = (
+                AttributionSink(slowest_k=slowest_k) if attribution else None
+            )
+        elif isinstance(attribution, int):
+            self.attribution = AttributionSink(
+                max_records=attribution, slowest_k=slowest_k
+            )
+        else:
+            raise TypeError(
+                "attribution must be None, a bool, an int capacity, or an "
+                f"AttributionSink, got {type(attribution).__name__}"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -98,6 +127,7 @@ class Observability:
                 self.registry,
                 self.profiler,
                 self.timeline,
+                self.attribution,
             )
         )
 
@@ -111,12 +141,18 @@ class Observability:
             self.profiler.reset()
         if self.timeline is not None:
             self.timeline.reset()
+        if self.attribution is not None:
+            self.attribution.reset()
 
 
 __all__ = [
     "AlertWindow",
+    "AttributionRecord",
+    "AttributionSet",
+    "AttributionSink",
     "BurnRateRule",
     "Counter",
+    "GROUPS",
     "EngineProfiler",
     "GIT_SHA_ENV",
     "Gauge",
@@ -128,18 +164,23 @@ __all__ = [
     "SLOMonitor",
     "SLOReport",
     "SLORule",
+    "STAGES",
     "Span",
     "StageSeries",
+    "TailAttribution",
     "Timeline",
     "TimelineBuilder",
     "TimelineSpec",
     "Tracer",
+    "analytic_reference",
     "callback_category",
     "detection_scores",
     "git_sha",
     "json_dumps",
     "provenance",
+    "provenance_comment",
     "recorder_summary",
+    "residual_slack",
     "time_in_windows",
     "to_jsonable",
 ]

@@ -90,6 +90,19 @@ def provenance() -> Dict[str, object]:
     }
 
 
+def provenance_comment() -> str:
+    """The :func:`provenance` stamp as one ``#``-comment CSV header line.
+
+    Every CSV artifact (timeline exports, run-report flattenings, the
+    ``explain`` stage table) leads with this line so the spreadsheet can
+    be traced to the code that produced it, mirroring the ``provenance``
+    block in the JSON artifacts.
+    """
+    stamp = provenance()
+    body = " ".join(f"{key}={stamp[key]}" for key in sorted(stamp))
+    return f"# provenance: {body}"
+
+
 def to_jsonable(obj: object) -> object:
     """Lower arbitrary result objects to JSON-safe structures.
 
@@ -319,6 +332,7 @@ class RunReport:
         """Flatten stage + metric summaries to one CSV (name, stat columns)."""
         columns = ["name", "kind", "count", "mean", "p50", "p95", "p99", "min", "max"]
         with open(path, "w", newline="") as handle:
+            handle.write(provenance_comment() + "\r\n")
             writer = csv.writer(handle)
             writer.writerow(columns)
             for stage, summary in self.stages.items():

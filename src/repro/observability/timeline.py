@@ -43,7 +43,7 @@ import numpy as np
 
 from ..errors import ConfigError, ValidationError
 from .metrics import Histogram
-from .report import provenance
+from .report import provenance, provenance_comment
 
 __all__ = [
     "DEFAULT_WINDOWS",
@@ -601,7 +601,9 @@ class Timeline:
         def cell(value: float) -> object:
             return "" if not math.isfinite(float(value)) else float(value)
 
+
         with open(path, "w", newline="") as handle:
+            handle.write(provenance_comment() + "\r\n")
             writer = csv.writer(handle)
             writer.writerow(header)
             for k in range(self.n_windows):

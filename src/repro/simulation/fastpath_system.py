@@ -51,6 +51,7 @@ import numpy as np
 
 from ..errors import SimulationError, StabilityError, ValidationError
 from ..faults import FaultSchedule
+from ..observability.attribution import AttributionSet, AttributionSink
 from ..observability.timeline import Timeline, TimelineSpec
 from .fastpath import lindley_waits
 
@@ -82,6 +83,9 @@ class SystemSample:
     #: Windowed telemetry over the recorded completion window, when the
     #: caller asked for one (same schema as the event engine's).
     timeline: Optional[Timeline] = None
+    #: Per-request stage attribution (an AttributionSet) when recorded —
+    #: same schema as the event engine's provenance records.
+    attribution: Optional[AttributionSet] = None
 
     @property
     def n_requests(self) -> int:
@@ -107,6 +111,36 @@ class _PassResult:
     db_arrival: np.ndarray
     db_service: np.ndarray
     db_completion: np.ndarray
+    # Attribution-only (None unless requested): per request, the queue
+    # wait of the key attaining the server/database stage maximum — the
+    # wait/service split of the fork-join critical key.
+    server_wait_at_max: Optional[np.ndarray] = None
+    db_wait_at_max: Optional[np.ndarray] = None
+
+
+def _value_at_group_max(
+    group: np.ndarray,
+    value: np.ndarray,
+    payload: np.ndarray,
+    n_groups: int,
+) -> np.ndarray:
+    """Per group, ``payload`` of the element attaining ``max(value)``.
+
+    One lexsort: within each group the last element after sorting by
+    ``(group, value)`` is the argmax, so a single fancy assignment
+    extracts its payload — the vectorized twin of the engine's
+    ">= running max" branch.
+    """
+    out = np.zeros(n_groups)
+    if group.size == 0:
+        return out
+    order = np.lexsort((value, group))
+    sorted_groups = group[order]
+    last = np.flatnonzero(
+        np.r_[sorted_groups[1:] != sorted_groups[:-1], True]
+    )
+    out[sorted_groups[last]] = payload[order][last]
+    return out
 
 
 def _simulate_pass(
@@ -121,6 +155,7 @@ def _simulate_pass(
     database_rate: Optional[float],
     rng: np.random.Generator,
     faults: Optional[FaultSchedule] = None,
+    attribution: bool = False,
 ) -> _PassResult:
     """Push ``n_spawn`` requests through servers and database."""
     n_servers = shares_arr.size
@@ -138,6 +173,12 @@ def _simulate_pass(
     server_services: list = []
     server_completions: list = []
     server_arrivals: list = []
+    # Attribution-only accumulators: every key's (request, sojourn,
+    # wait) triple, so the critical key's wait/service split can be
+    # extracted per request after the loop.
+    attr_request: list = []
+    attr_sojourn: list = []
+    attr_wait: list = []
     n_misses = 0
 
     for j in range(n_servers):
@@ -175,6 +216,11 @@ def _simulate_pass(
 
         request_of_key = np.repeat(nonzero, sizes)
         np.maximum.at(server_max, request_of_key, sojourn)
+        if attribution:
+            attr_request.append(request_of_key)
+            attr_sojourn.append(sojourn)
+            # Clamp the -1 ulp float dust so queue waits stay >= 0.
+            attr_wait.append(np.maximum(sojourn - services, 0.0))
         key_arrival = np.repeat(batch_arrival, sizes)
         completion = key_arrival + sojourn
         server_services.append(services)
@@ -212,8 +258,28 @@ def _simulate_pass(
         db_completion = db_arrival + db_sojourn
         np.maximum.at(database_max, request_of_miss, db_sojourn)
         np.maximum.at(combo_max, request_of_miss, server_part + db_sojourn)
+        db_wait_at_max = (
+            _value_at_group_max(
+                request_of_miss,
+                db_sojourn,
+                np.maximum(db_sojourn - db_service, 0.0),
+                n_spawn,
+            )
+            if attribution
+            else None
+        )
     else:
         db_arrival = db_service = db_completion = np.empty(0)
+        db_wait_at_max = np.zeros(n_spawn) if attribution else None
+
+    server_wait_at_max = None
+    if attribution:
+        server_wait_at_max = _value_at_group_max(
+            np.concatenate(attr_request) if attr_request else np.empty(0, int),
+            np.concatenate(attr_sojourn) if attr_sojourn else np.empty(0),
+            np.concatenate(attr_wait) if attr_wait else np.empty(0),
+            n_spawn,
+        )
 
     return _PassResult(
         arrivals=arrivals,
@@ -227,6 +293,8 @@ def _simulate_pass(
         db_arrival=db_arrival,
         db_service=db_service,
         db_completion=db_completion,
+        server_wait_at_max=server_wait_at_max,
+        db_wait_at_max=db_wait_at_max,
     )
 
 
@@ -244,6 +312,7 @@ def simulate_system_requests(
     database_rate: Optional[float] = None,
     faults: Optional[FaultSchedule] = None,
     timeline: object = None,
+    attribution: object = None,
 ) -> SystemSample:
     """Simulate the system until ``warmup + n`` requests complete.
 
@@ -264,6 +333,13 @@ def simulate_system_requests(
     a window count, a window width, or a spec) attaches windowed
     telemetry over the recorded completion window, bucketed in one
     vectorized pass and schema-identical to the event engine's.
+
+    ``attribution`` (``True``, a reservoir capacity, or a pre-built
+    :class:`~repro.observability.AttributionSink`) attaches per-request
+    stage attribution computed vectorially from the Lindley recursions:
+    the critical key's wait/service split per stage, in the same schema
+    the event engine emits (``policy`` is always zero here — the fast
+    path models no request policies).
     """
     shares_arr = np.asarray(shares, dtype=float)
     if shares_arr.ndim != 1 or shares_arr.size < 1:
@@ -295,10 +371,20 @@ def simulate_system_requests(
         faults = None
     if faults is not None:
         if not faults.is_vectorizable:
+            offending = sorted(
+                {
+                    window.to_dict()["kind"]
+                    for window in faults.windows
+                    if window.to_dict()["kind"]
+                    not in ("server-slowdown", "database-overload")
+                }
+            )
             raise ValidationError(
-                "fastpath-system supports only rate-scaling fault windows "
-                "(server slowdowns, database overloads); pauses and share "
-                "shifts need the event-engine backend"
+                "fastpath-system vectorizes only rate-scaling fault "
+                "windows (server slowdowns, database overloads); this "
+                f"schedule contains {', '.join(offending)} windows — "
+                'run the scenario with backend="simulate" (the event '
+                "engine supports every fault kind)"
             )
         faults.validate_for(shares_arr.size)
 
@@ -312,6 +398,7 @@ def simulate_system_requests(
     # that transient faithfully. Only the Memcached tier — where
     # stationarity is the modeling claim — rejects rho >= 1.
 
+    attribution_sink = _coerce_attribution(attribution)
     n_total = warmup_requests + n_requests
     kwargs = dict(
         shares_arr=shares_arr,
@@ -323,6 +410,7 @@ def simulate_system_requests(
         database_rate=database_rate,
         rng=rng,
         faults=faults,
+        attribution=attribution_sink is not None,
     )
 
     # The engine spawns requests until the (warmup + n)-th COMPLETION;
@@ -398,6 +486,27 @@ def simulate_system_requests(
             spec=spec,
             meta={"backend": "fastpath-system"},
         )
+    attribution_set = None
+    if attribution_sink is not None:
+        # The critical key's wait/service split over the recorded
+        # window; join_slack and the exact sums come from the sink.
+        server_queue = result.server_wait_at_max[keep]
+        db_queue = result.db_wait_at_max[keep]
+        attribution_sink.record_columns(
+            request_id=keep.astype(float),
+            born=result.arrivals[keep],
+            completed=completion[keep],
+            total=result.combo_max[keep] + round_trip,
+            network=np.full(keep.size, round_trip),
+            server_queue=server_queue,
+            server_service=result.server_max[keep] - server_queue,
+            db_queue=db_queue,
+            db_service=result.database_max[keep] - db_queue,
+            policy=np.zeros(keep.size),
+        )
+        attribution_set = attribution_sink.build(
+            meta={"backend": "fastpath-system"}
+        )
     return SystemSample(
         total=result.combo_max[keep] + round_trip,
         server_max=result.server_max[keep],
@@ -406,4 +515,19 @@ def simulate_system_requests(
         measured_miss_ratio=result.miss_fraction,
         server_utilizations=tuple(utilizations),
         timeline=run_timeline,
+        attribution=attribution_set,
+    )
+
+
+def _coerce_attribution(option: object) -> Optional[AttributionSink]:
+    """``None``/``False`` -> off; ``True`` -> defaults; int -> capacity."""
+    if isinstance(option, AttributionSink):
+        return option
+    if option is None or isinstance(option, bool):
+        return AttributionSink() if option else None
+    if isinstance(option, int):
+        return AttributionSink(max_records=option)
+    raise TypeError(
+        "attribution must be None, a bool, an int capacity, or an "
+        f"AttributionSink, got {type(option).__name__}"
     )

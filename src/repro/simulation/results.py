@@ -20,6 +20,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigError
+from ..observability.attribution import AttributionSet
 from ..observability.timeline import Timeline
 from .metrics import LatencyRecorder
 
@@ -119,6 +120,11 @@ class SimulationResult:
     #: Excluded from equality: two runs are "the same result" when their
     #: summary statistics agree.
     timeline: Optional[object] = dataclasses.field(default=None, compare=False)
+    #: Per-request stage attribution (an AttributionSet) when the run
+    #: recorded one. Excluded from equality like the timeline.
+    attribution: Optional[object] = dataclasses.field(
+        default=None, compare=False
+    )
 
     # -- LatencyEstimate-compatible accessors --------------------------
 
@@ -173,6 +179,7 @@ class SimulationResult:
             measured_miss_ratio=float(results.measured_miss_ratio),
             server_utilizations=tuple(results.server_utilizations),
             timeline=getattr(results, "timeline", None),
+            attribution=getattr(results, "attribution", None),
         )
 
     @classmethod
@@ -200,6 +207,7 @@ class SimulationResult:
             database=StageStats.from_samples(sample.database_max),
             network=constant_network,
             timeline=getattr(sample, "timeline", None),
+            attribution=getattr(sample, "attribution", None),
         )
 
     @classmethod
@@ -229,6 +237,11 @@ class SimulationResult:
             "timeline": (
                 self.timeline.to_dict() if self.timeline is not None else None
             ),
+            "attribution": (
+                self.attribution.to_dict()
+                if self.attribution is not None
+                else None
+            ),
         }
 
     @classmethod
@@ -251,6 +264,11 @@ class SimulationResult:
                 timeline=(
                     Timeline.from_dict(payload["timeline"])
                     if payload.get("timeline") is not None
+                    else None
+                ),
+                attribution=(
+                    AttributionSet.from_dict(payload["attribution"])
+                    if payload.get("attribution") is not None
                     else None
                 ),
             )

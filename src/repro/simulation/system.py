@@ -88,6 +88,11 @@ class _RequestState:
     max_server: float = 0.0
     max_database: float = 0.0
     max_network: float = 0.0
+    #: Queue-wait components of the keys attaining the stage maxima —
+    #: the wait/service split the attribution layer reports. Tracked
+    #: alongside the maxima (no extra RNG, no extra events).
+    server_wait: float = 0.0
+    database_wait: float = 0.0
     span: Optional[Span] = None
 
 
@@ -121,6 +126,12 @@ class _KeyContext:
     abandoned: bool = False
     server_sojourn: float = 0.0
     database_sojourn: float = 0.0
+    server_wait: float = 0.0
+    database_wait: float = 0.0
+    #: Simulation time this attempt left the client (== request.born
+    #: for primaries; later for hedges/retries). The gap is the policy
+    #: overhead on the critical path when this attempt finishes last.
+    launched: float = 0.0
     job: Optional[KeyJob] = None
 
 
@@ -141,6 +152,8 @@ class SystemResults:
     request_log: Optional[Tuple[RequestRecord, ...]] = None
     #: Windowed telemetry (a Timeline) when the run recorded one.
     timeline: Optional[object] = None
+    #: Per-request stage attribution (an AttributionSet) when recorded.
+    attribution: Optional[object] = None
 
     @property
     def measured_miss_ratio(self) -> float:
@@ -254,6 +267,12 @@ class MemcachedSystemSimulator:
             if self._timeline is not None
             else None
         )
+        # Latency provenance: one tuple append per completed request on
+        # the hot path; the sink vectorizes everything else at flush.
+        self._attr = (
+            observability.attribution if observability is not None else None
+        )
+        self._attr_append = self._attr.append if self._attr is not None else None
 
         if rng_window is not None and rng_window < 1:
             raise ValidationError(f"rng_window must be >= 1, got {rng_window}")
@@ -482,6 +501,7 @@ class MemcachedSystemSimulator:
                         request=request,
                         key_name=f"r{request.request_id}k{self._generated_keys + i}",
                         server_index=server_index,
+                        launched=request.born,
                     )
                     for i in range(int(count))
                 ]
@@ -506,6 +526,7 @@ class MemcachedSystemSimulator:
                     key_name=state.key_name,
                     server_index=server_index,
                     state=state,
+                    launched=request.born,
                 )
                 state.attempts.append(context)
                 contexts.append(context)
@@ -559,6 +580,7 @@ class MemcachedSystemSimulator:
             key_name=f"{state.key_name}a{len(state.attempts)}",
             server_index=server_index,
             state=state,
+            launched=self.sim.now,
         )
         state.attempts.append(context)
         self._dispatch_batch(server_index, [context])
@@ -643,9 +665,14 @@ class MemcachedSystemSimulator:
         request = context.request
         sojourn = job.sojourn
         if context.state is None:
-            request.max_server = max(request.max_server, sojourn)
+            # ">=" keeps the same float as max() while carrying the
+            # wait split of the max-attaining key for attribution.
+            if sojourn >= request.max_server:
+                request.max_server = sojourn
+                request.server_wait = job.wait
         else:
             context.server_sojourn = sojourn
+            context.server_wait = job.wait
         self._per_key_server.record(sojourn)
         if self._hist_key_sojourn is not None:
             self._hist_key_sojourn.record(sojourn)
@@ -677,11 +704,12 @@ class MemcachedSystemSimulator:
         if context.abandoned:
             return
         if context.state is None:
-            context.request.max_database = max(
-                context.request.max_database, job.sojourn
-            )
+            if job.sojourn >= context.request.max_database:
+                context.request.max_database = job.sojourn
+                context.request.database_wait = job.wait
         else:
             context.database_sojourn = job.sojourn
+            context.database_wait = job.wait
         if context.span is not None:
             context.span.child(
                 "database",
@@ -722,10 +750,12 @@ class MemcachedSystemSimulator:
                         self._abandon_attempt(attempt)
             # Only the winning attempt's stage times shape the request's
             # fork-join maxima — exactly what the client observed.
-            request.max_server = max(request.max_server, context.server_sojourn)
-            request.max_database = max(
-                request.max_database, context.database_sojourn
-            )
+            if context.server_sojourn >= request.max_server:
+                request.max_server = context.server_sojourn
+                request.server_wait = context.server_wait
+            if context.database_sojourn >= request.max_database:
+                request.max_database = context.database_sojourn
+                request.database_wait = context.database_wait
             request.max_network = max(request.max_network, context.network_so_far)
         request.pending -= 1
         if request.pending < 0:  # pragma: no cover - defensive
@@ -736,6 +766,35 @@ class MemcachedSystemSimulator:
             total = self.sim.now - request.born
             if self._timeline_requests is not None:
                 self._timeline_requests((request.born, self.sim.now))
+            if self._attr_append is not None:
+                # One ROW_FIELDS tuple per request; join_slack and the
+                # exact sums are derived vectorially at flush time.
+                self._attr_append(
+                    (
+                        float(request.request_id),
+                        request.born,
+                        self.sim.now,
+                        total,
+                        request.max_network,
+                        request.server_wait,
+                        request.max_server - request.server_wait,
+                        request.database_wait,
+                        request.max_database - request.database_wait,
+                        context.launched - request.born,
+                    )
+                )
+                self._attr.maybe_flush()
+                if request.span is not None:
+                    request.span.attributes["attribution"] = {
+                        "network": request.max_network,
+                        "server_queue": request.server_wait,
+                        "server_service": request.max_server
+                        - request.server_wait,
+                        "db_queue": request.database_wait,
+                        "db_service": request.max_database
+                        - request.database_wait,
+                        "policy": context.launched - request.born,
+                    }
             self._total.record(total)
             self._server_stage.record(request.max_server)
             self._database_stage.record(request.max_database)
@@ -822,6 +881,11 @@ class MemcachedSystemSimulator:
             if self._timeline is not None
             else None
         )
+        attribution = (
+            self._attr.build(meta={"backend": "simulate"})
+            if self._attr is not None
+            else None
+        )
         return SystemResults(
             total=self._total,
             server_stage=self._server_stage,
@@ -841,6 +905,7 @@ class MemcachedSystemSimulator:
                 tuple(self._request_log) if self._request_log is not None else None
             ),
             timeline=timeline,
+            attribution=attribution,
         )
 
     def _reset_recorders(self) -> None:

@@ -1,0 +1,145 @@
+"""Attribution agreement: engine vs fastpath-system vs the analytic model.
+
+Two cross-backend contracts:
+
+* **§5.1 root cause** — during an overloaded-database transient both
+  simulation backends must attribute the p99 tail to DB *queueing*
+  (majority share), which is exactly the diagnosis ``repro explain``
+  exists to automate.
+* **Analytic decomposition** — on a no-fault baseline the simulated
+  mean group shares must track :meth:`Scenario.attribution_reference`.
+  The reference is exact in the thinned-Poisson regime (``n_keys == 1``:
+  every stage is M/M/1 and Burke's theorem makes the DB arrivals
+  Poisson), so there the tolerance is 15%; at moderate fan-out the
+  matched-geometric batch approximation is documented at ~30% (see
+  ``test_theory_vs_simulation.py``) yet the *share* comparison stays
+  inside 20% because the error renormalizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Scenario
+from repro.units import usec
+
+BACKENDS = ("simulate", "fastpath-system")
+
+
+def db_overload_scenario():
+    """The §5.1 transient: an 8x database slowdown mid-run."""
+    return Scenario(
+        key_rate=40_000.0,
+        burst_xi=0.0,
+        concurrency_q=0.0,
+        n_servers=2,
+        service_rate=80_000.0,
+        n_keys=20,
+        network_delay=usec(20),
+        miss_ratio=0.005,
+        database_rate=1_000.0,
+        seed=2,
+        n_requests=4_000,
+        warmup_requests=400,
+        faults={
+            "windows": [
+                {
+                    "kind": "database-overload",
+                    "start": 0.3,
+                    "duration": 0.3,
+                    "factor": 0.125,
+                }
+            ]
+        },
+    )
+
+
+def baseline(n_keys, miss_ratio, database_rate, seed):
+    return Scenario(
+        key_rate=30_000.0,
+        burst_xi=0.0,
+        concurrency_q=0.0,
+        n_servers=4,
+        service_rate=80_000.0,
+        n_keys=n_keys,
+        network_delay=usec(20),
+        miss_ratio=miss_ratio,
+        database_rate=database_rate,
+        seed=seed,
+        n_requests=20_000,
+        warmup_requests=2_000,
+    )
+
+
+class TestTailRootCause:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_db_queue_dominates_overload_p99(self, backend):
+        result = db_overload_scenario().run(backend, attribution=True)
+        tail = result.attribution.tail(0.99)
+        assert tail.dominant == "db_queue"
+        assert tail.shares["db_queue"] > 0.5
+        # The grouped view agrees: database >= everything else combined.
+        groups = tail.group_shares()
+        assert groups["database"] > 0.5
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mean_attribution_also_shifts_to_database(self, backend):
+        result = db_overload_scenario().run(backend, attribution=True)
+        groups = result.attribution.group_shares()
+        assert groups["database"] > groups["server"]
+        assert groups["database"] > groups["network"]
+
+
+class TestAnalyticDecomposition:
+    def test_reference_schema(self):
+        ref = baseline(1, 0.15, 30_000.0, 5).attribution_reference()
+        assert set(ref) == {
+            "network", "server", "database", "policy", "join_slack", "total",
+        }
+        assert ref["policy"] == 0.0
+        serial = ref["network"] + ref["server"] + ref["database"]
+        assert ref["total"] == pytest.approx(serial + ref["join_slack"])
+        # Single-key requests have no fork-join: the slack vanishes.
+        assert abs(ref["join_slack"]) < 0.005 * ref["total"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_key_shares_within_15_percent(self, backend):
+        sc = baseline(1, 0.15, 30_000.0, 5)
+        ref = sc.attribution_reference()
+        ref_shares = {
+            group: ref[group] / ref["total"]
+            for group in ("network", "server", "database")
+        }
+        attr = sc.run(backend, attribution=True).attribution
+        sim_shares = attr.group_shares()
+        for group, expected in ref_shares.items():
+            rel = abs(sim_shares[group] - expected) / expected
+            assert rel < 0.15, (backend, group, sim_shares[group], expected)
+        # Fork-join slack is structurally zero at n_keys == 1.
+        assert abs(sim_shares["join_slack"]) < 0.01
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_fanout_shares_within_20_percent(self, backend):
+        sc = baseline(4, 0.05, 60_000.0, 7)
+        ref = sc.attribution_reference()
+        ref_shares = {
+            group: ref[group] / ref["total"]
+            for group in ("network", "server", "database")
+        }
+        attr = sc.run(backend, attribution=True).attribution
+        sim_shares = attr.group_shares()
+        for group, expected in ref_shares.items():
+            rel = abs(sim_shares[group] - expected) / expected
+            assert rel < 0.20, (backend, group, sim_shares[group], expected)
+
+    def test_reference_mean_total_tracks_simulation(self):
+        sc = baseline(1, 0.15, 30_000.0, 5)
+        ref = sc.attribution_reference()
+        attr = sc.run("simulate", attribution=True).attribution
+        rel = abs(attr.mean_total() - ref["total"]) / ref["total"]
+        assert rel < 0.10
+
+    def test_reference_strips_faults_and_policy(self):
+        faulted = db_overload_scenario()
+        clean = faulted.replace(faults=None)
+        assert faulted.attribution_reference() == clean.attribution_reference()

@@ -164,7 +164,11 @@ class TestRunReportRoundTrip:
         report = RunReport.from_simulation(results, obs)
         path = tmp_path / "run.csv"
         report.save_csv(path)
+        stamp = path.read_text().splitlines()[0]
+        assert stamp.startswith("# provenance: ")
+        assert "repro_version=" in stamp
         with open(path, newline="") as handle:
+            handle.readline()  # skip the provenance comment
             rows = list(csv.reader(handle))
         header, body = rows[0], rows[1:]
         assert header == [

@@ -327,9 +327,11 @@ class TestPersistence:
         path = tmp_path / "timeline.csv"
         toy_timeline().to_csv(path)
         lines = path.read_text().strip().splitlines()
-        assert len(lines) == 11  # header + 10 windows
-        assert lines[0].startswith("window,t_start,t_end,arrivals")
-        assert "util:server.0" in lines[0]
+        assert len(lines) == 12  # provenance stamp + header + 10 windows
+        assert lines[0].startswith("# provenance: ")
+        assert "repro_version=" in lines[0]
+        assert lines[1].startswith("window,t_start,t_end,arrivals")
+        assert "util:server.0" in lines[1]
 
 
 class TestBuilder:

@@ -1,0 +1,188 @@
+"""Event-engine attribution: conservation, non-perturbation, semantics.
+
+The engine emits one attribution row per completed request with zero
+extra RNG draws and zero extra events, so:
+
+* the :data:`STAGES` columns re-sum to ``total`` **bit-exactly** on
+  every record, across the whole hard-case grid (warmup resets, the
+  full fault schedule, hedging with cancellation, timeout/retry);
+* attaching a sink leaves the run's latency recorders bit-identical
+  (the determinism goldens in ``test_determinism.py`` double-cover
+  this with attribution *disabled*; here we diff enabled vs disabled);
+* the columns mean what they claim: constant round-trip network,
+  ``server_queue + server_service == TS`` for the max-attaining key,
+  zero policy overhead without a policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterModel
+from repro.faults import (
+    DatabaseOverload,
+    FaultSchedule,
+    ServerPause,
+    ServerSlowdown,
+    ShareShift,
+)
+from repro.observability import Observability
+from repro.observability.attribution import STAGES, AttributionSink
+from repro.policies import RequestPolicy
+from repro.simulation import MemcachedSystemSimulator
+from repro.units import kps, msec, usec
+
+
+def fault_schedule():
+    return FaultSchedule(
+        [
+            ServerSlowdown(start=0.1, duration=0.5, factor=0.4, server=0),
+            ServerPause(start=0.3, duration=0.05, server=1),
+            DatabaseOverload(start=0.2, duration=0.3, factor=0.5),
+            ShareShift(start=0.4, duration=0.4, shares=(0.8, 0.2)),
+        ]
+    )
+
+
+CASES = {
+    "plain": {},
+    "warmup": dict(n_requests=400, warmup_requests=100, seed=5),
+    "faults": dict(faults=fault_schedule(), n_requests=400, seed=7),
+    "hedge": dict(
+        policy=RequestPolicy(hedge_delay=msec(2), cancel_on_winner=True),
+        n_requests=400,
+        seed=11,
+    ),
+    "retry": dict(
+        policy=RequestPolicy(timeout=msec(3), max_retries=2, backoff=1.5),
+        n_requests=400,
+        seed=13,
+    ),
+}
+
+
+def run(observability=None, **overrides):
+    kwargs = dict(
+        n_keys_per_request=10,
+        request_rate=200.0,
+        network_delay=usec(20),
+        miss_ratio=0.02,
+        database_rate=1.0 / msec(1),
+        seed=99,
+    )
+    kwargs.update(overrides)
+    cluster = kwargs.pop("cluster", ClusterModel.balanced(2, kps(80)))
+    n_requests = kwargs.pop("n_requests", 200)
+    warmup = kwargs.pop("warmup_requests", 0)
+    system = MemcachedSystemSimulator(
+        cluster, observability=observability, **kwargs
+    )
+    return system.run(n_requests=n_requests, warmup_requests=warmup)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_bit_exact_across_grid(self, case):
+        obs = Observability(attribution=True)
+        results = run(observability=obs, **CASES[case])
+        attr = results.attribution
+        assert attr is not None
+        assert attr.count == results.requests_completed
+        assert attr.n_retained == attr.count
+        residuals = attr.conservation_residuals()
+        assert residuals.size == attr.count
+        assert np.all(residuals == 0.0), case
+        # The exact sums agree with the reservoir when nothing sampled.
+        for k, name in enumerate(STAGES):
+            assert attr.sums[name] == pytest.approx(
+                float(attr.stages[name].sum()), rel=1e-12, abs=1e-18
+            )
+
+    @pytest.mark.parametrize("case", ["plain", "hedge"])
+    def test_slowest_records_conserve_too(self, case):
+        obs = Observability(attribution=AttributionSink(slowest_k=5))
+        attr = run(observability=obs, **CASES[case]).attribution
+        for record in attr.slowest:
+            assert record.components_sum() == record.total
+
+
+class TestNonPerturbation:
+    @pytest.mark.parametrize("case", ["plain", "faults", "hedge", "retry"])
+    def test_latencies_bit_identical_with_sink(self, case):
+        bare = run(**CASES[case])
+        attached = run(
+            observability=Observability(attribution=True), **CASES[case]
+        )
+        np.testing.assert_array_equal(
+            bare.total.samples(), attached.total.samples()
+        )
+        np.testing.assert_array_equal(
+            bare.server_stage.samples(), attached.server_stage.samples()
+        )
+        np.testing.assert_array_equal(
+            bare.database_stage.samples(), attached.database_stage.samples()
+        )
+        assert bare.misses == attached.misses
+
+    def test_attribution_totals_match_recorder(self):
+        obs = Observability(attribution=True)
+        results = run(observability=obs)
+        attr = results.attribution
+        np.testing.assert_allclose(
+            np.sort(attr.total),
+            np.sort(results.total.samples()),
+            rtol=0,
+            atol=0,
+        )
+
+
+class TestColumnSemantics:
+    def test_network_is_round_trip_constant(self):
+        obs = Observability(attribution=True)
+        attr = run(observability=obs).attribution
+        np.testing.assert_allclose(
+            attr.stages["network"], 2.0 * usec(20), rtol=0, atol=0
+        )
+        assert np.all(attr.stages["routing"] == 0.0)
+
+    def test_wait_service_split_sums_to_stage_max(self):
+        obs = Observability(attribution=True)
+        results = run(observability=obs)
+        attr = results.attribution
+        server = attr.stages["server_queue"] + attr.stages["server_service"]
+        np.testing.assert_allclose(
+            np.sort(server), np.sort(results.server_stage.samples()), rtol=1e-12
+        )
+        database = attr.stages["db_queue"] + attr.stages["db_service"]
+        np.testing.assert_allclose(
+            np.sort(database),
+            np.sort(results.database_stage.samples()),
+            rtol=1e-12,
+        )
+        assert np.all(attr.stages["server_queue"] >= 0.0)
+        assert np.all(attr.stages["db_queue"] >= 0.0)
+
+    def test_policy_column_zero_without_policy(self):
+        obs = Observability(attribution=True)
+        attr = run(observability=obs).attribution
+        assert np.all(attr.stages["policy"] == 0.0)
+
+    def test_policy_column_nonnegative_under_hedging(self):
+        obs = Observability(attribution=True)
+        attr = run(observability=obs, **CASES["hedge"]).attribution
+        assert np.all(attr.stages["policy"] >= 0.0)
+
+    def test_warmup_resets_the_sink(self):
+        obs = Observability(attribution=True)
+        results = run(observability=obs, **CASES["warmup"])
+        attr = results.attribution
+        # Only post-warmup requests are attributed, matching the
+        # recorders' reset semantics.
+        assert attr.count == results.requests_completed
+        assert attr.count == 400
+
+    def test_meta_names_backend(self):
+        obs = Observability(attribution=True)
+        attr = run(observability=obs).attribution
+        assert attr.meta["backend"] == "simulate"

@@ -1,0 +1,193 @@
+"""Vectorized-backend attribution: conservation + fault gating.
+
+``fastpath-system`` computes the same :data:`STAGES` schema as the
+event engine in one vectorized pass (grouped argmax over per-key
+sojourns). The conservation law holds to the same standard — the
+``record_columns`` path derives ``join_slack`` through the identical
+:func:`residual_slack` fixup — and a Hypothesis sweep checks it over
+random scenarios rather than hand-picked ones.
+
+Also pins the backend's fault gate: rate-scaling windows vectorize;
+anything else must be rejected with a message that *names* the
+offending kinds and points at ``backend="simulate"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.experiments import Scenario
+from repro.faults import (
+    DatabaseOverload,
+    FaultSchedule,
+    ServerPause,
+    ServerSlowdown,
+    ShareShift,
+)
+from repro.observability.attribution import STAGES
+from repro.units import usec
+
+
+def scenario(**overrides):
+    kwargs = dict(
+        key_rate=30_000.0,
+        burst_xi=0.0,
+        concurrency_q=0.0,
+        n_servers=4,
+        service_rate=80_000.0,
+        n_keys=4,
+        network_delay=usec(20),
+        miss_ratio=0.05,
+        database_rate=60_000.0,
+        seed=3,
+        n_requests=1_500,
+        warmup_requests=150,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+class TestConservation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {},
+            dict(n_keys=1, miss_ratio=0.15, database_rate=30_000.0),
+            dict(n_keys=20, n_servers=2, miss_ratio=0.005),
+            dict(
+                faults=FaultSchedule(
+                    [
+                        DatabaseOverload(start=0.1, duration=0.2, factor=0.25),
+                        ServerSlowdown(start=0.05, duration=0.3, factor=0.5),
+                    ]
+                )
+            ),
+        ],
+        ids=["baseline", "single-key", "wide-fanout", "rate-faults"],
+    )
+    def test_residuals_close(self, overrides):
+        result = scenario(**overrides).fastpath_system(attribution=True)
+        attr = result.attribution
+        assert attr is not None
+        assert attr.count == result.n_requests
+        residuals = attr.conservation_residuals()
+        # Same residual_slack fixup as the engine: the re-sum closes.
+        assert float(np.max(np.abs(residuals))) == 0.0
+        assert sum(attr.mean_shares().values()) == pytest.approx(1.0)
+
+    def test_totals_match_result_stats(self):
+        result = scenario().fastpath_system(attribution=True)
+        attr = result.attribution
+        assert attr.mean_total() == pytest.approx(result.total.mean, rel=1e-9)
+        server = attr.stages["server_queue"] + attr.stages["server_service"]
+        assert float(server.mean()) == pytest.approx(
+            result.server.mean, rel=1e-9
+        )
+
+    def test_network_constant_and_nonnegative_splits(self):
+        attr = scenario().fastpath_system(attribution=True).attribution
+        np.testing.assert_allclose(
+            attr.stages["network"], 2.0 * usec(20), rtol=0, atol=0
+        )
+        assert np.all(attr.stages["server_queue"] >= 0.0)
+        assert np.all(attr.stages["db_queue"] >= 0.0)
+        assert np.all(attr.stages["policy"] == 0.0)
+        assert attr.meta["backend"] == "fastpath-system"
+
+    def test_deterministic(self):
+        a = scenario().fastpath_system(attribution=True).attribution
+        b = scenario().fastpath_system(attribution=True).attribution
+        np.testing.assert_array_equal(a.total, b.total)
+        for name in STAGES:
+            np.testing.assert_array_equal(a.stages[name], b.stages[name])
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        key_rate=st.floats(5_000.0, 60_000.0),
+        n_servers=st.integers(1, 6),
+        n_keys=st.integers(1, 30),
+        miss_ratio=st.floats(0.0, 0.3),
+        network_delay=st.floats(0.0, 1e-4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_random_scenarios_conserve(
+        self, key_rate, n_servers, n_keys, miss_ratio, network_delay, seed
+    ):
+        sc = scenario(
+            key_rate=key_rate,
+            n_servers=n_servers,
+            n_keys=n_keys,
+            miss_ratio=miss_ratio,
+            database_rate=120_000.0,
+            network_delay=network_delay,
+            seed=seed,
+            n_requests=400,
+            warmup_requests=40,
+        )
+        attr = sc.fastpath_system(attribution=True).attribution
+        assert attr.count == 400
+        assert float(np.max(np.abs(attr.conservation_residuals()))) == 0.0
+        # Stage means are physical: non-negative outside the slack.
+        means = attr.means()
+        for name in STAGES[:-1]:
+            assert means[name] >= 0.0
+
+
+class TestEngineHypothesisSweep:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n_keys=st.integers(1, 12),
+        miss_ratio=st.floats(0.0, 0.2),
+        seed=st.integers(0, 2**16),
+    )
+    def test_random_scenarios_conserve_bit_exactly(
+        self, n_keys, miss_ratio, seed
+    ):
+        sc = scenario(
+            n_keys=n_keys,
+            miss_ratio=miss_ratio,
+            seed=seed,
+            n_requests=150,
+            warmup_requests=20,
+        )
+        attr = sc.simulate(attribution=True).attribution
+        assert attr.count == 150
+        assert np.all(attr.conservation_residuals() == 0.0)
+
+
+class TestFaultGate:
+    def test_rejection_names_offending_kinds(self):
+        sc = scenario(
+            faults=FaultSchedule(
+                [
+                    ServerPause(start=0.1, duration=0.05, server=0),
+                    ShareShift(
+                        start=0.2,
+                        duration=0.1,
+                        shares=(0.25, 0.25, 0.25, 0.25),
+                    ),
+                    DatabaseOverload(start=0.3, duration=0.1, factor=0.5),
+                ]
+            )
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            sc.fastpath_system()
+        message = str(excinfo.value)
+        assert "server-pause" in message
+        assert "share-shift" in message
+        # The supported rate-scaling kind is not blamed.
+        assert "database-overload" not in message.split("contains")[1]
+        assert 'backend="simulate"' in message
+
+    def test_rate_scaling_faults_still_vectorize(self):
+        sc = scenario(
+            faults=FaultSchedule(
+                [ServerSlowdown(start=0.1, duration=0.2, factor=0.5)]
+            )
+        )
+        result = sc.fastpath_system(attribution=True)
+        assert result.attribution.count == sc.n_requests

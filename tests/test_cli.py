@@ -552,7 +552,10 @@ class TestMonitor:
         )
         assert code == 0
         assert json.loads(out_path.read_text())["kind"] == "repro-monitor"
-        header = csv_path.read_text().splitlines()[0]
+        stamp, header = csv_path.read_text().splitlines()[:2]
+        assert stamp.startswith("# provenance: ")
+        assert "repro_version=" in stamp
+        assert "git_sha=" in stamp
         assert header.startswith("window,t_start")
 
     def test_default_rules_need_no_flags(self, capsys):
@@ -565,6 +568,83 @@ class TestMonitor:
         )
         assert code == 0
         assert "timeline:" in capsys.readouterr().out
+
+
+class TestExplain:
+    ARGS = [
+        "explain",
+        "--rate", "30",
+        "--xi", "0",
+        "--concurrency", "0",
+        "--n-keys", "4",
+        "--miss-ratio", "0.05",
+        "--db-latency", "16.7",
+        "--requests", "500",
+        "--seed", "3",
+    ]
+    FAULT = (
+        '{"windows": [{"kind": "database-overload", '
+        '"start": 0.1, "duration": 0.2, "factor": 0.125}]}'
+    )
+    OVERLOAD_ARGS = [
+        "explain",
+        "--rate", "40",
+        "--xi", "0",
+        "--concurrency", "0",
+        "--servers", "2",
+        "--n-keys", "20",
+        "--miss-ratio", "0.005",
+        "--db-latency", "1000",
+        "--requests", "1500",
+        "--seed", "2",
+    ]
+
+    def test_stage_table_and_waterfalls(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "latency provenance — simulate backend" in out
+        assert "500 requests attributed" in out
+        assert "server_queue" in out
+        assert "dominant tail stage:" in out
+        assert "slowest #1" in out
+        assert "analytic reference" in out
+
+    def test_fastpath_system_backend(self, capsys):
+        code = main(self.ARGS + ["--backend", "fastpath-system", "--top", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fastpath-system backend" in out
+        assert out.count("slowest #") == 1
+
+    def test_db_overload_root_cause(self, capsys):
+        assert main(self.OVERLOAD_ARGS + ["--faults", self.FAULT]) == 0
+        out = capsys.readouterr().out
+        assert "dominant tail stage: db_queue" in out
+
+    def test_json_payload(self, capsys):
+        assert main(self.ARGS + ["--json", "--quantile", "0.9"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-explain"
+        assert payload["backend"] == "simulate"
+        assert payload["attribution"]["kind"] == "repro-attribution"
+        assert payload["attribution"]["count"] == 500
+        assert payload["tail"]["quantile"] == 0.9
+        assert payload["reference"]["total"] > 0
+        assert payload["provenance"]["repro_version"]
+
+    def test_artifact_exports(self, tmp_path, capsys):
+        out_path = tmp_path / "explain.json"
+        csv_path = tmp_path / "explain.csv"
+        code = main(
+            self.ARGS + ["--out", str(out_path), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert json.loads(out_path.read_text())["kind"] == "repro-explain"
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("# provenance: ")
+        assert "repro_version=" in lines[0]
+        assert lines[1].startswith("stage,mean_seconds,mean_share")
+        assert len(lines) == 10  # stamp + header + 8 stages
 
 
 class TestSweepProgress:
