@@ -31,6 +31,14 @@ Quickstart::
 """
 
 from ._version import __version__
+from .capacity import (
+    CapacityCurve,
+    CapacityObjective,
+    CapacityProbe,
+    CapacityResult,
+    capacity_curve,
+    find_capacity,
+)
 from .config import ExperimentConfig
 from .core import (
     AdvisorReport,
@@ -96,6 +104,7 @@ from .experiments import (
     Scenario,
     Suite,
     SuiteResult,
+    backend_options,
     run_suite,
     sweep_suite,
 )
@@ -120,6 +129,10 @@ __all__ = [
     "BurnRateRule",
     "CacheCapacityError",
     "CacheError",
+    "CapacityCurve",
+    "CapacityObjective",
+    "CapacityProbe",
+    "CapacityResult",
     "ClusterModel",
     "ConfigError",
     "ConvergenceError",
@@ -175,9 +188,12 @@ __all__ = [
     "Zipf",
     "__version__",
     "advise",
+    "backend_options",
+    "capacity_curve",
     "cliff_utilization",
     "delta_for_utilization",
     "detection_scores",
+    "find_capacity",
     "hedge_delay_from_quantile",
     "run_suite",
     "sweep_suite",

@@ -1,0 +1,33 @@
+"""SLO-driven capacity planning: "max RPS at SLO" by staged bisection.
+
+The forward question the rest of the library answers — latency as a
+function of load — inverts here into the operator's question: the
+largest sustainable request rate under an SLO. Three stages: an
+analytic bracket from the Proposition 2 cliff and the Theorem 1 upper
+bounds, a CI-aware ``fastpath-system`` bisection with adaptive
+request-count escalation, and an optional event-engine spot-check of
+the found knee. See :mod:`repro.capacity.search` for the contract and
+:mod:`repro.capacity.curve` for factor sweeps of the knee.
+"""
+
+from .curve import CapacityCurve, capacity_curve
+from .objective import CapacityObjective, Measurement
+from .search import (
+    AnalyticBracket,
+    CapacityProbe,
+    CapacityResult,
+    analytic_bracket,
+    find_capacity,
+)
+
+__all__ = [
+    "AnalyticBracket",
+    "CapacityCurve",
+    "CapacityObjective",
+    "CapacityProbe",
+    "CapacityResult",
+    "Measurement",
+    "analytic_bracket",
+    "capacity_curve",
+    "find_capacity",
+]

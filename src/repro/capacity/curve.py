@@ -1,0 +1,234 @@
+"""Knee curves: the capacity search swept along an experiment factor.
+
+"Max RPS at SLO as a function of cluster size" (or burst degree, or
+miss ratio, ...) is a grid of capacity searches. Rather than invent a
+second runner, this module rides the existing experiment
+infrastructure: each factor value becomes a :class:`Cell` whose
+*options* carry the canonical JSON of the search spec — so the cell id
+digest covers the objective and the runner's checkpoint/resume
+machinery (process parallelism, atomic JSON, stale-grid detection)
+works unchanged — and a custom cell *executor* runs
+:func:`find_capacity` instead of a plain backend call. The full
+:class:`CapacityResult` is carried on the cell (and through its
+checkpoint), so a resumed curve still has every probe trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import ConfigError, ReproError
+from ..experiments.grid import Grid, Suite
+from ..experiments.runner import CellResult, ExperimentRunner, SuiteResult
+from ..experiments.scenario import Scenario
+from ..observability.report import json_dumps, provenance, provenance_comment
+from .objective import CapacityObjective
+from .search import find_capacity
+
+__all__ = ["CapacityCurve", "capacity_curve"]
+
+CURVE_KIND = "repro-capacity-curve"
+CURVE_VERSION = 1
+
+
+def _capacity_spec(
+    objective: CapacityObjective,
+    *,
+    method: str,
+    rel_tol: float,
+    max_probes: int,
+    n_requests: Optional[int],
+    max_requests: Optional[int],
+    windows: int,
+    spot_check: bool,
+    spot_replicates: int,
+) -> str:
+    """Canonical JSON search spec — digested into every cell id, so a
+    resumed curve with a different objective re-runs instead of
+    silently reusing stale knees."""
+    return json.dumps(
+        {
+            "objective": objective.to_dict(),
+            "method": method,
+            "rel_tol": rel_tol,
+            "max_probes": max_probes,
+            "n_requests": n_requests,
+            "max_requests": max_requests,
+            "windows": windows,
+            "spot_check": spot_check,
+            "spot_replicates": spot_replicates,
+        },
+        sort_keys=True,
+    )
+
+
+def _execute_capacity_cell(cell) -> CellResult:
+    """Cell executor: one capacity search per grid point.
+
+    Module-level (picklable) so the process-pool path works; mirrors
+    :func:`repro.experiments.runner._execute_cell`'s error contract —
+    failures come back as data, naming the cell.
+    """
+    started = time.perf_counter()
+    spec = json.loads(cell.option_dict["capacity"])
+    objective = CapacityObjective.from_dict(spec["objective"])
+    error: Optional[str] = None
+    metrics: Dict[str, float] = {}
+    capacity = None
+    try:
+        capacity = find_capacity(
+            cell.scenario,
+            objective,
+            backend=cell.backend,
+            method=spec["method"],
+            rel_tol=spec["rel_tol"],
+            max_probes=spec["max_probes"],
+            n_requests=spec["n_requests"],
+            max_requests=spec["max_requests"],
+            windows=spec["windows"],
+            spot_check=spec["spot_check"],
+            spot_replicates=spec.get("spot_replicates", 3),
+        )
+        metrics = {
+            "max_rps": capacity.max_rps,
+            "cliff_rps": capacity.bracket.cliff_rps,
+            "stability_rps": capacity.bracket.stability_rps,
+            "below_cliff": float(capacity.below_cliff),
+            "capped": float(capacity.capped),
+            "n_probes": float(capacity.n_probes),
+        }
+    except ReproError as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return CellResult(
+        index=cell.index,
+        cell_id=cell.cell_id,
+        backend=cell.backend,
+        coords=cell.coord_dict,
+        scenario=cell.scenario,
+        metrics=metrics,
+        error=error,
+        elapsed=time.perf_counter() - started,
+        capacity=capacity,
+    )
+
+
+@dataclasses.dataclass
+class CapacityCurve:
+    """Max RPS at SLO across a swept factor (the knee curve artifact)."""
+
+    factor: str
+    objective: CapacityObjective
+    backend: str
+    suite: SuiteResult
+
+    def points(self) -> List[Dict[str, object]]:
+        """One row per grid point: factor coordinate + knee metrics."""
+        rows: List[Dict[str, object]] = []
+        for cell in self.suite.cells:
+            coords = {
+                k: v for k, v in cell.coords.items() if k != "replicate"
+            }
+            rows.append({**coords, **cell.metrics})
+        return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": CURVE_KIND,
+            "version": CURVE_VERSION,
+            "factor": self.factor,
+            "objective": self.objective.to_dict(),
+            "backend": self.backend,
+            "points": self.points(),
+            "cells": [
+                {
+                    "cell_id": cell.cell_id,
+                    "coords": dict(cell.coords),
+                    "capacity": (
+                        cell.capacity.to_dict()
+                        if cell.capacity is not None
+                        else None
+                    ),
+                }
+                for cell in self.suite.cells
+            ],
+            "provenance": provenance(),
+        }
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json_dumps(self.to_dict()))
+
+    def to_csv(self) -> str:
+        rows = self.points()
+        if not rows:
+            raise ConfigError("capacity curve has no points")
+        header = list(rows[0])
+        lines = [
+            provenance_comment(),
+            f"# objective={self.objective.describe()} backend={self.backend}",
+            ",".join(header),
+        ]
+        for row in rows:
+            lines.append(",".join(f"{row[key]:.6g}" for key in header))
+        return "\n".join(lines) + "\n"
+
+
+def capacity_curve(
+    scenario: Scenario,
+    objective: CapacityObjective,
+    factor_name: str,
+    values: Sequence[float],
+    *,
+    backend: str = "fastpath-system",
+    method: str = "relative-slope",
+    rel_tol: float = 0.02,
+    max_probes: int = 32,
+    n_requests: Optional[int] = None,
+    max_requests: Optional[int] = None,
+    windows: int = 24,
+    spot_check: bool = False,
+    spot_replicates: int = 3,
+    workers: Optional[int] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    on_progress=None,
+) -> CapacityCurve:
+    """Run one capacity search per factor value, experiment-runner style.
+
+    ``workers``/``checkpoint_dir``/``resume`` behave exactly like
+    :func:`repro.experiments.run_suite` — knee curves are just suites
+    with a capacity executor.
+    """
+    spec = _capacity_spec(
+        objective,
+        method=method,
+        rel_tol=rel_tol,
+        max_probes=max_probes,
+        n_requests=n_requests,
+        max_requests=max_requests,
+        windows=windows,
+        spot_check=spot_check,
+        spot_replicates=spot_replicates,
+    )
+    suite = Suite(
+        name=f"capacity-{factor_name}",
+        grid=Grid(scenario, {factor_name: values}),
+        backend=backend,
+        options={"capacity": spec},
+    )
+    result = ExperimentRunner(
+        workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        executor=_execute_capacity_cell,
+        on_progress=on_progress,
+    ).run(suite)
+    return CapacityCurve(
+        factor=factor_name,
+        objective=objective,
+        backend=backend,
+        suite=result,
+    )

@@ -4,6 +4,7 @@ Subcommands map to the paper's workflows::
 
     repro estimate     Theorem 1 bounds for one configuration
     repro simulate     closed-loop system simulation
+    repro capacity     max sustainable RPS under an SLO (staged bisection)
     repro monitor      windowed telemetry + SLO dashboard for one run
     repro sweep        one-factor sweeps through the factor registry
     repro experiment   multi-factor grids on the parallel runner
@@ -37,6 +38,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .capacity import CapacityObjective, capacity_curve, find_capacity
 from .core import (
     ClusterModel,
     DatabaseStage,
@@ -56,8 +58,10 @@ from .experiments import (
     SuiteResult,
     factor_names,
     get_factor,
+    options_from_args,
     run_suite,
     sweep_suite,
+    validate_options,
 )
 from .observability import (
     GROUPS,
@@ -288,7 +292,7 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
     library's internal units; flags a subcommand does not define fall
     back to the scenario defaults.
     """
-    requests = int(getattr(args, "requests", 2000))
+    requests = int(getattr(args, "requests", None) or 2000)
     return Scenario(
         key_rate=kps(args.rate),
         burst_xi=args.xi,
@@ -365,20 +369,45 @@ def _save_timeline(args: argparse.Namespace, timeline) -> None:
         print(f"timeline written: {args.timeline}")
 
 
-def _simulate_fastpath_system(args: argparse.Namespace, scenario) -> int:
-    """``repro simulate --backend fastpath-system``: vectorized run."""
-    if args.trace or args.profile or args.report is not None:
-        raise ConfigError(
-            "--trace/--profile/--report need per-event instrumentation; "
-            "use the default event-engine backend"
-        )
-    result = scenario.fastpath_system(
-        timeline=args.timeline_windows if args.timeline is not None else None
-    )
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """One dispatch path for every backend: flags assemble into the
+    typed options registry and :meth:`Scenario.run` does the rest."""
+    scenario = _scenario_from_args(args)
+    backend = "simulate" if args.backend == "engine" else args.backend
+    want_json = _wants_json(args)
+    want_report = args.report is not None
+    if backend != "simulate" and (args.trace or args.profile or want_report):
+        # --trace/--profile/--report assemble the engine-only
+        # `observability` option; validating it against the chosen
+        # backend yields the registry's uniform misdirected-option
+        # error instead of a silent drop.
+        validate_options(backend, {"observability": True})
+    options = options_from_args(backend, args)
+    result = scenario.run(backend, **options)
     if args.timeline is not None:
         _save_timeline(args, result.timeline)
-    if _wants_json(args):
-        print(json_dumps(result.to_dict()))
+    observability = options.get("observability")
+    report = None
+    if result.raw is not None and (want_report or want_json):
+        report = RunReport.from_simulation(
+            result.raw,
+            observability,
+            config={
+                "servers": args.servers,
+                "rate_kps": args.rate,
+                "service_rate_kps": args.service_rate,
+                "n_keys": args.n_keys,
+                "network_delay_us": args.network_delay,
+                "miss_ratio": args.miss_ratio,
+                "db_latency_us": args.db_latency,
+                "requests": args.requests,
+                "seed": args.seed,
+            },
+        )
+    if want_report:
+        report.save(args.report)
+    if want_json:
+        print(report.to_json() if report is not None else json_dumps(result.to_dict()))
         return 0
     rows = []
     for label, stage in [
@@ -396,79 +425,11 @@ def _simulate_fastpath_system(args: argparse.Namespace, scenario) -> int:
         )
     _print_rows(["stage", "mean (us)", "95% CI (us)"], rows)
     print(f"measured miss ratio: {result.measured_miss_ratio:.4f}")
-    print(
-        "server utilizations: "
-        + ", ".join(f"{u:.1%}" for u in result.server_utilizations)
-    )
-    return 0
-
-
-def cmd_simulate(args: argparse.Namespace) -> int:
-    scenario = _scenario_from_args(args)
-    if args.backend == "fastpath-system":
-        return _simulate_fastpath_system(args, scenario)
-    want_json = _wants_json(args)
-    want_report = args.report is not None
-    want_timeline = args.timeline is not None
-    observability = None
-    if args.trace or args.profile or want_report or want_timeline:
-        observability = Observability(
-            trace=args.trace,
-            metrics=True,
-            profile=args.profile or want_report,
-            timeline=args.timeline_windows if want_timeline else None,
-            slowest_k=args.slowest,
+    if result.server_utilizations:
+        print(
+            "server utilizations: "
+            + ", ".join(f"{u:.1%}" for u in result.server_utilizations)
         )
-    system = scenario.simulator(observability=observability)
-    results = system.run(
-        n_requests=scenario.n_requests,
-        warmup_requests=scenario.warmup_requests,
-    )
-    if want_timeline:
-        _save_timeline(args, results.timeline)
-    report = None
-    if want_report or want_json:
-        report = RunReport.from_simulation(
-            results,
-            observability,
-            config={
-                "servers": args.servers,
-                "rate_kps": args.rate,
-                "service_rate_kps": args.service_rate,
-                "n_keys": args.n_keys,
-                "network_delay_us": args.network_delay,
-                "miss_ratio": args.miss_ratio,
-                "db_latency_us": args.db_latency,
-                "requests": args.requests,
-                "seed": args.seed,
-            },
-        )
-    if want_report:
-        report.save(args.report)
-    if want_json:
-        print(report.to_json())
-        return 0
-    rows = []
-    for label, recorder in [
-        ("T(N)", results.total),
-        ("TS(N)", results.server_stage),
-        ("TD(N)", results.database_stage),
-        ("TN(N)", results.network_stage),
-    ]:
-        summary = recorder.summary()
-        rows.append(
-            [
-                label,
-                f"{to_usec(summary.mean):.1f}",
-                f"[{to_usec(summary.ci_low):.1f}, {to_usec(summary.ci_high):.1f}]",
-            ]
-        )
-    _print_rows(["stage", "mean (us)", "95% CI (us)"], rows)
-    print(f"measured miss ratio: {results.measured_miss_ratio:.4f}")
-    print(
-        "server utilizations: "
-        + ", ".join(f"{u:.1%}" for u in results.server_utilizations)
-    )
     if observability is not None and observability.tracer is not None:
         slowest = observability.tracer.slowest(3)
         if slowest:
@@ -611,6 +572,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             "backend": backend,
             "timeline": timeline.to_dict(),
             "slo": report.to_dict(),
+            "verdict": report.verdict(),
             "provenance": provenance(),
         }
     if args.out is not None:
@@ -651,6 +613,229 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     if args.out is not None:
         print(f"monitor report written: {args.out}")
     return 1 if failed else 0
+
+
+# ----------------------------------------------------------------------
+# Capacity: SLO-driven "max RPS" staged bisection + knee curves.
+# ----------------------------------------------------------------------
+
+
+def _capacity_objective(args: argparse.Namespace) -> CapacityObjective:
+    """One :class:`CapacityObjective` from the ``--slo-*``/``--burn-*``
+    flags. At most one objective flag may be given; with none, the
+    default is ``p99 <= 20 ms`` (the baseline knee the README documents).
+    """
+    given = [
+        flag
+        for flag, value in (
+            ("--slo-p99", args.slo_p99),
+            ("--slo-p95", args.slo_p95),
+            ("--slo-mean", args.slo_mean),
+            ("--burn-threshold", args.burn_threshold),
+            ("--slo-util", args.slo_util),
+        )
+        if value is not None
+    ]
+    if len(given) > 1:
+        raise ConfigError(f"capacity takes exactly one objective, got {given}")
+    common = {"confidence": args.confidence, "min_count": args.min_count}
+    if args.slo_p95 is not None:
+        return CapacityObjective(usec(args.slo_p95), metric="p95", **common)
+    if args.slo_mean is not None:
+        return CapacityObjective(usec(args.slo_mean), metric="mean", **common)
+    if args.burn_threshold is not None:
+        return CapacityObjective(
+            args.burn_factor,
+            metric="burn_rate",
+            latency_threshold=usec(args.burn_threshold),
+            objective=args.burn_objective,
+            **common,
+        )
+    if args.slo_util is not None:
+        stage, sep, rho = args.slo_util.partition("=")
+        threshold = math.nan
+        if sep and stage:
+            try:
+                threshold = float(rho)
+            except ValueError:
+                pass
+        if not math.isfinite(threshold):
+            raise ConfigError(
+                f"bad --slo-util spec {args.slo_util!r} "
+                "(expected STAGE=RHO, e.g. server-0=0.7)"
+            )
+        return CapacityObjective(
+            threshold, metric=f"utilization:{stage}", **common
+        )
+    p99 = args.slo_p99 if args.slo_p99 is not None else 20_000.0
+    return CapacityObjective(usec(p99), metric="p99", **common)
+
+
+def _objective_value(objective: CapacityObjective, value: float) -> str:
+    """Format an objective reading in its natural units."""
+    if objective.is_latency:
+        return f"{to_usec(value):.1f}"
+    return f"{value:.3f}"
+
+
+def _capacity_sweep(
+    args: argparse.Namespace,
+    scenario: Scenario,
+    objective: CapacityObjective,
+    backend: str,
+) -> int:
+    """``repro capacity --sweep NAME=SPEC``: the knee curve mode."""
+    factor, values = _parse_factor_spec(args.sweep)
+    curve = capacity_curve(
+        scenario,
+        objective,
+        factor,
+        values,
+        backend=backend,
+        method=args.method,
+        rel_tol=args.rel_tol,
+        max_probes=args.max_probes,
+        n_requests=args.requests,
+        max_requests=args.max_requests,
+        windows=args.windows,
+        spot_check=args.spot_check,
+        spot_replicates=args.spot_replicates,
+        workers=args.parallel,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+        on_progress=_progress_printer if args.progress else None,
+    )
+    if args.out is not None:
+        curve.save(args.out)
+    if args.csv is not None:
+        Path(args.csv).write_text(curve.to_csv())
+    if _wants_json(args):
+        print(json_dumps(curve.to_dict()))
+        return 0
+    print(f"objective: {objective.describe()}  backend: {backend}")
+    # The grid keys coordinates by the factor's *label* (e.g. "mu" ->
+    # "mu_kps"), which may differ from the sweep spec's name.
+    label = next(
+        key for key in curve.suite.cells[0].coords if key != "replicate"
+    )
+    rows = []
+    for cell in curve.suite.cells:
+        if cell.error is not None:
+            rows.append(
+                [f"{cell.coords[label]:.4g}", "-", "-", "-", cell.error]
+            )
+            continue
+        rows.append(
+            [
+                f"{cell.coords[label]:.4g}",
+                f"{cell.metrics['max_rps']:.1f}",
+                f"{cell.metrics['cliff_rps']:.1f}",
+                "yes" if cell.metrics["below_cliff"] else "no",
+                f"{int(cell.metrics['n_probes'])}",
+            ]
+        )
+    _print_rows(
+        [label, "max rps", "cliff rps", "below cliff", "probes"], rows
+    )
+    print(
+        f"{curve.suite.n_cells} searches: {curve.suite.executed} executed, "
+        f"{curve.suite.resumed} resumed, {curve.suite.elapsed:.2f}s"
+    )
+    if args.out is not None:
+        print(f"capacity curve written: {args.out}")
+    if args.csv is not None:
+        print(f"csv written: {args.csv}")
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    backend = "simulate" if args.backend == "engine" else args.backend
+    objective = _capacity_objective(args)
+    if args.sweep is not None:
+        return _capacity_sweep(args, scenario, objective, backend)
+    result = find_capacity(
+        scenario,
+        objective,
+        backend=backend,
+        method=args.method,
+        rel_tol=args.rel_tol,
+        max_probes=args.max_probes,
+        n_requests=args.requests,
+        max_requests=args.max_requests,
+        windows=args.windows,
+        spot_check=args.spot_check,
+        spot_replicates=args.spot_replicates,
+    )
+    if args.out is not None:
+        result.save(args.out)
+    if args.csv is not None:
+        Path(args.csv).write_text(result.to_csv())
+    if _wants_json(args):
+        print(json_dumps(result.to_dict()))
+        return 0
+    bracket = result.bracket
+    unit = " (us)" if objective.is_latency else ""
+    print(
+        f"objective: {objective.describe()}  backend: {result.backend}  "
+        f"method: {result.method}"
+    )
+    print(
+        f"analytic: cliff {bracket.cliff_rps:.1f} rps "
+        f"(rho {bracket.cliff_rho:.3f}), stability {bracket.stability_rps:.1f} "
+        f"rps ({bracket.binding} binds), bracket "
+        f"[{bracket.lo:.1f}, {bracket.hi:.1f}]"
+    )
+    rows = [
+        [
+            probe.index,
+            f"{probe.rps:.1f}",
+            probe.backend,
+            probe.n_requests,
+            _objective_value(objective, probe.value),
+            f"[{_objective_value(objective, probe.ci_low)}, "
+            f"{_objective_value(objective, probe.ci_high)}]",
+            probe.status + ("" if probe.decisive else "?"),
+            probe.escalations,
+        ]
+        for probe in result.probes
+    ]
+    _print_rows(
+        ["#", "rps", "backend", "requests", f"value{unit}", f"CI{unit}",
+         "status", "esc"],
+        rows,
+    )
+    if result.capped:
+        print(
+            f"max rps at SLO: {result.max_rps:.1f} "
+            "(capped: the SLO never binds below the stability limit)"
+        )
+    elif result.max_rps == 0.0:
+        print(
+            f"max rps at SLO: 0 (unattainable: even {result.fail_rps:.2f} "
+            "rps misses the objective)"
+        )
+    else:
+        print(
+            f"max rps at SLO: {result.max_rps:.1f}  "
+            f"(first failing {result.fail_rps:.1f}, "
+            f"rel_tol {result.rel_tol:.0%})"
+        )
+    print(f"below analytic cliff: {'yes' if result.below_cliff else 'no'}")
+    if result.spot_check is not None:
+        spot = result.spot_check
+        print(
+            f"engine spot-check ({len(spot['probes'])} replicates): "
+            f"{_objective_value(objective, spot['value'])}{unit} "
+            f"[{_objective_value(objective, spot['ci_low'])}, "
+            f"{_objective_value(objective, spot['ci_high'])}] -- "
+            + ("agrees" if result.agrees else "DISAGREES")
+        )
+    if args.out is not None:
+        print(f"capacity report written: {args.out}")
+    if args.csv is not None:
+        print(f"csv written: {args.csv}")
+    return 0
 
 
 def _explain_csv(path: str, attr, tail) -> None:
@@ -777,10 +962,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _backend_options(args: argparse.Namespace) -> dict:
-    """Per-backend runner options from CLI flags."""
-    if getattr(args, "backend", "estimate") == "fastpath":
-        return {"pool_size": args.pool_size}
-    return {}
+    """Per-backend runner options from CLI flags (one registry scan)."""
+    return options_from_args(getattr(args, "backend", "estimate"), args)
 
 
 def _progress_printer(result, done: int, total: int) -> None:
@@ -1206,12 +1389,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_flag(p_sim)
     p_sim.add_argument(
         "--backend",
-        choices=["engine", "fastpath-system"],
+        choices=["engine", "fastpath", "fastpath-system"],
         default="engine",
         help=(
-            "event engine (default; supports tracing/reports) or the "
-            "vectorized whole-system fast path"
+            "event engine (default; supports tracing/reports), the "
+            "per-key Lindley fast path, or the vectorized whole-system "
+            "fast path"
         ),
+    )
+    p_sim.add_argument(
+        "--pool-size",
+        type=int,
+        default=None,
+        help="fastpath backend: per-server latency pool size",
     )
     p_sim.add_argument("--servers", type=int, default=4)
     p_sim.add_argument("--requests", type=int, default=2000)
@@ -1320,6 +1510,176 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any SLO alert fires",
     )
     p_mon.set_defaults(func=cmd_monitor)
+
+    p_cap = sub.add_parser(
+        "capacity",
+        help="max sustainable RPS under an SLO (staged bisection)",
+    )
+    _add_workload_args(p_cap)
+    _add_fault_policy_args(p_cap)
+    _add_json_flag(p_cap)
+    p_cap.add_argument(
+        "--backend",
+        choices=["engine", "fastpath", "fastpath-system"],
+        default="fastpath-system",
+        help="backend the bisection probes (default: fastpath-system)",
+    )
+    p_cap.add_argument("--servers", type=int, default=4)
+    p_cap.add_argument("--seed", type=int, default=1)
+    p_cap.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="starting request budget per probe (default: 2000; "
+        "indeterminate probes double it)",
+    )
+    p_cap.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="escalation ceiling per probe (default: 8x the base budget)",
+    )
+    p_cap.add_argument(
+        "--windows",
+        type=int,
+        default=24,
+        help="timeline windows per probe (batch-means CI input, default 24)",
+    )
+    p_cap.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.02,
+        help="stop when the pass/fail bracket is this tight (default 0.02)",
+    )
+    p_cap.add_argument(
+        "--max-probes",
+        type=int,
+        default=32,
+        help="total probe budget (default 32)",
+    )
+    p_cap.add_argument(
+        "--method",
+        default="relative-slope",
+        choices=["relative-slope", "iso-delta", "absolute-slope"],
+        help="Proposition 2 cliff detector anchoring the bracket",
+    )
+    p_cap.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        metavar="US",
+        help="objective: p99 latency bound in us (default 20000 when no "
+        "other objective flag is given)",
+    )
+    p_cap.add_argument(
+        "--slo-p95",
+        type=float,
+        default=None,
+        metavar="US",
+        help="objective: p95 latency bound in us",
+    )
+    p_cap.add_argument(
+        "--slo-mean",
+        type=float,
+        default=None,
+        metavar="US",
+        help="objective: mean latency bound in us",
+    )
+    p_cap.add_argument(
+        "--slo-util",
+        default=None,
+        metavar="STAGE=RHO",
+        help="objective: a stage's busy fraction bound (e.g. server-0=0.7)",
+    )
+    p_cap.add_argument(
+        "--burn-threshold",
+        type=float,
+        default=None,
+        metavar="US",
+        help="objective: error-budget burn rate; a request is 'bad' above "
+        "this latency (us)",
+    )
+    p_cap.add_argument(
+        "--burn-objective",
+        type=float,
+        default=0.99,
+        help="fraction of requests that must meet --burn-threshold",
+    )
+    p_cap.add_argument(
+        "--burn-factor",
+        type=float,
+        default=1.0,
+        help="burn-rate multiple the search holds the system under",
+    )
+    p_cap.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="probe confidence level (default 0.95)",
+    )
+    p_cap.add_argument(
+        "--min-count",
+        type=int,
+        default=5,
+        help="windows with fewer completions are excluded (default 5)",
+    )
+    p_cap.add_argument(
+        "--spot-check",
+        action="store_true",
+        help="replicate the found knee on the event engine and test "
+        "backend agreement",
+    )
+    p_cap.add_argument(
+        "--spot-replicates",
+        type=int,
+        default=3,
+        help="independent engine runs pooled by the spot-check (default 3)",
+    )
+    p_cap.add_argument(
+        "--sweep",
+        default=None,
+        metavar="NAME=START:STOP:POINTS",
+        help="knee-curve mode: one capacity search per factor value "
+        "(NAME=v1,v2,... also accepted)",
+    )
+    p_cap.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --sweep (results identical for any N)",
+    )
+    p_cap.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="--sweep checkpoint directory (one JSON per search)",
+    )
+    p_cap.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed --sweep searches from --checkpoint",
+    )
+    p_cap.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one progress line per completed search to stderr",
+    )
+    p_cap.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the capacity result (or curve) as JSON",
+    )
+    p_cap.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="export the probe trace (or knee curve) as CSV",
+    )
+    p_cap.set_defaults(func=cmd_capacity)
 
     p_expl = sub.add_parser(
         "explain",

@@ -19,11 +19,19 @@ resumes with ``resume=True`` against the same checkpoint directory.
 
 from .factors import Factor, factor_names, get_factor, register_factor
 from .grid import Cell, Grid, Suite, sweep_suite
+from .options import (
+    BackendOption,
+    backend_options,
+    option_names,
+    options_from_args,
+    validate_options,
+)
 from .runner import CellResult, ExperimentRunner, SuiteResult, run_suite
 from .scenario import BACKENDS, DEFAULT_POOL_SIZE, Scenario, cell_metrics
 
 __all__ = [
     "BACKENDS",
+    "BackendOption",
     "DEFAULT_POOL_SIZE",
     "Cell",
     "CellResult",
@@ -33,10 +41,14 @@ __all__ = [
     "Scenario",
     "Suite",
     "SuiteResult",
+    "backend_options",
     "cell_metrics",
     "factor_names",
     "get_factor",
+    "option_names",
+    "options_from_args",
     "register_factor",
     "run_suite",
     "sweep_suite",
+    "validate_options",
 ]

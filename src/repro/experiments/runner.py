@@ -62,6 +62,10 @@ class CellResult:
     attribution: Optional[object] = dataclasses.field(
         default=None, compare=False
     )
+    #: Capacity-search artifact (a CapacityResult) when the cell was
+    #: executed by the capacity executor instead of a plain backend
+    #: call. Excluded from equality like ``timeline``.
+    capacity: Optional[object] = dataclasses.field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -85,6 +89,9 @@ class CellResult:
                 self.attribution.to_dict()
                 if self.attribution is not None
                 else None
+            ),
+            "capacity": (
+                self.capacity.to_dict() if self.capacity is not None else None
             ),
             "provenance": provenance(),
         }
@@ -112,7 +119,20 @@ class CellResult:
                 if payload.get("attribution") is not None
                 else None
             ),
+            capacity=(
+                _capacity_from_dict(payload["capacity"])
+                if payload.get("capacity") is not None
+                else None
+            ),
         )
+
+
+def _capacity_from_dict(payload: Dict[str, object]):
+    # Imported lazily: repro.capacity builds on repro.experiments, so a
+    # module-level import would be circular.
+    from ..capacity import CapacityResult
+
+    return CapacityResult.from_dict(payload)
 
 
 @dataclasses.dataclass
@@ -259,6 +279,14 @@ class ExperimentRunner:
         *parent* process as each cell completes (including resumed
         cells, in completion order) — live progress for CLIs and
         dashboards. Exceptions it raises propagate and abort the run.
+    executor:
+        The per-cell work function ``Cell -> CellResult`` (default
+        :func:`_execute_cell`, which dispatches through
+        ``Scenario.run``). Must be picklable (a module-level function
+        or ``functools.partial``) so the process-pool path can ship it
+        to workers. The capacity knee curves use this hook to run a
+        bisection search per cell while keeping the checkpoint/resume
+        machinery.
     """
 
     def __init__(
@@ -269,6 +297,7 @@ class ExperimentRunner:
         resume: bool = False,
         on_error: str = "raise",
         on_progress=None,
+        executor=None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -278,6 +307,9 @@ class ExperimentRunner:
             raise ConfigError("resume requires a checkpoint_dir")
         if on_progress is not None and not callable(on_progress):
             raise ConfigError("on_progress must be callable")
+        if executor is not None and not callable(executor):
+            raise ConfigError("executor must be callable")
+        self.executor = executor or _execute_cell
         self.workers = workers
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.resume = resume
@@ -358,7 +390,7 @@ class ExperimentRunner:
 
     def _run_serial(self, pending: Sequence[Cell], done: Dict[int, CellResult]) -> int:
         for cell in pending:
-            result = _execute_cell(cell)
+            result = self.executor(cell)
             self._save_checkpoint(result)
             done[cell.index] = result
             self._emit_progress(result, len(done))
@@ -368,7 +400,9 @@ class ExperimentRunner:
         self, pending: Sequence[Cell], done: Dict[int, CellResult]
     ) -> int:
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {pool.submit(_execute_cell, cell): cell for cell in pending}
+            futures = {
+                pool.submit(self.executor, cell): cell for cell in pending
+            }
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(remaining, return_when=FIRST_EXCEPTION)
@@ -388,6 +422,7 @@ def run_suite(
     resume: bool = False,
     on_error: str = "raise",
     on_progress=None,
+    executor=None,
 ) -> SuiteResult:
     """One-call convenience wrapper around :class:`ExperimentRunner`."""
     return ExperimentRunner(
@@ -396,4 +431,5 @@ def run_suite(
         resume=resume,
         on_error=on_error,
         on_progress=on_progress,
+        executor=executor,
     ).run(suite)

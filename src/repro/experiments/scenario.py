@@ -149,7 +149,23 @@ class Scenario:
             raise ConfigError(f"incomplete scenario: {exc}") from exc
 
     def replace(self, **changes: object) -> "Scenario":
-        """Functional update (sweep helper)."""
+        """Derive a new scenario with ``changes`` applied, re-validated.
+
+        This is the *only* supported way to perturb a scenario — the
+        capacity bisection, the factor registry and the grid expansion
+        all funnel through it. Unknown field names raise
+        :class:`ValidationError` (not ``TypeError``), and the derived
+        scenario runs the full ``__post_init__`` validation, so an
+        invalid derivation fails at the call site instead of deep inside
+        a backend.
+        """
+        known = {field.name for field in dataclasses.fields(self)}
+        unknown = set(changes) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown scenario fields: {sorted(unknown)}; "
+                f"valid fields: {sorted(known)}"
+            )
         return dataclasses.replace(self, **changes)
 
     # ------------------------------------------------------------------
@@ -164,6 +180,10 @@ class Scenario:
 
     def total_key_rate(self) -> float:
         return self.key_rate * self.n_servers
+
+    def request_rate(self) -> float:
+        """End-user requests per second (``total_key_rate / n_keys``)."""
+        return self.total_key_rate() / self.n_keys
 
     def latency_model(self):
         return self.to_config().latency_model()
@@ -459,26 +479,26 @@ class Scenario:
         }
 
     def run(self, backend: str = "estimate", **options: object):
-        """Dispatch to ``estimate``/``simulate``/``fastpath``/``fastpath-system``."""
-        if backend == "estimate":
-            if options:
-                raise ConfigError(
-                    f"estimate backend takes no options, got {sorted(options)}"
-                )
-            return self.estimate()
-        if backend == "simulate":
-            return self.simulate(**options)
-        if backend == "fastpath":
-            return self.fastpath(**options)
-        if backend == "fastpath-system":
-            unknown = set(options) - {"timeline", "attribution"}
-            if unknown:
-                raise ConfigError(
-                    "fastpath-system backend options are limited to "
-                    f"'timeline' and 'attribution', got {sorted(unknown)}"
-                )
-            return self.fastpath_system(**options)
-        raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")
+        """Dispatch to any backend with registry-validated options.
+
+        Every backend goes through the same two steps: the typed
+        per-backend options registry (:mod:`repro.experiments.options`)
+        validates ``options`` — unknown or invalid options raise the
+        same :class:`ValidationError` shape on all four backends — and
+        the matching typed method runs. ``backend_options(backend)``
+        introspects what a backend accepts.
+        """
+        from .options import validate_options
+
+        validate_options(backend, options)  # ConfigError on unknown backend
+        return self._DISPATCH[backend](self, **options)
+
+    _DISPATCH = {
+        "estimate": estimate,
+        "simulate": simulate,
+        "fastpath": fastpath,
+        "fastpath-system": fastpath_system,
+    }
 
     # ------------------------------------------------------------------
     # Windowed telemetry: one call, any backend, one schema.
@@ -507,10 +527,9 @@ class Scenario:
         else:
             spec = True
         if backend == "estimate":
-            if options:
-                raise ConfigError(
-                    f"estimate backend takes no options, got {sorted(options)}"
-                )
+            from .options import validate_options
+
+            validate_options("estimate", options)
             return self._analytic_timeline(TimelineSpec.coerce(spec))
         if backend not in BACKENDS:
             raise ConfigError(f"unknown backend {backend!r} (have {BACKENDS})")

@@ -232,6 +232,34 @@ class SLOReport:
     def alerts_for(self, rule: str) -> List[AlertWindow]:
         return [alert for alert in self.alerts if alert.rule == rule]
 
+    def verdict(self) -> Dict[str, object]:
+        """Machine-readable pass/fail summary for CI and capacity probes.
+
+        Unlike :meth:`to_dict`, which carries the full window series,
+        this is the compact object a pipeline branches on: overall
+        ``ok``, the first breach window (the alert with the earliest
+        start), and per-rule attainment / violating-window counts /
+        peak series value (for a burn-rate rule the peak *is* the
+        worst burn rate observed).
+        """
+        rules: Dict[str, object] = {}
+        for name, values in self.series.items():
+            finite = values[np.isfinite(values)]
+            att = self.attainment.get(name, math.nan)
+            rules[name] = {
+                "attainment": float(att) if math.isfinite(att) else None,
+                "violating_windows": int(self.violations[name].sum()),
+                "peak": float(finite.max()) if finite.size else None,
+            }
+        return {
+            "ok": self.ok,
+            "n_alerts": len(self.alerts),
+            "first_breach": (
+                self.alerts[0].to_dict() if self.alerts else None
+            ),
+            "rules": rules,
+        }
+
     def to_dict(self) -> Dict[str, object]:
         def clean(values: np.ndarray) -> List[Optional[float]]:
             return [

@@ -12,6 +12,7 @@ from .cliff import (
     CLIFF_METHODS,
     PAPER_TABLE_4,
     POISSON_CLIFF,
+    cliff_key_rate,
     cliff_table,
     cliff_utilization,
     delta_for_utilization,
@@ -68,6 +69,7 @@ __all__ = [
     "POISSON_CLIFF",
     "SplitMergeBounds",
     "batch_collapse_service",
+    "cliff_key_rate",
     "cliff_table",
     "cliff_utilization",
     "delta_for_utilization",

@@ -135,6 +135,24 @@ def cliff_utilization(xi: float, *, method: str = "relative-slope") -> float:
     )
 
 
+def cliff_key_rate(
+    xi: float, service_rate: float, *, method: str = "relative-slope"
+) -> float:
+    """Per-server key rate (keys/s) at the Proposition 2 cliff.
+
+    The cliff utilization depends only on the burst degree, so the
+    per-server arrival rate where ``E[TS(N)]`` starts exploding is
+    simply ``rhoS(xi) * muS``. This is the analytic upper anchor the
+    capacity search brackets against: a server driven past this rate is
+    on the steep side of the latency curve regardless of ``N`` or ``q``.
+    """
+    if service_rate <= 0.0:
+        raise ValidationError(
+            f"service_rate must be > 0, got {service_rate}"
+        )
+    return cliff_utilization(xi, method=method) * service_rate
+
+
 def cliff_table(
     xis: Sequence[float], *, method: str = "relative-slope"
 ) -> Dict[float, float]:

@@ -125,6 +125,13 @@ class SimulationResult:
     attribution: Optional[object] = dataclasses.field(
         default=None, compare=False
     )
+    #: The backend's native result bundle (the event engine's
+    #: ``SystemResults``) when one exists — run reports need its raw
+    #: recorders (``per_key_server``, miss counts) that the summary
+    #: statistics cannot reconstruct. Never serialized, never compared.
+    raw: Optional[object] = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     # -- LatencyEstimate-compatible accessors --------------------------
 
@@ -180,6 +187,7 @@ class SimulationResult:
             server_utilizations=tuple(results.server_utilizations),
             timeline=getattr(results, "timeline", None),
             attribution=getattr(results, "attribution", None),
+            raw=results,
         )
 
     @classmethod

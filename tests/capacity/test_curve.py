@@ -1,0 +1,121 @@
+"""capacity_curve: knee curves on the experiment runner, with resume."""
+
+import json
+
+import pytest
+
+from repro.capacity import CapacityObjective, CapacityResult, capacity_curve
+from repro.errors import ConfigError
+from repro.experiments import Scenario
+from repro.units import kps, msec, usec
+
+
+def small_scenario(**overrides):
+    base = dict(
+        key_rate=kps(10),
+        burst_xi=0.15,
+        concurrency_q=0.1,
+        service_rate=kps(80),
+        n_keys=10,
+        network_delay=usec(20),
+        miss_ratio=0.0,
+        database_rate=1 / msec(1),
+        seed=7,
+        n_requests=200,
+        warmup_requests=20,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+OBJECTIVE = CapacityObjective(usec(800), metric="p99")
+
+
+def quick_curve(**kwargs):
+    return capacity_curve(
+        small_scenario(),
+        OBJECTIVE,
+        "xi",
+        [0.05, 0.25],
+        rel_tol=0.1,
+        max_probes=10,
+        windows=10,
+        **kwargs,
+    )
+
+
+class TestCapacityCurve:
+    def test_one_knee_per_factor_value(self):
+        curve = quick_curve()
+        points = curve.points()
+        assert len(points) == 2
+        assert [p["xi"] for p in points] == [0.05, 0.25]
+        for point in points:
+            assert point["max_rps"] > 0.0
+            assert point["n_probes"] >= 2
+        # The full probe trace survives on each cell.
+        for cell in curve.suite.cells:
+            assert cell.error is None
+            assert cell.capacity is not None
+            assert cell.capacity.n_probes == cell.metrics["n_probes"]
+
+    def test_dict_carries_full_capacity_payloads(self):
+        payload = quick_curve().to_dict()
+        assert payload["kind"] == "repro-capacity-curve"
+        assert payload["version"] == 1
+        assert payload["factor"] == "xi"
+        assert "git_sha" in payload["provenance"]
+        assert len(payload["cells"]) == 2
+        for cell in payload["cells"]:
+            nested = CapacityResult.from_dict(cell["capacity"])
+            assert nested.max_rps > 0.0
+
+    def test_csv_has_provenance_header(self):
+        csv = quick_curve().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("# provenance:")
+        assert "objective=p99" in lines[1]
+        assert lines[2].startswith("xi,")
+        assert len(lines) == 5
+
+    def test_checkpoint_resume_skips_completed_searches(self, tmp_path):
+        first = quick_curve(checkpoint_dir=tmp_path)
+        second = quick_curve(checkpoint_dir=tmp_path, resume=True)
+        assert first.suite.executed == 2
+        assert second.suite.executed == 0
+        assert second.suite.resumed == 2
+        # The resumed curve still carries every probe, not just metrics.
+        for a, b in zip(first.suite.cells, second.suite.cells):
+            assert b.capacity is not None
+            assert [p.to_dict() for p in a.capacity.probes] == [
+                p.to_dict() for p in b.capacity.probes
+            ]
+
+    def test_objective_change_invalidates_checkpoints(self, tmp_path):
+        quick_curve(checkpoint_dir=tmp_path)
+        tighter = capacity_curve(
+            small_scenario(),
+            CapacityObjective(usec(400), metric="p99"),
+            "xi",
+            [0.05, 0.25],
+            rel_tol=0.1,
+            max_probes=10,
+            windows=10,
+            checkpoint_dir=tmp_path,
+            resume=True,
+        )
+        # The search spec is digested into cell ids, so a different
+        # objective cannot silently reuse stale knees.
+        assert tighter.suite.resumed == 0
+        assert tighter.suite.executed == 2
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = quick_curve()
+        parallel = quick_curve(workers=2)
+        assert serial.points() == parallel.points()
+
+    def test_empty_curve_csv_rejected(self):
+        curve = quick_curve()
+        curve.suite.cells.clear()
+        with pytest.raises(ConfigError):
+            curve.to_csv()

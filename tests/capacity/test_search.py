@@ -1,0 +1,278 @@
+"""find_capacity: analytic bracket, CI-aware bisection, spot-check."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capacity import (
+    AnalyticBracket,
+    CapacityObjective,
+    CapacityResult,
+    analytic_bracket,
+    find_capacity,
+)
+from repro.errors import ConfigError, ValidationError
+from repro.experiments import Scenario
+from repro.queueing import cliff_key_rate
+from repro.units import kps, msec, usec
+
+
+def small_scenario(**overrides):
+    base = dict(
+        key_rate=kps(10),
+        burst_xi=0.15,
+        concurrency_q=0.1,
+        service_rate=kps(80),
+        n_keys=10,
+        network_delay=usec(20),
+        miss_ratio=0.01,
+        database_rate=1 / msec(1),
+        seed=7,
+        n_requests=400,
+        warmup_requests=40,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+P99 = CapacityObjective(usec(2000), metric="p99")
+
+
+class TestAnalyticBracket:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        xi=st.floats(0.01, 0.4),
+        mu=st.floats(20.0, 200.0),
+        n_keys=st.integers(1, 150),
+        n_servers=st.integers(1, 8),
+    )
+    def test_bracket_anchors_on_cliff_miss_free(
+        self, xi, mu, n_keys, n_servers
+    ):
+        """Policy-free, miss-free scenarios: the servers bind, the
+        Proposition 2 cliff sits inside [lo, stability], and the search
+        bracket never starts above the cliff."""
+        scenario = small_scenario(
+            burst_xi=xi,
+            service_rate=kps(mu),
+            n_keys=n_keys,
+            n_servers=n_servers,
+            key_rate=kps(mu) / 10.0,
+            miss_ratio=0.0,
+        )
+        bracket = analytic_bracket(scenario, P99)
+        expected_cliff = (
+            cliff_key_rate(xi, kps(mu)) * n_servers / n_keys
+        )
+        assert bracket.cliff_rps == pytest.approx(expected_cliff, rel=1e-9)
+        assert bracket.binding == "server"
+        assert 0.0 < bracket.lo <= bracket.cliff_rps
+        assert bracket.lo < bracket.hi
+        assert bracket.cliff_rps <= bracket.stability_rps
+        assert bracket.hi == pytest.approx(0.98 * bracket.stability_rps)
+
+    def test_database_binds_at_paper_baseline(self):
+        scenario = small_scenario(
+            n_keys=150, n_servers=4, service_rate=kps(80)
+        )
+        bracket = analytic_bracket(scenario, P99)
+        # mu_D / r = 1000/0.01 = 100 Kps < the per-server cliff rate, so
+        # the database saturates long before Proposition 2 bites.
+        assert bracket.binding == "database"
+        assert bracket.stability_rps < bracket.cliff_rps
+
+    def test_bracket_strips_faults_and_policies(self):
+        from repro.faults import FaultSchedule, ServerSlowdown
+        from repro.policies import RequestPolicy
+
+        plain = analytic_bracket(small_scenario(), P99)
+        decorated = analytic_bracket(
+            small_scenario(
+                faults=FaultSchedule.single(
+                    ServerSlowdown(start=0.0, duration=0.1)
+                ),
+                policy=RequestPolicy.hedged(usec(500)),
+            ),
+            P99,
+        )
+        assert decorated == plain
+
+    def test_round_trip(self):
+        bracket = analytic_bracket(small_scenario(), P99)
+        assert AnalyticBracket.from_dict(bracket.to_dict()) == bracket
+
+
+class TestFindCapacity:
+    def test_rejects_non_probe_backends_and_bad_knobs(self):
+        with pytest.raises(ConfigError):
+            find_capacity(small_scenario(), P99, backend="estimate")
+        with pytest.raises(ValidationError):
+            find_capacity(small_scenario(), P99, rel_tol=0.0)
+        with pytest.raises(ValidationError):
+            find_capacity(small_scenario(), P99, max_probes=2)
+        with pytest.raises(ValidationError):
+            find_capacity(small_scenario(), P99, n_requests=5)
+        with pytest.raises(ValidationError):
+            find_capacity(
+                small_scenario(), P99, n_requests=100, max_requests=50
+            )
+
+    def test_finds_knee_below_cliff(self):
+        result = find_capacity(
+            small_scenario(miss_ratio=0.0),
+            CapacityObjective(usec(800), metric="p99"),
+            rel_tol=0.05,
+            windows=12,
+        )
+        assert 0.0 < result.max_rps < result.bracket.stability_rps
+        assert result.fail_rps is not None
+        assert result.max_rps < result.fail_rps
+        assert (result.fail_rps - result.max_rps) <= (
+            0.05 * result.fail_rps * (1.0 + 1e-9)
+        )
+        assert result.below_cliff == (result.max_rps < result.bracket.cliff_rps)
+        assert result.n_probes >= 2
+        # Every probe carries its CI and verdict.
+        for probe in result.probes:
+            assert probe.ci_low <= probe.value <= probe.ci_high
+            assert probe.status in ("pass", "fail")
+
+    def test_loose_slo_is_capped_at_stability(self):
+        result = find_capacity(
+            small_scenario(),
+            CapacityObjective(1.0, metric="p99"),  # one second: trivial
+            rel_tol=0.05,
+            windows=12,
+        )
+        assert result.capped
+        assert result.fail_rps is None
+        assert result.max_rps == pytest.approx(result.bracket.hi)
+
+    def test_unattainable_slo_reports_zero(self):
+        # 2x network delay alone is 40us; 30us can never be met.
+        result = find_capacity(
+            small_scenario(),
+            CapacityObjective(usec(30), metric="p99"),
+            rel_tol=0.05,
+            windows=12,
+        )
+        assert result.max_rps == 0.0
+        assert result.fail_rps is not None
+        assert not result.capped
+
+    def test_monotone_in_slo_tightness(self):
+        """Max RPS must be non-increasing as the SLO tightens."""
+        knees = [
+            find_capacity(
+                small_scenario(miss_ratio=0.0),
+                CapacityObjective(usec(threshold), metric="p99"),
+                rel_tol=0.04,
+                windows=12,
+            ).max_rps
+            for threshold in (2000.0, 800.0, 400.0)
+        ]
+        assert knees[0] >= knees[1] >= knees[2]
+        assert knees[2] > 0.0
+
+    def test_deterministic_replay(self):
+        a = find_capacity(small_scenario(), P99, rel_tol=0.05, windows=12)
+        b = find_capacity(small_scenario(), P99, rel_tol=0.05, windows=12)
+        assert a.max_rps == b.max_rps
+        assert [p.to_dict() for p in a.probes] == [
+            p.to_dict() for p in b.probes
+        ]
+
+    def test_escalation_stays_within_budget(self):
+        result = find_capacity(
+            small_scenario(),
+            P99,
+            rel_tol=0.05,
+            windows=12,
+            n_requests=100,
+            max_requests=400,
+        )
+        for probe in result.probes:
+            assert probe.n_requests <= 400
+            assert probe.n_requests == 100 * 2**probe.escalations
+
+
+class TestSpotCheck:
+    def test_engine_agrees_with_fastpath_knee(self):
+        """Backend-agreement: replicated event-engine runs at the found
+        knee must overlap the knee probe's confidence interval."""
+        result = find_capacity(
+            small_scenario(
+                miss_ratio=0.0, n_requests=600, warmup_requests=60
+            ),
+            CapacityObjective(usec(800), metric="p99"),
+            rel_tol=0.05,
+            windows=12,
+            spot_check=True,
+            spot_replicates=3,
+        )
+        spot = result.spot_check
+        assert spot is not None
+        assert len(spot["probes"]) == 3
+        assert all(p.backend == "simulate" for p in spot["probes"])
+        # Spot replicates are reported under spot_check, not probes.
+        assert all(p.backend != "simulate" for p in result.probes)
+        assert spot["ci_low"] <= spot["value"] <= spot["ci_high"]
+        assert result.agrees is True
+
+    def test_no_spot_check_by_default(self):
+        result = find_capacity(
+            small_scenario(), P99, rel_tol=0.05, windows=12
+        )
+        assert result.spot_check is None
+        assert result.agrees is None
+
+
+class TestArtifact:
+    def test_save_load_round_trip(self, tmp_path):
+        result = find_capacity(
+            small_scenario(),
+            P99,
+            rel_tol=0.05,
+            windows=12,
+            spot_check=True,
+            spot_replicates=2,
+        )
+        path = tmp_path / "capacity.json"
+        result.save(path)
+        loaded = CapacityResult.load(path)
+        assert loaded.max_rps == result.max_rps
+        assert loaded.objective == result.objective
+        assert loaded.bracket == result.bracket
+        assert [p.to_dict() for p in loaded.probes] == [
+            p.to_dict() for p in result.probes
+        ]
+        assert loaded.agrees == result.agrees
+
+    def test_dict_is_versioned_and_stamped(self):
+        payload = find_capacity(
+            small_scenario(), P99, rel_tol=0.05, windows=12
+        ).to_dict()
+        assert payload["kind"] == "repro-capacity"
+        assert payload["version"] == 1
+        assert "git_sha" in payload["provenance"]
+        assert payload["n_probes"] == len(payload["probes"])
+        assert math.isfinite(payload["max_rps"])
+
+    def test_csv_has_provenance_and_probe_rows(self):
+        result = find_capacity(
+            small_scenario(), P99, rel_tol=0.05, windows=12
+        )
+        csv = result.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("# provenance:")
+        assert "max_rps=" in lines[1]
+        assert lines[2].startswith("index,rps,backend,")
+        assert len(lines) == 3 + result.n_probes
+
+    def test_load_rejects_other_kinds(self, tmp_path):
+        path = tmp_path / "not-capacity.json"
+        path.write_text('{"kind": "repro-run-report"}')
+        with pytest.raises(ConfigError):
+            CapacityResult.load(path)

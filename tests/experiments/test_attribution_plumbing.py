@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ValidationError
 from repro.experiments import Grid, Scenario, Suite, run_suite
 from repro.experiments.runner import CellResult
 from repro.observability.attribution import STAGES, AttributionSink
@@ -72,13 +72,14 @@ class TestScenarioOption:
         assert result.attribution is not None
 
     def test_fastpath_system_rejects_unknown_options(self):
-        with pytest.raises(ConfigError) as excinfo:
+        with pytest.raises(ValidationError) as excinfo:
             scenario().run("fastpath-system", bogus=1)
         assert "attribution" in str(excinfo.value)
 
     def test_estimate_backend_takes_no_options(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ValidationError) as excinfo:
             scenario().run("estimate", attribution=True)
+        assert "simulate" in str(excinfo.value)
 
 
 class TestResultRoundTrip:

@@ -187,7 +187,7 @@ class TestDispatch:
         assert estimate.total_lower <= estimate.total_upper
 
     def test_estimate_rejects_options(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ValidationError):
             small_scenario().run("estimate", pool_size=100)
 
     def test_unknown_backend(self):
@@ -237,8 +237,12 @@ class TestDispatch:
         assert len(result.server_utilizations) == small_scenario().n_servers
 
     def test_fastpath_system_rejects_options(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ValidationError) as err:
             small_scenario().run("fastpath-system", pool_size=100)
+        # Uniform shape: names the option, the backend, and who accepts it.
+        assert "pool_size" in str(err.value)
+        assert "fastpath-system" in str(err.value)
+        assert "fastpath" in str(err.value)
 
     def test_fastpath_system_deterministic_in_seed(self):
         a = small_scenario().run("fastpath-system")
@@ -372,7 +376,7 @@ class TestTimelineAcrossBackends:
         assert scenario.run("simulate").timeline is None
 
     def test_estimate_timeline_rejects_backend_options(self):
-        with pytest.raises(ConfigError):
+        with pytest.raises(ValidationError):
             small_scenario().timeline("estimate", pool_size=10)
 
     def test_unknown_backend_rejected(self):

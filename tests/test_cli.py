@@ -666,3 +666,169 @@ class TestSweepProgress:
         assert "[1/2]" in captured.err
         assert "[2/2]" in captured.err
         assert "ok" in captured.err
+
+
+class TestSimulateUnifiedDispatch:
+    ARGS = ["simulate", "--requests", "200", "--n-keys", "10", "--rate", "20"]
+
+    def test_backend_helper_is_gone(self):
+        import repro.cli as cli
+
+        assert not hasattr(cli, "_simulate_fastpath_system")
+
+    def test_fastpath_backend(self, capsys):
+        code = main(self.ARGS + ["--backend", "fastpath"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T(N)" in out
+        assert "TS(N)" in out
+
+    def test_fastpath_backend_json_is_simulation_result(self, capsys):
+        code = main(self.ARGS + ["--backend", "fastpath", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total"]["count"] == 200
+
+    def test_fastpath_system_rejects_trace_with_registry_error(self, capsys):
+        code = main(self.ARGS + ["--backend", "fastpath-system", "--trace"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "observability" in err
+        assert "fastpath-system" in err
+        assert "simulate" in err
+
+    def test_fastpath_rejects_report_with_registry_error(self, tmp_path, capsys):
+        code = main(
+            self.ARGS
+            + ["--backend", "fastpath", "--report", str(tmp_path / "r.json")]
+        )
+        assert code == 1
+        assert "does not accept option" in capsys.readouterr().err
+
+
+class TestMonitorVerdict:
+    ARGS = [
+        "monitor",
+        "--requests", "300",
+        "--n-keys", "10",
+        "--rate", "20",
+        "--windows", "8",
+    ]
+
+    def test_json_verdict_when_ok(self, capsys):
+        code = main(self.ARGS + ["--json", "--slo-p99", "1000000"])
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)["verdict"]
+        assert verdict["ok"] is True
+        assert verdict["n_alerts"] == 0
+        assert verdict["first_breach"] is None
+        rule = verdict["rules"]["p99-threshold"]
+        assert rule["violating_windows"] == 0
+        assert rule["attainment"] == 1.0
+
+    def test_json_verdict_names_first_breach(self, capsys):
+        code = main(self.ARGS + ["--json", "--slo-p99", "0.001"])
+        assert code == 0
+        verdict = json.loads(capsys.readouterr().out)["verdict"]
+        assert verdict["ok"] is False
+        assert verdict["n_alerts"] >= 1
+        breach = verdict["first_breach"]
+        assert breach["rule"] == "p99-threshold"
+        assert breach["n_windows"] >= 1
+        assert verdict["rules"]["p99-threshold"]["violating_windows"] >= 1
+
+
+class TestCapacity:
+    ARGS = [
+        "capacity",
+        "--n-keys", "10",
+        "--servers", "1",
+        "--miss-ratio", "0",
+        "--slo-p99", "800",
+        "--requests", "200",
+        "--windows", "10",
+        "--rel-tol", "0.1",
+    ]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["capacity"])
+        assert args.backend == "fastpath-system"
+        assert args.rel_tol == 0.02
+        assert args.slo_p99 is None
+
+    def test_text_output(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "analytic: cliff" in out
+        assert "max rps at SLO:" in out
+        assert "below analytic cliff:" in out
+
+    def test_json_schema(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-capacity"
+        assert payload["version"] == 1
+        assert payload["backend"] == "fastpath-system"
+        assert payload["max_rps"] > 0.0
+        assert payload["analytic"]["cliff_rps"] > 0.0
+        assert payload["n_probes"] == len(payload["probes"]) >= 2
+        assert payload["provenance"]["git_sha"]
+        assert payload["objective"]["metric"] == "p99"
+
+    def test_artifact_exports(self, tmp_path, capsys):
+        out_path = tmp_path / "capacity.json"
+        csv_path = tmp_path / "capacity.csv"
+        code = main(
+            self.ARGS + ["--out", str(out_path), "--csv", str(csv_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "capacity report written:" in out
+        assert "csv written:" in out
+        from repro.capacity import CapacityResult
+
+        loaded = CapacityResult.load(out_path)
+        assert loaded.max_rps > 0.0
+        stamp, summary, header = csv_path.read_text().splitlines()[:3]
+        assert stamp.startswith("# provenance:")
+        assert "max_rps=" in summary
+        assert header.startswith("index,rps,backend")
+
+    def test_conflicting_objectives_rejected(self, capsys):
+        code = main(self.ARGS + ["--slo-mean", "500"])
+        assert code == 1
+        assert "exactly one objective" in capsys.readouterr().err
+
+    def test_burn_rate_objective(self, capsys):
+        args = [a for a in self.ARGS if a not in ("--slo-p99", "800")]
+        code = main(
+            args + ["--burn-threshold", "800", "--burn-objective", "0.95",
+                    "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["objective"]["metric"] == "burn_rate"
+        assert payload["max_rps"] > 0.0
+
+    def test_sweep_mode(self, capsys):
+        code = main(self.ARGS + ["--sweep", "xi=0.05,0.25", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "repro-capacity-curve"
+        assert payload["factor"] == "xi"
+        assert len(payload["points"]) == 2
+        assert all(point["max_rps"] > 0.0 for point in payload["points"])
+
+    def test_sweep_resume(self, tmp_path, capsys):
+        ckpt = self.ARGS + [
+            "--sweep", "xi=0.05,0.25", "--checkpoint", str(tmp_path)
+        ]
+        assert main(ckpt) == 0
+        capsys.readouterr()
+        assert main(ckpt + ["--resume"]) == 0
+        assert "2 resumed" in capsys.readouterr().out
+
+    def test_bad_sweep_spec(self, capsys):
+        code = main(self.ARGS + ["--sweep", "nonsense"])
+        assert code == 1
+        assert "factor spec" in capsys.readouterr().err

@@ -28,6 +28,10 @@ EXPECTED = (
     "BurnRateRule",
     "CacheCapacityError",
     "CacheError",
+    "CapacityCurve",
+    "CapacityObjective",
+    "CapacityProbe",
+    "CapacityResult",
     "ClusterModel",
     "ConfigError",
     "ConvergenceError",
@@ -83,9 +87,12 @@ EXPECTED = (
     "Zipf",
     "__version__",
     "advise",
+    "backend_options",
+    "capacity_curve",
     "cliff_utilization",
     "delta_for_utilization",
     "detection_scores",
+    "find_capacity",
     "hedge_delay_from_quantile",
     "run_suite",
     "sweep_suite",
